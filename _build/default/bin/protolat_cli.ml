@@ -1,0 +1,218 @@
+(* protolat — command-line driver for the protocol-latency reproduction.
+
+   Subcommands:
+     run      measure one stack/version configuration
+     tables   regenerate the paper's tables
+     figures  print Figures 1 and 2
+     layout   show a configuration's code image
+     sweep    Table 4-style sweep over all versions                     *)
+
+module P = Protolat
+module M = Protolat_machine
+module L = Protolat_layout
+module Stats = Protolat_util.Stats
+open Cmdliner
+
+let version_conv =
+  let parse s =
+    match P.Config.of_name s with
+    | Some v -> Ok v
+    | None -> Error (`Msg ("unknown version: " ^ s ^ " (BAD/STD/OUT/CLO/PIN/ALL)"))
+  in
+  let print fmt v = Format.pp_print_string fmt (P.Config.version_name v) in
+  Arg.conv (parse, print)
+
+let stack_conv =
+  let parse = function
+    | "tcp" | "tcpip" | "tcp/ip" -> Ok P.Engine.Tcpip
+    | "rpc" -> Ok P.Engine.Rpc
+    | s -> Error (`Msg ("unknown stack: " ^ s ^ " (tcpip|rpc)"))
+  in
+  let print fmt s = Format.pp_print_string fmt (P.Engine.stack_name s) in
+  Arg.conv (parse, print)
+
+let stack_arg =
+  Arg.(value & opt stack_conv P.Engine.Tcpip & info [ "s"; "stack" ] ~doc:"Stack: tcpip or rpc.")
+
+let version_arg =
+  Arg.(value & opt version_conv P.Config.Std & info [ "c"; "config" ] ~doc:"Configuration: BAD, STD, OUT, CLO, PIN or ALL.")
+
+let rounds_arg =
+  Arg.(value & opt int 24 & info [ "r"; "rounds" ] ~doc:"Measured roundtrips.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+
+(* ----- run -------------------------------------------------------------- *)
+
+let run_cmd =
+  let run stack version rounds seed =
+    let r =
+      P.Engine.run ~seed ~rounds ~stack ~config:(P.Config.make version) ()
+    in
+    let s = r.P.Engine.steady in
+    Printf.printf "%s / %s: %d roundtrips\n" (P.Engine.stack_name stack)
+      (P.Config.version_name version) rounds;
+    Printf.printf "  RTT           %.1f us (+/- %.2f)\n"
+      (Stats.mean r.P.Engine.rtts)
+      (Stats.stddev r.P.Engine.rtts);
+    Printf.printf "  processing    %.1f us, %d instructions\n" s.M.Perf.time_us
+      s.M.Perf.length;
+    Printf.printf "  CPI %.2f = iCPI %.2f + mCPI %.2f\n" s.M.Perf.cpi
+      s.M.Perf.icpi s.M.Perf.mcpi;
+    let st = s.M.Perf.stats in
+    Printf.printf "  i$ %d/%d (repl %d)   d$/wb %d/%d   b$ %d/%d (repl %d)\n"
+      st.M.Memsys.icache.M.Memsys.miss st.M.Memsys.icache.M.Memsys.acc
+      st.M.Memsys.icache.M.Memsys.repl st.M.Memsys.dwb.M.Memsys.miss
+      st.M.Memsys.dwb.M.Memsys.acc st.M.Memsys.bcache.M.Memsys.miss
+      st.M.Memsys.bcache.M.Memsys.acc st.M.Memsys.bcache.M.Memsys.repl;
+    if r.P.Engine.retransmissions > 0 then
+      Printf.printf "  retransmissions: %d\n" r.P.Engine.retransmissions
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Measure one configuration.")
+    Term.(const run $ stack_arg $ version_arg $ rounds_arg $ seed_arg)
+
+(* ----- tables ------------------------------------------------------------ *)
+
+let tables_cmd =
+  let names =
+    [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "table7";
+      "table8"; "table9"; "map"; "micro"; "decunix" ]
+  in
+  let which =
+    Arg.(value & pos_all string names & info [] ~docv:"TABLE"
+           ~doc:"Tables to print (default: all).")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Fewer samples/rounds.")
+  in
+  let run which quick =
+    let want n = List.mem n which in
+    if want "table1" then Protolat_util.Table.print (P.Experiments.table1 ());
+    if want "table2" then Protolat_util.Table.print (P.Experiments.table2 ());
+    if want "table3" then Protolat_util.Table.print (P.Experiments.table3 ());
+    if List.exists want [ "table4"; "table5"; "table6"; "table7"; "table8"; "table9" ]
+    then begin
+      let samples_tcp, samples_rpc, rounds =
+        if quick then (3, 3, 12) else (10, 5, 24)
+      in
+      let results =
+        P.Experiments.full_run ~samples_tcp ~samples_rpc ~rounds ()
+      in
+      List.iter
+        (fun (n, t) -> if want n then Protolat_util.Table.print (t results))
+        [ ("table4", P.Experiments.table4); ("table5", P.Experiments.table5);
+          ("table6", P.Experiments.table6); ("table7", P.Experiments.table7);
+          ("table8", P.Experiments.table8); ("table9", P.Experiments.table9) ]
+    end;
+    if want "map" then Protolat_util.Table.print (P.Experiments.map_traversal ());
+    if want "micro" then
+      Protolat_util.Table.print (P.Experiments.micro_positioning ());
+    if want "decunix" then
+      Protolat_util.Table.print (P.Experiments.dec_unix_mcpi ())
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate the paper's tables.")
+    Term.(const run $ which $ quick)
+
+(* ----- figures ------------------------------------------------------------ *)
+
+let figures_cmd =
+  let run () =
+    print_endline (P.Experiments.figure1 ());
+    print_endline (P.Experiments.figure2 ())
+  in
+  Cmd.v (Cmd.info "figures" ~doc:"Print Figures 1 and 2.")
+    Term.(const run $ const ())
+
+(* ----- layout -------------------------------------------------------------- *)
+
+let layout_cmd =
+  let run stack version =
+    let img = P.Engine.layout_for (P.Config.make version) stack () in
+    Printf.printf "%s / %s code image: %d static instructions, end=0x%x\n\n"
+      (P.Engine.stack_name stack)
+      (P.Config.version_name version)
+      (L.Image.static_instr_count img) (L.Image.end_addr img);
+    List.iter
+      (fun (name, a, b) ->
+        Printf.printf "  %08x..%08x  %6d B  %s\n" a b (b - a) name)
+      (L.Image.regions img)
+  in
+  Cmd.v
+    (Cmd.info "layout" ~doc:"Show where a configuration places each function.")
+    Term.(const run $ stack_arg $ version_arg)
+
+(* ----- profile -------------------------------------------------------------- *)
+
+let profile_cmd =
+  let run stack version =
+    Protolat_util.Table.print
+      (P.Experiments.profile ~stack ~version ());
+    Protolat_util.Table.print
+      (P.Experiments.instruction_mix ~stack ~version ())
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Per-function and per-class breakdown of a roundtrip trace.")
+    Term.(const run $ stack_arg $ version_arg)
+
+(* ----- trace -------------------------------------------------------------- *)
+
+let trace_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~doc:"Write the trace to a file.")
+  in
+  let run stack version seed out =
+    let r =
+      P.Engine.run ~seed ~stack ~config:(P.Config.make version) ()
+    in
+    let trace = r.P.Engine.trace in
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      Protolat_machine.Trace.save trace oc;
+      close_out oc;
+      Printf.printf "wrote %d events to %s\n"
+        (Protolat_machine.Trace.length trace)
+        path
+    | None -> print_string (Protolat_machine.Trace.to_string trace))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Dump one steady-state roundtrip's instruction/data trace (the           artifact the paper distributed by FTP).")
+    Term.(const run $ stack_arg $ version_arg $ seed_arg $ out_arg)
+
+(* ----- sweep -------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let run stack rounds =
+    Printf.printf "%-8s %12s %10s %8s %8s\n" "Version" "RTT [us]" "Tp [us]"
+      "mCPI" "iCPI";
+    List.iter
+      (fun v ->
+        let r =
+          P.Engine.run ~rounds ~stack ~config:(P.Config.make v) ()
+        in
+        let s = r.P.Engine.steady in
+        Printf.printf "%-8s %12.1f %10.1f %8.2f %8.2f\n"
+          (P.Config.version_name v)
+          (Stats.mean r.P.Engine.rtts)
+          s.M.Perf.time_us s.M.Perf.mcpi s.M.Perf.icpi)
+      P.Paper.version_order
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Measure all six versions of a stack.")
+    Term.(const run $ stack_arg $ rounds_arg)
+
+let () =
+  let info =
+    Cmd.info "protolat" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of Mosberger et al., Analysis of Techniques to \
+         Improve Protocol Processing Latency (SIGCOMM '96)."
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; tables_cmd; figures_cmd; layout_cmd; sweep_cmd; trace_cmd;
+          profile_cmd ]))

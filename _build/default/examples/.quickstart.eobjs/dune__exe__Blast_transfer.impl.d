@@ -1,0 +1,1 @@
+examples/blast_transfer.ml: Bytes Char Printf Protolat_netsim Protolat_rpc Protolat_xkernel

@@ -1,0 +1,1 @@
+examples/hashtable_traversal.ml: List Printf Protolat Protolat_util Protolat_xkernel Unix

@@ -1,0 +1,1 @@
+examples/tcp_latency.ml: List Printf Protolat Protolat_machine Protolat_util String

@@ -1,0 +1,1 @@
+examples/udp_fragmentation.ml: Bytes List Printf Protolat_netsim Protolat_tcpip

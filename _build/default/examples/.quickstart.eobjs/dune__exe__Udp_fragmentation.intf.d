@@ -1,0 +1,1 @@
+examples/udp_fragmentation.mli:

@@ -1,0 +1,44 @@
+(* The substrate extensions working together: two hosts with NO static
+   routes resolve each other via real ARP, then exchange UDP datagrams
+   large enough that IP fragments them across several Ethernet frames and
+   reassembles at the receiver.
+
+   Run with:  dune exec examples/udp_fragmentation.exe  *)
+
+module T = Protolat_tcpip
+module Ns = Protolat_netsim
+
+let () =
+  let sim = Ns.Sim.create () in
+  let link = Ns.Ether.Link.create sim () in
+  let mk station mac ip base =
+    let host =
+      T.Stack.make_host sim link ~station ~mac ~ip_addr:ip
+        ~opts:T.Opts.improved ~simmem_base:base ()
+    in
+    let arp = T.Arp.create host.T.Stack.env host.T.Stack.netdev ~my_ip:ip in
+    T.Vnet.set_resolver host.T.Stack.vnet (fun ip k ->
+        T.Arp.resolve arp ~ip k);
+    (host, arp)
+  in
+  let a, arp_a = mk 0 0x0800_2B00_00AA 0x0A000001 0x1010_0000 in
+  let b, _ = mk 1 0x0800_2B00_00BB 0x0A000002 0x3010_0000 in
+  T.Udp.bind b.T.Stack.udp ~port:7777 (fun ~src_ip ~src_port data ->
+      Printf.printf "t=%7.1fus  server got %5d bytes from %s:%d\n"
+        (Ns.Sim.now sim)
+        (Bytes.length data)
+        (T.Ip_hdr.addr_to_string src_ip)
+        src_port);
+  List.iter
+    (fun size ->
+      T.Udp.send a.T.Stack.udp ~src_port:9999 ~dst_ip:0x0A000002
+        ~dst_port:7777
+        (Bytes.make size 'd'))
+    [ 100; 1400; 4000; 9000 ];
+  ignore (Ns.Sim.run sim);
+  Printf.printf
+    "\nARP requests: %d (one resolution shared by all sends)\n"
+    (T.Arp.requests_sent arp_a);
+  Printf.printf "IP datagrams fragmented: %d, reassembled: %d\n"
+    (T.Ip.datagrams_fragmented a.T.Stack.ip)
+    (T.Ip.datagrams_reassembled b.T.Stack.ip)

@@ -1,0 +1,1 @@
+lib/core/ablation.ml: Config Engine List Printf Protolat_machine Protolat_util

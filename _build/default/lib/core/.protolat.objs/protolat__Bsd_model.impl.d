@@ -1,0 +1,1 @@
+lib/core/bsd_model.ml: Array List Printf Protolat_layout Protolat_machine Protolat_util

@@ -1,0 +1,1 @@
+lib/core/bsd_model.mli: Protolat_layout Protolat_machine Protolat_util

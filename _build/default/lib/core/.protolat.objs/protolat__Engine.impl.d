@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Bytes Config List Printf Protolat_layout Protolat_machine Protolat_netsim Protolat_rpc Protolat_tcpip Protolat_util Protolat_xkernel

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Config Protolat_layout Protolat_machine Protolat_util

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Config Engine Hashtbl List Paper Printf Protolat_layout Protolat_machine Protolat_rpc Protolat_tcpip Protolat_util Protolat_xkernel String

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Config Engine Protolat_util

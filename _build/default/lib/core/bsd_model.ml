@@ -1,0 +1,274 @@
+module Util = Protolat_util
+module Machine = Protolat_machine
+module Layout = Protolat_layout
+module Instr = Machine.Instr
+module Trace = Machine.Trace
+module Block = Layout.Block
+module Func = Layout.Func
+module Image = Layout.Image
+
+(* BSD-shaped vectors, at the paper's own instruction scale (Table 3): the
+   block sums are chosen so the per-segment totals land on the published
+   DEC Unix trace lengths. *)
+
+let v = Instr.vec
+
+let hot ?(calls = []) id vec =
+  Func.item ~callees:calls (Block.make ~id ~kind:Block.Hot vec)
+
+let err id vec = Func.item (Block.make ~id ~kind:Block.Error vec)
+
+(* ----- the monolithic functions ------------------------------------------- *)
+
+(* driver input: ether_input + ifnet queue handling *)
+let ether_input =
+  Func.make ~name:"ether_input"
+    [ hot "deque" (v ~alu:40 ~load:20 ~store:8 ~br_not_taken:4 ());
+      err "badframe" (v ~alu:14 ~load:6 ());
+      hot "dispatch" ~calls:[ "ipintr" ] (v ~alu:12 ~load:6 ~br_taken:1 ()) ]
+
+(* ipintr with the IP header checksum inlined (the paper notes this
+   artificially inflates its count by 42 instructions) *)
+let ipintr =
+  Func.make ~name:"ipintr"
+    [ hot "validate" (v ~alu:78 ~load:36 ~store:10 ~br_not_taken:9 ());
+      hot "cksum_inline" (v ~alu:30 ~load:11 ~br_not_taken:1 ());
+      err "frag" (v ~alu:60 ~load:25 ~store:18 ());
+      err "options" (v ~alu:25 ~load:9 ~store:4 ());
+      hot "deliver" ~calls:[ "ip_protosw" ] (v ~alu:45 ~load:22 ~store:6 ~br_taken:1 ()) ]
+
+(* protosw dispatch + inpcb hash lookup, the glue between ipintr and the
+   point where tcp_input has found the PCB *)
+let ip_protosw =
+  Func.make ~name:"ip_protosw"
+    [ hot "protosw" (v ~alu:30 ~load:16 ~br_not_taken:3 ());
+      hot "inpcblookup" ~calls:[ "tcp_input" ]
+        (v ~alu:68 ~load:38 ~store:8 ~br_not_taken:6 ~br_taken:2 ()) ]
+
+(* tcp_input after the PCB lookup: header prediction runs first and fails
+   on a bidirectional connection (a dozen wasted instructions), then the
+   general path *)
+let tcp_input =
+  Func.make ~name:"tcp_input"
+    [ hot "hdr_pred" (v ~alu:6 ~load:2 ~br_not_taken:4 ());
+      hot "general" ~calls:[ "in_cksum_lib" ]
+        (v ~alu:152 ~load:78 ~store:38 ~br_not_taken:14 ~br_taken:4 ());
+      err "notestab" (v ~alu:60 ~load:24 ~store:12 ());
+      err "reass" (v ~alu:80 ~load:34 ~store:22 ());
+      hot "ack_data" ~calls:[ "mbuf_ops"; "sbappend" ]
+        (v ~alu:60 ~load:28 ~store:16 ~br_not_taken:6 ~br_taken:2 ()) ]
+
+let in_cksum_lib =
+  Func.make ~name:"in_cksum_lib" ~cat:Func.Library
+    [ hot "head" (v ~alu:12 ~load:3 ~br_not_taken:2 ());
+      hot "loop" (v ~alu:5 ~load:1 ~br_taken:1 ());
+      hot "tail" (v ~alu:10 ~load:2 ~br_not_taken:2 ()) ]
+
+let mbuf_ops =
+  Func.make ~name:"mbuf_ops" ~cat:Func.Library
+    [ hot "get_free" (v ~alu:46 ~load:22 ~store:14 ~br_not_taken:4 ~br_taken:1 ());
+      err "expand" (v ~alu:30 ~load:12 ~store:10 ()) ]
+
+let sbappend =
+  Func.make ~name:"sbappend"
+    [ hot "append" (v ~alu:88 ~load:42 ~store:26 ~br_not_taken:8 ());
+      err "sbcompress" (v ~alu:40 ~load:18 ~store:12 ());
+      hot "wakeup" ~calls:[ "sowakeup" ] (v ~alu:16 ~load:8 ~br_taken:1 ()) ]
+
+let sowakeup =
+  Func.make ~name:"sowakeup"
+    [ hot "wake" (v ~alu:52 ~load:24 ~store:16 ~br_not_taken:5 ());
+      err "selwakeup" (v ~alu:26 ~load:10 ~store:6 ()) ]
+
+(* the reply path: sosend -> tcp_output -> ip_output -> ether_output *)
+let sosend =
+  Func.make ~name:"sosend"
+    [ hot "copyin" ~calls:[ "mbuf_ops"; "tcp_output_f" ]
+        (v ~alu:110 ~load:52 ~store:34 ~br_not_taken:10 ~br_taken:2 ());
+      err "blocked" (v ~alu:30 ~load:12 ~store:8 ()) ]
+
+let tcp_output_f =
+  Func.make ~name:"tcp_output_f"
+    [ hot "decide" (v ~alu:95 ~load:46 ~store:16 ~br_not_taken:10 ~br_taken:3 ());
+      err "persist" (v ~alu:30 ~load:12 ~store:8 ());
+      hot "build" ~calls:[ "in_cksum_lib"; "ip_output" ]
+        (v ~alu:90 ~load:40 ~store:30 ~br_not_taken:6 ()) ]
+
+let ip_output =
+  Func.make ~name:"ip_output"
+    [ hot "route_hdr" (v ~alu:95 ~load:44 ~store:26 ~br_not_taken:9 ~br_taken:2 ());
+      err "fragment" (v ~alu:60 ~load:26 ~store:20 ());
+      hot "send" ~calls:[ "ether_output" ] (v ~alu:20 ~load:10 ~store:4 ()) ]
+
+let ether_output =
+  Func.make ~name:"ether_output"
+    [ hot "encap" (v ~alu:70 ~load:32 ~store:22 ~br_not_taken:6 ());
+      err "arp" (v ~alu:36 ~load:14 ~store:8 ());
+      hot "start" (v ~alu:52 ~load:24 ~store:18 ~br_not_taken:4 ~br_taken:1 ()) ]
+
+let funcs =
+  [ ether_input; ipintr; ip_protosw; tcp_input; in_cksum_lib; mbuf_ops;
+    sbappend; sowakeup; sosend; tcp_output_f; ip_output; ether_output ]
+
+(* ----- layout --------------------------------------------------------------- *)
+
+let image () =
+  let units =
+    funcs
+    |> List.sort (fun a b -> compare a.Func.name b.Func.name)
+    |> List.map (fun f -> Image.single ~outlined:false ~dilution_pct:30 f)
+  in
+  Image.build (Layout.Strategy.link_order ~base:0x20000 units)
+
+(* ----- synthetic roundtrip trace ---------------------------------------------- *)
+
+(* execution script for one incoming 1-byte segment plus the reply; cold
+   guards are crossed (untaken) wherever the layout placed them, and the
+   checksum loop body repeats per 16-bit word of a 40-byte header *)
+type step =
+  | Enter of string
+  | Blk of string * string
+  | Rep of string * string * int
+  | Guard of string * string
+  | Leave of string
+
+let cksum_call = [ Enter "in_cksum_lib"; Blk ("in_cksum_lib", "head");
+                   Rep ("in_cksum_lib", "loop", 20);
+                   Blk ("in_cksum_lib", "tail"); Leave "in_cksum_lib" ]
+
+let mbuf_call =
+  [ Enter "mbuf_ops"; Blk ("mbuf_ops", "get_free");
+    Guard ("mbuf_ops", "expand"); Leave "mbuf_ops" ]
+
+let script =
+  [ (* input *)
+    Enter "ether_input"; Blk ("ether_input", "deque");
+    Guard ("ether_input", "badframe"); Blk ("ether_input", "dispatch");
+    Enter "ipintr"; Blk ("ipintr", "validate"); Blk ("ipintr", "cksum_inline");
+    Guard ("ipintr", "frag"); Guard ("ipintr", "options");
+    Blk ("ipintr", "deliver");
+    Enter "ip_protosw"; Blk ("ip_protosw", "protosw");
+    Blk ("ip_protosw", "inpcblookup");
+    Enter "tcp_input"; Blk ("tcp_input", "hdr_pred") ]
+  @ [ Blk ("tcp_input", "general") ]
+  @ cksum_call
+  @ [ Guard ("tcp_input", "notestab"); Guard ("tcp_input", "reass");
+      Blk ("tcp_input", "ack_data") ]
+  @ mbuf_call
+  @ [ Enter "sbappend"; Blk ("sbappend", "append");
+      Guard ("sbappend", "sbcompress"); Blk ("sbappend", "wakeup");
+      Enter "sowakeup"; Blk ("sowakeup", "wake");
+      Guard ("sowakeup", "selwakeup"); Leave "sowakeup"; Leave "sbappend";
+      Leave "tcp_input"; Leave "ip_protosw"; Leave "ipintr";
+      Leave "ether_input";
+      (* output *)
+      Enter "sosend"; Blk ("sosend", "copyin") ]
+  @ mbuf_call
+  @ [ Enter "tcp_output_f"; Blk ("tcp_output_f", "decide");
+      Guard ("tcp_output_f", "persist"); Blk ("tcp_output_f", "build") ]
+  @ cksum_call
+  @ [ Enter "ip_output"; Blk ("ip_output", "route_hdr");
+      Guard ("ip_output", "fragment"); Blk ("ip_output", "send");
+      Enter "ether_output"; Blk ("ether_output", "encap");
+      Guard ("ether_output", "arp"); Blk ("ether_output", "start");
+      Leave "ether_output"; Leave "ip_output"; Leave "tcp_output_f";
+      Leave "sosend"; Guard ("sosend", "blocked"); Leave "sosend" ]
+
+(* mbuf-chain style data traffic: rotate through a window larger than the
+   d-cache, as BSD's allocator-heavy path does *)
+let emit_slot trace (slot : Image.slot) data_cursor =
+  Array.iteri
+    (fun i cls ->
+      let pc = slot.Image.pcs.(i) in
+      let access =
+        match cls with
+        | Instr.Load ->
+          data_cursor := (!data_cursor + 40) mod (24 * 1024);
+          Some (Trace.Read (0x4000_0000 + !data_cursor))
+        | Instr.Store ->
+          data_cursor := (!data_cursor + 40) mod (24 * 1024);
+          Some (Trace.Write (0x4000_0000 + !data_cursor))
+        | _ -> None
+      in
+      Trace.add trace ~pc ~cls ?access ())
+    slot.Image.instrs
+
+let roundtrip_trace ?image:(img = image ()) () =
+  let trace = Trace.create () in
+  let cursor = ref 0 in
+  let slot func key =
+    match Image.find img ~func ~key with
+    | Image.Slot s -> Some s
+    | _ -> None
+  in
+  let emit func key =
+    match slot func key with
+    | Some s -> emit_slot trace s cursor
+    | None -> ()
+  in
+  List.iter
+    (fun step ->
+      match step with
+      | Enter f -> emit f Image.Key.pro
+      | Leave f -> emit f Image.Key.epi
+      | Blk (f, b) -> emit f (Image.Key.hot b)
+      | Rep (f, b, n) ->
+        for _ = 1 to n do
+          emit f (Image.Key.hot b)
+        done
+      | Guard (f, b) -> emit f (Image.Key.guard b))
+    script;
+  trace
+
+(* ----- reporting ------------------------------------------------------------- *)
+
+let count_range trace img name =
+  let spans =
+    Image.slots img
+    |> List.filter (fun (s : Image.slot) -> s.Image.func = name)
+    |> List.map (fun (s : Image.slot) ->
+           let n = Array.length s.Image.pcs in
+           (s.Image.addr, s.Image.pcs.(n - 1)))
+  in
+  let inside pc = List.exists (fun (a, b) -> pc >= a && pc <= b) spans in
+  let n = ref 0 in
+  Trace.iter (fun e -> if inside e.Trace.pc then incr n) trace;
+  !n
+
+let segment_counts () =
+  let img = image () in
+  let trace = roundtrip_trace ~image:img () in
+  let f name = count_range trace img name in
+  [ ("ipintr", f "ipintr");
+    ("tcp_input", f "tcp_input");
+    ("ip_to_tcp", f "ipintr" + f "ip_protosw" + f "in_cksum_lib" / 2);
+    ("tcp_to_socket",
+     f "tcp_input" + f "sbappend" + f "sowakeup" + f "mbuf_ops" / 2) ]
+
+let report () =
+  let img = image () in
+  let trace = roundtrip_trace ~image:img () in
+  let params = Machine.Params.default in
+  let steady = Machine.Perf.steady params trace in
+  let t =
+    Util.Table.create
+      ~title:"DEC Unix-shaped stack under the same machine model"
+      ~headers:[ "quantity"; "paper (DEC Unix)"; "ours (BSD model)" ]
+  in
+  List.iter
+    (fun (name, paper) ->
+      Util.Table.add_row t
+        [ name; string_of_int paper;
+          string_of_int (List.assoc name (segment_counts ())) ])
+    [ ("ipintr", 248); ("tcp_input", 406); ("ip_to_tcp", 437);
+      ("tcp_to_socket", 1013) ];
+  Util.Table.add_separator t;
+  Util.Table.add_row t
+    [ "roundtrip instructions"; "~2370/side";
+      string_of_int steady.Machine.Perf.length ];
+  Util.Table.add_row t
+    [ "mCPI"; "2.30"; Printf.sprintf "%.2f" steady.Machine.Perf.mcpi ];
+  Util.Table.add_row t
+    [ "iCPI (CPI 4.26 quoted)"; "-";
+      Printf.sprintf "%.2f" steady.Machine.Perf.icpi ];
+  t

@@ -1,0 +1,34 @@
+(** A DEC Unix v3.2c-shaped TCP/IP cost model (§2.3, §5).
+
+    The paper traces the production BSD-derived stack and reports: 248
+    instructions in ipintr (IP checksum inlined), 406 in tcp_input after the
+    PCB lookup, 437 from IP entry to TCP entry, ~1013 from TCP entry to
+    sowakeup, header prediction executed but useless on a bidirectional
+    connection — and, crucially, an mCPI of 2.3 against 1.17 for the
+    optimally configured x-kernel.
+
+    This module reproduces that comparison the way the paper produced it:
+    not by porting BSD, but by building a cost model with the BSD shape
+    (few large monolithic functions, no outlining, uncontrolled layout),
+    generating its roundtrip trace, and running it through the same memory
+    hierarchy and CPU models. *)
+
+val funcs : Protolat_layout.Func.t list
+
+val image : unit -> Protolat_layout.Image.t
+(** Link-order layout with BSD-typical hot-code dilution (no outlining). *)
+
+val roundtrip_trace :
+  ?image:Protolat_layout.Image.t -> unit -> Protolat_machine.Trace.t
+(** One request-response roundtrip (input of an incoming 1-byte segment +
+    output of the reply), including per-loop checksum iterations and mbuf
+    traffic. *)
+
+val segment_counts : unit -> (string * int) list
+(** The Table 3 quantities measured from our synthetic trace:
+    [("ipintr", _); ("tcp_input", _); ("ip_to_tcp", _);
+    ("tcp_to_socket", _)]. *)
+
+val report : unit -> Protolat_util.Table.t
+(** Per-segment counts next to the published DEC Unix numbers, and the
+    measured mCPI of this stack vs the paper's 2.3 / our optimal ALL. *)

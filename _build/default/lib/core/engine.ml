@@ -1,0 +1,584 @@
+module Util = Protolat_util
+module Machine = Protolat_machine
+module Layout = Protolat_layout
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+module T = Protolat_tcpip
+module R = Protolat_rpc
+module Instr = Machine.Instr
+module Trace = Machine.Trace
+module Func = Layout.Func
+module Block = Layout.Block
+module Image = Layout.Image
+module Meter = Xk.Meter
+
+type stack_kind =
+  | Tcpip
+  | Rpc
+
+let stack_name = function Tcpip -> "TCP/IP" | Rpc -> "RPC"
+
+(* ----- stack descriptors -------------------------------------------------- *)
+
+type desc = {
+  funcs : T.Opts.t -> Func.t list;
+  invocation_order : string list;
+  chains : (string * string list) list;
+  path_names : string list;
+}
+
+let tcpip_desc =
+  { funcs = T.Specs.all;
+    invocation_order = T.Specs.invocation_order;
+    chains =
+      [ ("out_path", T.Specs.output_chain); ("in_path", T.Specs.input_chain) ];
+    path_names = T.Specs.path_function_names }
+
+let rpc_client_desc =
+  { funcs = R.Specs.all;
+    invocation_order = R.Specs.invocation_order;
+    chains =
+      [ ("call_path", R.Specs.call_chain); ("in_path", R.Specs.input_chain) ];
+    path_names = R.Specs.path_function_names }
+
+let rpc_server_desc =
+  { rpc_client_desc with
+    chains =
+      [ ("srv_in_path", R.Specs.server_input_chain);
+        ("srv_out_path", R.Specs.server_output_chain) ] }
+
+(* ----- untraced kernel code (interrupt dispatch, context switch) --------- *)
+
+let untraced_func ~name n =
+  Func.make ~name ~cat:Func.Path
+    [ Func.item
+        (Block.make ~id:"body" ~kind:Block.Hot
+           (Instr.vec ~alu:(n * 55 / 100) ~load:(n * 22 / 100)
+              ~store:(n * 13 / 100) ~br_not_taken:(n * 5 / 100)
+              ~br_taken:(n * 5 / 100) ())) ]
+
+let untraced_funcs =
+  [ untraced_func ~name:"intr_dispatch" 420;
+    untraced_func ~name:"intr_tx" 140;
+    (* full context switch + thread wakeup: save/restore register file,
+       scheduler, stack attach — the reason the RPC stack's roundtrip is
+       slower than TCP/IP's despite executing fewer instructions *)
+    untraced_func ~name:"ctx_switch" 1150 ]
+
+(* ----- image construction ------------------------------------------------- *)
+
+let code_base = 0x10000
+
+let build_image (config : Config.t) (desc : desc) ~(layout : Config.layout) =
+  let funcs = desc.funcs config.Config.opts @ untraced_funcs in
+  let outlined = Config.outlined config.Config.version in
+  let inlined = Config.path_inlined config.Config.version in
+  let specialize = Config.cloned config.Config.version in
+  let chain_members =
+    if inlined then List.concat_map snd desc.chains else []
+  in
+  let find name = List.find (fun f -> f.Func.name = name) funcs in
+  (* hot-code density: without outlining ~21% of each fetched i-cache block
+     is interleaved unlikely code; outlining compresses that to ~15%
+     (Table 9) *)
+  let dilution_pct =
+    if inlined then 13 else if outlined then 17 else 30
+  in
+  let fused_units =
+    if not inlined then []
+    else
+      List.map
+        (fun (fname, members) ->
+          Image.fused ~outlined:true ~specialize ~separate_cold:specialize
+            ~dilution_pct ~name:fname
+            (List.map find members))
+        desc.chains
+  in
+  let single_units =
+    funcs
+    |> List.filter (fun f -> not (List.mem f.Func.name chain_members))
+    |> List.map (fun f ->
+           Image.single ~outlined
+             ~specialize:(specialize && f.Func.cat = Func.Path)
+             ~separate_cold:specialize ~dilution_pct
+             ~intra_calls:desc.path_names f)
+  in
+  let units = fused_units @ single_units in
+  (* strategy ordering: map chain members to their fused unit's name *)
+  let order =
+    desc.invocation_order
+    |> List.filter_map (fun name ->
+           match
+             List.find_opt (fun (_, members) -> List.mem name members)
+               (if inlined then desc.chains else [])
+           with
+           | Some (fname, members) ->
+             if List.hd members = name then Some fname else None
+           | None -> Some name)
+  in
+  let placement =
+    match layout with
+    | Config.Link_order ->
+      (* uncontrolled: alphabetical object-file order *)
+      let sorted =
+        List.sort
+          (fun a b -> compare (Image.unit_name a) (Image.unit_name b))
+          units
+      in
+      Layout.Strategy.link_order ~base:code_base sorted
+    | Config.Bipartite ->
+      Layout.Strategy.bipartite ~base:code_base ~icache_bytes:8192 ~order
+        units
+    | Config.Pessimal ->
+      Layout.Strategy.pessimal ~base:code_base ~icache_bytes:8192
+        ~bcache_bytes:(2 * 1024 * 1024) units
+    | Config.Micro ->
+      Layout.Strategy.micro_position ~base:code_base ~icache_bytes:8192
+        ~block_bytes:32 ~ref_seq:order units
+    | Config.Linear ->
+      Layout.Strategy.invocation_order ~base:code_base ~order units
+  in
+  Image.build placement
+
+(* ----- per-host engine state ---------------------------------------------- *)
+
+type hstate = {
+  params : Machine.Params.t;
+  image : Image.t;
+  memsys : Machine.Memsys.t;
+  sim : Ns.Sim.t;
+  trace : Trace.t;
+  mutable collecting : bool;
+  mutable traced : bool;
+  mutable pending : Instr.cls option;  (* dual-issue pairing state *)
+  mutable pair_attempts : int;
+  mutable depth : int;  (* call depth, for synthetic stack references *)
+  stack_base : int;
+  mutable synth : int;
+  mutable touch : int;
+  mutable busy_us : float;  (* accumulated modeled CPU time *)
+      (* rotating heap-touch cursor: models the allocator / mbuf / pcb /
+         timer-wheel churn that gives protocol code its large per-packet
+         data footprint *)
+}
+
+let charge h cycles =
+  let us = Machine.Params.cycles_to_us h.params cycles in
+  h.busy_us <- h.busy_us +. us;
+  Ns.Sim.advance_clock h.sim us
+
+let issue_and_penalty h cls =
+  let p = h.params in
+  let issue =
+    match h.pending with
+    | None ->
+      h.pending <- Some cls;
+      0.0
+    | Some prev ->
+      let paired =
+        Machine.Cpu.can_pair prev cls
+        && begin
+             h.pair_attempts <- h.pair_attempts + 1;
+             h.pair_attempts * p.Machine.Params.pair_success_pct mod 100
+             < p.Machine.Params.pair_success_pct
+           end
+      in
+      if paired then begin
+        h.pending <- None;
+        1.0
+      end
+      else begin
+        h.pending <- Some cls;
+        1.0
+      end
+  in
+  let pen =
+    match cls with
+    | Instr.Br_taken -> p.Machine.Params.br_taken_penalty
+    | Instr.Jsr -> p.Machine.Params.br_taken_penalty +. p.Machine.Params.call_penalty
+    | Instr.Ret -> p.Machine.Params.br_taken_penalty +. p.Machine.Params.ret_penalty
+    | Instr.Mul -> p.Machine.Params.mul_cycles
+    | Instr.Load -> p.Machine.Params.load_use_penalty
+    | Instr.Alu | Instr.Store | Instr.Br_not_taken | Instr.Nop -> 0.0
+  in
+  issue +. pen
+
+(* expand meter ranges into a queue of 8-byte-granular addresses *)
+let expand_ranges ranges =
+  List.concat_map
+    (fun (r : Meter.range) ->
+      let n = max 1 ((r.Meter.len + 7) / 8) in
+      List.init n (fun i -> r.Meter.base + r.Meter.off + (8 * i)))
+    ranges
+
+let touch_window = 12 * 1024
+
+let synth_stack_addr h =
+  h.synth <- h.synth + 1;
+  if h.synth land 1 = 0 then
+    h.stack_base - (h.depth * 128) - (h.synth mod 16 * 8)
+  else begin
+    h.touch <- (h.touch + 24) mod touch_window;
+    h.stack_base + 8192 + h.touch
+  end
+
+let emit_instrs h ?(reads = []) ?(writes = []) (slot : Image.slot)
+    ?(override : Instr.cls option) () =
+  let rq = ref (expand_ranges reads) and wq = ref (expand_ranges writes) in
+  Array.iteri
+    (fun i cls ->
+      let cls = match override with Some c when i = 0 -> c | _ -> cls in
+      let pc = slot.Image.pcs.(i) in
+      let access =
+        match cls with
+        | Instr.Load -> (
+          match !rq with
+          | a :: rest ->
+            rq := rest;
+            Some (Trace.Read a)
+          | [] -> Some (Trace.Read (synth_stack_addr h)))
+        | Instr.Store -> (
+          match !wq with
+          | a :: rest ->
+            wq := rest;
+            Some (Trace.Write a)
+          | [] -> Some (Trace.Write (synth_stack_addr h)))
+        | _ -> None
+      in
+      let event = { Trace.pc; cls; access } in
+      let stalls = Machine.Memsys.process h.memsys event in
+      let cpu = issue_and_penalty h cls in
+      charge h (stalls +. cpu);
+      if h.collecting && h.traced then
+        Trace.add h.trace ~pc ~cls ?access ())
+    slot.Image.instrs
+
+let fail_unknown func key =
+  failwith (Printf.sprintf "Engine: no slot for %s/%s in this image" func key)
+
+let lookup h ~func ~key =
+  match Image.find h.image ~func ~key with
+  | Image.Slot s -> Some s
+  | Image.Elided -> None
+  | Image.Unknown -> fail_unknown func key
+
+let emit_key h ?reads ?writes ~func ~key () =
+  match lookup h ~func ~key with
+  | Some slot -> emit_instrs h ?reads ?writes slot ()
+  | None -> ()
+
+(* the meter for one host *)
+let make_meter h =
+  { Meter.enter =
+      (fun f ->
+        h.depth <- h.depth + 1;
+        emit_key h ~func:f ~key:Image.Key.pro
+          ~writes:[ Meter.range ~base:(h.stack_base - (h.depth * 96)) ~len:24 () ]
+          ());
+    leave =
+      (fun f ->
+        emit_key h ~func:f ~key:Image.Key.epi
+          ~reads:[ Meter.range ~base:(h.stack_base - (h.depth * 96)) ~len:24 () ]
+          ();
+        h.depth <- max 0 (h.depth - 1));
+    block =
+      (fun ?reads ?writes f b ->
+        emit_key h ?reads ?writes ~func:f ~key:(Image.Key.hot b) ());
+    cold =
+      (fun ?reads ?writes ~triggered f b ->
+        match lookup h ~func:f ~key:(Image.Key.guard b) with
+        | None -> () (* whole block elided *)
+        | Some guard ->
+          let outl = guard.Image.cold_outlined in
+          let guard_cls =
+            match (outl, triggered) with
+            | true, false -> Instr.Br_not_taken
+            | true, true -> Instr.Br_taken
+            | false, false -> Instr.Br_taken
+            | false, true -> Instr.Br_not_taken
+          in
+          emit_instrs h guard ~override:guard_cls ();
+          if triggered then
+            emit_key h ?reads ?writes ~func:f ~key:(Image.Key.cold b) ());
+    call =
+      (fun f b i ->
+        emit_key h ~func:f ~key:(Image.Key.stub b i) ()) }
+
+let emit_untraced h name =
+  let was = h.traced in
+  h.traced <- false;
+  emit_key h ~func:name ~key:Image.Key.pro ();
+  emit_key h ~func:name ~key:(Image.Key.hot "body") ();
+  emit_key h ~func:name ~key:Image.Key.epi ();
+  h.traced <- was
+
+(* phase hook: untraced interrupt entry, then the work, then drain any
+   unblocked continuations with an untraced context switch each.
+   [rx_overhead_us] models a packet classifier in front of the inlined
+   path (§3.3: 1-4 us per packet on the paper's hardware). *)
+let install_phase_hook ?(rx_overhead_us = 0.0) h (env : Ns.Host_env.t) =
+  env.Ns.Host_env.run_phase <-
+    (fun name work ->
+      (match name with
+      | "rx_intr" ->
+        emit_untraced h "intr_dispatch";
+        if rx_overhead_us > 0.0 then begin
+          h.busy_us <- h.busy_us +. rx_overhead_us;
+          Ns.Sim.advance_clock h.sim rx_overhead_us
+        end
+      | "tx_intr" -> emit_untraced h "intr_tx"
+      | _ -> ());
+      work ();
+      let sched = env.Ns.Host_env.sched in
+      while Xk.Thread.pending sched > 0 do
+        emit_untraced h "ctx_switch";
+        ignore (Xk.Thread.run sched)
+      done)
+
+(* ----- runs ---------------------------------------------------------------- *)
+
+type run_result = {
+  rtts : float list;
+  trace : Trace.t;
+  client_image : Image.t;
+  steady : Machine.Perf.report;
+  cold : Machine.Perf.report;
+  static_path : int * int;
+  retransmissions : int;
+}
+
+let layout_for config stack ?layout () =
+  let layout =
+    match layout with
+    | Some l -> l
+    | None -> Config.layout_of config.Config.version
+  in
+  let desc = match stack with Tcpip -> tcpip_desc | Rpc -> rpc_client_desc in
+  build_image config desc ~layout
+
+let make_hstate ~params ~image ~sim ~simmem =
+  (* one region: [stack (8KB, grows down) | heap-touch window] *)
+  let region = Xk.Simmem.alloc simmem (8192 + 8192 + touch_window) in
+  let stack_base = region + 8192 in
+  { params;
+    image;
+    memsys = Machine.Memsys.create params;
+    sim;
+    trace = Trace.create ();
+    collecting = false;
+    traced = true;
+    pending = None;
+    pair_attempts = 0;
+    depth = 0;
+    stack_base;
+    synth = 0;
+    touch = 0;
+    busy_us = 0.0 }
+
+let static_path_of (config : Config.t) desc =
+  let funcs = desc.funcs config.Config.opts in
+  Layout.Layout_stats.static_path_instrs funcs
+
+(* Drive a prepared pair of hosts: [start] kicks the client, [completed]
+   reads its roundtrip count, [on_roundtrip] installs the callback. *)
+let drive ~sim ~(ch : hstate) ~start ~on_roundtrip ~completed ~rounds ~warmup
+    =
+  let total = rounds + warmup in
+  let rtts = ref [] in
+  let last = ref 0.0 in
+  on_roundtrip (fun i ->
+      let now = Ns.Sim.now sim in
+      if i > warmup then rtts := (now -. !last) :: !rtts;
+      last := now;
+      (* collect exactly one steady-state roundtrip's trace *)
+      ch.collecting <- i = warmup);
+  start ();
+  ignore (Ns.Sim.run ~until:(Ns.Sim.now sim +. 5.0e6) sim);
+  if completed () < total then
+    failwith
+      (Printf.sprintf "Engine.drive: only %d of %d roundtrips completed"
+         (completed ()) total);
+  List.rev !rtts
+
+let perturb simmem seed =
+  Xk.Simmem.bump simmem (seed * 1864 mod 16384 / 8 * 8)
+
+let finish ~params ~config ~desc ~(ch : hstate) ~rtts ~retransmissions =
+  { rtts;
+    trace = ch.trace;
+    client_image = ch.image;
+    steady = Machine.Perf.steady params ch.trace;
+    cold = Machine.Perf.cold params ch.trace;
+    static_path = static_path_of config desc;
+    retransmissions }
+
+let run_tcpip ?(rx_overhead_us = 0.0) ~seed ~rounds ~warmup ~params
+    ~(config : Config.t) ~layout () =
+  let client_image = build_image config tcpip_desc ~layout in
+  let server_image = client_image in
+  let pair =
+    T.Stack.make_pair ~client_opts:config.Config.opts
+      ~server_opts:config.Config.opts ()
+  in
+  let cenv = pair.T.Stack.client.T.Stack.env in
+  let senv = pair.T.Stack.server.T.Stack.env in
+  perturb cenv.Ns.Host_env.simmem seed;
+  perturb senv.Ns.Host_env.simmem (seed + 17);
+  let ch =
+    make_hstate ~params ~image:client_image ~sim:pair.T.Stack.sim
+      ~simmem:cenv.Ns.Host_env.simmem
+  in
+  let sh =
+    make_hstate ~params ~image:server_image ~sim:pair.T.Stack.sim
+      ~simmem:senv.Ns.Host_env.simmem
+  in
+  cenv.Ns.Host_env.meter <- make_meter ch;
+  senv.Ns.Host_env.meter <- make_meter sh;
+  install_phase_hook ~rx_overhead_us ch cenv;
+  install_phase_hook ~rx_overhead_us sh senv;
+  let client_test, _server_test =
+    T.Stack.establish pair ~rounds:(rounds + warmup)
+  in
+  let rtts =
+    drive ~sim:pair.T.Stack.sim ~ch
+      ~start:(fun () -> T.Tcptest.start client_test)
+      ~on_roundtrip:(T.Tcptest.set_on_roundtrip client_test)
+      ~completed:(fun () -> T.Tcptest.rounds_completed client_test)
+      ~rounds ~warmup
+  in
+  finish ~params ~config ~desc:tcpip_desc ~ch ~rtts
+    ~retransmissions:(T.Tcp.retransmits pair.T.Stack.client.T.Stack.tcp)
+
+let run_rpc ~seed ~rounds ~warmup ~params ~(config : Config.t) ~layout () =
+  let client_image = build_image config rpc_client_desc ~layout in
+  (* the server always runs the best version (§4.2) *)
+  let server_image =
+    build_image (Config.make Config.All) rpc_server_desc
+      ~layout:Config.Bipartite
+  in
+  let pair = R.Rstack.make_pair ~client_opts:config.Config.opts () in
+  let cenv = pair.R.Rstack.client.R.Rstack.env in
+  let senv = pair.R.Rstack.server.R.Rstack.env in
+  perturb cenv.Ns.Host_env.simmem seed;
+  perturb senv.Ns.Host_env.simmem (seed + 17);
+  let ch =
+    make_hstate ~params ~image:client_image ~sim:pair.R.Rstack.sim
+      ~simmem:cenv.Ns.Host_env.simmem
+  in
+  let sh =
+    make_hstate ~params ~image:server_image ~sim:pair.R.Rstack.sim
+      ~simmem:senv.Ns.Host_env.simmem
+  in
+  cenv.Ns.Host_env.meter <- make_meter ch;
+  senv.Ns.Host_env.meter <- make_meter sh;
+  install_phase_hook ch cenv;
+  install_phase_hook sh senv;
+  let client_test, _server_test =
+    R.Rstack.make_tests pair ~rounds:(rounds + warmup)
+  in
+  let rtts =
+    drive ~sim:pair.R.Rstack.sim ~ch
+      ~start:(fun () -> R.Xrpctest.start client_test)
+      ~on_roundtrip:(R.Xrpctest.set_on_roundtrip client_test)
+      ~completed:(fun () -> R.Xrpctest.rounds_completed client_test)
+      ~rounds ~warmup
+  in
+  finish ~params ~config ~desc:rpc_client_desc ~ch ~rtts
+    ~retransmissions:
+      (R.Chan.request_retransmits pair.R.Rstack.client.R.Rstack.chan)
+
+let run ?(seed = 42) ?(rounds = 24) ?(warmup = 8)
+    ?(params = Machine.Params.default) ?layout ?(rx_overhead_us = 0.0) ~stack
+    ~(config : Config.t) () =
+  let layout =
+    match layout with
+    | Some l -> l
+    | None -> Config.layout_of config.Config.version
+  in
+  match stack with
+  | Tcpip ->
+    run_tcpip ~rx_overhead_us ~seed ~rounds ~warmup ~params ~config ~layout ()
+  | Rpc -> run_rpc ~seed ~rounds ~warmup ~params ~config ~layout ()
+
+(* ----- bulk-transfer throughput (§4.1: "none of the techniques
+   negatively affected throughput"; §2.2.5: CPU utilization) ------------- *)
+
+type throughput_result = {
+  mbits_per_s : float;
+  elapsed_us : float;
+  client_cpu_pct : float;  (** client CPU busy share during the transfer *)
+  server_cpu_pct : float;
+  segments : int;
+}
+
+let throughput ?(bytes = 64 * 1024) ?(params = Machine.Params.default)
+    ~(config : Config.t) () =
+  let layout = Config.layout_of config.Config.version in
+  let client_image = build_image config tcpip_desc ~layout in
+  let pair =
+    T.Stack.make_pair ~client_opts:config.Config.opts
+      ~server_opts:config.Config.opts ()
+  in
+  let cenv = pair.T.Stack.client.T.Stack.env in
+  let senv = pair.T.Stack.server.T.Stack.env in
+  let ch =
+    make_hstate ~params ~image:client_image ~sim:pair.T.Stack.sim
+      ~simmem:cenv.Ns.Host_env.simmem
+  in
+  let sh =
+    make_hstate ~params ~image:client_image ~sim:pair.T.Stack.sim
+      ~simmem:senv.Ns.Host_env.simmem
+  in
+  cenv.Ns.Host_env.meter <- make_meter ch;
+  senv.Ns.Host_env.meter <- make_meter sh;
+  install_phase_hook ch cenv;
+  install_phase_hook sh senv;
+  let received = ref 0 in
+  T.Tcp.listen pair.T.Stack.server.T.Stack.tcp ~port:5001
+    ~receive:(fun _ data -> received := !received + Bytes.length data);
+  let session =
+    T.Tcp.connect pair.T.Stack.client.T.Stack.tcp ~local_port:3000
+      ~remote_ip:pair.T.Stack.server.T.Stack.ip_addr ~remote_port:5001
+      ~receive:(fun _ _ -> ())
+  in
+  ignore (Ns.Sim.run ~until:(Ns.Sim.now pair.T.Stack.sim +. 50_000.0) pair.T.Stack.sim);
+  if T.Tcp.state session <> T.Tcb.Established then
+    failwith "Engine.throughput: handshake failed";
+  let t0 = Ns.Sim.now pair.T.Stack.sim in
+  let cpu0_c = ch.busy_us and cpu0_s = sh.busy_us in
+  Ns.Host_env.phase cenv "bulk_send" (fun () ->
+      T.Tcp.send session (Bytes.make bytes 'b'));
+  let deadline = t0 +. 10.0e6 in
+  let rec pump () =
+    if !received < bytes && Ns.Sim.now pair.T.Stack.sim < deadline then begin
+      ignore (Ns.Sim.run ~until:(Ns.Sim.now pair.T.Stack.sim +. 10_000.0) pair.T.Stack.sim);
+      pump ()
+    end
+  in
+  pump ();
+  if !received < bytes then
+    failwith
+      (Printf.sprintf "Engine.throughput: only %d of %d bytes arrived"
+         !received bytes);
+  let elapsed = Ns.Sim.now pair.T.Stack.sim -. t0 in
+  let cb = T.Tcp.tcb session in
+  { mbits_per_s = float_of_int (bytes * 8) /. elapsed;
+    elapsed_us = elapsed;
+    client_cpu_pct = 100.0 *. (ch.busy_us -. cpu0_c) /. elapsed;
+    server_cpu_pct = 100.0 *. (sh.busy_us -. cpu0_s) /. elapsed;
+    segments = cb.T.Tcb.segments_out }
+
+type sample_set = {
+  rtt : Util.Stats.summary;
+  result : run_result;
+}
+
+let sample ?(samples = 10) ?(rounds = 24) ?(params = Machine.Params.default)
+    ~stack ~config () =
+  let results =
+    List.init samples (fun i ->
+        run ~seed:(1000 + (i * 7919)) ~rounds ~params ~stack ~config ())
+  in
+  let means = List.map (fun r -> Util.Stats.mean r.rtts) results in
+  { rtt = Util.Stats.summarize means;
+    result = List.nth results (samples - 1) }

@@ -1,0 +1,89 @@
+(** The execution engine: binds the protocol stacks to the machine model.
+
+    For a given configuration it (1) applies outlining / cloning /
+    path-inlining to the stack's cost model and builds a concrete code
+    image with the configured placement strategy, (2) installs a meter that
+    turns every protocol action into an instruction/data trace positioned
+    in that image, runs each event through the memory-hierarchy and CPU
+    models {e online} (advancing the simulated clock, so protocol
+    processing time shapes the end-to-end timeline exactly as slow code
+    would on hardware), and (3) collects one steady-state roundtrip's trace
+    for the offline Table 6 / Table 7 analysis.
+
+    Interrupt dispatch and context switching are modeled as {e untraced}
+    pseudo-functions: they cost time and occupy cache like the rest of the
+    kernel but are excluded from the collected traces, as in §4.4. *)
+
+module Layout = Protolat_layout
+module Machine = Protolat_machine
+
+type stack_kind =
+  | Tcpip
+  | Rpc
+
+val stack_name : stack_kind -> string
+
+type run_result = {
+  rtts : float list;  (** per measured roundtrip, µs *)
+  trace : Machine.Trace.t;  (** one steady-state client roundtrip *)
+  client_image : Layout.Image.t;
+  steady : Machine.Perf.report;  (** warm replay: Table 7 quantities *)
+  cold : Machine.Perf.report;  (** cold replay: Table 6 quantities *)
+  static_path : int * int;  (** (with cold, hot-only) path instructions *)
+  retransmissions : int;
+}
+
+val layout_for :
+  Config.t -> stack_kind -> ?layout:Config.layout -> unit -> Layout.Image.t
+(** Build the client code image alone (for layout experiments). *)
+
+val run :
+  ?seed:int ->
+  ?rounds:int ->
+  ?warmup:int ->
+  ?params:Machine.Params.t ->
+  ?layout:Config.layout ->
+  ?rx_overhead_us:float ->
+  stack:stack_kind ->
+  config:Config.t ->
+  unit ->
+  run_result
+(** One measurement run: establish the connection, [warmup] roundtrips,
+    then [rounds] measured roundtrips (default 24/8).  [rx_overhead_us]
+    charges a packet classifier in front of every receive (TCP/IP only;
+    the paper's PIN/ALL results assume a zero-overhead classifier). *)
+
+type throughput_result = {
+  mbits_per_s : float;
+  elapsed_us : float;
+  client_cpu_pct : float;
+  server_cpu_pct : float;
+  segments : int;
+}
+
+val throughput :
+  ?bytes:int ->
+  ?params:Machine.Params.t ->
+  config:Config.t ->
+  unit ->
+  throughput_result
+(** One-way bulk transfer over the TCP/IP stack: §4.1 verifies the
+    techniques do not hurt throughput (the 10 Mb/s wire is the bottleneck)
+    and §2.2.5 notes the §2.2 changes reduce CPU utilization. *)
+
+type sample_set = {
+  rtt : Protolat_util.Stats.summary;  (** over per-sample mean RTTs *)
+  result : run_result;  (** the last sample's detailed result *)
+}
+
+val sample :
+  ?samples:int ->
+  ?rounds:int ->
+  ?params:Machine.Params.t ->
+  stack:stack_kind ->
+  config:Config.t ->
+  unit ->
+  sample_set
+(** The paper's protocol: several samples (10 for TCP/IP, 5 for RPC by
+    default) of a long ping-pong run, each perturbed (startup allocation
+    state), reported as mean ± stddev. *)

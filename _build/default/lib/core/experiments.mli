@@ -1,0 +1,72 @@
+(** One entry point per table/figure of the paper (DESIGN.md §4).
+
+    Each function returns a rendered table (or diagram) showing our measured
+    values next to the paper's published ones.  [full_run] executes the six
+    configurations on both stacks once; the per-table functions reuse it. *)
+
+type results = {
+  tcp : (Config.version * Engine.sample_set) list;
+  rpc : (Config.version * Engine.sample_set) list;
+}
+
+val full_run :
+  ?samples_tcp:int -> ?samples_rpc:int -> ?rounds:int -> unit -> results
+(** Defaults follow the paper: 10 samples for TCP/IP, 5 for RPC. *)
+
+val table1 : unit -> Protolat_util.Table.t
+(** Dynamic instruction-count reductions of the §2.2 changes. *)
+
+val table2 : unit -> Protolat_util.Table.t
+(** Original vs improved x-kernel TCP/IP. *)
+
+val table3 : unit -> Protolat_util.Table.t
+(** Instruction counts per processing segment vs [CJRS89] and DEC Unix. *)
+
+val profile :
+  stack:Engine.stack_kind -> version:Config.version -> unit ->
+  Protolat_util.Table.t
+(** Per-function instruction breakdown of one steady-state roundtrip. *)
+
+val instruction_mix :
+  stack:Engine.stack_kind -> version:Config.version -> unit ->
+  Protolat_util.Table.t
+
+val table4 : results -> Protolat_util.Table.t
+(** End-to-end roundtrip latency for the six versions. *)
+
+val table5 : results -> Protolat_util.Table.t
+(** Table 4 adjusted for the network controller constant. *)
+
+val table6 : results -> Protolat_util.Table.t
+(** Cache statistics (cold replay of the collected roundtrip trace). *)
+
+val table7 : results -> Protolat_util.Table.t
+(** Processing time, trace length, mCPI, iCPI (steady-state replay). *)
+
+val table8 : results -> Protolat_util.Table.t
+(** Latency-improvement decomposition between adjacent versions. *)
+
+val table9 : results -> Protolat_util.Table.t
+(** Outlining effectiveness: unused i-cache share and static path size. *)
+
+val figure1 : unit -> string
+(** The two protocol stacks. *)
+
+val figure2 : unit -> string
+(** i-cache footprint maps: STD vs OUT vs CLO (TCP/IP). *)
+
+val map_traversal : unit -> Protolat_util.Table.t
+(** §2.2.1: non-empty-bucket-list traversal vs full-table scan, by
+    occupancy (operation counts; wall-clock lives in the bench). *)
+
+val micro_positioning : unit -> Protolat_util.Table.t
+(** §3.2: micro-positioning vs bipartite layout. *)
+
+val throughput : unit -> Protolat_util.Table.t
+(** §4.1: the techniques do not hurt throughput (the wire is the
+    bottleneck); §2.2.5: the instruction-count changes reduce CPU
+    utilization even when they cannot reduce latency. *)
+
+val dec_unix_mcpi : unit -> Protolat_util.Table.t
+(** §5: mCPI of a production-style (original-options) stack vs the
+    optimally configured system. *)

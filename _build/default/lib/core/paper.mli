@@ -1,0 +1,46 @@
+(** The paper's published numbers, used by the reporting layer to print
+    reference columns next to measured values (EXPERIMENTS.md records the
+    comparison).  Values marked reconstructed in the source are derived
+    from surrounding text where the table itself is corrupted in our copy.
+
+    All arrays are indexed in the order of {!Config.all_versions}:
+    BAD, STD, OUT, CLO, PIN, ALL. *)
+
+val version_order : Config.version list
+
+val table1 : (string * int) list
+(** §2.2 optimization → dynamic instructions saved (Table 1). *)
+
+val table2_original : float * int * int * float
+(** (roundtrip µs, instructions, cycles, CPI) for the original stack. *)
+
+val table2_improved : float * int * int * float
+
+val table4_tcp : (float * float) array
+(** (mean RTT µs, stddev) per version. *)
+
+val table4_rpc : (float * float) array
+
+val adjust_us : float
+(** The 2 × 105 µs controller constant the paper subtracts in Table 5. *)
+
+val table6_tcp : (int * int * int) array array
+(** per version: [| i-cache; d/wb; b-cache |] rows of (miss, acc, repl). *)
+
+val table6_rpc : (int * int * int) array array
+
+val table7_tcp : (int * float * float) array
+(** (trace length, mCPI, iCPI); mCPI/iCPI partially reconstructed. *)
+
+val table7_rpc : (int * float * float) array
+
+val table9_tcp : int * int * int * int
+(** (unused%% before, size before, unused%% after, size after). *)
+
+val table9_rpc : int * int * int * int
+
+val dec_unix_mcpi : float
+(** §5: measured mCPI of the DEC Unix TCP/IP stack. *)
+
+val optimal_mcpi : float
+(** §5: 1.17, the optimally configured system. *)

@@ -1,0 +1,1 @@
+lib/layout/block.ml: Format Protolat_machine

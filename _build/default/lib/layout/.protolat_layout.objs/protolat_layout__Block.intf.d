@@ -1,0 +1,1 @@
+lib/layout/block.mli: Format Protolat_machine

@@ -1,0 +1,1 @@
+lib/layout/func.ml: Block Format List Protolat_machine

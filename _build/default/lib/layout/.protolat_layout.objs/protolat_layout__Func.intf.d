@@ -1,0 +1,1 @@
+lib/layout/func.mli: Block Format Protolat_machine

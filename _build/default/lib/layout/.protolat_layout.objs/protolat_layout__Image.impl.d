@@ -1,0 +1,1 @@
+lib/layout/image.ml: Array Block Func Hashtbl List Printf Protolat_machine

@@ -1,0 +1,1 @@
+lib/layout/image.mli: Func Protolat_machine

@@ -1,0 +1,1 @@
+lib/layout/layout_stats.ml: Array Buffer Func Hashtbl Image List Printf Protolat_machine String

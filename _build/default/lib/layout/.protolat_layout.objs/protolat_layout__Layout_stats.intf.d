@@ -1,0 +1,1 @@
+lib/layout/layout_stats.mli: Func Image Protolat_machine

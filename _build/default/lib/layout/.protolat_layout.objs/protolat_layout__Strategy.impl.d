@@ -1,0 +1,1 @@
+lib/layout/strategy.ml: Func Hashtbl Image List

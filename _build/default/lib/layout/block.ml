@@ -1,0 +1,31 @@
+module Instr = Protolat_machine.Instr
+
+type kind =
+  | Hot
+  | Error
+  | Init
+  | Unrolled
+
+type t = {
+  id : string;
+  kind : kind;
+  vec : Instr.vector;
+}
+
+let make ~id ~kind vec = { id; kind; vec }
+
+let is_cold b = b.kind <> Hot
+
+let size_instrs b = Instr.total b.vec
+
+let size_bytes b = Instr.bytes * size_instrs b
+
+let kind_string = function
+  | Hot -> "hot"
+  | Error -> "error"
+  | Init -> "init"
+  | Unrolled -> "unrolled"
+
+let pp fmt b =
+  Format.fprintf fmt "%s[%s,%d instrs]" b.id (kind_string b.kind)
+    (size_instrs b)

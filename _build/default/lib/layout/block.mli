@@ -1,0 +1,28 @@
+(** Basic blocks of modeled machine code.
+
+    A block is the unit of outlining: [Hot] blocks form the latency-critical
+    main line; [Error], [Init] and [Unrolled] blocks are the three
+    conservatively outlinable categories identified in §3.1. *)
+
+type kind =
+  | Hot
+  | Error  (** expensive error handling *)
+  | Init  (** executed once, e.g. at system startup *)
+  | Unrolled  (** unrolled-loop body, skipped in the latency-sensitive case *)
+
+type t = {
+  id : string;
+  kind : kind;
+  vec : Protolat_machine.Instr.vector;
+}
+
+val make : id:string -> kind:kind -> Protolat_machine.Instr.vector -> t
+
+val is_cold : t -> bool
+(** Everything but [Hot] is a candidate for outlining. *)
+
+val size_instrs : t -> int
+
+val size_bytes : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,82 @@
+module Instr = Protolat_machine.Instr
+
+type cat =
+  | Path
+  | Library
+
+type item = {
+  block : Block.t;
+  callees : string list;
+}
+
+type t = {
+  name : string;
+  cat : cat;
+  prologue : Instr.vector;
+  epilogue : Instr.vector;
+  items : item list;
+  inline_shrink_pct : int;
+}
+
+(* Default Alpha-ish prologue/epilogue: allocate frame, save ra + a couple of
+   callee-saves, reload gp; mirrored on exit. *)
+let default_prologue = Instr.vec ~alu:2 ~store:3 ()
+
+let default_epilogue = Instr.vec ~alu:1 ~load:3 ()
+
+let make ?(cat = Path) ?(prologue = default_prologue)
+    ?(epilogue = default_epilogue) ?(inline_shrink_pct = 0) ~name items =
+  { name; cat; prologue; epilogue; items; inline_shrink_pct }
+
+let item ?(callees = []) block = { block; callees }
+
+let hot_blocks t =
+  List.filter_map
+    (fun it -> if Block.is_cold it.block then None else Some it.block)
+    t.items
+
+let cold_blocks t =
+  List.filter_map
+    (fun it -> if Block.is_cold it.block then Some it.block else None)
+    t.items
+
+let find_block t id =
+  List.find_map
+    (fun it -> if it.block.Block.id = id then Some it.block else None)
+    t.items
+
+let callees t = List.concat_map (fun it -> it.callees) t.items
+
+(* Stub = load callee address + jsr; guard = 1 conditional branch; outlined
+   cold block additionally ends in a jump back (accounted at placement). *)
+let stub_instrs = 2
+
+let ret_instrs = 1
+
+let static_instrs t =
+  let body =
+    List.fold_left
+      (fun acc it ->
+        let guard = if Block.is_cold it.block then 1 else 0 in
+        acc + guard + Block.size_instrs it.block
+        + (stub_instrs * List.length it.callees))
+      0 t.items
+  in
+  Instr.total t.prologue + Instr.total t.epilogue + ret_instrs + body
+
+let hot_instrs t =
+  let body =
+    List.fold_left
+      (fun acc it ->
+        if Block.is_cold it.block then acc + 1 (* just the guard *)
+        else
+          acc + Block.size_instrs it.block
+          + (stub_instrs * List.length it.callees))
+      0 t.items
+  in
+  Instr.total t.prologue + Instr.total t.epilogue + ret_instrs + body
+
+let pp fmt t =
+  Format.fprintf fmt "%s(%s, %d instrs, %d hot)" t.name
+    (match t.cat with Path -> "path" | Library -> "library")
+    (static_instrs t) (hot_instrs t)

@@ -1,0 +1,63 @@
+(** Modeled compiled functions.
+
+    A function is a source-ordered list of items; cold items are guarded by
+    a conditional branch in the preceding hot code.  Call sites are explicit
+    (they become separately placed stubs, so that cloning can specialize them
+    and path-inlining can elide them).
+
+    The paper's bipartite layout distinguishes {e path} functions (executed
+    once per path invocation) from {e library} functions (called repeatedly
+    along the path) — §3.2. *)
+
+type cat =
+  | Path
+  | Library
+
+type item = {
+  block : Block.t;
+  callees : string list;
+      (** functions called at the end of this block, in call order *)
+}
+
+type t = {
+  name : string;
+  cat : cat;
+  prologue : Protolat_machine.Instr.vector;
+      (** register saves / gp establishment; Alpha calling convention lets a
+          specialized (cloned) call skip the first few of these *)
+  epilogue : Protolat_machine.Instr.vector;
+      (** restores; the final [ret] is added by the image builder *)
+  items : item list;
+  inline_shrink_pct : int;
+      (** percentage of hot ALU/load work removed when this function is
+          path-inlined into its caller (call-site constant propagation) *)
+}
+
+val make :
+  ?cat:cat ->
+  ?prologue:Protolat_machine.Instr.vector ->
+  ?epilogue:Protolat_machine.Instr.vector ->
+  ?inline_shrink_pct:int ->
+  name:string ->
+  item list ->
+  t
+
+val item : ?callees:string list -> Block.t -> item
+
+val hot_blocks : t -> Block.t list
+
+val cold_blocks : t -> Block.t list
+
+val find_block : t -> string -> Block.t option
+
+val static_instrs : t -> int
+(** All instructions: prologue + epilogue (+ret) + blocks + guards + stubs. *)
+
+val hot_instrs : t -> int
+(** Static instructions on the main line only (what remains after
+    outlining): prologue, epilogue+ret, hot blocks, guards, call stubs. *)
+
+val callees : t -> string list
+(** All callees in call order (duplicates preserved). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,480 @@
+module Instr = Protolat_machine.Instr
+
+module Key = struct
+  type t = string
+
+  let pro = "pro"
+
+  let epi = "epi"
+
+  let hot id = "hot:" ^ id
+
+  let guard id = "guard:" ^ id
+
+  let cold id = "cold:" ^ id
+
+  let stub block i = Printf.sprintf "stub:%s:%d" block i
+end
+
+type slot = {
+  func : string;
+  key : Key.t;
+  addr : int;
+  instrs : Instr.cls array;
+  pcs : int array;  (** byte address of each instruction (hot code may be
+                        diluted by interleaved unlikely code) *)
+  cold_outlined : bool;
+}
+
+type single = {
+  func : Func.t;
+  outlined : bool;
+  specialize : bool;
+  intra_calls : string list;
+  separate_cold : bool;
+  dilution_pct : int;
+}
+
+type fused = {
+  fname : string;
+  parts : Func.t list;
+  f_outlined : bool;
+  f_specialize : bool;
+  f_separate_cold : bool;
+  f_dilution_pct : int;
+}
+
+type unit_spec =
+  | Single of single
+  | Fused of fused
+
+let single ?(outlined = false) ?(specialize = false) ?(intra_calls = [])
+    ?(separate_cold = false) ?(dilution_pct = 0) func =
+  Single
+    { func; outlined; specialize; intra_calls; separate_cold; dilution_pct }
+
+let fused ?(outlined = true) ?(specialize = false) ?(separate_cold = false)
+    ?(dilution_pct = 0) ~name parts =
+  Fused
+    { fname = name;
+      parts;
+      f_outlined = outlined;
+      f_specialize = specialize;
+      f_separate_cold = separate_cold;
+      f_dilution_pct = dilution_pct }
+
+let unit_name = function
+  | Single s -> s.func.Func.name
+  | Fused f -> f.fname
+
+let unit_funcs = function
+  | Single s -> [ s.func ]
+  | Fused f -> f.parts
+
+(* --- sizing ------------------------------------------------------------- *)
+
+(* Skipping the prologue head under the Alpha calling convention: the gp
+   re-establishment (2 instructions) can be elided in a specialized call. *)
+let specialized_prologue (v : Instr.vector) =
+  let drop = min 2 v.Instr.alu in
+  { v with Instr.alu = v.Instr.alu - drop }
+
+let shrink_vector pct (v : Instr.vector) =
+  if pct <= 0 then v
+  else
+    let cut n = n - (n * pct / 100) in
+    { v with Instr.alu = cut v.Instr.alu; Instr.load = cut v.Instr.load }
+
+let stub_len ~specialized = if specialized then 1 else 2
+
+let ib = Instr.bytes
+
+(* Hot code is diluted by interleaved unlikely instructions (fine-grained
+   error handling the compiler lays between the likely basic blocks): a
+   block of [n] instructions occupies [n + pad] instruction slots. *)
+let dilution_pad ~pct n = if pct <= 0 || n < 4 then 0 else n * pct / 100
+
+let hot_footprint ~pct n = n + dilution_pad ~pct n
+
+(* Instruction length of a single function body laid out with the given
+   options; cold blocks cost +1 (outlined jump back) when outlined. *)
+let single_instr_len (s : single) =
+  let f = s.func in
+  let pro =
+    Instr.total
+      (if s.specialize then specialized_prologue f.Func.prologue
+       else f.Func.prologue)
+  in
+  let epi = Instr.total f.Func.epilogue + 1 (* ret *) in
+  let body =
+    List.fold_left
+      (fun acc (it : Func.item) ->
+        let stubs =
+          List.fold_left
+            (fun a callee ->
+              a
+              + stub_len
+                  ~specialized:(s.specialize && List.mem callee s.intra_calls))
+            0 it.Func.callees
+        in
+        let blk =
+          if Block.is_cold it.Func.block then
+            1 (* guard *) + Block.size_instrs it.Func.block
+            + if s.outlined then 1 (* jump back *) else 0
+          else
+            hot_footprint ~pct:s.dilution_pct
+              (Block.size_instrs it.Func.block)
+        in
+        acc + blk + stubs)
+      0 f.Func.items
+  in
+  pro + epi + body
+
+let single_hot_instr_len (s : single) =
+  if not s.outlined then single_instr_len s
+  else
+    single_instr_len s
+    - List.fold_left
+        (fun acc b -> acc + Block.size_instrs b + 1)
+        0
+        (Func.cold_blocks s.func)
+
+let fused_part_hot_len ~first ~last (f : fused) (part : Func.t) =
+  let pro = if first then Instr.total part.Func.prologue else 0 in
+  let epi = if last then Instr.total part.Func.epilogue + 1 else 0 in
+  let chain = List.map (fun p -> p.Func.name) f.parts in
+  let body =
+    List.fold_left
+      (fun acc (it : Func.item) ->
+        let stubs =
+          List.fold_left
+            (fun a callee ->
+              if List.mem callee chain then a (* call elided *)
+              else a + stub_len ~specialized:f.f_specialize)
+            0 it.Func.callees
+        in
+        let blk =
+          if Block.is_cold it.Func.block then 1 (* guard; cold deferred *)
+          else
+            hot_footprint ~pct:f.f_dilution_pct
+              (Block.size_instrs
+                 { it.Func.block with
+                   Block.vec =
+                     shrink_vector part.Func.inline_shrink_pct
+                       it.Func.block.Block.vec })
+        in
+        acc + blk + stubs)
+      0 part.Func.items
+  in
+  pro + epi + body
+
+let fused_hot_instr_len (f : fused) =
+  let n = List.length f.parts in
+  List.mapi
+    (fun i p -> fused_part_hot_len ~first:(i = 0) ~last:(i = n - 1) f p)
+    f.parts
+  |> List.fold_left ( + ) 0
+
+let fused_cold_instr_len (f : fused) =
+  List.fold_left
+    (fun acc p ->
+      List.fold_left
+        (fun a b -> a + Block.size_instrs b + 1)
+        acc (Func.cold_blocks p))
+    0 f.parts
+
+let hot_size_bytes u =
+  ib
+  *
+  match u with
+  | Single s -> single_hot_instr_len s
+  | Fused f -> fused_hot_instr_len f
+
+let size_bytes u =
+  ib
+  *
+  match u with
+  | Single s ->
+    if s.separate_cold && s.outlined then single_hot_instr_len s
+    else single_instr_len s
+  | Fused f ->
+    fused_hot_instr_len f
+    + if f.f_separate_cold then 0 else fused_cold_instr_len f
+
+let cold_size_bytes u =
+  ib
+  *
+  match u with
+  | Single s ->
+    if s.separate_cold && s.outlined then
+      single_instr_len s - single_hot_instr_len s
+    else 0
+  | Fused f -> if f.f_separate_cold then fused_cold_instr_len f else 0
+
+(* --- building ----------------------------------------------------------- *)
+
+type t = {
+  slots_by_key : (string * string, slot) Hashtbl.t;
+  elided : (string * string, unit) Hashtbl.t;
+  mutable all_slots : slot list; (* reversed during build *)
+  mutable region_list : (string * int * int) list;
+  mutable max_addr : int;
+}
+
+type lookup =
+  | Slot of slot
+  | Elided
+  | Unknown
+
+let add_slot t (slot : slot) =
+  let k = (slot.func, slot.key) in
+  if Hashtbl.mem t.slots_by_key k then
+    invalid_arg
+      (Printf.sprintf "Image: duplicate slot %s/%s" slot.func slot.key);
+  Hashtbl.replace t.slots_by_key k slot;
+  t.all_slots <- slot :: t.all_slots;
+  let last =
+    if Array.length slot.pcs = 0 then slot.addr
+    else slot.pcs.(Array.length slot.pcs - 1)
+  in
+  t.max_addr <- max t.max_addr (last + ib)
+
+let elide t func key = Hashtbl.replace t.elided (func, key) ()
+
+(* Emit one slot at the cursor; returns the next cursor.  [dilution]
+   stretches hot code: a gap slot is interleaved at even intervals. *)
+let emit t ?(dilution = 0) ~func ~key ~cold_outlined cursor instrs =
+  let n = Array.length instrs in
+  if n = 0 then cursor
+  else begin
+    let pad = dilution_pad ~pct:dilution n in
+    let pcs = Array.make n 0 in
+    if pad = 0 then
+      Array.iteri (fun i _ -> pcs.(i) <- cursor + (ib * i)) instrs
+    else begin
+      let every = max 1 (n / pad) in
+      let off = ref 0 in
+      let gaps = ref 0 in
+      for i = 0 to n - 1 do
+        pcs.(i) <- cursor + (ib * !off);
+        incr off;
+        if (i + 1) mod every = 0 && !gaps < pad then begin
+          (* unlikely-code gap *)
+          incr off;
+          incr gaps
+        end
+      done
+    end;
+    add_slot t { func; key; addr = cursor; instrs; pcs; cold_outlined };
+    cursor + (ib * (n + pad))
+  end
+
+let guard_instrs = [| Instr.Br_taken |]
+
+let stub_instrs ~specialized =
+  if specialized then [| Instr.Jsr |] else [| Instr.Load; Instr.Jsr |]
+
+let expand_with_ret v =
+  Array.append (Instr.expand v) [| Instr.Ret |]
+
+let cold_instrs ~outlined (b : Block.t) =
+  let body = Instr.expand b.Block.vec in
+  if outlined then Array.append body [| Instr.Br_taken |] else body
+
+let build_single t ~global_cold base (s : single) =
+  let f = s.func in
+  let name = f.Func.name in
+  let cursor = ref base in
+  let deferred = ref [] in
+  let pro =
+    if s.specialize then specialized_prologue f.Func.prologue
+    else f.Func.prologue
+  in
+  cursor :=
+    emit t ~func:name ~key:Key.pro ~cold_outlined:s.outlined !cursor
+      (Instr.expand pro);
+  List.iter
+    (fun (it : Func.item) ->
+      let b = it.Func.block in
+      if Block.is_cold b then begin
+        cursor :=
+          emit t ~func:name ~key:(Key.guard b.Block.id)
+            ~cold_outlined:s.outlined !cursor guard_instrs;
+        if s.outlined then deferred := b :: !deferred
+        else
+          cursor :=
+            emit t ~func:name ~key:(Key.cold b.Block.id) ~cold_outlined:false
+              !cursor
+              (cold_instrs ~outlined:false b)
+      end
+      else
+        cursor :=
+          emit t ~dilution:s.dilution_pct ~func:name ~key:(Key.hot b.Block.id)
+            ~cold_outlined:s.outlined !cursor (Instr.expand b.Block.vec);
+      List.iteri
+        (fun i callee ->
+          let specialized = s.specialize && List.mem callee s.intra_calls in
+          cursor :=
+            emit t ~func:name
+              ~key:(Key.stub b.Block.id i)
+              ~cold_outlined:s.outlined !cursor (stub_instrs ~specialized))
+        it.Func.callees)
+    f.Func.items;
+  cursor :=
+    emit t ~func:name ~key:Key.epi ~cold_outlined:s.outlined !cursor
+      (expand_with_ret f.Func.epilogue);
+  if s.separate_cold then
+    List.iter
+      (fun b -> global_cold := (name, b) :: !global_cold)
+      (List.rev !deferred)
+  else
+    List.iter
+      (fun (b : Block.t) ->
+        cursor :=
+          emit t ~func:name ~key:(Key.cold b.Block.id) ~cold_outlined:true
+            !cursor
+            (cold_instrs ~outlined:true b))
+      (List.rev !deferred);
+  t.region_list <- (name, base, !cursor) :: t.region_list;
+  !cursor
+
+let build_fused t ~global_cold base (f : fused) =
+  let cursor = ref base in
+  let deferred = ref [] in
+  let n = List.length f.parts in
+  let chain = List.map (fun p -> p.Func.name) f.parts in
+  List.iteri
+    (fun i (part : Func.t) ->
+      let name = part.Func.name in
+      let first = i = 0 and last = i = n - 1 in
+      if first then
+        cursor :=
+          emit t ~func:name ~key:Key.pro ~cold_outlined:f.f_outlined !cursor
+            (Instr.expand part.Func.prologue)
+      else elide t name Key.pro;
+      List.iter
+        (fun (it : Func.item) ->
+          let b = it.Func.block in
+          if Block.is_cold b then begin
+            cursor :=
+              emit t ~func:name ~key:(Key.guard b.Block.id)
+                ~cold_outlined:f.f_outlined !cursor guard_instrs;
+            if f.f_outlined then deferred := (name, b) :: !deferred
+            else
+              cursor :=
+                emit t ~func:name ~key:(Key.cold b.Block.id)
+                  ~cold_outlined:false !cursor
+                  (cold_instrs ~outlined:false b)
+          end
+          else begin
+            let vec =
+              shrink_vector part.Func.inline_shrink_pct b.Block.vec
+            in
+            cursor :=
+              emit t ~dilution:f.f_dilution_pct ~func:name
+                ~key:(Key.hot b.Block.id) ~cold_outlined:f.f_outlined !cursor
+                (Instr.expand vec)
+          end;
+          List.iteri
+            (fun j callee ->
+              if List.mem callee chain then
+                elide t name (Key.stub b.Block.id j)
+              else
+                cursor :=
+                  emit t ~func:name
+                    ~key:(Key.stub b.Block.id j)
+                    ~cold_outlined:f.f_outlined !cursor
+                    (stub_instrs ~specialized:f.f_specialize))
+            it.Func.callees)
+        part.Func.items;
+      if last then
+        cursor :=
+          emit t ~func:name ~key:Key.epi ~cold_outlined:f.f_outlined !cursor
+            (expand_with_ret part.Func.epilogue)
+      else elide t name Key.epi)
+    f.parts;
+  if f.f_separate_cold then
+    List.iter (fun nb -> global_cold := nb :: !global_cold) (List.rev !deferred)
+  else
+    List.iter
+      (fun (name, (b : Block.t)) ->
+        cursor :=
+          emit t ~func:name ~key:(Key.cold b.Block.id) ~cold_outlined:true
+            !cursor
+            (cold_instrs ~outlined:true b))
+      (List.rev !deferred);
+  t.region_list <- (f.fname, base, !cursor) :: t.region_list;
+  !cursor
+
+let build units =
+  let t =
+    { slots_by_key = Hashtbl.create 512;
+      elided = Hashtbl.create 64;
+      all_slots = [];
+      region_list = [];
+      max_addr = 0 }
+  in
+  (* reject duplicate function membership *)
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (u, _) ->
+      List.iter
+        (fun f ->
+          if Hashtbl.mem seen f.Func.name then
+            invalid_arg
+              ("Image.build: function in more than one unit: " ^ f.Func.name);
+          Hashtbl.replace seen f.Func.name ())
+        (unit_funcs u))
+    units;
+  (* reject overlapping placements *)
+  let extents =
+    List.map (fun (u, base) -> (unit_name u, base, base + size_bytes u)) units
+    |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)
+  in
+  let rec check = function
+    | (n1, _, e1) :: ((n2, s2, _) :: _ as rest) ->
+      if e1 > s2 then
+        invalid_arg
+          (Printf.sprintf "Image.build: units overlap: %s and %s" n1 n2);
+      check rest
+    | _ -> ()
+  in
+  check extents;
+  let global_cold = ref [] in
+  List.iter
+    (fun (u, base) ->
+      match u with
+      | Single s -> ignore (build_single t ~global_cold base s)
+      | Fused f -> ignore (build_fused t ~global_cold base f))
+    units;
+  (match List.rev !global_cold with
+  | [] -> ()
+  | colds ->
+    let start = (t.max_addr + 4096 + 31) / 32 * 32 in
+    let cursor = ref start in
+    List.iter
+      (fun (name, (b : Block.t)) ->
+        cursor :=
+          emit t ~func:name ~key:(Key.cold b.Block.id) ~cold_outlined:true
+            !cursor
+            (cold_instrs ~outlined:true b))
+      colds;
+    t.region_list <- ("<cold-region>", start, !cursor) :: t.region_list);
+  t.all_slots <- List.sort (fun a b -> compare a.addr b.addr) t.all_slots;
+  t.region_list <-
+    List.sort (fun (_, a, _) (_, b, _) -> compare a b) t.region_list;
+  t
+
+let find t ~func ~key =
+  match Hashtbl.find_opt t.slots_by_key (func, key) with
+  | Some s -> Slot s
+  | None -> if Hashtbl.mem t.elided (func, key) then Elided else Unknown
+
+let end_addr t = t.max_addr
+
+let regions t = t.region_list
+
+let slots t = t.all_slots
+
+let static_instr_count t =
+  List.fold_left (fun acc s -> acc + Array.length s.instrs) 0 t.all_slots

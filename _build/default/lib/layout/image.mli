@@ -1,0 +1,130 @@
+(** Code images: concrete placements of modeled functions in the address
+    space.
+
+    An image is built from {e units}.  A unit is either a single function
+    (possibly outlined and/or clone-specialized) or a {e fused} function
+    produced by path-inlining a call chain (§3.3).  A placement strategy
+    (see {!Strategy}) assigns each unit a base address; the builder then
+    lays out prologue, hot blocks, guard branches, call stubs, epilogue and
+    cold blocks, and records every addressable slot.
+
+    Slots are registered under the {e original} function names, so the
+    execution engine can emit traces for "tcp_input" without knowing whether
+    that code currently lives in a standalone function, a clone, or the
+    middle of a path-inlined super-function. *)
+
+module Key : sig
+  type t = string
+
+  val pro : t
+
+  val epi : t
+
+  val hot : string -> t
+
+  val guard : string -> t
+
+  val cold : string -> t
+
+  val stub : string -> int -> t
+  (** [stub block_id i]: the [i]-th call stub of [block_id]. *)
+end
+
+type slot = {
+  func : string;  (** original function name *)
+  key : Key.t;
+  addr : int;
+  instrs : Protolat_machine.Instr.cls array;
+  pcs : int array;
+      (** byte address of each instruction; hot code may be diluted by
+          interleaved unlikely instructions *)
+  cold_outlined : bool;
+      (** for guards and cold blocks: is the cold code outlined? *)
+}
+
+type single = {
+  func : Func.t;
+  outlined : bool;
+  specialize : bool;
+      (** cloned with specialization: prologue head skipped; stubs to
+          [intra_calls] become PC-relative (drop the address load) *)
+  intra_calls : string list;
+  separate_cold : bool;
+      (** clone semantics (§3.2): only the main line is cloned; outlined
+          cold blocks go to a shared cold region after all units, so they
+          do not dilute the cloned code's i-cache density *)
+  dilution_pct : int;
+      (** fraction of interleaved unlikely code stretching hot blocks:
+          high without outlining (the paper's 21% unused i-cache fetch),
+          lower with it (15%) *)
+}
+
+type fused = {
+  fname : string;
+  parts : Func.t list;  (** in call-chain order *)
+  f_outlined : bool;
+  f_specialize : bool;
+  f_separate_cold : bool;
+  f_dilution_pct : int;
+}
+
+type unit_spec =
+  | Single of single
+  | Fused of fused
+
+val single :
+  ?outlined:bool ->
+  ?specialize:bool ->
+  ?intra_calls:string list ->
+  ?separate_cold:bool ->
+  ?dilution_pct:int ->
+  Func.t ->
+  unit_spec
+
+val fused :
+  ?outlined:bool ->
+  ?specialize:bool ->
+  ?separate_cold:bool ->
+  ?dilution_pct:int ->
+  name:string ->
+  Func.t list ->
+  unit_spec
+
+val unit_name : unit_spec -> string
+
+val unit_funcs : unit_spec -> Func.t list
+
+val size_bytes : unit_spec -> int
+(** Bytes the unit occupies at its own base address (hot + cold, or hot
+    only when the cold blocks go to the shared region). *)
+
+val cold_size_bytes : unit_spec -> int
+(** Bytes of deferred cold code (0 unless [separate_cold]). *)
+
+val hot_size_bytes : unit_spec -> int
+(** Bytes of the contiguous hot part (what competes for i-cache residency
+    between path invocations). *)
+
+type t
+
+val build : (unit_spec * int) list -> t
+(** [build units_with_bases] places every unit at its base address.
+    @raise Invalid_argument if two units overlap or a function appears in
+    more than one unit. *)
+
+type lookup =
+  | Slot of slot
+  | Elided  (** code removed by path-inlining (interior pro/epi/stubs) *)
+  | Unknown
+
+val find : t -> func:string -> key:Key.t -> lookup
+
+val end_addr : t -> int
+
+val regions : t -> (string * int * int) list
+(** [(unit_name, start, stop)] for every unit, in address order. *)
+
+val slots : t -> slot list
+(** All slots in address order. *)
+
+val static_instr_count : t -> int

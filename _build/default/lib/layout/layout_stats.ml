@@ -1,0 +1,82 @@
+module Trace = Protolat_machine.Trace
+module Instr = Protolat_machine.Instr
+
+let unused_fraction trace ~block_bytes =
+  let touched = Trace.touched_instr_offsets trace in
+  let blocks = Hashtbl.create 256 in
+  Hashtbl.iter (fun pc () -> Hashtbl.replace blocks (pc / block_bytes) ()) touched;
+  let nblocks = Hashtbl.length blocks in
+  if nblocks = 0 then 0.0
+  else
+    let capacity = nblocks * (block_bytes / Instr.bytes) in
+    1.0 -. (float_of_int (Hashtbl.length touched) /. float_of_int capacity)
+
+let static_path_instrs funcs =
+  let with_cold = List.fold_left (fun a f -> a + Func.static_instrs f) 0 funcs in
+  let hot = List.fold_left (fun a f -> a + Func.hot_instrs f) 0 funcs in
+  (with_cold, hot)
+
+let outlined_share funcs =
+  let with_cold, hot = static_path_instrs funcs in
+  let outlined = with_cold - hot in
+  (outlined, if with_cold = 0 then 0 else 100 * outlined / with_cold)
+
+let footprint ?(width = 64) image ~trace ~block_bytes =
+  let touched = Hashtbl.create 4096 in
+  Trace.iter (fun e -> Hashtbl.replace touched (e.Trace.pc / block_bytes) ()) trace;
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, start, stop) ->
+      Buffer.add_string buf (Printf.sprintf "%-28s %6d bytes  " name (stop - start));
+      let b0 = start / block_bytes and b1 = (stop - 1) / block_bytes in
+      let chars = ref [] in
+      for b = b0 to b1 do
+        let fetched = Hashtbl.mem touched b in
+        (* is any slot covering this block cold code? *)
+        let cold =
+          List.exists
+            (fun (s : Image.slot) ->
+              let s0 = s.Image.addr / block_bytes in
+              let s1 =
+                (s.Image.addr + (Instr.bytes * Array.length s.Image.instrs) - 1)
+                / block_bytes
+              in
+              b >= s0 && b <= s1
+              && String.length s.Image.key >= 5
+              && String.sub s.Image.key 0 5 = "cold:")
+            (Image.slots image)
+        in
+        chars :=
+          (if fetched then '#' else if cold then 'o' else '.') :: !chars
+      done;
+      let line = List.rev !chars in
+      List.iteri
+        (fun i c ->
+          if i > 0 && i mod width = 0 then
+            Buffer.add_string buf "\n                                    ";
+          Buffer.add_char buf c)
+        line;
+      Buffer.add_char buf '\n')
+    (Image.regions image);
+  Buffer.contents buf
+
+let icache_pressure image ~icache_bytes ~block_bytes =
+  let nsets = icache_bytes / block_bytes in
+  let pressure = Array.make nsets 0 in
+  let seen = Hashtbl.create 4096 in
+  List.iter
+    (fun (s : Image.slot) ->
+      let first = s.Image.addr / block_bytes in
+      let last =
+        (s.Image.addr + (Instr.bytes * Array.length s.Image.instrs) - 1)
+        / block_bytes
+      in
+      for b = first to last do
+        if not (Hashtbl.mem seen b) then begin
+          Hashtbl.replace seen b ();
+          let set = b mod nsets in
+          pressure.(set) <- pressure.(set) + 1
+        end
+      done)
+    (Image.slots image);
+  pressure

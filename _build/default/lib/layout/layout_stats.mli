@@ -1,0 +1,32 @@
+(** Static and dynamic layout statistics: Table 9 (outlining effectiveness)
+    and the Figure 2 i-cache footprint maps. *)
+
+(** Fraction of instructions in touched i-cache blocks that the trace never
+    fetches — the paper's "i-cache unused" metric (Table 9). *)
+val unused_fraction :
+  Protolat_machine.Trace.t -> block_bytes:int -> float
+
+(** [static_path_instrs funcs] is the static code size of the latency
+    critical path: [(with_cold, hot_only)] — Table 9's "Size" columns
+    without and with outlining. *)
+val static_path_instrs : Func.t list -> int * int
+
+(** Outlined instruction count and percentage: [(outlined, pct)]. *)
+val outlined_share : Func.t list -> int * int
+
+(** ASCII footprint map in the style of Figure 2: one character per i-cache
+    block of each placed unit — ['#'] executed hot code, ['o'] cold code,
+    ['.'] placed but never fetched, with one line per unit region.
+    [width] characters per line (default 64). *)
+val footprint :
+  ?width:int ->
+  Image.t ->
+  trace:Protolat_machine.Trace.t ->
+  block_bytes:int ->
+  string
+
+(** Per-set conflict pressure of an image on a direct-mapped i-cache:
+    [pressure.(set)] is the number of distinct program blocks mapping to
+    that set. *)
+val icache_pressure :
+  Image.t -> icache_bytes:int -> block_bytes:int -> int array

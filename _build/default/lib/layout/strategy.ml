@@ -1,0 +1,187 @@
+type placement = (Image.unit_spec * int) list
+
+let align_up addr quantum = (addr + quantum - 1) / quantum * quantum
+
+let dense ~base units =
+  let cursor = ref base in
+  List.map
+    (fun u ->
+      let addr = align_up !cursor 32 in
+      cursor := addr + Image.size_bytes u;
+      (u, addr))
+    units
+
+let link_order ~base units = dense ~base units
+
+let first_occurrence_rank order =
+  let tbl = Hashtbl.create 64 in
+  List.iteri
+    (fun i name -> if not (Hashtbl.mem tbl name) then Hashtbl.replace tbl name i)
+    order;
+  fun name ->
+    match Hashtbl.find_opt tbl name with Some i -> i | None -> max_int
+
+let invocation_order ~base ~order units =
+  let rank = first_occurrence_rank order in
+  let keyed = List.mapi (fun i u -> (rank (Image.unit_name u), i, u)) units in
+  let sorted =
+    List.sort (fun (r1, i1, _) (r2, i2, _) -> compare (r1, i1) (r2, i2)) keyed
+  in
+  dense ~base (List.map (fun (_, _, u) -> u) sorted)
+
+let is_path u =
+  match Image.unit_funcs u with
+  | f :: _ -> f.Func.cat = Func.Path
+  | [] -> true
+
+let bipartite ~base ~icache_bytes ~order units =
+  (* Partition the i-cache: path functions use sets [0, window) of every
+     i-cache-sized period, library functions are packed into the reserved
+     tail [window, icache) — so the once-per-invocation path sweep never
+     evicts the repeatedly used library code.  Units too large for a window
+     are placed across window boundaries (unavoidable). *)
+  let rank = first_occurrence_rank order in
+  let part p =
+    List.filter (fun u -> is_path u = p) units
+    |> List.mapi (fun i u -> (rank (Image.unit_name u), i, u))
+    |> List.sort (fun (r1, i1, _) (r2, i2, _) -> compare (r1, i1) (r2, i2))
+    |> List.map (fun (_, _, u) -> u)
+  in
+  let path = part true and lib = part false in
+  let lib_bytes =
+    List.fold_left (fun a u -> a + align_up (Image.size_bytes u) 32) 0 lib
+  in
+  (* reserve at most half the cache for the library partition *)
+  let reserve = min lib_bytes (icache_bytes / 2) in
+  let window = icache_bytes - align_up reserve 32 in
+  let base = align_up base icache_bytes in
+  (* path partition *)
+  let cursor = ref base in
+  let place_path u =
+    let size = Image.size_bytes u in
+    let off = !cursor mod icache_bytes in
+    if size <= window && off + size > window then
+      cursor := align_up !cursor icache_bytes;
+    let addr = !cursor in
+    cursor := align_up (addr + size) 32;
+    (u, addr)
+  in
+  let placed_path = List.map place_path path in
+  (* library partition: packed into the reserved windows after the path *)
+  let lcursor = ref (align_up !cursor icache_bytes + window) in
+  let place_lib u =
+    let size = Image.size_bytes u in
+    let off = !lcursor mod icache_bytes in
+    if off + size > icache_bytes && size <= icache_bytes - window then
+      lcursor := align_up !lcursor icache_bytes + window;
+    let addr = !lcursor in
+    lcursor := align_up (addr + size) 32;
+    (u, addr)
+  in
+  placed_path @ List.map place_lib lib
+
+let pessimal ~base ~icache_bytes ~bcache_bytes ?(bconflict_every = 2) units =
+  (* Every unit starts at the same i-cache set (whole i-cache multiples), so
+     all units collide maximally in the i-cache.  Every Nth unit is
+     additionally relocated by whole multiples of the b-cache size onto the
+     b-cache sets of its successor, so those pairs thrash the b-cache
+     too. *)
+  let cursor = ref (align_up base icache_bytes) in
+  List.mapi
+    (fun k u ->
+      let addr = !cursor in
+      let next = align_up (addr + Image.size_bytes u + 1) icache_bytes in
+      cursor := next;
+      if bconflict_every > 0 && k mod bconflict_every = 0 then
+        (next mod bcache_bytes) + (((k / bconflict_every) + 1) * bcache_bytes)
+      else addr)
+    units
+  |> List.map2 (fun u addr -> (u, addr)) units
+
+(* --- micro-positioning --------------------------------------------------- *)
+
+(* Interleave weight: for consecutive occurrences of [a] in the reference
+   sequence, count occurrences of [b] strictly between them (each such
+   occurrence can evict [a] if they share cache sets). *)
+let interleave_weight seq a b =
+  let w = ref 0 in
+  let inside = ref false in
+  List.iter
+    (fun x ->
+      if x = a then inside := true
+      else if !inside && x = b then incr w)
+    seq;
+  !w
+
+let micro_position ~base ~icache_bytes ~block_bytes ~ref_seq units =
+  let nsets = icache_bytes / block_bytes in
+  let rank = first_occurrence_rank ref_seq in
+  let keyed = List.mapi (fun i u -> (rank (Image.unit_name u), i, u)) units in
+  let ordered =
+    List.sort (fun (r1, i1, _) (r2, i2, _) -> compare (r1, i1) (r2, i2)) keyed
+    |> List.map (fun (_, _, u) -> u)
+  in
+  (* sets occupied by a placement: [start_set, start_set + nblocks) mod nsets *)
+  let sets_of offset_blocks size_bytes =
+    let nblocks = (size_bytes + block_bytes - 1) / block_bytes in
+    List.init (min nblocks nsets) (fun i -> (offset_blocks + i) mod nsets)
+  in
+  let placed = ref [] in
+  (* (name, offset_blocks, size) *)
+  let cursor = ref base in
+  let result =
+    List.map
+      (fun u ->
+        let name = Image.unit_name u in
+        let size = Image.size_bytes u in
+        let cost offset =
+          List.fold_left
+            (fun acc (qname, qoff, qsize) ->
+              let mine = sets_of offset size in
+              let theirs = sets_of qoff qsize in
+              let overlap =
+                List.length (List.filter (fun s -> List.mem s theirs) mine)
+              in
+              if overlap = 0 then acc
+              else
+                acc
+                + overlap
+                  * (interleave_weight ref_seq name qname
+                    + interleave_weight ref_seq qname name))
+            0 !placed
+        in
+        (* candidate offsets at block granularity; prefer the dense position
+           (cursor's own offset) on ties to limit gaps *)
+        let dense_off = !cursor / block_bytes mod nsets in
+        let best = ref dense_off and best_cost = ref (cost dense_off) in
+        for o = 0 to nsets - 1 do
+          let c = cost o in
+          if c < !best_cost then begin
+            best := o;
+            best_cost := c
+          end
+        done;
+        let offset_bytes = !best * block_bytes in
+        let addr =
+          let candidate =
+            (!cursor / icache_bytes * icache_bytes) + offset_bytes
+          in
+          if candidate >= !cursor then candidate else candidate + icache_bytes
+        in
+        placed := (name, !best, size) :: !placed;
+        cursor := addr + size;
+        (u, addr))
+      ordered
+  in
+  result
+
+let gaps placement =
+  let extents =
+    List.map (fun (u, a) -> (a, a + Image.size_bytes u)) placement
+    |> List.sort compare
+  in
+  let rec go acc = function
+    | (_, e1) :: ((s2, _) :: _ as rest) -> go (acc + max 0 (s2 - e1)) rest
+    | _ -> acc
+  in
+  go 0 extents

@@ -1,0 +1,60 @@
+(** Placement strategies for cloned code (§3.2).
+
+    A strategy assigns a base address to every unit.  The paper evaluates:
+    - the uncontrolled link order of the standard kernel (STD);
+    - a {e bipartite} layout separating once-per-invocation {e path}
+      functions from repeatedly invoked {e library} functions, each
+      partition laid out in first-call order ("closest-is-best");
+    - {e micro-positioning}, a trace-driven greedy placement that minimizes
+      predicted replacement misses at the cost of gaps;
+    - a {e pessimal} layout (BAD) that forces i-cache (and some b-cache)
+      conflicts, demonstrating the worst case. *)
+
+type placement = (Image.unit_spec * int) list
+
+val link_order : base:int -> Image.unit_spec list -> placement
+(** Dense sequential placement in list order (cache-block aligned). *)
+
+val invocation_order :
+  base:int -> order:string list -> Image.unit_spec list -> placement
+(** Dense sequential placement sorted by first occurrence in [order]; units
+    not mentioned keep their relative position at the end. *)
+
+val bipartite :
+  base:int ->
+  icache_bytes:int ->
+  order:string list ->
+  Image.unit_spec list ->
+  placement
+(** Partition the i-cache between a path region and a reserved library
+    region: path units (first-invocation order) fill sets [0, window) of
+    each i-cache-sized period; library units are packed into the reserved
+    tail sets, so the path sweep cannot evict them. *)
+
+val pessimal :
+  base:int ->
+  icache_bytes:int ->
+  bcache_bytes:int ->
+  ?bconflict_every:int ->
+  Image.unit_spec list ->
+  placement
+(** Every unit starts at the same i-cache set (stride = i-cache size); every
+    [bconflict_every]-th unit (default 6) is additionally placed a multiple
+    of the b-cache size away so that a few functions collide in the b-cache
+    as well, as observed for the paper's BAD configuration. *)
+
+val micro_position :
+  base:int ->
+  icache_bytes:int ->
+  block_bytes:int ->
+  ref_seq:string list ->
+  Image.unit_spec list ->
+  placement
+(** Trace-driven greedy placement: for each unit (in first-reference order)
+    choose the i-cache offset minimizing predicted replacement conflicts
+    with already-placed units, weighted by how often the two units
+    interleave in [ref_seq].  Introduces gaps: the physical address is the
+    lowest free address congruent to the chosen offset. *)
+
+val gaps : placement -> int
+(** Total bytes of gap between consecutively placed units. *)

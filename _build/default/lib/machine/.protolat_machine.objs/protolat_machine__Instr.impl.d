@@ -1,0 +1,1 @@
+lib/machine/instr.ml: Array List Util_local

@@ -1,0 +1,1 @@
+lib/machine/memsys.ml: Cache Format List Params Trace Write_buffer

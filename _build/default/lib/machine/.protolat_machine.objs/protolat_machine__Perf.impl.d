@@ -1,0 +1,1 @@
+lib/machine/perf.ml: Cpu Format Memsys Params Trace

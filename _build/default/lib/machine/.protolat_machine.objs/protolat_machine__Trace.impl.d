@@ -1,0 +1,1 @@
+lib/machine/trace.ml: Buffer Hashtbl Instr List Printf Protolat_util String

@@ -1,0 +1,1 @@
+lib/machine/util_local.ml: Array List

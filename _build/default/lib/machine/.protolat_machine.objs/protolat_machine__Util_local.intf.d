@@ -1,0 +1,1 @@
+lib/machine/util_local.mli:

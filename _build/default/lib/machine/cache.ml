@@ -1,0 +1,86 @@
+type t = {
+  name : string;
+  block_bytes : int;
+  sets : int;
+  tags : int array; (* block address currently cached in each set; -1 empty *)
+  evicted : (int, unit) Hashtbl.t; (* block addresses evicted at least once *)
+  mutable accesses : int;
+  mutable hits : int;
+  mutable cold : int;
+  mutable repl : int;
+}
+
+type outcome =
+  | Hit
+  | Miss_cold
+  | Miss_repl
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create ~name ~size_bytes ~block_bytes =
+  if not (is_pow2 size_bytes && is_pow2 block_bytes) then
+    invalid_arg "Cache.create: sizes must be powers of two";
+  let sets = size_bytes / block_bytes in
+  { name;
+    block_bytes;
+    sets;
+    tags = Array.make sets (-1);
+    evicted = Hashtbl.create 1024;
+    accesses = 0;
+    hits = 0;
+    cold = 0;
+    repl = 0 }
+
+let name t = t.name
+
+let block_bytes t = t.block_bytes
+
+let set_of t block = block land (t.sets - 1)
+
+let access t addr =
+  let block = addr / t.block_bytes in
+  let set = set_of t block in
+  t.accesses <- t.accesses + 1;
+  if t.tags.(set) = block then begin
+    t.hits <- t.hits + 1;
+    Hit
+  end
+  else begin
+    let victim = t.tags.(set) in
+    if victim >= 0 then Hashtbl.replace t.evicted victim ();
+    t.tags.(set) <- block;
+    if Hashtbl.mem t.evicted block then begin
+      t.repl <- t.repl + 1;
+      Miss_repl
+    end
+    else begin
+      t.cold <- t.cold + 1;
+      Miss_cold
+    end
+  end
+
+let probe t addr =
+  let block = addr / t.block_bytes in
+  t.tags.(set_of t block) = block
+
+let invalidate_all t =
+  for i = 0 to t.sets - 1 do
+    if t.tags.(i) >= 0 then Hashtbl.replace t.evicted t.tags.(i) ();
+    t.tags.(i) <- -1
+  done
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.hits <- 0;
+  t.cold <- 0;
+  t.repl <- 0
+
+let accesses t = t.accesses
+
+let hits t = t.hits
+
+let misses t = t.cold + t.repl
+
+let cold_misses t = t.cold
+
+let repl_misses t = t.repl

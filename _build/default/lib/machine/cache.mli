@@ -1,0 +1,42 @@
+(** Direct-mapped cache simulator with cold / replacement miss accounting.
+
+    A {e replacement miss} (the paper's "Repl" column in Table 6) is a miss
+    on a block that was resident earlier and has since been evicted; a cold
+    miss is the first reference to a block. *)
+
+type t
+
+type outcome =
+  | Hit
+  | Miss_cold
+  | Miss_repl
+
+val create : name:string -> size_bytes:int -> block_bytes:int -> t
+
+val name : t -> string
+
+val block_bytes : t -> int
+
+val access : t -> int -> outcome
+(** [access t addr] looks up (and on a miss, fills) the block containing
+    byte address [addr]. *)
+
+val probe : t -> int -> bool
+(** Lookup without filling: is the block containing [addr] resident? *)
+
+val invalidate_all : t -> unit
+(** Empty the cache but keep statistics and eviction history. *)
+
+val reset_stats : t -> unit
+
+(** Statistics since the last [reset_stats]. *)
+
+val accesses : t -> int
+
+val hits : t -> int
+
+val misses : t -> int
+
+val cold_misses : t -> int
+
+val repl_misses : t -> int

@@ -1,0 +1,47 @@
+(* 21064 dual issue: one integer/branch operation may pair with one memory
+   operation; two integer ops, two memory ops, or anything with a multiply
+   cannot issue together. *)
+let can_pair a b =
+  let mem c = Instr.is_memory c in
+  let single = function Instr.Mul -> true | _ -> false in
+  (not (single a || single b)) && mem a <> mem b
+
+let issue_cycles (p : Params.t) trace =
+  let n = Trace.length trace in
+  let cycles = ref 0 in
+  let i = ref 0 in
+  let attempts = ref 0 in
+  while !i < n do
+    let a = (Trace.get trace !i).Trace.cls in
+    let structurally =
+      !i + 1 < n && can_pair a (Trace.get trace (!i + 1)).Trace.cls
+    in
+    let paired =
+      structurally
+      && begin
+           incr attempts;
+           !attempts * p.Params.pair_success_pct mod 100
+           < p.Params.pair_success_pct
+         end
+    in
+    if paired then i := !i + 2 else incr i;
+    incr cycles
+  done;
+  float_of_int !cycles
+
+let penalty (p : Params.t) = function
+  | Instr.Br_taken -> p.br_taken_penalty
+  | Instr.Jsr -> p.br_taken_penalty +. p.call_penalty
+  | Instr.Ret -> p.br_taken_penalty +. p.ret_penalty
+  | Instr.Mul -> p.mul_cycles
+  | Instr.Load -> p.load_use_penalty
+  | Instr.Alu | Instr.Store | Instr.Br_not_taken | Instr.Nop -> 0.0
+
+let perfect_memory_cycles p trace =
+  let pen = ref 0.0 in
+  Trace.iter (fun e -> pen := !pen +. penalty p e.Trace.cls) trace;
+  issue_cycles p trace +. !pen
+
+let icpi p trace =
+  let n = Trace.length trace in
+  if n = 0 then 0.0 else perfect_memory_cycles p trace /. float_of_int n

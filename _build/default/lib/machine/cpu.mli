@@ -1,0 +1,20 @@
+(** 21064 issue model: in-order, dual-issue, with fixed penalties for taken
+    branches, calls, returns, multiplies, and an average load-use stall.
+
+    Feeding a trace through this model with a perfect memory system yields
+    the paper's {e instruction CPI} (iCPI); memory stalls from {!Memsys}
+    divided by the trace length give the {e memory CPI} (mCPI), and
+    CPI = iCPI + mCPI (§4.4.2). *)
+
+val can_pair : Instr.cls -> Instr.cls -> bool
+(** Issue-pairing rule: one integer/branch operation may pair with one
+    memory operation; integer multiplies issue alone. *)
+
+val issue_cycles : Params.t -> Trace.t -> float
+(** Cycles consumed by instruction issue alone (no penalties). *)
+
+val perfect_memory_cycles : Params.t -> Trace.t -> float
+(** Issue cycles plus all non-memory-system penalties. *)
+
+val icpi : Params.t -> Trace.t -> float
+(** [perfect_memory_cycles / length]; 0 for the empty trace. *)

@@ -1,0 +1,68 @@
+(** Abstract Alpha-like instruction classes.
+
+    The 21064 is modeled at the granularity of instruction classes: what
+    matters for the paper's analysis is issue pairing, branch/call penalties,
+    multiply latency and the memory references — not opcode semantics. *)
+
+type cls =
+  | Alu  (** integer op, shift, compare, conditional move *)
+  | Load  (** memory read *)
+  | Store  (** memory write *)
+  | Br_taken  (** conditional branch, taken *)
+  | Br_not_taken  (** conditional branch, fall-through *)
+  | Jsr  (** subroutine call (jsr or bsr) *)
+  | Ret  (** subroutine return *)
+  | Mul  (** integer multiply (no integer divide on Alpha) *)
+  | Nop  (** padding / scheduling nop *)
+
+val bytes : int
+(** Every Alpha instruction is 4 bytes. *)
+
+val is_memory : cls -> bool
+
+val is_control : cls -> bool
+(** Branches, calls and returns. *)
+
+val to_string : cls -> string
+
+val all : cls list
+
+(** Instruction-count vectors: how many instructions of each class a basic
+    block contains.  Blocks expand deterministically to a class sequence. *)
+type vector = {
+  alu : int;
+  load : int;
+  store : int;
+  br_taken : int;
+  br_not_taken : int;
+  jsr : int;
+  ret : int;
+  mul : int;
+  nop : int;
+}
+
+val zero : vector
+
+val vec :
+  ?alu:int ->
+  ?load:int ->
+  ?store:int ->
+  ?br_taken:int ->
+  ?br_not_taken:int ->
+  ?jsr:int ->
+  ?ret:int ->
+  ?mul:int ->
+  ?nop:int ->
+  unit ->
+  vector
+
+val total : vector -> int
+
+val add : vector -> vector -> vector
+
+val scale : int -> vector -> vector
+
+val expand : vector -> cls array
+(** Deterministic interleaving of the classes in a vector: memory operations
+    and branches are spread through the ALU operations the way a compiler
+    schedule would, with control transfers at block boundaries. *)

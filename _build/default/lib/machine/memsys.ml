@@ -1,0 +1,182 @@
+type t = {
+  p : Params.t;
+  ic : Cache.t;
+  dc : Cache.t;
+  bc : Cache.t;
+  wb : Write_buffer.t;
+  mutable last_imiss_block : int; (* for sequential-stream detection *)
+  mutable b_acc : int;
+  mutable b_miss : int;
+  mutable b_repl : int;
+  mutable dwb_miss : int; (* d-read misses + writes that reach the b-cache *)
+  mutable dwb_acc : int;
+  mutable stalls : float;
+}
+
+type cache_row = {
+  miss : int;
+  acc : int;
+  repl : int;
+}
+
+type stats = {
+  icache : cache_row;
+  dwb : cache_row;
+  bcache : cache_row;
+  stall_cycles : float;
+}
+
+let create p =
+  { p;
+    ic =
+      Cache.create ~name:"i-cache" ~size_bytes:p.Params.icache_bytes
+        ~block_bytes:p.Params.block_bytes;
+    dc =
+      Cache.create ~name:"d-cache" ~size_bytes:p.Params.dcache_bytes
+        ~block_bytes:p.Params.block_bytes;
+    bc =
+      Cache.create ~name:"b-cache" ~size_bytes:p.Params.bcache_bytes
+        ~block_bytes:p.Params.block_bytes;
+    wb = Write_buffer.create ~depth:p.Params.wb_depth ~block_bytes:p.Params.block_bytes;
+    last_imiss_block = min_int;
+    b_acc = 0;
+    b_miss = 0;
+    b_repl = 0;
+    dwb_miss = 0;
+    dwb_acc = 0;
+    stalls = 0.0 }
+
+let params t = t.p
+
+(* One b-cache reference.  [latency_factor] scales the charged latency: a
+   pure prefetch costs nothing now (its benefit shows up as the cheap
+   sequential fill later). *)
+let baccess t addr ~charge =
+  t.b_acc <- t.b_acc + 1;
+  let lat =
+    match Cache.access t.bc addr with
+    | Cache.Hit -> float_of_int t.p.Params.b_hit_cycles
+    | Cache.Miss_cold ->
+      t.b_miss <- t.b_miss + 1;
+      float_of_int t.p.Params.mem_cycles
+    | Cache.Miss_repl ->
+      t.b_miss <- t.b_miss + 1;
+      t.b_repl <- t.b_repl + 1;
+      float_of_int t.p.Params.mem_cycles
+  in
+  match charge with
+  | `Full -> lat
+  | `Sequential ->
+    (* the stream buffer already holds this block unless it missed in the
+       b-cache itself *)
+    if lat > float_of_int t.p.Params.b_hit_cycles then lat
+    else float_of_int t.p.Params.b_seq_cycles
+  | `Prefetch -> 0.0
+
+let ifetch t addr =
+  match Cache.access t.ic addr with
+  | Cache.Hit -> 0.0
+  | Cache.Miss_cold | Cache.Miss_repl ->
+    let block = addr / t.p.Params.block_bytes in
+    let sequential = block = t.last_imiss_block + 1 in
+    t.last_imiss_block <- block;
+    let lat =
+      baccess t addr ~charge:(if sequential then `Sequential else `Full)
+    in
+    (* A stream restart prefetches the following block into the stream
+       buffer: an extra b-cache access that costs no stall now. *)
+    let lat =
+      if sequential then lat
+      else
+        lat
+        +. baccess t ((block + 1) * t.p.Params.block_bytes) ~charge:`Prefetch
+    in
+    t.stalls <- t.stalls +. lat;
+    lat
+
+let load t addr =
+  t.dwb_acc <- t.dwb_acc + 1;
+  match Cache.access t.dc addr with
+  | Cache.Hit -> 0.0
+  | Cache.Miss_cold | Cache.Miss_repl ->
+    t.dwb_miss <- t.dwb_miss + 1;
+    let lat = baccess t addr ~charge:`Full in
+    t.stalls <- t.stalls +. lat;
+    lat
+
+let store t addr =
+  t.dwb_acc <- t.dwb_acc + 1;
+  match Write_buffer.write t.wb addr with
+  | Write_buffer.Merged -> 0.0
+  | Write_buffer.Buffered ->
+    (* will reach the b-cache when retired; count it as a d/wb miss the way
+       the paper does ("a write that caused a write to the b-cache") but the
+       b-cache access and any stall happen at retire time *)
+    t.dwb_miss <- t.dwb_miss + 1;
+    0.0
+  | Write_buffer.Retired victim ->
+    t.dwb_miss <- t.dwb_miss + 1;
+    let _lat =
+      baccess t (victim * t.p.Params.block_bytes) ~charge:`Full
+    in
+    (* Retirement happens because the buffer is full: the CPU stalls for the
+       drain, modeled as a fraction of the b-cache write latency. *)
+    let stall = t.p.Params.wb_retire_cycles in
+    t.stalls <- t.stalls +. stall;
+    stall
+
+let drain_write_buffer t =
+  let victims = Write_buffer.drain t.wb in
+  List.iter
+    (fun v -> ignore (baccess t (v * t.p.Params.block_bytes) ~charge:`Prefetch))
+    victims;
+  0.0
+
+let process t (e : Trace.event) =
+  let s = ifetch t e.Trace.pc in
+  match e.Trace.access with
+  | None -> s
+  | Some (Trace.Read a) -> s +. load t a
+  | Some (Trace.Write a) -> s +. store t a
+
+let run t trace =
+  let total = ref 0.0 in
+  Trace.iter (fun e -> total := !total +. process t e) trace;
+  !total
+
+let invalidate_primary t =
+  Cache.invalidate_all t.ic;
+  Cache.invalidate_all t.dc;
+  ignore (Write_buffer.drain t.wb);
+  t.last_imiss_block <- min_int
+
+let invalidate_all t =
+  invalidate_primary t;
+  Cache.invalidate_all t.bc
+
+let reset_stats t =
+  Cache.reset_stats t.ic;
+  Cache.reset_stats t.dc;
+  Cache.reset_stats t.bc;
+  Write_buffer.reset_stats t.wb;
+  t.b_acc <- 0;
+  t.b_miss <- 0;
+  t.b_repl <- 0;
+  t.dwb_miss <- 0;
+  t.dwb_acc <- 0;
+  t.stalls <- 0.0
+
+let stats t =
+  { icache =
+      { miss = Cache.misses t.ic;
+        acc = Cache.accesses t.ic;
+        repl = Cache.repl_misses t.ic };
+    dwb = { miss = t.dwb_miss; acc = t.dwb_acc; repl = Cache.repl_misses t.dc };
+    bcache = { miss = t.b_miss; acc = t.b_acc; repl = t.b_repl };
+    stall_cycles = t.stalls }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "i-cache %d/%d (repl %d)  d/wb %d/%d (repl %d)  b-cache %d/%d (repl %d)  stalls %.0f"
+    s.icache.miss s.icache.acc s.icache.repl s.dwb.miss s.dwb.acc s.dwb.repl
+    s.bcache.miss s.bcache.acc s.bcache.repl s.stall_cycles

@@ -1,0 +1,57 @@
+(** DEC 3000/600 memory hierarchy: split direct-mapped 8KB i/d caches, a
+    4-deep merging write buffer on the write path, and a 2MB direct-mapped
+    write-back b-cache.
+
+    The d-cache serves only reads (write-through, read-allocate); writes go
+    through the write buffer (§4.1).  An i-cache miss that starts a new
+    sequential run additionally prefetches the next block from the b-cache,
+    which is why b-cache accesses exceed i-misses plus d/wb misses (paper
+    footnote to Table 8). *)
+
+type t
+
+val create : Params.t -> t
+
+val params : t -> Params.t
+
+val ifetch : t -> int -> float
+(** Fetch the instruction at a byte address; returns stall cycles. *)
+
+val load : t -> int -> float
+
+val store : t -> int -> float
+
+val drain_write_buffer : t -> float
+
+val process : t -> Trace.event -> float
+(** Run one trace event through the hierarchy (ifetch + optional data
+    reference); returns total stall cycles. *)
+
+val run : t -> Trace.t -> float
+(** Process a whole trace; returns accumulated stall cycles. *)
+
+val invalidate_primary : t -> unit
+(** Empty i-cache, d-cache and write buffer (keep the b-cache warm). *)
+
+val invalidate_all : t -> unit
+
+val reset_stats : t -> unit
+
+(** Table 6 statistics. *)
+
+type cache_row = {
+  miss : int;
+  acc : int;
+  repl : int;
+}
+
+type stats = {
+  icache : cache_row;
+  dwb : cache_row;  (** combined d-cache read path and write buffer *)
+  bcache : cache_row;
+  stall_cycles : float;
+}
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,42 @@
+type t = {
+  clock_mhz : float;
+  icache_bytes : int;
+  dcache_bytes : int;
+  bcache_bytes : int;
+  block_bytes : int;
+  wb_depth : int;
+  b_hit_cycles : int;
+  b_seq_cycles : int;
+  mem_cycles : int;
+  wb_retire_cycles : float;
+  br_taken_penalty : float;
+  call_penalty : float;
+  ret_penalty : float;
+  mul_cycles : float;
+  load_use_penalty : float;
+  pair_success_pct : int;
+  issue_width : int;
+}
+
+let default =
+  { clock_mhz = 175.0;
+    icache_bytes = 8 * 1024;
+    dcache_bytes = 8 * 1024;
+    bcache_bytes = 2 * 1024 * 1024;
+    block_bytes = 32;
+    wb_depth = 4;
+    b_hit_cycles = 10;
+    b_seq_cycles = 5;
+    mem_cycles = 45;
+    wb_retire_cycles = 2.0;
+    br_taken_penalty = 6.0;
+    call_penalty = 6.0;
+    ret_penalty = 6.0;
+    mul_cycles = 21.0;
+    load_use_penalty = 2.6;
+    pair_success_pct = 65;
+    issue_width = 2 }
+
+let cycles_to_us p cycles = cycles /. p.clock_mhz
+
+let us_to_cycles p us = us *. p.clock_mhz

@@ -1,0 +1,36 @@
+(** Hardware constants of the modeled DEC 3000/600 (21064 @ 175 MHz).
+
+    Cache geometry is taken directly from the paper (§4.1).  Latency and
+    issue-model constants are calibrated so that the published STD / ALL
+    iCPI and mCPI values are matched to first order; see DESIGN.md §5. *)
+
+type t = {
+  clock_mhz : float;  (** 175.0 *)
+  icache_bytes : int;  (** 8 KB direct-mapped *)
+  dcache_bytes : int;  (** 8 KB direct-mapped, write-through, read-allocate *)
+  bcache_bytes : int;  (** 2 MB direct-mapped, write-back *)
+  block_bytes : int;  (** 32-byte blocks everywhere *)
+  wb_depth : int;  (** 4-deep write buffer, one block per entry *)
+  b_hit_cycles : int;  (** b-cache access latency seen by a primary miss *)
+  b_seq_cycles : int;
+      (** discounted latency for an i-stream miss on the block immediately
+          following the previous i-miss (stream-buffer style prefetch) *)
+  mem_cycles : int;  (** main-memory access latency *)
+  wb_retire_cycles : float;
+      (** CPU stall charged when a full write buffer must retire an entry *)
+  br_taken_penalty : float;  (** pipeline bubble for a taken branch *)
+  call_penalty : float;  (** extra cycles for jsr beyond the branch cost *)
+  ret_penalty : float;
+  mul_cycles : float;  (** extra latency of an integer multiply *)
+  load_use_penalty : float;  (** average dependency stall charged per load *)
+  pair_success_pct : int;
+      (** share of structurally pairable instruction pairs that actually
+          dual-issue (data dependencies defeat the rest) *)
+  issue_width : int;  (** 2 *)
+}
+
+val default : t
+
+val cycles_to_us : t -> float -> float
+
+val us_to_cycles : t -> float -> float

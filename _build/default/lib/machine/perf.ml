@@ -1,0 +1,46 @@
+type report = {
+  length : int;
+  stats : Memsys.stats;
+  issue_cycles : float;
+  instr_cycles : float;
+  total_cycles : float;
+  icpi : float;
+  mcpi : float;
+  cpi : float;
+  time_us : float;
+}
+
+let build p trace (stats : Memsys.stats) =
+  let length = Trace.length trace in
+  let issue_cycles = Cpu.issue_cycles p trace in
+  let instr_cycles = Cpu.perfect_memory_cycles p trace in
+  let total_cycles = instr_cycles +. stats.Memsys.stall_cycles in
+  let flen = float_of_int (max length 1) in
+  { length;
+    stats;
+    issue_cycles;
+    instr_cycles;
+    total_cycles;
+    icpi = instr_cycles /. flen;
+    mcpi = stats.Memsys.stall_cycles /. flen;
+    cpi = total_cycles /. flen;
+    time_us = Params.cycles_to_us p total_cycles }
+
+let cold p trace =
+  let m = Memsys.create p in
+  ignore (Memsys.run m trace);
+  build p trace (Memsys.stats m)
+
+let steady ?(warmup = 3) p trace =
+  let m = Memsys.create p in
+  for _ = 1 to warmup do
+    ignore (Memsys.run m trace)
+  done;
+  Memsys.reset_stats m;
+  ignore (Memsys.run m trace);
+  build p trace (Memsys.stats m)
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "len=%d cycles=%.0f time=%.1fus CPI=%.2f iCPI=%.2f mCPI=%.2f [%a]" r.length
+    r.total_cycles r.time_us r.cpi r.icpi r.mcpi Memsys.pp_stats r.stats

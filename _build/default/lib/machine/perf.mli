@@ -1,0 +1,32 @@
+(** Trace analysis pipeline: runs a protocol-processing trace through the
+    memory-hierarchy and CPU simulators and produces the paper's Table 6 and
+    Table 7 quantities.
+
+    Two modes reproduce the paper's two measurements:
+    - {!cold}: single replay from empty caches — the Table 6 cache statistics
+      (large cold b-cache miss counts, zero b-cache replacement misses unless
+      the layout conflicts).
+    - {!steady}: the trace is replayed [warmup + 1] times and the final
+      replay is measured — the per-invocation behaviour of a long ping-pong
+      run, in which the b-cache is warm and the primary caches exhibit their
+      per-path capacity and conflict misses.  This corresponds to the
+      cycle-counter timings of Table 7. *)
+
+type report = {
+  length : int;  (** trace length in instructions *)
+  stats : Memsys.stats;
+  issue_cycles : float;
+  instr_cycles : float;  (** perfect-memory cycles *)
+  total_cycles : float;  (** instr_cycles + memory stalls *)
+  icpi : float;
+  mcpi : float;
+  cpi : float;
+  time_us : float;
+}
+
+val cold : Params.t -> Trace.t -> report
+
+val steady : ?warmup:int -> Params.t -> Trace.t -> report
+(** Default [warmup] is 3. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,129 @@
+module Vec = Protolat_util.Vec
+
+type access =
+  | Read of int
+  | Write of int
+
+type event = {
+  pc : int;
+  cls : Instr.cls;
+  access : access option;
+}
+
+type t = event Vec.t
+
+let create () = Vec.create ()
+
+let length = Vec.length
+
+let add t ~pc ~cls ?access () = Vec.push t { pc; cls; access }
+
+let get = Vec.get
+
+let iter = Vec.iter
+
+let append = Vec.append
+
+let class_counts t =
+  let tbl = Hashtbl.create 16 in
+  iter
+    (fun e ->
+      let n = try Hashtbl.find tbl e.cls with Not_found -> 0 in
+      Hashtbl.replace tbl e.cls (n + 1))
+    t;
+  List.map (fun c -> (c, try Hashtbl.find tbl c with Not_found -> 0)) Instr.all
+
+let taken_branch_fraction t =
+  let taken = ref 0 in
+  iter (fun e -> if e.cls = Instr.Br_taken then incr taken) t;
+  if length t = 0 then 0.0 else float_of_int !taken /. float_of_int (length t)
+
+let distinct_blocks t ~block_bytes =
+  let seen = Hashtbl.create 256 in
+  iter (fun e -> Hashtbl.replace seen (e.pc / block_bytes) ()) t;
+  Hashtbl.length seen
+
+let touched_instr_offsets t =
+  let seen = Hashtbl.create 1024 in
+  iter (fun e -> Hashtbl.replace seen e.pc ()) t;
+  seen
+
+(* ----- serialization ----------------------------------------------------- *)
+
+let cls_to_tag = function
+  | Instr.Alu -> "alu"
+  | Instr.Load -> "ld"
+  | Instr.Store -> "st"
+  | Instr.Br_taken -> "bt"
+  | Instr.Br_not_taken -> "bn"
+  | Instr.Jsr -> "jsr"
+  | Instr.Ret -> "ret"
+  | Instr.Mul -> "mul"
+  | Instr.Nop -> "nop"
+
+let cls_of_tag = function
+  | "alu" -> Instr.Alu
+  | "ld" -> Instr.Load
+  | "st" -> Instr.Store
+  | "bt" -> Instr.Br_taken
+  | "bn" -> Instr.Br_not_taken
+  | "jsr" -> Instr.Jsr
+  | "ret" -> Instr.Ret
+  | "mul" -> Instr.Mul
+  | "nop" -> Instr.Nop
+  | s -> failwith ("Trace: unknown instruction class " ^ s)
+
+let save t oc =
+  iter
+    (fun e ->
+      match e.access with
+      | None -> Printf.fprintf oc "%x %s\n" e.pc (cls_to_tag e.cls)
+      | Some (Read a) ->
+        Printf.fprintf oc "%x %s R %x\n" e.pc (cls_to_tag e.cls) a
+      | Some (Write a) ->
+        Printf.fprintf oc "%x %s W %x\n" e.pc (cls_to_tag e.cls) a)
+    t
+
+let parse_line t line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "" ] -> ()
+  | [ pc; tag ] ->
+    add t ~pc:(int_of_string ("0x" ^ pc)) ~cls:(cls_of_tag tag) ()
+  | [ pc; tag; "R"; a ] ->
+    add t ~pc:(int_of_string ("0x" ^ pc)) ~cls:(cls_of_tag tag)
+      ~access:(Read (int_of_string ("0x" ^ a)))
+      ()
+  | [ pc; tag; "W"; a ] ->
+    add t ~pc:(int_of_string ("0x" ^ pc)) ~cls:(cls_of_tag tag)
+      ~access:(Write (int_of_string ("0x" ^ a)))
+      ()
+  | _ -> failwith ("Trace: malformed line: " ^ line)
+
+let load ic =
+  let t = create () in
+  (try
+     while true do
+       parse_line t (input_line ic)
+     done
+   with End_of_file -> ());
+  t
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  iter
+    (fun e ->
+      (match e.access with
+      | None -> Buffer.add_string buf (Printf.sprintf "%x %s" e.pc (cls_to_tag e.cls))
+      | Some (Read a) ->
+        Buffer.add_string buf (Printf.sprintf "%x %s R %x" e.pc (cls_to_tag e.cls) a)
+      | Some (Write a) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%x %s W %x" e.pc (cls_to_tag e.cls) a));
+      Buffer.add_char buf '\n')
+    t;
+  Buffer.contents buf
+
+let of_string s =
+  let t = create () in
+  String.split_on_char '\n' s |> List.iter (fun l -> if l <> "" then parse_line t l);
+  t

@@ -1,0 +1,53 @@
+(** Instruction / memory-reference traces.
+
+    A trace is the unit of analysis in the paper: protocol processing is
+    traced, and the trace is replayed through the memory-hierarchy and CPU
+    simulators (§4.4). *)
+
+type access =
+  | Read of int
+  | Write of int
+
+type event = {
+  pc : int;  (** byte address of the instruction *)
+  cls : Instr.cls;
+  access : access option;  (** data reference made by this instruction *)
+}
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+
+val add : t -> pc:int -> cls:Instr.cls -> ?access:access -> unit -> unit
+
+val get : t -> int -> event
+
+val iter : (event -> unit) -> t -> unit
+
+val append : t -> t -> unit
+
+val class_counts : t -> (Instr.cls * int) list
+(** Histogram of instruction classes, in [Instr.all] order. *)
+
+val taken_branch_fraction : t -> float
+
+val distinct_blocks : t -> block_bytes:int -> int
+(** Number of distinct i-stream blocks touched (static footprint of the
+    trace at cache-block granularity). *)
+
+val touched_instr_offsets : t -> (int, unit) Hashtbl.t
+(** Set of distinct instruction addresses fetched. *)
+
+(** Text serialization (one event per line: [pc class [R|W addr]]) — the
+    paper made its instruction traces available for download; so do we. *)
+
+val save : t -> out_channel -> unit
+
+val load : in_channel -> t
+(** @raise Failure on malformed input. *)
+
+val to_string : t -> string
+
+val of_string : string -> t

@@ -1,0 +1,9 @@
+(** Internal sequence helpers for deterministic block expansion. *)
+
+val interleave3 : int -> int -> int -> [ `A | `B | `C ] list
+(** [interleave3 a b c] emits [a] [`A]s, [b] [`B]s, [c] [`C]s with the rarer
+    elements spread evenly through the commoner ones. *)
+
+val spread : 'a list -> 'a list -> 'a list
+(** [spread base extras] inserts [extras] at evenly spaced positions in
+    [base], preserving both relative orders. *)

@@ -1,0 +1,56 @@
+type t = {
+  depth : int;
+  block_bytes : int;
+  mutable entries : int list; (* block addresses, oldest first *)
+  mutable merges : int;
+  mutable writes : int;
+  mutable retires : int;
+}
+
+type outcome =
+  | Merged
+  | Buffered
+  | Retired of int
+
+let create ~depth ~block_bytes =
+  if depth <= 0 then invalid_arg "Write_buffer.create";
+  { depth; block_bytes; entries = []; merges = 0; writes = 0; retires = 0 }
+
+let write t addr =
+  let block = addr / t.block_bytes in
+  t.writes <- t.writes + 1;
+  if List.mem block t.entries then begin
+    t.merges <- t.merges + 1;
+    Merged
+  end
+  else if List.length t.entries < t.depth then begin
+    t.entries <- t.entries @ [ block ];
+    Buffered
+  end
+  else begin
+    match t.entries with
+    | [] -> assert false
+    | oldest :: rest ->
+      t.entries <- rest @ [ block ];
+      t.retires <- t.retires + 1;
+      Retired oldest
+  end
+
+let drain t =
+  let out = t.entries in
+  t.entries <- [];
+  t.retires <- t.retires + List.length out;
+  out
+
+let occupancy t = List.length t.entries
+
+let merges t = t.merges
+
+let writes t = t.writes
+
+let retires t = t.retires
+
+let reset_stats t =
+  t.merges <- 0;
+  t.writes <- 0;
+  t.retires <- 0

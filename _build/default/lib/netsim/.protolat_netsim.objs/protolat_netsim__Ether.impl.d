@@ -1,0 +1,1 @@
+lib/netsim/ether.ml: Array Bytes Sim

@@ -1,0 +1,1 @@
+lib/netsim/host_env.ml: Protolat_xkernel Sim

@@ -1,0 +1,1 @@
+lib/netsim/host_env.mli: Protolat_xkernel Sim

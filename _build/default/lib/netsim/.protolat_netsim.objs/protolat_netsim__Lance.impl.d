@@ -1,0 +1,1 @@
+lib/netsim/lance.ml: Array Bytes Ether Float Sim Sparse_mem Usc

@@ -1,0 +1,1 @@
+lib/netsim/lance.mli: Ether Protolat_xkernel Sim Sparse_mem

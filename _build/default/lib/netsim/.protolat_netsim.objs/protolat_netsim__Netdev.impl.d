@@ -1,0 +1,1 @@
+lib/netsim/netdev.ml: Bytes Char Ether Hashtbl Host_env Lance Printf Protolat_xkernel Sparse_mem

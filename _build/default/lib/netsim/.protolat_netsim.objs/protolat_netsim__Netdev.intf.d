@@ -1,0 +1,1 @@
+lib/netsim/netdev.mli: Host_env Lance Protolat_xkernel

@@ -1,0 +1,1 @@
+lib/netsim/sparse_mem.ml: Array Protolat_xkernel

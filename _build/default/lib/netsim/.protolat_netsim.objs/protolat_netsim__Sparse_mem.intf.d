@@ -1,0 +1,1 @@
+lib/netsim/sparse_mem.mli: Protolat_xkernel

@@ -1,0 +1,1 @@
+lib/netsim/usc.ml: Array Sparse_mem

@@ -1,0 +1,1 @@
+lib/netsim/usc.mli: Sparse_mem

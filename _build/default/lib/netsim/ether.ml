@@ -1,0 +1,68 @@
+let min_frame_bytes = 64
+
+let preamble_bytes = 8
+
+let bits_per_second = 10_000_000.0
+
+let header_bytes = 14
+
+let frame_bytes payload_len = max min_frame_bytes (header_bytes + payload_len)
+
+let tx_time_us payload_len =
+  float_of_int ((frame_bytes payload_len + preamble_bytes) * 8)
+  /. bits_per_second *. 1_000_000.0
+
+type frame = {
+  dst : int;
+  src : int;
+  ethertype : int;
+  payload : bytes;
+}
+
+module Link = struct
+  type t = {
+    sim : Sim.t;
+    propagation_us : float;
+    handlers : (frame -> unit) option array;
+    mutable sent : int;
+    mutable dropped : int;
+    mutable loss : frame -> bool;
+  }
+
+  let create sim ?(propagation_us = 0.3) () =
+    { sim;
+      propagation_us;
+      handlers = Array.make 2 None;
+      sent = 0;
+      dropped = 0;
+      loss = (fun _ -> false) }
+
+  let check_station station =
+    if station < 0 || station > 1 then invalid_arg "Ether.Link: bad station"
+
+  let attach t ~station handler =
+    check_station station;
+    t.handlers.(station) <- Some handler
+
+  let transmit t ~station frame =
+    check_station station;
+    t.sent <- t.sent + 1;
+    let delay =
+      tx_time_us (Bytes.length frame.payload) +. t.propagation_us
+    in
+    let peer = 1 - station in
+    if t.loss frame then begin
+      t.dropped <- t.dropped + 1
+    end
+    else
+      Sim.schedule t.sim ~delay (fun () ->
+          match t.handlers.(peer) with
+          | Some h -> h frame
+          | None -> ())
+
+  let set_loss t f = t.loss <- f
+
+  let frames_sent t = t.sent
+
+  let frames_dropped t = t.dropped
+end

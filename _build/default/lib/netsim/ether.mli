@@ -1,0 +1,51 @@
+(** 10 Mb/s Ethernet wire model (§4.3).
+
+    A minimum frame is 64 bytes, preceded by an 8-byte preamble; at
+    10 Mb/s the minimum frame occupies the wire for 57.6 µs. *)
+
+val min_frame_bytes : int
+
+val preamble_bytes : int
+
+val bits_per_second : float
+
+val header_bytes : int
+(** dst(6) + src(6) + ethertype(2) *)
+
+val frame_bytes : int -> int
+(** On-the-wire frame size for a payload of the given length (header +
+    payload, padded to the minimum). *)
+
+val tx_time_us : int -> float
+(** Serialization time (including preamble) for a payload length. *)
+
+type frame = {
+  dst : int;
+  src : int;
+  ethertype : int;
+  payload : bytes;
+}
+
+(** A point-to-point isolated segment between two stations (0 and 1). *)
+module Link : sig
+  type t
+
+  val create : Sim.t -> ?propagation_us:float -> unit -> t
+
+  val attach : t -> station:int -> (frame -> unit) -> unit
+  (** Register the receive handler of a station.
+      @raise Invalid_argument for stations other than 0 or 1. *)
+
+  val transmit : t -> station:int -> frame -> unit
+  (** Put a frame on the wire; it is delivered to the other station after
+      serialization + propagation time. *)
+
+  val set_loss : t -> (frame -> bool) -> unit
+  (** Install a loss predicate: frames for which it returns [true] are
+      dropped after serialization (fault injection for retransmission
+      tests). *)
+
+  val frames_sent : t -> int
+
+  val frames_dropped : t -> int
+end

@@ -1,0 +1,38 @@
+module Xk = Protolat_xkernel
+
+type t = {
+  sim : Sim.t;
+  simmem : Xk.Simmem.t;
+  mutable meter : Xk.Meter.t;
+  events : Xk.Event.t;
+  stack_pool : Xk.Thread.Stack_pool.t;
+  sched : Xk.Thread.t;
+  mutable run_phase : string -> (unit -> unit) -> unit;
+}
+
+let create sim ?(meter = Xk.Meter.null) ?(simmem_base = 0x1000_0000) () =
+  let simmem = Xk.Simmem.create ~base:simmem_base () in
+  let stack_pool = Xk.Thread.Stack_pool.create simmem () in
+  let sched = Xk.Thread.create stack_pool in
+  { sim;
+    simmem;
+    meter;
+    events = Xk.Event.create ();
+    stack_pool;
+    sched;
+    (* default: run the work, then drain any continuations it unblocked
+       (the engine's hook also charges CPU time and interrupt overhead) *)
+    run_phase =
+      (fun _ work ->
+        work ();
+        ignore (Xk.Thread.run sched)) }
+
+let phase t name work = t.run_phase name work
+
+let advance_events t = ignore (Xk.Event.advance t.events (Sim.now t.sim))
+
+let timeout t ~delay fn =
+  let at = Sim.now t.sim +. delay in
+  let h = Xk.Event.register t.events ~at fn in
+  Sim.schedule_at t.sim ~at (fun () -> advance_events t);
+  h

@@ -1,0 +1,33 @@
+(** Per-host runtime environment shared by all protocol modules: simulated
+    clock and memory, the instrumentation meter, the timer manager, and the
+    continuation scheduler with its LIFO stack pool.
+
+    [run_phase] is installed by the execution engine: it brackets each burst
+    of protocol processing (a send initiation, a receive interrupt) so the
+    engine can charge modeled CPU time to the simulated clock and account
+    the untraced interrupt/context-switch overhead.  The default simply runs
+    the work. *)
+
+module Xk = Protolat_xkernel
+
+type t = {
+  sim : Sim.t;
+  simmem : Xk.Simmem.t;
+  mutable meter : Xk.Meter.t;
+  events : Xk.Event.t;
+  stack_pool : Xk.Thread.Stack_pool.t;
+  sched : Xk.Thread.t;
+  mutable run_phase : string -> (unit -> unit) -> unit;
+}
+
+val create : Sim.t -> ?meter:Xk.Meter.t -> ?simmem_base:int -> unit -> t
+
+val phase : t -> string -> (unit -> unit) -> unit
+(** [phase t name work]: run [work] under the engine's phase hook. *)
+
+val advance_events : t -> unit
+(** Fire timer events due at the current simulated time. *)
+
+val timeout : t -> delay:float -> (unit -> unit) -> Xk.Event.handle
+(** Register a timer event and arrange for the simulation to fire it:
+    protocols use this so their timeouts run without a polling loop. *)

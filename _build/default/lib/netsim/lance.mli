@@ -1,0 +1,57 @@
+(** AMD Am7990 LANCE Ethernet controller model.
+
+    The paper's DEC 3000/600 uses a LANCE on the TURBOchannel.  Two
+    properties matter for the study:
+
+    - descriptor rings live in {e sparse} shared memory (§2.2.4), and the
+      driver can update descriptors either by the traditional
+      copy-in/modify/copy-out ([Copy] mode) or with USC-generated direct
+      accessors ([Usc_direct] mode, saving 171 instructions per packet);
+    - the controller is slow: ≈47 µs of controller overhead plus 57.6 µs of
+      wire time for a minimum frame, i.e. ≈105 µs between handing a frame
+      to the controller and the transmit-complete interrupt (§4.3). *)
+
+type mode =
+  | Copy
+  | Usc_direct
+
+type t
+
+val create :
+  Sim.t ->
+  Protolat_xkernel.Simmem.t ->
+  Ether.Link.t ->
+  station:int ->
+  ?mode:mode ->
+  ?ring_size:int ->
+  ?controller_overhead_us:float ->
+  ?rx_interrupt_delay_us:float ->
+  unit ->
+  t
+
+val set_handlers :
+  t -> on_tx_complete:(unit -> unit) -> on_receive:(Ether.frame -> unit) -> unit
+
+val mode : t -> mode
+
+val transmit : t -> Ether.frame -> unit
+(** Hand a frame to the controller: the driver fills the next transmit
+    descriptor (through the configured access mode, exercising the sparse
+    memory), and the controller raises [on_tx_complete] after
+    [controller_overhead + serialization] and delivers the frame to the
+    peer station. *)
+
+val tx_descriptor_rings : t -> Sparse_mem.t
+(** The shared descriptor memory (transmit ring followed by receive ring) —
+    exposed so tests can check the access counts of the two modes. *)
+
+val words_touched_per_tx_update : mode -> int
+(** Descriptor words read+written per transmit-descriptor update. *)
+
+val frames_transmitted : t -> int
+
+val frames_received : t -> int
+
+val tx_complete_latency_us : t -> int -> float
+(** Time from [transmit] to the transmit-complete interrupt for a payload
+    of the given length (≈105 µs for a minimum frame). *)

@@ -1,0 +1,47 @@
+module Heap = Protolat_util.Heap
+
+type t = {
+  mutable now : float;
+  queue : (unit -> unit) Heap.t;
+}
+
+let create () = { now = 0.0; queue = Heap.create () }
+
+let now t = t.now
+
+let schedule_at t ~at fn =
+  if at < t.now then invalid_arg "Sim.schedule_at: time in the past";
+  Heap.push t.queue at fn
+
+let schedule t ~delay fn =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t ~at:(t.now +. delay) fn
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (at, fn) ->
+    t.now <- max t.now at;
+    fn ();
+    true
+
+let run ?until t =
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Heap.min_priority t.queue with
+    | None -> continue := false
+    | Some at ->
+      (match until with
+      | Some u when at > u -> continue := false
+      | _ ->
+        if step t then incr count else continue := false)
+  done;
+  (match until with Some u -> t.now <- max t.now u | None -> ());
+  !count
+
+let advance_clock t delta =
+  if delta < 0.0 then invalid_arg "Sim.advance_clock";
+  t.now <- t.now +. delta
+
+let pending t = Heap.size t.queue

@@ -1,0 +1,26 @@
+(** Discrete-event simulation engine.  Time is in microseconds. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** @raise Invalid_argument on negative delay. *)
+
+val schedule_at : t -> at:float -> (unit -> unit) -> unit
+(** @raise Invalid_argument if [at] is in the past. *)
+
+val step : t -> bool
+(** Process the next event; [false] when the queue is empty. *)
+
+val run : ?until:float -> t -> int
+(** Process events in time order until the queue is empty (or the next
+    event is after [until]); returns the number processed. *)
+
+val advance_clock : t -> float -> unit
+(** Model computation time: move the clock forward by the given amount
+    (events due in between remain pending until [run]/[step]). *)
+
+val pending : t -> int

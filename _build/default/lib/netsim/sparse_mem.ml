@@ -1,0 +1,42 @@
+module Simmem = Protolat_xkernel.Simmem
+
+type t = {
+  data : int array; (* valid 16-bit words *)
+  base : int; (* simulated sparse base address *)
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create sim ~words =
+  { data = Array.make words 0;
+    base = Simmem.alloc sim ~align:32 (4 * words);
+    reads = 0;
+    writes = 0 }
+
+let words t = Array.length t.data
+
+let check t i =
+  if i < 0 || i >= Array.length t.data then
+    invalid_arg "Sparse_mem: word index out of range"
+
+let read_word t i =
+  check t i;
+  t.reads <- t.reads + 1;
+  t.data.(i)
+
+let write_word t i v =
+  check t i;
+  t.writes <- t.writes + 1;
+  t.data.(i) <- v land 0xFFFF
+
+let sim_addr_of_word t i =
+  check t i;
+  t.base + (4 * i)
+
+let reads t = t.reads
+
+let writes t = t.writes
+
+let reset_counters t =
+  t.reads <- 0;
+  t.writes <- 0

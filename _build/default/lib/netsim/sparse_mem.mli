@@ -1,0 +1,28 @@
+(** The LANCE's sparse shared memory (§2.2.4).
+
+    The LANCE chip has a 16-bit bus behind the 32-bit TURBOchannel, so in
+    the shared region every valid 16-bit word is followed by a 16-bit gap:
+    word [i] lives at byte offset [4*i].  Descriptors are 10 bytes = 5
+    words; updating one the traditional way copies all 5 words to dense
+    memory and writes all 5 back. *)
+
+type t
+
+val create : Protolat_xkernel.Simmem.t -> words:int -> t
+
+val words : t -> int
+
+val read_word : t -> int -> int
+(** 16-bit value of word [i].  @raise Invalid_argument out of range. *)
+
+val write_word : t -> int -> int -> unit
+(** Stores the low 16 bits. *)
+
+val sim_addr_of_word : t -> int -> int
+(** Simulated (sparse) byte address of word [i]. *)
+
+val reads : t -> int
+
+val writes : t -> int
+
+val reset_counters : t -> unit

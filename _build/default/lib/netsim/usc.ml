@@ -1,0 +1,51 @@
+type field =
+  | Addr_lo
+  | Addr_hi
+  | Flags
+  | Byte_count
+  | Status
+  | Misc
+
+let descriptor_words = 5
+
+let field_word = function
+  | Addr_lo -> 0
+  | Addr_hi | Flags -> 1
+  | Byte_count -> 2
+  | Status -> 3
+  | Misc -> 4
+
+let base_word ~desc = desc * descriptor_words
+
+let get mem ~desc f =
+  let w = Sparse_mem.read_word mem (base_word ~desc + field_word f) in
+  match f with
+  | Addr_hi -> w land 0xFF
+  | Flags -> (w lsr 8) land 0xFF
+  | Addr_lo | Byte_count | Status | Misc -> w
+
+let set mem ~desc f v =
+  let i = base_word ~desc + field_word f in
+  match f with
+  | Addr_hi ->
+    let old = Sparse_mem.read_word mem i in
+    Sparse_mem.write_word mem i (old land 0xFF00 lor (v land 0xFF))
+  | Flags ->
+    let old = Sparse_mem.read_word mem i in
+    Sparse_mem.write_word mem i (old land 0x00FF lor ((v land 0xFF) lsl 8))
+  | Addr_lo | Byte_count | Status | Misc -> Sparse_mem.write_word mem i v
+
+let flags_own = 0x80
+
+let flags_stp = 0x02
+
+let flags_enp = 0x01
+
+let flags_err = 0x40
+
+let update_via_copy mem ~desc f =
+  let b = base_word ~desc in
+  let dense = Array.init descriptor_words (fun i -> Sparse_mem.read_word mem (b + i)) in
+  f dense;
+  Array.iteri (fun i v -> Sparse_mem.write_word mem (b + i) v) dense;
+  dense

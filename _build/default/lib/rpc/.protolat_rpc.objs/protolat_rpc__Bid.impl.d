@@ -1,0 +1,1 @@
+lib/rpc/bid.ml: Blast Hdrs Protolat_netsim Protolat_xkernel

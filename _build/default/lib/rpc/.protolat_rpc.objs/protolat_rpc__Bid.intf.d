@@ -1,0 +1,1 @@
+lib/rpc/bid.mli: Blast Protolat_netsim Protolat_xkernel

@@ -1,0 +1,1 @@
+lib/rpc/blast.ml: Array Bytes Char Hdrs List Printf Protolat_netsim Protolat_tcpip Protolat_xkernel

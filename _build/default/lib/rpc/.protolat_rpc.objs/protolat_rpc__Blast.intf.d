@@ -1,0 +1,1 @@
+lib/rpc/blast.mli: Protolat_netsim Protolat_xkernel

@@ -1,0 +1,1 @@
+lib/rpc/chan.ml: Bid Bytes Hdrs Printf Protolat_netsim Protolat_xkernel

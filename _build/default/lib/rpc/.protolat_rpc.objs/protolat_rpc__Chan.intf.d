@@ -1,0 +1,1 @@
+lib/rpc/chan.mli: Bid Protolat_netsim Protolat_xkernel

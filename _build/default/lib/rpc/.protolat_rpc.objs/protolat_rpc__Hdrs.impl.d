@@ -1,0 +1,1 @@
+lib/rpc/hdrs.ml: Bytes Char

@@ -1,0 +1,1 @@
+lib/rpc/mselect.ml: Bytes Hashtbl Hdrs Protolat_netsim Protolat_xkernel Vchan

@@ -1,0 +1,1 @@
+lib/rpc/mselect.mli: Protolat_netsim Protolat_xkernel Vchan

@@ -1,0 +1,1 @@
+lib/rpc/rstack.ml: Bid Blast Chan Mselect Protolat_netsim Protolat_tcpip Protolat_xkernel Vchan Xrpctest

@@ -1,0 +1,1 @@
+lib/rpc/specs.ml: Float List Protolat_layout Protolat_machine Protolat_tcpip

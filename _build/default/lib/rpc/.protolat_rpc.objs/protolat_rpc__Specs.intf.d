@@ -1,0 +1,1 @@
+lib/rpc/specs.mli: Protolat_layout Protolat_tcpip

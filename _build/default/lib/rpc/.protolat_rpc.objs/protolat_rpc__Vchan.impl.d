@@ -1,0 +1,1 @@
+lib/rpc/vchan.ml: Chan List Protolat_netsim Protolat_xkernel

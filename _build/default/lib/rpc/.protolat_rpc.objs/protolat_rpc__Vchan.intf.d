@@ -1,0 +1,1 @@
+lib/rpc/vchan.mli: Chan Protolat_netsim Protolat_xkernel

@@ -1,0 +1,1 @@
+lib/rpc/xrpctest.ml: Bytes Mselect Protolat_netsim Protolat_xkernel

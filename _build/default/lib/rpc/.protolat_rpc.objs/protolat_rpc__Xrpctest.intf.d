@@ -1,0 +1,1 @@
+lib/rpc/xrpctest.mli: Mselect Protolat_netsim

@@ -1,0 +1,65 @@
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+module Meter = Xk.Meter
+module Msg = Xk.Msg
+
+type t = {
+  env : Ns.Host_env.t;
+  blast : Blast.t;
+  boot_id : int;
+  mutable peer_boot : int;
+  mutable upper : src:int -> Msg.t -> unit;
+  mutable stale_drops : int;
+}
+
+let meter t = t.env.Ns.Host_env.meter
+
+let push t ~dst msg =
+  let m = meter t in
+  Meter.fn m "bid_push" (fun () ->
+      m.Meter.block "bid_push" "stamp"
+        ~writes:[ Meter.range ~base:(Msg.sim_addr msg) ~len:Hdrs.Bid.size () ];
+      m.Meter.cold ~triggered:(t.peer_boot = 0) "bid_push" "newboot";
+      Msg.push msg
+        (Hdrs.Bid.to_bytes
+           { Hdrs.Bid.my_boot = t.boot_id; your_boot = t.peer_boot });
+      m.Meter.call "bid_push" "stamp" 0;
+      Blast.push t.blast ~dst msg)
+
+let demux t ~src msg =
+  let m = meter t in
+  Meter.fn m "bid_demux" (fun () ->
+      m.Meter.block "bid_demux" "check"
+        ~reads:[ Meter.range ~base:(Msg.sim_addr msg) ~len:Hdrs.Bid.size () ];
+      let hdr = Hdrs.Bid.of_bytes (Msg.pop msg Hdrs.Bid.size) in
+      let known = t.peer_boot <> 0 in
+      let stale = known && hdr.Hdrs.Bid.my_boot < t.peer_boot in
+      let fresh = (not known) || hdr.Hdrs.Bid.my_boot > t.peer_boot in
+      m.Meter.cold ~triggered:(stale || fresh) "bid_demux" "bootmiss";
+      if stale then t.stale_drops <- t.stale_drops + 1
+      else begin
+        if fresh then t.peer_boot <- hdr.Hdrs.Bid.my_boot;
+        m.Meter.block "bid_demux" "deliver";
+        m.Meter.call "bid_demux" "deliver" 0;
+        t.upper ~src msg
+      end)
+
+let create env blast ~boot_id =
+  let t =
+    { env;
+      blast;
+      boot_id;
+      peer_boot = 0;
+      upper = (fun ~src:_ _ -> ());
+      stale_drops = 0 }
+  in
+  Blast.set_upper blast (fun ~src msg -> demux t ~src msg);
+  t
+
+let set_upper t f = t.upper <- f
+
+let boot_id t = t.boot_id
+
+let peer_boot t = t.peer_boot
+
+let stale_drops t = t.stale_drops

@@ -1,0 +1,224 @@
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+module Meter = Xk.Meter
+module Msg = Xk.Msg
+module Cksum = Protolat_tcpip.Cksum_meter
+
+type partial = {
+  frags : bytes option array;
+  mutable have : int;
+  from : int;
+}
+
+type t = {
+  env : Ns.Host_env.t;
+  netdev : Ns.Netdev.t;
+  ethertype : int;
+  inline : bool;
+  frag_size : int;
+  partials : partial Xk.Map.t;
+  mutable upper : src:int -> Msg.t -> unit;
+  mutable next_msg_id : int;
+  mutable last_sent : (int * int * bytes array) option;
+      (** (dst, msg_id, fragments) retained for selective retransmit *)
+  mutable fragmented : int;
+  mutable nacks : int;
+  mutable retransmissions : int;
+}
+
+let meter t = t.env.Ns.Host_env.meter
+
+let pkey ~src ~msg_id = Printf.sprintf "%x:%x" src msg_id
+
+let send_fragment t ~dst ~kind ~msg_id ~frag_ix ~frag_count payload =
+  let msg = Msg.alloc t.env.Ns.Host_env.simmem ~headroom:64 0 in
+  Msg.set_payload msg payload;
+  let cksum =
+    Protolat_tcpip.Checksum.compute payload 0 (Bytes.length payload)
+  in
+  Msg.push msg
+    (Hdrs.Blast.to_bytes ~cksum
+       { Hdrs.Blast.kind;
+         msg_id;
+         frag_ix;
+         frag_count;
+         frag_len = Bytes.length payload });
+  Ns.Netdev.send t.netdev ~dst ~ethertype:t.ethertype msg
+
+let push t ~dst msg =
+  let m = meter t in
+  Meter.fn m "blast_push" (fun () ->
+      m.Meter.block "blast_push" "fragchk"
+        ~reads:[ Meter.range ~base:(Msg.sim_addr msg) ~len:16 () ];
+      let len = Msg.len msg in
+      let msg_id = t.next_msg_id in
+      t.next_msg_id <- t.next_msg_id + 1;
+      let need_frag = len > t.frag_size in
+      m.Meter.cold ~triggered:need_frag "blast_push" "dofrag";
+      if not need_frag then begin
+        m.Meter.block "blast_push" "hdr"
+          ~writes:[ Meter.range ~base:(Msg.sim_addr msg) ~len:Hdrs.Blast.size () ];
+        m.Meter.call "blast_push" "hdr" 0;
+        let cksum =
+          Cksum.compute m ~sim_base:(Msg.sim_addr msg) (Msg.contents msg) 0 len
+        in
+        Msg.push msg
+          (Hdrs.Blast.to_bytes ~cksum
+             { Hdrs.Blast.kind = Hdrs.Blast.Data;
+               msg_id;
+               frag_ix = 0;
+               frag_count = 1;
+               frag_len = len });
+        m.Meter.block "blast_push" "send";
+        m.Meter.call "blast_push" "send" 0;
+        Ns.Netdev.send t.netdev ~dst ~ethertype:t.ethertype msg
+      end
+      else begin
+        (* outlined fragmentation path *)
+        t.fragmented <- t.fragmented + 1;
+        let data = Msg.contents msg in
+        let count = (len + t.frag_size - 1) / t.frag_size in
+        let frags =
+          Array.init count (fun i ->
+              let off = i * t.frag_size in
+              Bytes.sub data off (min t.frag_size (len - off)))
+        in
+        t.last_sent <- Some (dst, msg_id, frags);
+        Array.iteri
+          (fun i payload ->
+            send_fragment t ~dst ~kind:Hdrs.Blast.Data ~msg_id ~frag_ix:i
+              ~frag_count:count payload)
+          frags
+      end)
+
+(* NACK payload: a byte per missing fragment index (bounded, simple). *)
+let send_nack t ~dst ~msg_id missing =
+  t.nacks <- t.nacks + 1;
+  let payload = Bytes.create (List.length missing) in
+  List.iteri (fun i ix -> Bytes.set payload i (Char.chr (ix land 0xFF))) missing;
+  send_fragment t ~dst ~kind:Hdrs.Blast.Nack ~msg_id ~frag_ix:0
+    ~frag_count:1 payload
+
+let handle_nack t ~src hdr payload =
+  match t.last_sent with
+  | Some (dst, msg_id, frags)
+    when msg_id = hdr.Hdrs.Blast.msg_id && dst = src ->
+    Bytes.iter
+      (fun c ->
+        let ix = Char.code c in
+        if ix < Array.length frags then begin
+          t.retransmissions <- t.retransmissions + 1;
+          send_fragment t ~dst ~kind:Hdrs.Blast.Data ~msg_id ~frag_ix:ix
+            ~frag_count:(Array.length frags) frags.(ix)
+        end)
+      payload
+  | _ -> ()
+
+let deliver_up t ~src msg =
+  let m = meter t in
+  m.Meter.block "blast_demux" "deliver";
+  m.Meter.call "blast_demux" "deliver" 0;
+  t.upper ~src msg
+
+let demux t ~src msg =
+  let m = meter t in
+  Meter.fn m "blast_demux" (fun () ->
+      m.Meter.block "blast_demux" "parse"
+        ~reads:[ Meter.range ~base:(Msg.sim_addr msg) ~len:Hdrs.Blast.size () ];
+      let raw = Msg.pop msg Hdrs.Blast.size in
+      let hdr = Hdrs.Blast.of_bytes raw in
+      m.Meter.call "blast_demux" "parse" 0;
+      let computed =
+        Cksum.compute m ~sim_base:(Msg.sim_addr msg) (Msg.contents msg) 0
+          (Msg.len msg)
+      in
+      if computed <> Hdrs.Blast.cksum_of raw then ()
+      else ignore computed;
+      match hdr.Hdrs.Blast.kind with
+      | Hdrs.Blast.Nack ->
+        m.Meter.block "blast_demux" "map_cache";
+        m.Meter.cold ~triggered:false "blast_demux" "reass";
+        m.Meter.cold ~triggered:true "blast_demux" "sendnack";
+        handle_nack t ~src hdr (Msg.contents msg)
+      | Hdrs.Blast.Data when hdr.Hdrs.Blast.frag_count = 1 ->
+        (* hot path: single fragment, empty partial-message set test *)
+        m.Meter.block "blast_demux" "map_cache";
+        m.Meter.cold ~triggered:false "blast_demux" "reass";
+        m.Meter.cold ~triggered:false "blast_demux" "sendnack";
+        deliver_up t ~src msg
+      | Hdrs.Blast.Data ->
+        let key = pkey ~src ~msg_id:hdr.Hdrs.Blast.msg_id in
+        let partial =
+          match
+            Xk.Demux.lookup m ~inline:t.inline ~caller:"blast_demux"
+              t.partials key
+          with
+          | Some p -> p
+          | None ->
+            let p =
+              { frags = Array.make hdr.Hdrs.Blast.frag_count None;
+                have = 0;
+                from = src }
+            in
+            Xk.Map.bind t.partials key p;
+            p
+        in
+        m.Meter.cold ~triggered:true "blast_demux" "reass";
+        let ix = hdr.Hdrs.Blast.frag_ix in
+        if ix < Array.length partial.frags && partial.frags.(ix) = None
+        then begin
+          partial.frags.(ix) <- Some (Msg.contents msg);
+          partial.have <- partial.have + 1
+        end;
+        if partial.have = Array.length partial.frags then begin
+          m.Meter.cold ~triggered:false "blast_demux" "sendnack";
+          ignore (Xk.Map.unbind t.partials key);
+          let whole =
+            Bytes.concat Bytes.empty
+              (Array.to_list partial.frags
+              |> List.map (function Some b -> b | None -> assert false))
+          in
+          let out = Msg.alloc t.env.Ns.Host_env.simmem ~headroom:64 0 in
+          Msg.set_payload out whole;
+          deliver_up t ~src out
+        end
+        else begin
+          (* if this was the last fragment index and we still have gaps,
+             request the missing ones *)
+          let last = ix = Array.length partial.frags - 1 in
+          m.Meter.cold ~triggered:last "blast_demux" "sendnack";
+          if last then begin
+            let missing = ref [] in
+            Array.iteri
+              (fun i f -> if f = None then missing := i :: !missing)
+              partial.frags;
+            send_nack t ~dst:src ~msg_id:hdr.Hdrs.Blast.msg_id
+              (List.rev !missing)
+          end
+        end)
+
+let create env netdev ~ethertype ~map_cache_inline ?(frag_size = 1400) () =
+  let t =
+    { env;
+      netdev;
+      ethertype;
+      inline = map_cache_inline;
+      frag_size;
+      partials = Xk.Map.create ~buckets:32 ();
+      upper = (fun ~src:_ _ -> ());
+      next_msg_id = 1;
+      last_sent = None;
+      fragmented = 0;
+      nacks = 0;
+      retransmissions = 0 }
+  in
+  Ns.Netdev.register netdev ~ethertype (fun ~src msg -> demux t ~src msg);
+  t
+
+let set_upper t f = t.upper <- f
+
+let messages_fragmented t = t.fragmented
+
+let nacks_sent t = t.nacks
+
+let retransmissions t = t.retransmissions

@@ -1,0 +1,30 @@
+(** BLAST: fragmentation / reassembly with selective retransmission [OP92].
+
+    Latency-sensitive zero-size RPCs travel as a single fragment down the
+    hot path; larger messages take the outlined fragmentation path, are
+    reassembled at the receiver, and missing fragments are requested with a
+    NACK carrying a bitmap (selective retransmit). *)
+
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+
+type t
+
+val create :
+  Ns.Host_env.t ->
+  Ns.Netdev.t ->
+  ethertype:int ->
+  map_cache_inline:bool ->
+  ?frag_size:int ->
+  unit ->
+  t
+
+val set_upper : t -> (src:int -> Xk.Msg.t -> unit) -> unit
+
+val push : t -> dst:int -> Xk.Msg.t -> unit
+
+val messages_fragmented : t -> int
+
+val nacks_sent : t -> int
+
+val retransmissions : t -> int

@@ -1,0 +1,227 @@
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+module Meter = Xk.Meter
+module Msg = Xk.Msg
+
+type chan_state = {
+  id : int;
+  mutable seq : int;  (** client: sequence of the outstanding call *)
+  mutable expected : int;  (** server: highest sequence processed *)
+  mutable waiting : (bytes -> unit) option;
+  mutable timeout : Xk.Event.handle option;
+  mutable last_request : bytes option;
+  mutable last_reply : bytes option;
+}
+
+type t = {
+  env : Ns.Host_env.t;
+  bid : Bid.t;
+  peer_mac : int;
+  channels : chan_state Xk.Map.t;
+  inline : bool;
+  mutable server : (chan:int -> bytes -> reply:(bytes -> unit) -> unit) option;
+  mutable outstanding : int;
+  mutable req_retransmits : int;
+  mutable dup_requests : int;
+}
+
+let meter t = t.env.Ns.Host_env.meter
+
+let ckey id = Printf.sprintf "c%04x" id
+
+let get_chan t id =
+  match Xk.Map.resolve t.channels (ckey id) with
+  | Some c -> c
+  | None ->
+    let c =
+      { id; seq = 0; expected = 0; waiting = None; timeout = None;
+        last_request = None; last_reply = None }
+    in
+    Xk.Map.bind t.channels (ckey id) c;
+    c
+
+let rexmt_timeout_us = 5000.0
+
+let send_request t (c : chan_state) payload =
+  let msg = Msg.alloc t.env.Ns.Host_env.simmem ~headroom:64 0 in
+  Msg.set_payload msg payload;
+  Msg.push msg
+    (Hdrs.Chan.to_bytes
+       { Hdrs.Chan.kind = Hdrs.Chan.Request;
+         chan = c.id;
+         seq = c.seq;
+         len = Bytes.length payload });
+  Bid.push t.bid ~dst:t.peer_mac msg
+
+let rec arm_timeout t (c : chan_state) =
+  c.timeout <-
+    Some
+      (Ns.Host_env.timeout t.env ~delay:rexmt_timeout_us (fun () ->
+           match (c.waiting, c.last_request) with
+           | Some _, Some payload ->
+             Ns.Host_env.phase t.env "chan_rexmt" (fun () ->
+                 t.req_retransmits <- t.req_retransmits + 1;
+                 send_request t c payload;
+                 arm_timeout t c)
+           | _ -> ()))
+
+let call t ~chan msg ~reply =
+  let m = meter t in
+  Meter.fn m "chan_call" (fun () ->
+      let c = get_chan t chan in
+      m.Meter.block "chan_call" "setup"
+        ~reads:[ Meter.range ~base:(Msg.sim_addr msg) ~len:16 () ];
+      let busy = c.waiting <> None in
+      m.Meter.cold ~triggered:busy "chan_call" "busy";
+      if busy then failwith "Chan.call: channel busy";
+      c.seq <- c.seq + 1;
+      m.Meter.block "chan_call" "hdr"
+        ~writes:[ Meter.range ~base:(Msg.sim_addr msg) ~len:Hdrs.Chan.size () ];
+      m.Meter.cold ~triggered:(c.seq land 0xFFFF_FFFF <> c.seq) "chan_call"
+        "seqwrap";
+      let payload = Msg.contents msg in
+      c.last_request <- Some payload;
+      Msg.push msg
+        (Hdrs.Chan.to_bytes
+           { Hdrs.Chan.kind = Hdrs.Chan.Request;
+             chan = c.id;
+             seq = c.seq;
+             len = Bytes.length payload });
+      m.Meter.block "chan_call" "send";
+      m.Meter.call "chan_call" "send" 0;
+      Meter.fn m "event_register" (fun () ->
+          m.Meter.block "event_register" "insert";
+          m.Meter.cold ~triggered:false "event_register" "expand";
+          arm_timeout t c);
+      m.Meter.call "chan_call" "send" 1;
+      Bid.push t.bid ~dst:t.peer_mac msg;
+      (* block the calling thread: store the continuation *)
+      m.Meter.block "chan_call" "block";
+      m.Meter.call "chan_call" "block" 0;
+      Meter.fn m "thread_block" (fun () ->
+          m.Meter.block "thread_block" "save";
+          m.Meter.cold ~triggered:false "thread_block" "stack_detach";
+          t.outstanding <- t.outstanding + 1;
+          c.waiting <- Some reply))
+
+let send_reply t (c : chan_state) seq payload =
+  Meter.fn (meter t) "chan_reply" (fun () ->
+      let m = meter t in
+      m.Meter.block "chan_reply" "build";
+      m.Meter.call "chan_reply" "build" 0;
+      let msg = Msg.alloc t.env.Ns.Host_env.simmem ~headroom:64 0 in
+      Meter.fn m "msg_prepare" (fun () ->
+          m.Meter.block "msg_prepare" "body"
+            ~writes:[ Meter.range ~base:(Msg.sim_addr msg) ~len:16 () ];
+          m.Meter.cold ~triggered:false "msg_prepare" "grow";
+          Msg.set_payload msg payload);
+      m.Meter.cold ~triggered:false "chan_reply" "nostate";
+      Msg.push msg
+        (Hdrs.Chan.to_bytes
+           { Hdrs.Chan.kind = Hdrs.Chan.Reply;
+             chan = c.id;
+             seq;
+             len = Bytes.length payload });
+      c.last_reply <- Some payload;
+      m.Meter.block "chan_reply" "send";
+      m.Meter.call "chan_reply" "send" 0;
+      Bid.push t.bid ~dst:t.peer_mac msg)
+
+let demux t ~src:_ msg =
+  let m = meter t in
+  Meter.fn m "chan_demux" (fun () ->
+      m.Meter.block "chan_demux" "parse"
+        ~reads:[ Meter.range ~base:(Msg.sim_addr msg) ~len:Hdrs.Chan.size () ];
+      let hdr = Hdrs.Chan.of_bytes (Msg.pop msg Hdrs.Chan.size) in
+      let c =
+        match
+          Xk.Demux.lookup m ~inline:t.inline ~caller:"chan_demux" t.channels
+            (ckey hdr.Hdrs.Chan.chan)
+        with
+        | Some c -> c
+        | None -> get_chan t hdr.Hdrs.Chan.chan
+      in
+      match hdr.Hdrs.Chan.kind with
+      | Hdrs.Chan.Reply ->
+        let old = hdr.Hdrs.Chan.seq < c.seq in
+        m.Meter.cold ~triggered:old "chan_demux" "oldseq";
+        m.Meter.cold ~triggered:false "chan_demux" "dupmsg";
+        if not old then begin
+          m.Meter.block "chan_demux" "reply";
+          m.Meter.call "chan_demux" "reply" 0;
+          Meter.fn m "event_cancel" (fun () ->
+              m.Meter.block "event_cancel" "remove";
+              m.Meter.cold ~triggered:false "event_cancel" "notfound";
+              match c.timeout with
+              | Some h ->
+                ignore (Xk.Event.cancel h);
+                c.timeout <- None
+              | None -> ());
+          m.Meter.call "chan_demux" "reply" 1;
+          Meter.fn m "thread_signal" (fun () ->
+              m.Meter.block "thread_signal" "wake";
+              m.Meter.cold ~triggered:(c.waiting = None) "thread_signal"
+                "nowaiter";
+              match c.waiting with
+              | None -> ()
+              | Some k ->
+                c.waiting <- None;
+                t.outstanding <- t.outstanding - 1;
+                let data = Msg.contents msg in
+                Xk.Thread.spawn t.env.Ns.Host_env.sched ~name:"chan_resume"
+                  (fun () ->
+                    Meter.fn m "chan_resume" (fun () ->
+                        m.Meter.block "chan_resume" "resume";
+                        m.Meter.cold ~triggered:false "chan_resume" "badstate";
+                        m.Meter.call "chan_resume" "resume" 0;
+                        k data)))
+        end
+      | Hdrs.Chan.Request -> (
+        m.Meter.cold ~triggered:false "chan_demux" "oldseq";
+        let dup = hdr.Hdrs.Chan.seq <= c.expected in
+        m.Meter.cold ~triggered:dup "chan_demux" "dupmsg";
+        if dup then begin
+          t.dup_requests <- t.dup_requests + 1;
+          (* at-most-once: replay the cached reply *)
+          match c.last_reply with
+          | Some r -> send_reply t c hdr.Hdrs.Chan.seq r
+          | None -> ()
+        end
+        else begin
+          c.expected <- hdr.Hdrs.Chan.seq;
+          m.Meter.block "chan_demux" "request";
+          m.Meter.call "chan_demux" "request" 0;
+          match t.server with
+          | None -> ()
+          | Some dispatch ->
+            (* requests are shepherded by a worker thread (x-kernel style):
+               the dispatch runs as a continuation after a context switch *)
+            let data = Msg.contents msg in
+            Xk.Thread.spawn t.env.Ns.Host_env.sched ~name:"chan_shepherd"
+              (fun () ->
+                dispatch ~chan:hdr.Hdrs.Chan.chan data ~reply:(fun r ->
+                    send_reply t c hdr.Hdrs.Chan.seq r))
+        end))
+
+let create env bid ~peer_mac ?(map_cache_inline = true) () =
+  let t =
+    { env;
+      bid;
+      peer_mac;
+      channels = Xk.Map.create ~buckets:32 ();
+      inline = map_cache_inline;
+      server = None;
+      outstanding = 0;
+      req_retransmits = 0;
+      dup_requests = 0 }
+  in
+  Bid.set_upper bid (fun ~src msg -> demux t ~src msg);
+  t
+
+let set_server t f = t.server <- Some f
+
+let outstanding t = t.outstanding
+
+let request_retransmits t = t.req_retransmits
+
+let duplicate_requests t = t.dup_requests

@@ -1,0 +1,111 @@
+let put16 b off v =
+  Bytes.set b off (Char.chr (v lsr 8 land 0xFF));
+  Bytes.set b (off + 1) (Char.chr (v land 0xFF))
+
+let put32 b off v =
+  put16 b off (v lsr 16 land 0xFFFF);
+  put16 b (off + 2) (v land 0xFFFF)
+
+let get8 b off = Char.code (Bytes.get b off)
+
+let get16 b off = (get8 b off lsl 8) lor get8 b (off + 1)
+
+let get32 b off = (get16 b off lsl 16) lor get16 b (off + 2)
+
+module Blast = struct
+  type kind =
+    | Data
+    | Nack
+
+  type t = {
+    kind : kind;
+    msg_id : int;
+    frag_ix : int;
+    frag_count : int;
+    frag_len : int;
+  }
+
+  let size = 14
+
+  let to_bytes ?(cksum = 0) t =
+    let b = Bytes.make size '\000' in
+    put32 b 0 t.msg_id;
+    put16 b 4 t.frag_ix;
+    put16 b 6 t.frag_count;
+    put16 b 8 t.frag_len;
+    Bytes.set b 10 (Char.chr (match t.kind with Data -> 0 | Nack -> 1));
+    put16 b 12 cksum;
+    b
+
+  let of_bytes b =
+    if Bytes.length b < size then invalid_arg "Blast.of_bytes";
+    { msg_id = get32 b 0;
+      frag_ix = get16 b 4;
+      frag_count = get16 b 6;
+      frag_len = get16 b 8;
+      kind = (if get8 b 10 = 0 then Data else Nack) }
+
+  let cksum_of b = get16 b 12
+end
+
+module Bid = struct
+  type t = {
+    my_boot : int;
+    your_boot : int;
+  }
+
+  let size = 8
+
+  let to_bytes t =
+    let b = Bytes.make size '\000' in
+    put32 b 0 t.my_boot;
+    put32 b 4 t.your_boot;
+    b
+
+  let of_bytes b =
+    if Bytes.length b < size then invalid_arg "Bid.of_bytes";
+    { my_boot = get32 b 0; your_boot = get32 b 4 }
+end
+
+module Chan = struct
+  type kind =
+    | Request
+    | Reply
+
+  type t = {
+    kind : kind;
+    chan : int;
+    seq : int;
+    len : int;
+  }
+
+  let size = 12
+
+  let to_bytes t =
+    let b = Bytes.make size '\000' in
+    put32 b 0 t.chan;
+    put32 b 4 t.seq;
+    Bytes.set b 8 (Char.chr (match t.kind with Request -> 0 | Reply -> 1));
+    put16 b 10 t.len;
+    b
+
+  let of_bytes b =
+    if Bytes.length b < size then invalid_arg "Chan.of_bytes";
+    { chan = get32 b 0;
+      seq = get32 b 4;
+      kind = (if get8 b 8 = 0 then Request else Reply);
+      len = get16 b 10 }
+end
+
+module Mux = struct
+  let size = 4
+
+  let to_bytes id =
+    let b = Bytes.make size '\000' in
+    put16 b 0 id;
+    b
+
+  let of_bytes b =
+    if Bytes.length b < size then invalid_arg "Mux.of_bytes";
+    get16 b 0
+end

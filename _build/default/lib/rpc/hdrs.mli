@@ -1,0 +1,69 @@
+(** Wire headers of the RPC stack protocols (BLAST / BID / CHAN / VCHAN /
+    MSELECT / XRPCTEST), as in the x-kernel RPC suite [OP92]. *)
+
+module Blast : sig
+  type kind =
+    | Data
+    | Nack  (** selective-retransmission request *)
+
+  type t = {
+    kind : kind;
+    msg_id : int;  (** 32-bit message identifier *)
+    frag_ix : int;
+    frag_count : int;
+    frag_len : int;
+  }
+
+  val size : int
+
+  val to_bytes : ?cksum:int -> t -> bytes
+
+  val of_bytes : bytes -> t
+
+  val cksum_of : bytes -> int
+  (** The payload checksum carried in the header. *)
+end
+
+module Bid : sig
+  type t = {
+    my_boot : int;  (** sender's boot id *)
+    your_boot : int;  (** sender's belief of the receiver's boot id (0 =
+                          unknown) *)
+  }
+
+  val size : int
+
+  val to_bytes : t -> bytes
+
+  val of_bytes : bytes -> t
+end
+
+module Chan : sig
+  type kind =
+    | Request
+    | Reply
+
+  type t = {
+    kind : kind;
+    chan : int;  (** channel number *)
+    seq : int;  (** per-channel sequence number *)
+    len : int;
+  }
+
+  val size : int
+
+  val to_bytes : t -> bytes
+
+  val of_bytes : bytes -> t
+end
+
+module Mux : sig
+  (** The 4-byte muxing headers of MSELECT, VCHAN and XRPCTEST. *)
+
+  val size : int
+
+  val to_bytes : int -> bytes
+  (** Marshal a 16-bit id (padded to 4 bytes). *)
+
+  val of_bytes : bytes -> int
+end

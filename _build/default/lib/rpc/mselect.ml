@@ -1,0 +1,46 @@
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+module Meter = Xk.Meter
+module Msg = Xk.Msg
+
+type t = {
+  env : Ns.Host_env.t;
+  vchan : Vchan.t;
+  handlers : (int, bytes -> reply:(bytes -> unit) -> unit) Hashtbl.t;
+}
+
+let meter t = t.env.Ns.Host_env.meter
+
+let create env vchan =
+  let t = { env; vchan; handlers = Hashtbl.create 8 } in
+  Vchan.set_upper vchan (fun data ~reply ->
+      let m = env.Ns.Host_env.meter in
+      Meter.fn m "mselect_demux" (fun () ->
+          m.Meter.block "mselect_demux" "dispatch";
+          if Bytes.length data < Hdrs.Mux.size then
+            m.Meter.cold ~triggered:true "mselect_demux" "badclient"
+          else begin
+            let client = Hdrs.Mux.of_bytes data in
+            let body =
+              Bytes.sub data Hdrs.Mux.size (Bytes.length data - Hdrs.Mux.size)
+            in
+            match Hashtbl.find_opt t.handlers client with
+            | None -> m.Meter.cold ~triggered:true "mselect_demux" "badclient"
+            | Some h ->
+              m.Meter.cold ~triggered:false "mselect_demux" "badclient";
+              m.Meter.call "mselect_demux" "dispatch" 0;
+              h body ~reply
+          end));
+  t
+
+let call t ~client msg ~reply =
+  let m = meter t in
+  Meter.fn m "mselect_call" (fun () ->
+      m.Meter.block "mselect_call" "select"
+        ~writes:[ Meter.range ~base:(Msg.sim_addr msg) ~len:Hdrs.Mux.size () ];
+      m.Meter.cold ~triggered:false "mselect_call" "nochan";
+      Msg.push msg (Hdrs.Mux.to_bytes client);
+      m.Meter.call "mselect_call" "select" 0;
+      Vchan.call t.vchan msg ~reply)
+
+let register t ~client h = Hashtbl.replace t.handlers client h

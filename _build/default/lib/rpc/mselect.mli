@@ -1,0 +1,13 @@
+(** MSELECT: multiplexes RPC clients onto the channel pool and dispatches
+    incoming requests to the registered server procedure table [OP92]. *)
+
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+
+type t
+
+val create : Ns.Host_env.t -> Vchan.t -> t
+
+val call : t -> client:int -> Xk.Msg.t -> reply:(bytes -> unit) -> unit
+
+val register : t -> client:int -> (bytes -> reply:(bytes -> unit) -> unit) -> unit

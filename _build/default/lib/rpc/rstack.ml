@@ -1,0 +1,90 @@
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+module Opts = Protolat_tcpip.Opts
+
+type host = {
+  env : Ns.Host_env.t;
+  lance : Ns.Lance.t;
+  netdev : Ns.Netdev.t;
+  blast : Blast.t;
+  bid : Bid.t;
+  chan : Chan.t;
+  vchan : Vchan.t;
+  mselect : Mselect.t;
+  mac : int;
+}
+
+let ethertype_rpc = 0x0801
+
+let make_host sim link ~station ~mac ~peer_mac ~boot_id ~(opts : Opts.t)
+    ?meter ?simmem_base () =
+  let env = Ns.Host_env.create sim ?meter ?simmem_base () in
+  let lance =
+    Ns.Lance.create sim env.Ns.Host_env.simmem link ~station
+      ~mode:(Opts.lance_mode opts) ()
+  in
+  let netdev =
+    Ns.Netdev.create env lance ~mac
+      ~config:
+        { Ns.Netdev.usc = opts.Opts.usc_lance;
+          map_cache_inline = opts.Opts.map_cache_inline;
+          refresh_shortcircuit = opts.Opts.refresh_shortcircuit }
+      ()
+  in
+  let blast =
+    Blast.create env netdev ~ethertype:ethertype_rpc
+      ~map_cache_inline:opts.Opts.map_cache_inline ()
+  in
+  let bid = Bid.create env blast ~boot_id in
+  let chan =
+    Chan.create env bid ~peer_mac ~map_cache_inline:opts.Opts.map_cache_inline
+      ()
+  in
+  let vchan = Vchan.create env chan () in
+  let mselect = Mselect.create env vchan in
+  { env; lance; netdev; blast; bid; chan; vchan; mselect; mac }
+
+type pair = {
+  sim : Ns.Sim.t;
+  link : Ns.Ether.Link.t;
+  client : host;
+  server : host;
+}
+
+let mac_client = 0x0800_2B00_0011
+
+let mac_server = 0x0800_2B00_0012
+
+let make_pair ?(client_opts = Opts.improved) ?(server_opts = Opts.improved)
+    ?client_meter ?server_meter () =
+  let sim = Ns.Sim.create () in
+  let link = Ns.Ether.Link.create sim () in
+  let client =
+    make_host sim link ~station:0 ~mac:mac_client ~peer_mac:mac_server
+      ~boot_id:0x1001 ~opts:client_opts ?meter:client_meter
+      ~simmem_base:0x1010_0000 ()
+  in
+  let server =
+    make_host sim link ~station:1 ~mac:mac_server ~peer_mac:mac_client
+      ~boot_id:0x2001 ~opts:server_opts ?meter:server_meter
+      ~simmem_base:0x3010_0000 ()
+  in
+  { sim; link; client; server }
+
+let make_tests pair ~rounds =
+  let server = Xrpctest.server pair.server.env pair.server.mselect ~client_id:1 in
+  let client =
+    Xrpctest.client pair.client.env pair.client.mselect ~client_id:1 ~rounds
+  in
+  (client, server)
+
+let figure1 () =
+  Xk.Protocol.make "RPC stack"
+    [ { Xk.Protocol.name = "XRPCTEST"; role = "ping-pong test program" };
+      { Xk.Protocol.name = "MSELECT"; role = "client multiplexing" };
+      { Xk.Protocol.name = "VCHAN"; role = "virtual channel pool" };
+      { Xk.Protocol.name = "CHAN"; role = "request-reply channels" };
+      { Xk.Protocol.name = "BID"; role = "boot-id validation" };
+      { Xk.Protocol.name = "BLAST"; role = "fragmentation + selective rexmit" };
+      { Xk.Protocol.name = "ETH"; role = "device-independent driver" };
+      { Xk.Protocol.name = "LANCE"; role = "Ethernet device driver" } ]

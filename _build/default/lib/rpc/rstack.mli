@@ -1,0 +1,40 @@
+(** Wiring of the RPC test configuration: two hosts on an isolated
+    Ethernet, each running XRPCTEST / MSELECT / VCHAN / CHAN / BID / BLAST /
+    ETH / LANCE (Figure 1, right). *)
+
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+
+type host = {
+  env : Ns.Host_env.t;
+  lance : Ns.Lance.t;
+  netdev : Ns.Netdev.t;
+  blast : Blast.t;
+  bid : Bid.t;
+  chan : Chan.t;
+  vchan : Vchan.t;
+  mselect : Mselect.t;
+  mac : int;
+}
+
+val ethertype_rpc : int
+
+type pair = {
+  sim : Ns.Sim.t;
+  link : Ns.Ether.Link.t;
+  client : host;
+  server : host;
+}
+
+val make_pair :
+  ?client_opts:Protolat_tcpip.Opts.t ->
+  ?server_opts:Protolat_tcpip.Opts.t ->
+  ?client_meter:Xk.Meter.t ->
+  ?server_meter:Xk.Meter.t ->
+  unit ->
+  pair
+
+val make_tests : pair -> rounds:int -> Xrpctest.t * Xrpctest.t
+(** (client, server) test protocols, client configured for [rounds]. *)
+
+val figure1 : unit -> Xk.Protocol.t

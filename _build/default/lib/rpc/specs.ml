@@ -1,0 +1,202 @@
+module Instr = Protolat_machine.Instr
+module Block = Protolat_layout.Block
+module Func = Protolat_layout.Func
+module Tspecs = Protolat_tcpip.Specs
+module Opts = Protolat_tcpip.Opts
+
+let scale = 3.0
+
+let sc n = int_of_float (Float.round (scale *. float_of_int n))
+
+let v ?(a = 0) ?(l = 0) ?(s = 0) ?(bnt = 0) ?(bt = 0) ?(mul = 0) () =
+  Instr.vec ~alu:(sc a) ~load:(sc l) ~store:(sc s) ~br_not_taken:(sc bnt)
+    ~br_taken:bt ~mul ()
+
+let hot ?(calls = []) id vec =
+  Func.item ~callees:calls (Block.make ~id ~kind:Block.Hot vec)
+
+(* outlined-candidate (cold) code is modeled at reduced density: the paper's
+   path has 28-34%% outlinable code, not 50%% *)
+let damp (vec : Instr.vector) =
+  let d n = n * 55 / 100 in
+  { vec with
+    Instr.alu = d vec.Instr.alu;
+    Instr.load = d vec.Instr.load;
+    Instr.store = d vec.Instr.store;
+    Instr.br_not_taken = d vec.Instr.br_not_taken }
+
+let err ?(calls = []) id vec =
+  Func.item ~callees:calls (Block.make ~id ~kind:Block.Error (damp vec))
+
+let init_blk id vec = Func.item (Block.make ~id ~kind:Block.Init (damp vec))
+
+(* conditionally inlined map cache test, as in the TCP/IP stack *)
+let map_cache_item (o : Opts.t) =
+  if o.Opts.map_cache_inline then
+    [ hot "map_cache" ~calls:[ "map_resolve" ] (v ~a:4 ~l:2 ~bnt:1 ~bt:1 ()) ]
+  else [ hot "map_cache" ~calls:[ "map_resolve" ] (v ~a:1 ()) ]
+
+(* ----- client call path -------------------------------------------------- *)
+
+let xrpctest_call (_ : Opts.t) =
+  Func.make ~name:"xrpctest_call" ~inline_shrink_pct:20
+    [ init_blk "init" (v ~a:35 ~l:12 ~s:8 ());
+      hot "main"
+        ~calls:[ "msg_prepare"; "mselect_call" ]
+        (v ~a:22 ~l:9 ~s:5 ~bnt:2 ()) ]
+
+let xrpctest_cont (_ : Opts.t) =
+  Func.make ~name:"xrpctest_cont" ~inline_shrink_pct:15
+    [ hot "cont" ~calls:[ "xrpctest_call" ] (v ~a:18 ~l:8 ~s:4 ~bnt:2 ());
+      err "done_check" (v ~a:12 ~l:4 ()) ]
+
+let mselect_call (_ : Opts.t) =
+  Func.make ~name:"mselect_call" ~inline_shrink_pct:30
+    [ hot "select" ~calls:[ "vchan_call" ] (v ~a:20 ~l:10 ~s:4 ~bnt:3 ());
+      err "nochan" (v ~a:25 ~l:10 ()) ]
+
+let vchan_call (_ : Opts.t) =
+  Func.make ~name:"vchan_call" ~inline_shrink_pct:25
+    [ hot "alloc" ~calls:[ "chan_call" ] (v ~a:24 ~l:12 ~s:7 ~bnt:3 ());
+      err "growpool" (v ~a:35 ~l:14 ~s:10 ()) ]
+
+let chan_call (_ : Opts.t) =
+  Func.make ~name:"chan_call" ~inline_shrink_pct:10
+    [ hot "setup" (v ~a:40 ~l:18 ~s:10 ~bnt:4 ());
+      err "busy" (v ~a:40 ~l:15 ~s:8 ());
+      hot "hdr" (v ~a:30 ~l:13 ~s:11 ~bnt:2 ());
+      err "seqwrap" (v ~a:18 ~l:6 ());
+      hot "send" ~calls:[ "event_register"; "bid_push" ] (v ~a:14 ~l:7 ~s:2 ());
+      hot "block" ~calls:[ "thread_block" ] (v ~a:18 ~l:9 ~s:7 ~bnt:2 ()) ]
+
+let bid_push (_ : Opts.t) =
+  Func.make ~name:"bid_push" ~inline_shrink_pct:35
+    [ hot "stamp" ~calls:[ "blast_push" ] (v ~a:16 ~l:7 ~s:6 ~bnt:2 ());
+      err "newboot" (v ~a:28 ~l:11 ~s:8 ()) ]
+
+let blast_push (_ : Opts.t) =
+  Func.make ~name:"blast_push" ~inline_shrink_pct:15
+    [ hot "fragchk" (v ~a:26 ~l:12 ~s:5 ~bnt:3 ());
+      err "dofrag" (v ~a:110 ~l:45 ~s:32 ());
+      hot "hdr" ~calls:[ "in_cksum" ] (v ~a:22 ~l:11 ~s:9 ~bnt:1 ());
+      hot "send" ~calls:[ "eth_push" ] (v ~a:11 ~l:5 ~s:2 ()) ]
+
+(* ----- input path -------------------------------------------------------- *)
+
+let blast_demux (o : Opts.t) =
+  Func.make ~name:"blast_demux" ~inline_shrink_pct:12
+    ([ hot "parse" ~calls:[ "in_cksum" ] (v ~a:32 ~l:15 ~s:4 ~bnt:4 ()) ]
+    @ map_cache_item o
+    @ [ err "reass" (v ~a:120 ~l:50 ~s:36 ());
+        err "sendnack" (v ~a:55 ~l:22 ~s:14 ());
+        hot "deliver" ~calls:[ "bid_demux" ] (v ~a:10 ~l:5 ~bt:1 ()) ])
+
+let bid_demux (_ : Opts.t) =
+  Func.make ~name:"bid_demux" ~inline_shrink_pct:30
+    [ hot "check" (v ~a:18 ~l:9 ~bnt:2 ());
+      err "bootmiss" (v ~a:36 ~l:14 ~s:9 ());
+      hot "deliver" ~calls:[ "chan_demux" ] (v ~a:7 ~l:4 ~bt:1 ()) ]
+
+let chan_demux (o : Opts.t) =
+  Func.make ~name:"chan_demux" ~inline_shrink_pct:10
+    ([ hot "parse" (v ~a:36 ~l:16 ~s:5 ~bnt:4 ()) ]
+    @ map_cache_item o
+    @ [ err "oldseq" (v ~a:26 ~l:9 ());
+        err "dupmsg" (v ~a:22 ~l:8 ());
+        hot "reply"
+          ~calls:[ "event_cancel"; "thread_signal" ]
+          (v ~a:26 ~l:12 ~s:7 ~bnt:2 ());
+        hot "request" ~calls:[ "vchan_demux" ] (v ~a:22 ~l:11 ~s:5 ~bt:1 ()) ])
+
+let chan_resume (_ : Opts.t) =
+  Func.make ~name:"chan_resume" ~inline_shrink_pct:15
+    [ hot "resume" ~calls:[ "xrpctest_cont" ] (v ~a:22 ~l:11 ~s:5 ~bnt:2 ());
+      err "badstate" (v ~a:14 ~l:5 ()) ]
+
+(* ----- server side ------------------------------------------------------- *)
+
+let vchan_demux (_ : Opts.t) =
+  Func.make ~name:"vchan_demux" ~inline_shrink_pct:60
+    [ hot "fwd" ~calls:[ "mselect_demux" ] (v ~a:12 ~l:6 ~bnt:1 ()) ]
+
+let mselect_demux (_ : Opts.t) =
+  Func.make ~name:"mselect_demux" ~inline_shrink_pct:30
+    [ hot "dispatch" ~calls:[ "xrpctest_serve" ] (v ~a:16 ~l:8 ~bnt:2 ());
+      err "badclient" (v ~a:14 ~l:5 ()) ]
+
+let xrpctest_serve (_ : Opts.t) =
+  Func.make ~name:"xrpctest_serve" ~inline_shrink_pct:20
+    [ hot "serve" ~calls:[ "chan_reply" ] (v ~a:20 ~l:9 ~s:4 ~bnt:2 ());
+      err "unknownproc" (v ~a:16 ~l:6 ()) ]
+
+let chan_reply (_ : Opts.t) =
+  Func.make ~name:"chan_reply" ~inline_shrink_pct:12
+    [ hot "build" ~calls:[ "msg_prepare" ] (v ~a:34 ~l:16 ~s:9 ~bnt:3 ());
+      err "nostate" (v ~a:18 ~l:7 ());
+      hot "send" ~calls:[ "bid_push" ] (v ~a:13 ~l:6 ~s:2 ()) ]
+
+(* ----- thread manager ---------------------------------------------------- *)
+
+let thread_block (_ : Opts.t) =
+  Func.make ~name:"thread_block" ~cat:Func.Library
+    [ hot "save" (v ~a:22 ~l:9 ~s:11 ~bnt:2 ());
+      err "stack_detach" (v ~a:28 ~l:11 ~s:9 ()) ]
+
+let thread_signal (_ : Opts.t) =
+  Func.make ~name:"thread_signal" ~cat:Func.Library
+    [ hot "wake" (v ~a:18 ~l:7 ~s:9 ~bnt:2 ());
+      err "nowaiter" (v ~a:10 ~l:4 ()) ]
+
+(* ------------------------------------------------------------------------ *)
+
+let own_builders =
+  [ xrpctest_call; xrpctest_cont; mselect_call; vchan_call; chan_call;
+    bid_push; blast_push; blast_demux; bid_demux; chan_demux; chan_resume;
+    vchan_demux; mselect_demux; xrpctest_serve; chan_reply; thread_block;
+    thread_signal ]
+
+let all o =
+  List.map (fun b -> b o) own_builders
+  @ List.map (fun b -> b o) Tspecs.shared_library_builders
+  @ [ Tspecs.in_cksum_builder o ]
+  @ [ Tspecs.eth_demux_builder ~upper:"blast_demux" o ]
+  @ List.map
+      (fun b -> b o)
+      (List.filter
+         (fun b -> (b Opts.improved).Func.name <> "eth_demux")
+         Tspecs.driver_builders)
+
+let by_name o name = List.find (fun f -> f.Func.name = name) (all o)
+
+let invocation_order =
+  [ "xrpctest_call"; "msg_prepare"; "mselect_call"; "vchan_call"; "chan_call";
+    "event_register"; "bid_push"; "blast_push"; "eth_push"; "lance_send";
+    "in_cksum"; "thread_block"; "lance_rx"; "eth_demux"; "map_resolve";
+    "blast_demux";
+    "bid_demux"; "chan_demux"; "event_cancel"; "thread_signal"; "pool_put";
+    "chan_resume"; "xrpctest_cont"; "vchan_demux"; "mselect_demux";
+    "xrpctest_serve"; "chan_reply" ]
+
+let call_chain =
+  [ "xrpctest_call"; "mselect_call"; "vchan_call"; "chan_call"; "bid_push";
+    "blast_push"; "eth_push"; "lance_send" ]
+
+let input_chain = [ "eth_demux"; "blast_demux"; "bid_demux"; "chan_demux" ]
+
+let server_input_chain =
+  [ "eth_demux"; "blast_demux"; "bid_demux"; "chan_demux"; "vchan_demux";
+    "mselect_demux"; "xrpctest_serve" ]
+
+let server_output_chain =
+  [ "chan_reply"; "bid_push"; "blast_push"; "eth_push"; "lance_send" ]
+
+let path_function_names =
+  [ "xrpctest_call"; "xrpctest_cont"; "mselect_call"; "vchan_call";
+    "chan_call"; "bid_push"; "blast_push"; "lance_send"; "lance_rx";
+    "eth_push"; "eth_demux"; "blast_demux"; "bid_demux"; "chan_demux";
+    "chan_resume"; "vchan_demux"; "mselect_demux"; "xrpctest_serve";
+    "chan_reply" ]
+
+let library_function_names =
+  [ "msg_prepare"; "map_resolve"; "event_register"; "event_cancel";
+    "pool_put"; "thread_block"; "thread_signal"; "in_cksum" ]

@@ -1,0 +1,31 @@
+(** Cost model for the RPC stack (XRPCTEST / MSELECT / VCHAN / CHAN / BID /
+    BLAST over the shared ETH/LANCE driver).
+
+    Calibrated against the paper: ≈4291 dynamic instructions per roundtrip
+    (client side, STD), 5085 static path instructions of which 28% are
+    outlinable (Table 9), spread over many small functions (§4.3). *)
+
+val scale : float
+
+val all : Protolat_tcpip.Opts.t -> Protolat_layout.Func.t list
+
+val by_name :
+  Protolat_tcpip.Opts.t -> string -> Protolat_layout.Func.t
+
+val invocation_order : string list
+(** Client-side first-invocation order during one roundtrip. *)
+
+val call_chain : string list
+(** Output super-function of path-inlining (§3.3): XRPCTEST, MSELECT,
+    VCHAN and the output half of CHAN and everything below. *)
+
+val input_chain : string list
+(** Input super-function: input processing up to CHAN. *)
+
+val server_input_chain : string list
+
+val server_output_chain : string list
+
+val path_function_names : string list
+
+val library_function_names : string list

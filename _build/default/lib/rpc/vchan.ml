@@ -1,0 +1,54 @@
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+module Meter = Xk.Meter
+
+type t = {
+  env : Ns.Host_env.t;
+  chan : Chan.t;
+  mutable free : int list;
+  mutable next : int;
+  mutable upper : bytes -> reply:(bytes -> unit) -> unit;
+}
+
+let meter t = t.env.Ns.Host_env.meter
+
+let create env chan ?(channels = 8) () =
+  let t =
+    { env;
+      chan;
+      free = List.init channels (fun i -> i + 1);
+      next = channels + 1;
+      upper = (fun _ ~reply:_ -> ()) }
+  in
+  Chan.set_server chan (fun ~chan:_ data ~reply ->
+      let m = env.Ns.Host_env.meter in
+      Meter.fn m "vchan_demux" (fun () ->
+          m.Meter.block "vchan_demux" "fwd";
+          m.Meter.call "vchan_demux" "fwd" 0;
+          t.upper data ~reply));
+  t
+
+let call t msg ~reply =
+  let m = meter t in
+  Meter.fn m "vchan_call" (fun () ->
+      m.Meter.block "vchan_call" "alloc";
+      let grow = t.free = [] in
+      m.Meter.cold ~triggered:grow "vchan_call" "growpool";
+      let id =
+        match t.free with
+        | id :: rest ->
+          t.free <- rest;
+          id
+        | [] ->
+          let id = t.next in
+          t.next <- t.next + 1;
+          id
+      in
+      m.Meter.call "vchan_call" "alloc" 0;
+      Chan.call t.chan ~chan:id msg ~reply:(fun data ->
+          t.free <- id :: t.free;
+          reply data))
+
+let set_upper t f = t.upper <- f
+
+let free_channels t = List.length t.free

@@ -1,0 +1,19 @@
+(** VCHAN: virtual channel management [OP92] — a pool of concrete CHAN
+    channels; each call grabs a free channel (LIFO, for locality) and
+    releases it when the reply returns. *)
+
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+
+type t
+
+val create : Ns.Host_env.t -> Chan.t -> ?channels:int -> unit -> t
+
+val call : t -> Xk.Msg.t -> reply:(bytes -> unit) -> unit
+(** Allocate a channel and issue the call; the channel is released before
+    the reply continuation runs. *)
+
+val set_upper : t -> (bytes -> reply:(bytes -> unit) -> unit) -> unit
+(** Server side: install MSELECT's dispatch. *)
+
+val free_channels : t -> int

@@ -1,0 +1,89 @@
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+module Meter = Xk.Meter
+module Msg = Xk.Msg
+
+type t = {
+  env : Ns.Host_env.t;
+  mselect : Mselect.t;
+  client_id : int;
+  mutable remaining : int;
+  mutable completed : int;
+  mutable first : bool;
+  mutable on_roundtrip : int -> unit;
+  mutable on_complete : unit -> unit;
+}
+
+let meter t = t.env.Ns.Host_env.meter
+
+let rec xrpctest_call t =
+  let m = meter t in
+  Meter.fn m "xrpctest_call" (fun () ->
+      m.Meter.cold ~triggered:t.first "xrpctest_call" "init";
+      t.first <- false;
+      m.Meter.block "xrpctest_call" "main";
+      m.Meter.call "xrpctest_call" "main" 0;
+      let msg = Msg.alloc t.env.Ns.Host_env.simmem ~headroom:64 0 in
+      Meter.fn m "msg_prepare" (fun () ->
+          m.Meter.block "msg_prepare" "body"
+            ~writes:[ Meter.range ~base:(Msg.sim_addr msg) ~len:16 () ];
+          m.Meter.cold ~triggered:false "msg_prepare" "grow";
+          Msg.set_payload msg Bytes.empty);
+      m.Meter.call "xrpctest_call" "main" 1;
+      Mselect.call t.mselect ~client:t.client_id msg ~reply:(fun _data ->
+          xrpctest_cont t))
+
+and xrpctest_cont t =
+  let m = meter t in
+  Meter.fn m "xrpctest_cont" (fun () ->
+      m.Meter.block "xrpctest_cont" "cont";
+      t.remaining <- t.remaining - 1;
+      t.completed <- t.completed + 1;
+      t.on_roundtrip t.completed;
+      let finished = t.remaining <= 0 in
+      m.Meter.cold ~triggered:finished "xrpctest_cont" "done_check";
+      if finished then t.on_complete ()
+      else begin
+        m.Meter.call "xrpctest_cont" "cont" 0;
+        xrpctest_call t
+      end)
+
+let client env mselect ~client_id ~rounds =
+  { env;
+    mselect;
+    client_id;
+    remaining = rounds;
+    completed = 0;
+    first = true;
+    on_roundtrip = (fun _ -> ());
+    on_complete = (fun () -> ()) }
+
+let server env mselect ~client_id =
+  let t =
+    { env;
+      mselect;
+      client_id;
+      remaining = 0;
+      completed = 0;
+      first = true;
+      on_roundtrip = (fun _ -> ());
+      on_complete = (fun () -> ()) }
+  in
+  Mselect.register mselect ~client:client_id (fun _data ~reply ->
+      let m = meter t in
+      Meter.fn m "xrpctest_serve" (fun () ->
+          t.completed <- t.completed + 1;
+          m.Meter.block "xrpctest_serve" "serve";
+          m.Meter.cold ~triggered:false "xrpctest_serve" "unknownproc";
+          m.Meter.call "xrpctest_serve" "serve" 0;
+          reply Bytes.empty));
+  t
+
+let start t =
+  Ns.Host_env.phase t.env "client_call" (fun () -> xrpctest_call t)
+
+let rounds_completed t = t.completed
+
+let set_on_roundtrip t f = t.on_roundtrip <- f
+
+let set_on_complete t f = t.on_complete <- f

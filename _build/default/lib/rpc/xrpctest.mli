@@ -1,0 +1,19 @@
+(** XRPCTEST: the RPC ping-pong test program — zero-sized requests, zero-
+    sized replies (§2.1). *)
+
+module Ns = Protolat_netsim
+
+type t
+
+val client : Ns.Host_env.t -> Mselect.t -> client_id:int -> rounds:int -> t
+
+val server : Ns.Host_env.t -> Mselect.t -> client_id:int -> t
+
+val start : t -> unit
+(** Client: issue the first call. *)
+
+val rounds_completed : t -> int
+
+val set_on_roundtrip : t -> (int -> unit) -> unit
+
+val set_on_complete : t -> (unit -> unit) -> unit

@@ -1,0 +1,1 @@
+lib/tcpip/arp.ml: Bytes Char Hashtbl List Protolat_netsim Protolat_xkernel

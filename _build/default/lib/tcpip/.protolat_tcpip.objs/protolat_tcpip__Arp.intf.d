@@ -1,0 +1,1 @@
+lib/tcpip/arp.mli: Protolat_netsim Protolat_xkernel

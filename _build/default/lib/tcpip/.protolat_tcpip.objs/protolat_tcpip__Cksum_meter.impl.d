@@ -1,0 +1,1 @@
+lib/tcpip/cksum_meter.ml: Checksum Protolat_xkernel

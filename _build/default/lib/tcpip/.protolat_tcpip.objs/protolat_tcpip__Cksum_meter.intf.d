@@ -1,0 +1,1 @@
+lib/tcpip/cksum_meter.mli: Protolat_xkernel

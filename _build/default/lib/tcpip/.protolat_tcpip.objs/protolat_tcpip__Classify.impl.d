@@ -1,0 +1,1 @@
+lib/tcpip/classify.ml: Bytes Char Ip_hdr

@@ -1,0 +1,1 @@
+lib/tcpip/ip.ml: Bytes Cksum_meter Ip_hdr List Printf Protolat_netsim Protolat_xkernel Vnet

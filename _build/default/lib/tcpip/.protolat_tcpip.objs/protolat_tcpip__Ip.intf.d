@@ -1,0 +1,1 @@
+lib/tcpip/ip.mli: Ip_hdr Protolat_netsim Protolat_xkernel Vnet

@@ -1,0 +1,1 @@
+lib/tcpip/ip_hdr.ml: Bytes Char Checksum Format Printf

@@ -1,0 +1,1 @@
+lib/tcpip/ip_hdr.mli: Format

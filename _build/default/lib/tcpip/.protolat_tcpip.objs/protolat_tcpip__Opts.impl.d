@@ -1,0 +1,1 @@
+lib/tcpip/opts.ml: Protolat_netsim

@@ -1,0 +1,1 @@
+lib/tcpip/opts.mli: Protolat_netsim

@@ -1,0 +1,1 @@
+lib/tcpip/seq.mli:

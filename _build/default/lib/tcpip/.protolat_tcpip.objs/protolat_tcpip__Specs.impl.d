@@ -1,0 +1,1 @@
+lib/tcpip/specs.ml: Float List Opts Protolat_layout Protolat_machine

@@ -1,0 +1,1 @@
+lib/tcpip/specs.mli: Opts Protolat_layout

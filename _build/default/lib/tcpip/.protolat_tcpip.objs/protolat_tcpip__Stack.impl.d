@@ -1,0 +1,1 @@
+lib/tcpip/stack.ml: Ip Opts Protolat_netsim Protolat_xkernel Tcb Tcp Tcptest Udp Vnet

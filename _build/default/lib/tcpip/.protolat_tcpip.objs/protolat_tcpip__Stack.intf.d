@@ -1,0 +1,1 @@
+lib/tcpip/stack.mli: Ip Opts Protolat_netsim Protolat_xkernel Tcp Tcptest Udp Vnet

@@ -1,0 +1,1 @@
+lib/tcpip/tcb.ml: Printf Protolat_xkernel

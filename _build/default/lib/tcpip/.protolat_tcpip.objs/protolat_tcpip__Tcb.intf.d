@@ -1,0 +1,1 @@
+lib/tcpip/tcb.mli: Protolat_xkernel

@@ -1,0 +1,1 @@
+lib/tcpip/tcp.ml: Bytes Char Checksum Cksum_meter Hashtbl Ip Ip_hdr List Opts Protolat_netsim Protolat_xkernel Seq Tcb Tcp_hdr

@@ -1,0 +1,1 @@
+lib/tcpip/tcp.mli: Ip Opts Protolat_netsim Protolat_xkernel Tcb

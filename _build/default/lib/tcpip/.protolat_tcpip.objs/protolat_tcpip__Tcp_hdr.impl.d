@@ -1,0 +1,1 @@
+lib/tcpip/tcp_hdr.ml: Bytes Char Format

@@ -1,0 +1,1 @@
+lib/tcpip/tcptest.ml: Bytes Protolat_netsim Protolat_xkernel Tcb Tcp

@@ -1,0 +1,1 @@
+lib/tcpip/tcptest.mli: Protolat_netsim Tcp

@@ -1,0 +1,1 @@
+lib/tcpip/udp.ml: Bytes Char Checksum Hashtbl Ip Ip_hdr Protolat_netsim Protolat_xkernel

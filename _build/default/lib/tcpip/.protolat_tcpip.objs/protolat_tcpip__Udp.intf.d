@@ -1,0 +1,1 @@
+lib/tcpip/udp.mli: Ip Protolat_netsim Protolat_xkernel

@@ -1,0 +1,1 @@
+lib/tcpip/vnet.ml: Hashtbl Protolat_netsim Protolat_xkernel

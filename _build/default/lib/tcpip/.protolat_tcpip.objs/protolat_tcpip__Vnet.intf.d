@@ -1,0 +1,1 @@
+lib/tcpip/vnet.mli: Protolat_netsim Protolat_xkernel

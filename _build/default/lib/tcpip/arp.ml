@@ -1,0 +1,121 @@
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+module Msg = Xk.Msg
+
+let ethertype_arp = 0x0806
+
+let op_request = 1
+
+let op_reply = 2
+
+(* payload: op(2) sender_mac(6) sender_ip(4) target_mac(6) target_ip(4) *)
+let payload_size = 22
+
+type t = {
+  env : Ns.Host_env.t;
+  netdev : Ns.Netdev.t;
+  my_ip : int;
+  cache : (int, int) Hashtbl.t;
+  pending : (int, (int -> unit) list) Hashtbl.t;
+  mutable requests : int;
+  mutable replies : int;
+}
+
+let put16 b off v =
+  Bytes.set b off (Char.chr (v lsr 8 land 0xFF));
+  Bytes.set b (off + 1) (Char.chr (v land 0xFF))
+
+let put32 b off v =
+  put16 b off (v lsr 16 land 0xFFFF);
+  put16 b (off + 2) (v land 0xFFFF)
+
+let put48 b off v =
+  for i = 0 to 5 do
+    Bytes.set b (off + i) (Char.chr (v lsr (8 * (5 - i)) land 0xFF))
+  done
+
+let get8 b off = Char.code (Bytes.get b off)
+
+let get16 b off = (get8 b off lsl 8) lor get8 b (off + 1)
+
+let get32 b off = (get16 b off lsl 16) lor get16 b (off + 2)
+
+let get48 b off =
+  let v = ref 0 in
+  for i = 0 to 5 do
+    v := (!v lsl 8) lor get8 b (off + i)
+  done;
+  !v
+
+let broadcast_mac = 0xFFFF_FFFF_FFFF
+
+let send_packet t ~dst ~op ~target_mac ~target_ip =
+  let b = Bytes.make payload_size '\000' in
+  put16 b 0 op;
+  put48 b 2 (Ns.Netdev.mac t.netdev);
+  put32 b 8 t.my_ip;
+  put48 b 12 target_mac;
+  put32 b 18 target_ip;
+  let msg = Msg.alloc t.env.Ns.Host_env.simmem ~headroom:32 0 in
+  Msg.set_payload msg b;
+  Ns.Netdev.send t.netdev ~dst ~ethertype:ethertype_arp msg
+
+let learn t ~ip ~mac =
+  Hashtbl.replace t.cache ip mac;
+  match Hashtbl.find_opt t.pending ip with
+  | None -> ()
+  | Some ks ->
+    Hashtbl.remove t.pending ip;
+    List.iter (fun k -> k mac) (List.rev ks)
+
+let demux t ~src:_ msg =
+  if Msg.len msg >= payload_size then begin
+    let b = Msg.peek msg 0 payload_size in
+    let op = get16 b 0 in
+    let sender_mac = get48 b 2 and sender_ip = get32 b 8 in
+    let target_ip = get32 b 18 in
+    (* every ARP packet teaches us the sender's binding *)
+    learn t ~ip:sender_ip ~mac:sender_mac;
+    if op = op_request && target_ip = t.my_ip then begin
+      t.replies <- t.replies + 1;
+      send_packet t ~dst:sender_mac ~op:op_reply ~target_mac:sender_mac
+        ~target_ip:sender_ip
+    end
+  end
+
+let create env netdev ~my_ip =
+  let t =
+    { env;
+      netdev;
+      my_ip;
+      cache = Hashtbl.create 16;
+      pending = Hashtbl.create 4;
+      requests = 0;
+      replies = 0 }
+  in
+  Ns.Netdev.register netdev ~ethertype:ethertype_arp (fun ~src msg ->
+      demux t ~src msg);
+  t
+
+let resolve t ~ip k =
+  match Hashtbl.find_opt t.cache ip with
+  | Some mac -> k mac
+  | None ->
+    let outstanding = Hashtbl.mem t.pending ip in
+    Hashtbl.replace t.pending ip
+      (k :: (try Hashtbl.find t.pending ip with Not_found -> []));
+    if not outstanding then begin
+      t.requests <- t.requests + 1;
+      send_packet t ~dst:broadcast_mac ~op:op_request ~target_mac:0
+        ~target_ip:ip
+    end
+
+let lookup t ~ip = Hashtbl.find_opt t.cache ip
+
+let add_entry t ~ip ~mac = Hashtbl.replace t.cache ip mac
+
+let cache_entries t = Hashtbl.length t.cache
+
+let requests_sent t = t.requests
+
+let replies_sent t = t.replies

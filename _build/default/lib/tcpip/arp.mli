@@ -1,0 +1,33 @@
+(** ARP (RFC 826): IP-to-Ethernet address resolution.
+
+    The paper's test network is isolated with known peers, so the measured
+    configurations preload VNET's route table (the driver's "arp_miss" cold
+    path fires only on the first send).  This module provides the real
+    protocol for configurations that do not: a cache miss broadcasts a
+    request, queues the waiting packets, and drains them when the reply
+    arrives. *)
+
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+
+val ethertype_arp : int
+
+type t
+
+val create : Ns.Host_env.t -> Ns.Netdev.t -> my_ip:int -> t
+
+val resolve : t -> ip:int -> (int -> unit) -> unit
+(** [resolve t ~ip k] calls [k mac] — immediately on a cache hit, or when
+    the ARP reply arrives.  Multiple resolutions for the same address share
+    one outstanding request. *)
+
+val lookup : t -> ip:int -> int option
+(** Cache-only query. *)
+
+val add_entry : t -> ip:int -> mac:int -> unit
+
+val cache_entries : t -> int
+
+val requests_sent : t -> int
+
+val replies_sent : t -> int

@@ -1,0 +1,34 @@
+let sum ?(initial = 0) buf off len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Checksum.sum";
+  let acc = ref initial in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    acc := !acc + (Char.code (Bytes.get buf !i) lsl 8)
+           + Char.code (Bytes.get buf (!i + 1));
+    i := !i + 2
+  done;
+  if !i < stop then acc := !acc + (Char.code (Bytes.get buf !i) lsl 8);
+  !acc
+
+let finish acc =
+  let acc = ref acc in
+  while !acc lsr 16 <> 0 do
+    acc := (!acc land 0xFFFF) + (!acc lsr 16)
+  done;
+  lnot !acc land 0xFFFF
+
+let compute ?initial buf off len = finish (sum ?initial buf off len)
+
+let verify ?initial buf off len =
+  let s = sum ?initial buf off len in
+  let s = ref s in
+  while !s lsr 16 <> 0 do
+    s := (!s land 0xFFFF) + (!s lsr 16)
+  done;
+  !s = 0xFFFF
+
+let pseudo_header ~src ~dst ~proto ~len =
+  (src lsr 16) + (src land 0xFFFF) + (dst lsr 16) + (dst land 0xFFFF) + proto
+  + len

@@ -1,0 +1,20 @@
+(** Internet checksum (RFC 1071): 16-bit one's-complement sum of
+    one's-complement 16-bit words. *)
+
+val sum : ?initial:int -> bytes -> int -> int -> int
+(** [sum ~initial buf off len] is the running one's-complement sum (not yet
+    complemented) over [len] bytes; odd trailing bytes are padded with zero
+    as if followed by 0x00. *)
+
+val finish : int -> int
+(** Fold carries and complement: the value to store in a header. *)
+
+val compute : ?initial:int -> bytes -> int -> int -> int
+(** [finish (sum ...)]. *)
+
+val verify : ?initial:int -> bytes -> int -> int -> bool
+(** True iff the data (including its embedded checksum field) sums to
+    0xFFFF. *)
+
+val pseudo_header : src:int -> dst:int -> proto:int -> len:int -> int
+(** Running sum of the IPv4 pseudo header. *)

@@ -1,0 +1,37 @@
+module Meter = Protolat_xkernel.Meter
+
+let emit (m : Meter.t) ?(sim_base = 0) off len =
+  let rd o l = [ Meter.range ~base:sim_base ~off:o ~len:l () ] in
+  Meter.fn m "in_cksum" (fun () ->
+      m.Meter.block "in_cksum" "head";
+      let quads = len / 4 in
+      let rest = len - (4 * quads) in
+      if len >= 64 then
+        for i = 0 to (len / 64) - 1 do
+          m.Meter.cold ~triggered:true "in_cksum" "unrolled64"
+            ~reads:(rd (off + (64 * i)) 64)
+        done
+      else m.Meter.cold ~triggered:false "in_cksum" "unrolled64";
+      (* quads not already covered by the unrolled iterations *)
+      let covered = if len >= 64 then len / 64 * 16 else 0 in
+      for i = covered to quads - 1 do
+        m.Meter.block "in_cksum" "qloop" ~reads:(rd (off + (4 * i)) 4)
+      done;
+      let halves = (rest + 1) / 2 in
+      for i = 0 to halves - 1 do
+        m.Meter.block "in_cksum" "hloop"
+          ~reads:(rd (off + (4 * quads) + (2 * i)) 2)
+      done;
+      m.Meter.block "in_cksum" "tail")
+
+let sum m ?(initial = 0) ?sim_base buf off len =
+  emit m ?sim_base off len;
+  Checksum.sum ~initial buf off len
+
+let compute m ?(initial = 0) ?sim_base buf off len =
+  emit m ?sim_base off len;
+  Checksum.compute ~initial buf off len
+
+let verify m ?(initial = 0) ?sim_base buf off len =
+  emit m ?sim_base off len;
+  Checksum.verify ~initial buf off len

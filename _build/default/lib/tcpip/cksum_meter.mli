@@ -1,0 +1,17 @@
+(** Metered Internet checksum: computes the real checksum while reporting
+    the "in_cksum" function's block structure (head, 8-byte quad loop,
+    outlined ≥64-byte unrolled loop, trailing halfword loop, tail). *)
+
+val sum :
+  Protolat_xkernel.Meter.t ->
+  ?initial:int -> ?sim_base:int -> bytes -> int -> int -> int
+(** Running (unfolded) sum, like {!Checksum.sum}, with trace emission.
+    [sim_base] is the simulated address of [bytes] for d-cache modeling. *)
+
+val compute :
+  Protolat_xkernel.Meter.t ->
+  ?initial:int -> ?sim_base:int -> bytes -> int -> int -> int
+
+val verify :
+  Protolat_xkernel.Meter.t ->
+  ?initial:int -> ?sim_base:int -> bytes -> int -> int -> bool

@@ -1,0 +1,57 @@
+type rule = {
+  ethertype : int option;
+  ip_proto : int option;
+  dst_port : int option;
+  path_id : int;
+}
+
+let rule ?ethertype ?ip_proto ?dst_port path_id =
+  { ethertype; ip_proto; dst_port; path_id }
+
+type t = {
+  rules : rule list;
+  mutable comparisons : int;
+}
+
+let create rules = { rules; comparisons = 0 }
+
+let get8 b off = Char.code (Bytes.get b off)
+
+let get16 b off = (get8 b off lsl 8) lor get8 b (off + 1)
+
+let eth_header = 14
+
+let classify t frame =
+  let len = Bytes.length frame in
+  let field_matches t opt actual =
+    match opt with
+    | None -> true
+    | Some v ->
+      t.comparisons <- t.comparisons + 1;
+      v = actual
+  in
+  let ethertype = if len >= eth_header then get16 frame 12 else -1 in
+  let ihl_ok = len >= eth_header + Ip_hdr.size in
+  let ip_proto = if ihl_ok then get8 frame (eth_header + 9) else -1 in
+  let ihl = if ihl_ok then (get8 frame eth_header land 0xF) * 4 else 0 in
+  let dst_port =
+    if ihl_ok && len >= eth_header + ihl + 4 then
+      get16 frame (eth_header + ihl + 2)
+    else -1
+  in
+  let rec go = function
+    | [] -> None
+    | r :: rest ->
+      if
+        field_matches t r.ethertype ethertype
+        && field_matches t r.ip_proto ip_proto
+        && field_matches t r.dst_port dst_port
+      then Some r.path_id
+      else go rest
+  in
+  go t.rules
+
+let comparisons t = t.comparisons
+
+let tcp_path_rules ~dst_port =
+  [ rule ~ethertype:0x0800 ~ip_proto:Ip_hdr.proto_tcp ~dst_port 1 ]

@@ -1,0 +1,39 @@
+(** Packet classifier (§3.3).
+
+    Path-inlined code is no longer general enough to handle every packet,
+    so incoming frames must first be classified: only packets matching the
+    assumed path may enter the super-function, everything else takes the
+    general code.  The paper cites 1–4 µs of classification overhead per
+    packet on its hardware and measures PIN/ALL with a zero-overhead
+    classifier; {!Protolat.Experiments} provides the with-classifier
+    ablation.
+
+    This is a sequential-match classifier over raw Ethernet frames in the
+    style of the cited packet filters: each rule tests ethertype, IP
+    protocol and destination port. *)
+
+type rule = {
+  ethertype : int option;
+  ip_proto : int option;
+  dst_port : int option;
+  path_id : int;  (** returned on match *)
+}
+
+val rule :
+  ?ethertype:int -> ?ip_proto:int -> ?dst_port:int -> int -> rule
+
+type t
+
+val create : rule list -> t
+
+val classify : t -> bytes -> int option
+(** [classify t frame] matches a full Ethernet frame (14-byte header +
+    payload) against the rules in order; [None] means "no path: take the
+    general code". *)
+
+val comparisons : t -> int
+(** Field comparisons performed so far (the classifier's cost metric). *)
+
+val tcp_path_rules : dst_port:int -> rule list
+(** The rule set the TCP/IP path-inlined configuration needs: TCP segments
+    for the test connection map to path 1. *)

@@ -1,0 +1,35 @@
+(** IP: the x-kernel Internet Protocol layer — header construction and
+    checksum on output, validation and protocol demultiplexing on input,
+    plus fragmentation and reassembly.  The latency-sensitive 1-byte
+    segments never fragment, which is why the paper outlines that path;
+    it is nevertheless fully implemented here. *)
+
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+
+type t
+
+val create :
+  Ns.Host_env.t ->
+  Vnet.t ->
+  my_ip:int ->
+  ?mtu:int ->
+  map_cache_inline:bool ->
+  unit ->
+  t
+
+val my_ip : t -> int
+
+val register : t -> proto:int -> (hdr:Ip_hdr.t -> Xk.Msg.t -> unit) -> unit
+(** Register a transport protocol's demux handler. *)
+
+val push : t -> dst:int -> proto:int -> Xk.Msg.t -> unit
+(** Prepend an IP header (with checksum) and route via VNET. *)
+
+val packets_in : t -> int
+
+val packets_dropped : t -> int
+
+val datagrams_fragmented : t -> int
+
+val datagrams_reassembled : t -> int

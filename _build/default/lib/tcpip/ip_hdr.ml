@@ -1,0 +1,76 @@
+type t = {
+  tos : int;
+  total_len : int;
+  ident : int;
+  flags : int;
+  frag_off : int;
+  ttl : int;
+  proto : int;
+  checksum : int;
+  src : int;
+  dst : int;
+}
+
+let size = 20
+
+let proto_tcp = 6
+
+let proto_xrpc = 253
+
+let make ?(tos = 0) ?(ident = 0) ?(ttl = 64) ~total_len ~proto ~src ~dst () =
+  { tos; total_len; ident; flags = 0; frag_off = 0; ttl; proto; checksum = 0;
+    src; dst }
+
+let put16 b off v =
+  Bytes.set b off (Char.chr (v lsr 8 land 0xFF));
+  Bytes.set b (off + 1) (Char.chr (v land 0xFF))
+
+let put32 b off v =
+  put16 b off (v lsr 16 land 0xFFFF);
+  put16 b (off + 2) (v land 0xFFFF)
+
+let get8 b off = Char.code (Bytes.get b off)
+
+let get16 b off = (get8 b off lsl 8) lor get8 b (off + 1)
+
+let get32 b off = (get16 b off lsl 16) lor get16 b (off + 2)
+
+let to_bytes t =
+  let b = Bytes.make size '\000' in
+  Bytes.set b 0 (Char.chr 0x45); (* version 4, IHL 5 *)
+  Bytes.set b 1 (Char.chr (t.tos land 0xFF));
+  put16 b 2 t.total_len;
+  put16 b 4 t.ident;
+  put16 b 6 ((t.flags lsl 13) lor (t.frag_off land 0x1FFF));
+  Bytes.set b 8 (Char.chr (t.ttl land 0xFF));
+  Bytes.set b 9 (Char.chr (t.proto land 0xFF));
+  put32 b 12 t.src;
+  put32 b 16 t.dst;
+  let csum = Checksum.compute b 0 size in
+  put16 b 10 csum;
+  b
+
+let of_bytes b =
+  if Bytes.length b < size then invalid_arg "Ip_hdr.of_bytes: short";
+  if get8 b 0 <> 0x45 then invalid_arg "Ip_hdr.of_bytes: bad version/IHL";
+  let fl_fo = get16 b 6 in
+  { tos = get8 b 1;
+    total_len = get16 b 2;
+    ident = get16 b 4;
+    flags = fl_fo lsr 13;
+    frag_off = fl_fo land 0x1FFF;
+    ttl = get8 b 8;
+    proto = get8 b 9;
+    checksum = get16 b 10;
+    src = get32 b 12;
+    dst = get32 b 16 }
+
+let valid_checksum b = Bytes.length b >= size && Checksum.verify b 0 size
+
+let addr_to_string a =
+  Printf.sprintf "%d.%d.%d.%d" (a lsr 24 land 0xFF) (a lsr 16 land 0xFF)
+    (a lsr 8 land 0xFF) (a land 0xFF)
+
+let pp fmt t =
+  Format.fprintf fmt "IP{%s -> %s proto=%d len=%d}" (addr_to_string t.src)
+    (addr_to_string t.dst) t.proto t.total_len

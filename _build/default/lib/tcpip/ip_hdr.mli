@@ -1,0 +1,38 @@
+(** IPv4 header (RFC 791), 20 bytes without options. *)
+
+type t = {
+  tos : int;
+  total_len : int;
+  ident : int;
+  flags : int;  (** 3 bits *)
+  frag_off : int;  (** 13 bits *)
+  ttl : int;
+  proto : int;
+  checksum : int;
+  src : int;  (** 32-bit address *)
+  dst : int;
+}
+
+val size : int
+
+val proto_tcp : int
+
+val proto_xrpc : int
+(** Protocol number we use for the RPC stack's BLAST-over-IP frames in
+    mixed-traffic tests (from the experimental range, RFC 3692). *)
+
+val make :
+  ?tos:int -> ?ident:int -> ?ttl:int -> total_len:int -> proto:int ->
+  src:int -> dst:int -> unit -> t
+
+val to_bytes : t -> bytes
+(** Marshals with a correct header checksum. *)
+
+val of_bytes : bytes -> t
+(** @raise Invalid_argument on short input or a bad version/IHL. *)
+
+val valid_checksum : bytes -> bool
+
+val addr_to_string : int -> string
+
+val pp : Format.formatter -> t -> unit

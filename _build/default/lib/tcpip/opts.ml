@@ -1,0 +1,34 @@
+type t = {
+  word_fields : bool;
+  refresh_shortcircuit : bool;
+  usc_lance : bool;
+  map_cache_inline : bool;
+  misc_inlining : bool;
+  avoid_muldiv : bool;
+  minor : bool;
+  header_prediction : bool;
+}
+
+let improved =
+  { word_fields = true;
+    refresh_shortcircuit = true;
+    usc_lance = true;
+    map_cache_inline = true;
+    misc_inlining = true;
+    avoid_muldiv = true;
+    minor = true;
+    header_prediction = false }
+
+let original =
+  { word_fields = false;
+    refresh_shortcircuit = false;
+    usc_lance = false;
+    map_cache_inline = false;
+    misc_inlining = false;
+    avoid_muldiv = false;
+    minor = false;
+    header_prediction = false }
+
+let lance_mode t =
+  if t.usc_lance then Protolat_netsim.Lance.Usc_direct
+  else Protolat_netsim.Lance.Copy

@@ -1,0 +1,29 @@
+(** The §2.2 instruction-count optimizations (Table 1), as independent
+    toggles.  [improved] is the paper's base case for §3/§4; [original] is
+    the pre-optimization x-kernel used for Table 2's "Original" column. *)
+
+type t = {
+  word_fields : bool;
+      (** bytes/shorts in the TCB widened to words (−324 instructions) *)
+  refresh_shortcircuit : bool;
+      (** skip free()/malloc() when refreshing a sole-reference message
+          buffer (−208) *)
+  usc_lance : bool;
+      (** USC direct sparse descriptor access instead of copying (−171) *)
+  map_cache_inline : bool;
+      (** conditionally inline the map one-entry cache test (−120) *)
+  misc_inlining : bool;  (** assorted safe inlining (−119) *)
+  avoid_muldiv : bool;
+      (** congestion-window common-case test + 33% shift/add window update
+          instead of 35% multiply/divide (−90) *)
+  minor : bool;  (** other minor changes (−39) *)
+  header_prediction : bool;
+      (** BSD header prediction; on a bidirectional connection it only adds
+          a dozen instructions (§2.3), so the improved x-kernel omits it *)
+}
+
+val improved : t
+
+val original : t
+
+val lance_mode : t -> Protolat_netsim.Lance.mode

@@ -1,0 +1,21 @@
+let mask = 0xFFFF_FFFF
+
+let add a b = (a + b) land mask
+
+let sub a b =
+  let d = (a - b) land mask in
+  if d >= 0x8000_0000 then d - 0x1_0000_0000 else d
+
+let lt a b = sub a b < 0
+
+let leq a b = sub a b <= 0
+
+let gt a b = sub a b > 0
+
+let geq a b = sub a b >= 0
+
+let in_window ~seq ~lo ~size =
+  if size <= 0 then false
+  else
+    let d = sub seq lo in
+    d >= 0 && d < size

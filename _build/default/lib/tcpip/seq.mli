@@ -1,0 +1,18 @@
+(** 32-bit modular sequence-number arithmetic (RFC 793 §3.3). *)
+
+val add : int -> int -> int
+
+val sub : int -> int -> int
+(** Signed distance [a - b] interpreted modulo 2^32, in
+    [\[-2^31, 2^31)]. *)
+
+val lt : int -> int -> bool
+
+val leq : int -> int -> bool
+
+val gt : int -> int -> bool
+
+val geq : int -> int -> bool
+
+val in_window : seq:int -> lo:int -> size:int -> bool
+(** Is [seq] within [\[lo, lo+size)] modulo 2^32? *)

@@ -1,0 +1,289 @@
+module Instr = Protolat_machine.Instr
+module Block = Protolat_layout.Block
+module Func = Protolat_layout.Func
+
+let scale = 1.85
+
+let sc n = int_of_float (Float.round (scale *. float_of_int n))
+
+(* Scaled vector builder: straight-line work scales with the calibration
+   factor; taken branches, calls and multiplies are structural. *)
+let v ?(a = 0) ?(l = 0) ?(s = 0) ?(bnt = 0) ?(bt = 0) ?(mul = 0) () =
+  Instr.vec ~alu:(sc a) ~load:(sc l) ~store:(sc s) ~br_not_taken:(sc bnt)
+    ~br_taken:bt ~mul ()
+
+let hot ?(calls = []) id vec = Func.item ~callees:calls (Block.make ~id ~kind:Block.Hot vec)
+
+(* outlined-candidate (cold) code is modeled at reduced density: the paper's
+   path has 28-34%% outlinable code, not 50%% *)
+let damp (vec : Instr.vector) =
+  let d n = n * 55 / 100 in
+  { vec with
+    Instr.alu = d vec.Instr.alu;
+    Instr.load = d vec.Instr.load;
+    Instr.store = d vec.Instr.store;
+    Instr.br_not_taken = d vec.Instr.br_not_taken }
+
+let err ?(calls = []) id vec =
+  Func.item ~callees:calls (Block.make ~id ~kind:Block.Error (damp vec))
+
+let init_blk id vec = Func.item (Block.make ~id ~kind:Block.Init (damp vec))
+
+let unrolled id vec = Func.item (Block.make ~id ~kind:Block.Unrolled (damp vec))
+
+(* extra straight-line work present only when a toggle is OFF *)
+let extra flag n = if flag then 0 else n
+
+(* ----- library functions ------------------------------------------------ *)
+
+let msg_prepare (o : Opts.t) =
+  Func.make ~name:"msg_prepare" ~cat:Func.Library
+    [ hot "body" (v ~a:(20 + extra o.minor 12) ~l:8 ~s:8 ~bnt:2 ());
+      err "grow" (v ~a:30 ~l:12 ~s:8 ()) ]
+
+let in_cksum (_ : Opts.t) =
+  Func.make ~name:"in_cksum" ~cat:Func.Library
+    [ hot "head" (v ~a:12 ~l:3 ~bnt:2 ());
+      hot "qloop" (v ~a:5 ~l:1 ~bt:1 ());
+      unrolled "unrolled64" (v ~a:30 ~l:8 ~bt:1 ());
+      hot "hloop" (v ~a:3 ~l:1 ~bt:1 ());
+      hot "tail" (v ~a:10 ~l:2 ~bnt:2 ()) ]
+
+let udiv (_ : Opts.t) =
+  Func.make ~name:"udiv" ~cat:Func.Library
+    [ hot "head" (v ~a:4 ~bnt:1 ());
+      hot "dloop" (v ~a:2 ~bt:1 ());
+      hot "fixup" (v ~a:3 ~bnt:1 ());
+      err "divzero" (v ~a:12 ~l:4 ()) ]
+
+let map_resolve (o : Opts.t) =
+  (* With conditional inlining ON, the cache test lives in the callers and
+     this general function runs only on a cache miss. *)
+  let entry = if o.map_cache_inline then 8 else 12 in
+  Func.make ~name:"map_resolve" ~cat:Func.Library
+    [ hot "entry" (v ~a:entry ~l:6 ~bnt:1 ());
+      hot "cache" (v ~a:8 ~l:4 ~bnt:1 ());
+      hot "probe" (v ~a:28 ~l:16 ~bnt:3 ~bt:2 ());
+      err "collision" (v ~a:24 ~l:12 ~bt:1 ()) ]
+
+let event_register (_ : Opts.t) =
+  Func.make ~name:"event_register" ~cat:Func.Library
+    [ hot "insert" (v ~a:22 ~l:9 ~s:12 ~bnt:2 ());
+      err "expand" (v ~a:30 ~l:10 ~s:12 ()) ]
+
+let event_cancel (_ : Opts.t) =
+  Func.make ~name:"event_cancel" ~cat:Func.Library
+    [ hot "remove" (v ~a:16 ~l:8 ~s:6 ~bnt:2 ());
+      err "notfound" (v ~a:12 ~l:4 ()) ]
+
+let pool_put (o : Opts.t) =
+  if o.refresh_shortcircuit then
+    Func.make ~name:"pool_put" ~cat:Func.Library
+      [ hot "fast" (v ~a:16 ~l:7 ~s:5 ~bnt:2 ());
+        err "free" (v ~a:34 ~l:16 ~s:10 ~bt:3 ());
+        err "malloc" (v ~a:37 ~l:17 ~s:11 ~bt:4 ()) ]
+  else
+    Func.make ~name:"pool_put" ~cat:Func.Library
+      [ hot "fast" (v ~a:16 ~l:7 ~s:5 ~bnt:2 ());
+        hot "free" (v ~a:34 ~l:16 ~s:10 ~bt:3 ());
+        hot "malloc" (v ~a:37 ~l:17 ~s:11 ~bt:4 ()) ]
+
+(* ----- output path ------------------------------------------------------ *)
+
+let tcptest_send (o : Opts.t) =
+  Func.make ~name:"tcptest_send" ~inline_shrink_pct:20
+    [ init_blk "init" (v ~a:40 ~l:15 ~s:10 ());
+      hot "main"
+        ~calls:[ "msg_prepare"; "tcp_send" ]
+        (v ~a:(30 + extra o.misc_inlining 9) ~l:12 ~s:6 ~bnt:3 ~bt:1 ()) ]
+
+let tcp_send (o : Opts.t) =
+  Func.make ~name:"tcp_send" ~inline_shrink_pct:30
+    [ hot "chk"
+        ~calls:[ "tcp_output" ]
+        (v ~a:(18 + extra o.misc_inlining 6) ~l:9 ~bnt:2 ());
+      err "notestab" (v ~a:25 ~l:8 ()) ]
+
+let tcp_output (o : Opts.t) =
+  let wf n = extra o.word_fields n in
+  let winupdate =
+    if o.avoid_muldiv then hot "winupdate" (v ~a:9 ~l:3 ~bnt:1 ())
+    else hot "winupdate" ~calls:[ "udiv" ] (v ~a:13 ~l:4 ~bnt:1 ~mul:2 ())
+  in
+  Func.make ~name:"tcp_output" ~inline_shrink_pct:12
+    [ hot "again"
+        (v ~a:(55 + wf 34 + extra o.misc_inlining 17) ~l:28 ~s:10 ~bnt:5 ~bt:2 ());
+      err "persist" (v ~a:45 ~l:18 ~s:12 ());
+      winupdate;
+      err "silly" (v ~a:30 ~l:10 ());
+      hot "build" ~calls:[ "in_cksum" ]
+        (v ~a:(70 + wf 29) ~l:30 ~s:22 ~bnt:4 ());
+      err "options" (v ~a:35 ~l:12 ~s:6 ());
+      hot "xmit"
+        ~calls:[ "event_register"; "ip_push" ]
+        (v ~a:20 ~l:10 ~s:4 ~bnt:2 ());
+      err "rexmt_path" (v ~a:60 ~l:22 ~s:15 ()) ]
+
+let ip_push (o : Opts.t) =
+  Func.make ~name:"ip_push" ~inline_shrink_pct:15
+    [ hot "route" (v ~a:(40 + extra o.misc_inlining 11) ~l:20 ~s:6 ~bnt:4 ());
+      err "noroute" (v ~a:20 ~l:8 ());
+      err "fragment" (v ~a:80 ~l:30 ~s:25 ());
+      hot "hdr" ~calls:[ "in_cksum" ] (v ~a:45 ~l:18 ~s:14 ~bnt:2 ());
+      hot "send" ~calls:[ "vnet_push" ] (v ~a:12 ~l:6 ~s:2 ()) ]
+
+let vnet_push (_ : Opts.t) =
+  Func.make ~name:"vnet_push" ~inline_shrink_pct:85
+    [ hot "fwd" ~calls:[ "eth_push" ] (v ~a:10 ~l:5 ~bnt:1 ()) ]
+
+let eth_push (o : Opts.t) =
+  Func.make ~name:"eth_push" ~inline_shrink_pct:20
+    [ hot "hdr" (v ~a:(30 + extra o.misc_inlining 8) ~l:12 ~s:10 ~bnt:2 ());
+      err "arp_miss" (v ~a:40 ~l:15 ~s:6 ());
+      hot "send" ~calls:[ "lance_send" ] (v ~a:10 ~l:5 ()) ]
+
+let lance_send (o : Opts.t) =
+  let desc =
+    if o.usc_lance then hot "desc" (v ~a:12 ~l:3 ~s:4 ())
+    else hot "desc" (v ~a:45 ~l:18 ~s:15 ~bt:1 ())
+  in
+  Func.make ~name:"lance_send"
+    [ hot "setup" (v ~a:35 ~l:15 ~s:8 ~bnt:3 ());
+      err "ring_full" (v ~a:30 ~l:12 ~s:8 ());
+      desc;
+      hot "go" (v ~a:12 ~l:5 ~s:3 ()) ]
+
+let lance_rx (o : Opts.t) =
+  let desc_rx =
+    if o.usc_lance then hot "desc_rx" (v ~a:10 ~l:3 ~s:2 ())
+    else hot "desc_rx" (v ~a:28 ~l:12 ~s:10 ())
+  in
+  Func.make ~name:"lance_rx"
+    [ hot "getbuf" (v ~a:18 ~l:8 ~s:5 ~bnt:2 ());
+      err "baddesc" (v ~a:25 ~l:10 ~s:4 ());
+      desc_rx;
+      hot "dispatch" ~calls:[ "eth_demux" ] (v ~a:8 ~l:4 ~bt:1 ());
+      hot "refresh" ~calls:[ "pool_put" ] (v ~a:8 ~l:4 ~s:2 ()) ]
+
+(* ----- input path ------------------------------------------------------- *)
+
+(* the conditionally inlined map cache test, present in demux functions *)
+let map_cache_item (o : Opts.t) ~miss_call =
+  if o.map_cache_inline then
+    [ hot "map_cache" ~calls:[ miss_call ] (v ~a:8 ~l:4 ~bnt:1 ~bt:1 ()) ]
+  else [ hot "map_cache" ~calls:[ miss_call ] (v ~a:2 ()) ]
+
+let eth_demux_builder ~upper (o : Opts.t) =
+  Func.make ~name:"eth_demux" ~inline_shrink_pct:15
+    ([ hot "parse" (v ~a:30 ~l:14 ~s:4 ~bnt:3 ());
+       err "badtype" (v ~a:15 ~l:5 ()) ]
+    @ map_cache_item o ~miss_call:"map_resolve"
+    @ [ hot "dispatch" ~calls:[ upper ] (v ~a:10 ~l:5 ~bt:1 ()) ])
+
+let eth_demux = eth_demux_builder ~upper:"vnet_demux"
+
+let vnet_demux (_ : Opts.t) =
+  Func.make ~name:"vnet_demux" ~inline_shrink_pct:85
+    [ hot "fwd" ~calls:[ "ip_demux" ] (v ~a:8 ~l:4 ~bnt:1 ()) ]
+
+let ip_demux (o : Opts.t) =
+  Func.make ~name:"ip_demux" ~inline_shrink_pct:12
+    ([ hot "validate" ~calls:[ "in_cksum" ]
+         (v ~a:(45 + extra o.minor 10) ~l:22 ~s:4 ~bnt:6 ());
+       err "options" (v ~a:40 ~l:15 ~s:5 ());
+       err "frag_reass" (v ~a:110 ~l:45 ~s:30 ()) ]
+    @ map_cache_item o ~miss_call:"map_resolve"
+    @ [ hot "deliver" ~calls:[ "tcp_demux" ] (v ~a:12 ~l:6 ~bt:1 ()) ])
+
+let tcp_demux (o : Opts.t) =
+  Func.make ~name:"tcp_demux" ~inline_shrink_pct:15
+    ([ hot "parse"
+         (v
+            ~a:(35 + extra o.word_fields 19 + extra o.misc_inlining 9)
+            ~l:16 ~s:4 ~bnt:3 ()) ]
+    @ map_cache_item o ~miss_call:"map_resolve"
+    @ [ err "listen_path" (v ~a:50 ~l:20 ~s:10 ());
+        hot "dispatch" ~calls:[ "tcp_input" ] (v ~a:10 ~l:5 ~bt:1 ()) ])
+
+let tcp_input (o : Opts.t) =
+  let wf n = extra o.word_fields n in
+  let cwnd =
+    if o.avoid_muldiv then hot "cwnd" (v ~a:10 ~l:4 ~bnt:2 ())
+    else hot "cwnd" ~calls:[ "udiv" ] (v ~a:14 ~l:7 ~bnt:1 ~mul:2 ())
+  in
+  let pred =
+    if o.header_prediction then
+      [ hot "hdr_pred" (v ~a:6 ~l:2 ~bnt:4 ()) ]
+    else []
+  in
+  Func.make ~name:"tcp_input" ~inline_shrink_pct:8
+    ([ hot "validate" ~calls:[ "in_cksum" ]
+         (v ~a:(50 + wf 17) ~l:24 ~s:6 ~bnt:6 ());
+       err "bad_cksum" (v ~a:20 ~l:6 ()) ]
+    @ pred
+    @ [ err "not_established" (v ~a:80 ~l:30 ~s:20 ());
+        hot "ack_proc"
+          (v ~a:(95 + wf 40) ~l:45 ~s:28 ~bnt:8 ~bt:2 ());
+        err "old_ack" (v ~a:20 ~l:8 ());
+        err "dupack" (v ~a:45 ~l:18 ~s:10 ());
+        hot "rtt" ~calls:[ "event_cancel" ] (v ~a:28 ~l:14 ~s:10 ~bnt:2 ());
+        cwnd;
+        hot "data_proc" (v ~a:(80 + wf 34) ~l:38 ~s:20 ~bnt:6 ~bt:1 ());
+        err "reass" (v ~a:120 ~l:50 ~s:35 ());
+        hot "window_upd" (v ~a:(25 + wf 11) ~l:12 ~s:6 ~bnt:2 ());
+        err "flags_slow" (v ~a:90 ~l:35 ~s:20 ());
+        hot "deliver" ~calls:[ "clientstream_demux" ]
+          (v ~a:25 ~l:12 ~s:6 ~bt:1 ()) ])
+
+let clientstream_demux (o : Opts.t) =
+  Func.make ~name:"clientstream_demux" ~inline_shrink_pct:15
+    [ hot "strip" (v ~a:(30 + extra o.misc_inlining 8) ~l:14 ~s:8 ~bnt:3 ());
+      err "nosession" (v ~a:20 ~l:8 ());
+      hot "deliver" ~calls:[ "tcptest_recv" ] (v ~a:15 ~l:8 ~s:5 ~bt:1 ()) ]
+
+let tcptest_recv (_ : Opts.t) =
+  Func.make ~name:"tcptest_recv" ~inline_shrink_pct:20
+    [ hot "main" ~calls:[ "tcptest_send" ] (v ~a:25 ~l:10 ~s:5 ~bnt:2 ());
+      err "done_check" (v ~a:15 ~l:5 ()) ]
+
+(* ------------------------------------------------------------------------ *)
+
+let builders =
+  [ msg_prepare; in_cksum; udiv; map_resolve; event_register; event_cancel;
+    pool_put; tcptest_send; tcp_send; tcp_output; ip_push; vnet_push;
+    eth_push; lance_send; lance_rx; eth_demux; vnet_demux; ip_demux;
+    tcp_demux; tcp_input; clientstream_demux; tcptest_recv ]
+
+let all o = List.map (fun b -> b o) builders
+
+let by_name o name =
+  let f = List.find (fun f -> f.Func.name = name) (all o) in
+  f
+
+let invocation_order =
+  [ "tcptest_send"; "msg_prepare"; "tcp_send"; "tcp_output"; "in_cksum";
+    "event_register"; "ip_push"; "vnet_push"; "eth_push"; "lance_send";
+    "lance_rx"; "eth_demux"; "map_resolve"; "vnet_demux"; "ip_demux";
+    "tcp_demux"; "tcp_input"; "event_cancel"; "udiv"; "clientstream_demux";
+    "tcptest_recv"; "pool_put" ]
+
+let output_chain =
+  [ "tcptest_send"; "tcp_send"; "tcp_output"; "ip_push"; "vnet_push";
+    "eth_push"; "lance_send" ]
+
+let input_chain =
+  [ "eth_demux"; "vnet_demux"; "ip_demux"; "tcp_demux"; "tcp_input";
+    "clientstream_demux"; "tcptest_recv" ]
+
+let path_function_names = output_chain @ [ "lance_rx" ] @ input_chain
+
+let library_function_names =
+  [ "msg_prepare"; "in_cksum"; "udiv"; "map_resolve"; "event_register";
+    "event_cancel"; "pool_put" ]
+
+let shared_library_builders =
+  [ msg_prepare; map_resolve; event_register; event_cancel; pool_put ]
+
+let in_cksum_builder = in_cksum
+
+let driver_builders = [ eth_push; lance_send; lance_rx; eth_demux ]

@@ -1,0 +1,53 @@
+(** Cost model for the TCP/IP stack: one {!Protolat_layout.Func.t} per
+    modeled C function on the latency-critical path.
+
+    Block instruction vectors are calibrated against the paper's published
+    counts: Table 9 static sizes (5841 total / 3856 main-line), Table 2/6/7
+    dynamic trace lengths (≈4750 for the improved STD version), and the
+    Table 1 per-optimization deltas.  The protocol implementations report
+    exactly these function/block names through their meter. *)
+
+val scale : float
+(** Global calibration multiplier applied to ALU/load/store/fall-through
+    branch counts inside block vectors. *)
+
+val all : Opts.t -> Protolat_layout.Func.t list
+(** Every function of the TCP/IP path (including the shared driver and
+    library functions), under the given optimization toggles. *)
+
+val by_name : Opts.t -> string -> Protolat_layout.Func.t
+(** @raise Not_found for unknown names. *)
+
+val invocation_order : string list
+(** First-invocation order along one roundtrip (output path then input
+    path) — the dynamic information the runtime layout strategies need. *)
+
+val output_chain : string list
+(** The call chain collapsed into the output super-function by
+    path-inlining. *)
+
+val input_chain : string list
+
+val path_function_names : string list
+(** Functions executed once per path invocation. *)
+
+val library_function_names : string list
+(** Functions executed several times per path invocation. *)
+
+val shared_library_builders :
+  (Opts.t -> Protolat_layout.Func.t) list
+(** Builders for the library functions shared with the RPC stack
+    (message tool, map, events, buffer pool). *)
+
+val driver_builders : (Opts.t -> Protolat_layout.Func.t) list
+(** Builders for the shared ETH/LANCE driver functions. *)
+
+val in_cksum_builder : Opts.t -> Protolat_layout.Func.t
+(** The Internet-checksum library function (BLAST also checksums its
+    fragments). *)
+
+val eth_demux_builder :
+  upper:string -> Opts.t -> Protolat_layout.Func.t
+(** eth_demux with a configurable dispatch callee ("vnet_demux" here,
+    "blast_demux" in the RPC stack) so path-inlining can elide the right
+    call. *)

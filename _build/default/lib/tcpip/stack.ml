@@ -1,0 +1,90 @@
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+
+type host = {
+  env : Ns.Host_env.t;
+  lance : Ns.Lance.t;
+  netdev : Ns.Netdev.t;
+  vnet : Vnet.t;
+  ip : Ip.t;
+  tcp : Tcp.t;
+  udp : Udp.t;
+  mac : int;
+  ip_addr : int;
+}
+
+let ethertype_ip = 0x0800
+
+let make_host sim link ~station ~mac ~ip_addr ~opts ?meter ?simmem_base () =
+  let env = Ns.Host_env.create sim ?meter ?simmem_base () in
+  let lance =
+    Ns.Lance.create sim env.Ns.Host_env.simmem link ~station
+      ~mode:(Opts.lance_mode opts) ()
+  in
+  let netdev =
+    Ns.Netdev.create env lance ~mac
+      ~config:
+        { Ns.Netdev.usc = opts.Opts.usc_lance;
+          map_cache_inline = opts.Opts.map_cache_inline;
+          refresh_shortcircuit = opts.Opts.refresh_shortcircuit }
+      ()
+  in
+  let vnet = Vnet.create env netdev ~ethertype:ethertype_ip in
+  let ip =
+    Ip.create env vnet ~my_ip:ip_addr
+      ~map_cache_inline:opts.Opts.map_cache_inline ()
+  in
+  let tcp = Tcp.create env ip ~opts in
+  let udp = Udp.create env ip in
+  { env; lance; netdev; vnet; ip; tcp; udp; mac; ip_addr }
+
+type pair = {
+  sim : Ns.Sim.t;
+  link : Ns.Ether.Link.t;
+  client : host;
+  server : host;
+}
+
+let addr_client = 0xC0A80001 (* 192.168.0.1 *)
+
+let addr_server = 0xC0A80002
+
+let make_pair ?(client_opts = Opts.improved) ?(server_opts = Opts.improved)
+    ?client_meter ?server_meter () =
+  let sim = Ns.Sim.create () in
+  let link = Ns.Ether.Link.create sim () in
+  let client =
+    make_host sim link ~station:0 ~mac:0x0800_2B00_0001 ~ip_addr:addr_client
+      ~opts:client_opts ?meter:client_meter ~simmem_base:0x1010_0000 ()
+  in
+  let server =
+    make_host sim link ~station:1 ~mac:0x0800_2B00_0002 ~ip_addr:addr_server
+      ~opts:server_opts ?meter:server_meter ~simmem_base:0x3010_0000 ()
+  in
+  Vnet.add_route client.vnet ~ip:addr_server ~mac:server.mac;
+  Vnet.add_route client.vnet ~ip:addr_client ~mac:client.mac;
+  Vnet.add_route server.vnet ~ip:addr_client ~mac:client.mac;
+  Vnet.add_route server.vnet ~ip:addr_server ~mac:server.mac;
+  { sim; link; client; server }
+
+let establish pair ~rounds =
+  let server_test = Tcptest.server pair.server.env pair.server.tcp ~port:7 in
+  let client_test =
+    Tcptest.client pair.client.env pair.client.tcp ~local_port:1024
+      ~remote_ip:pair.server.ip_addr ~remote_port:7 ~rounds
+  in
+  (* run the handshake *)
+  ignore (Ns.Sim.run ~until:(Ns.Sim.now pair.sim +. 50_000.0) pair.sim);
+  (match Tcptest.session client_test with
+  | Some s when Tcp.state s = Tcb.Established -> ()
+  | _ -> failwith "Stack.establish: handshake did not complete");
+  (client_test, server_test)
+
+let figure1 () =
+  Xk.Protocol.make "TCP/IP stack"
+    [ { Xk.Protocol.name = "TCPTEST"; role = "ping-pong test program" };
+      { Xk.Protocol.name = "TCP"; role = "BSD-derived transport" };
+      { Xk.Protocol.name = "IP"; role = "Internet protocol" };
+      { Xk.Protocol.name = "VNET"; role = "virtual routing protocol" };
+      { Xk.Protocol.name = "ETH"; role = "device-independent driver" };
+      { Xk.Protocol.name = "LANCE"; role = "Ethernet device driver" } ]

@@ -1,0 +1,57 @@
+(** Wiring of the full TCP/IP test configuration: two hosts (client and
+    server) on an isolated Ethernet, each running
+    TCPTEST / TCP / IP / VNET / ETH / LANCE (Figure 1, left). *)
+
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+
+type host = {
+  env : Ns.Host_env.t;
+  lance : Ns.Lance.t;
+  netdev : Ns.Netdev.t;
+  vnet : Vnet.t;
+  ip : Ip.t;
+  tcp : Tcp.t;
+  udp : Udp.t;
+  mac : int;
+  ip_addr : int;
+}
+
+val ethertype_ip : int
+
+val make_host :
+  Ns.Sim.t ->
+  Ns.Ether.Link.t ->
+  station:int ->
+  mac:int ->
+  ip_addr:int ->
+  opts:Opts.t ->
+  ?meter:Xk.Meter.t ->
+  ?simmem_base:int ->
+  unit ->
+  host
+
+type pair = {
+  sim : Ns.Sim.t;
+  link : Ns.Ether.Link.t;
+  client : host;
+  server : host;
+}
+
+val make_pair :
+  ?client_opts:Opts.t ->
+  ?server_opts:Opts.t ->
+  ?client_meter:Xk.Meter.t ->
+  ?server_meter:Xk.Meter.t ->
+  unit ->
+  pair
+(** Two hosts with routes/ARP prepared, on a fresh simulator. *)
+
+val establish :
+  pair -> rounds:int -> Tcptest.t * Tcptest.t
+(** Create server and client test protocols and run the simulation until
+    the three-way handshake completes.  Returns (client, server).
+    @raise Failure if the connection does not establish. *)
+
+val figure1 : unit -> Xk.Protocol.t
+(** The TCP/IP protocol graph of Figure 1. *)

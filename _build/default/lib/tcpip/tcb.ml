@@ -1,0 +1,111 @@
+module Simmem = Protolat_xkernel.Simmem
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+
+type t = {
+  mutable state : state;
+  local_ip : int;
+  local_port : int;
+  mutable remote_ip : int;
+  mutable remote_port : int;
+  mutable iss : int;
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable snd_wnd : int;
+  mutable snd_cwnd : int;
+  mutable snd_ssthresh : int;
+  mutable snd_max_wnd : int;
+  mutable irs : int;
+  mutable rcv_nxt : int;
+  mutable rcv_wnd : int;
+  mutable rcv_adv : int;
+  mutable mss : int;
+  mutable srtt : int;
+  mutable rttvar : int;
+  mutable rtt_seq : int;
+  mutable rtt_start_us : float;
+  mutable delack_pending : bool;
+  mutable dupacks : int;
+  mutable segments_in : int;
+  mutable segments_out : int;
+  mutable retransmits : int;
+  sim_addr : int;
+}
+
+let sim_size = 192
+
+let create sim ~local_ip ~local_port ~remote_ip ~remote_port ~iss =
+  { state = Closed;
+    local_ip;
+    local_port;
+    remote_ip;
+    remote_port;
+    iss;
+    snd_una = iss;
+    snd_nxt = iss;
+    snd_wnd = 0;
+    snd_cwnd = 4096;
+    snd_ssthresh = 65535;
+    snd_max_wnd = 0;
+    irs = 0;
+    rcv_nxt = 0;
+    rcv_wnd = 4096;
+    rcv_adv = 0;
+    mss = 1460;
+    srtt = 0;
+    rttvar = 24;
+    rtt_seq = -1;
+    rtt_start_us = 0.0;
+    delack_pending = false;
+    dupacks = 0;
+    segments_in = 0;
+    segments_out = 0;
+    retransmits = 0;
+    sim_addr = Simmem.alloc sim sim_size }
+
+let key ~local_port ~remote_ip ~remote_port =
+  Printf.sprintf "%04x:%08x:%04x" local_port remote_ip remote_port
+
+let key_of t =
+  key ~local_port:t.local_port ~remote_ip:t.remote_ip
+    ~remote_port:t.remote_port
+
+let state_string = function
+  | Closed -> "CLOSED"
+  | Listen -> "LISTEN"
+  | Syn_sent -> "SYN_SENT"
+  | Syn_received -> "SYN_RCVD"
+  | Established -> "ESTABLISHED"
+  | Fin_wait_1 -> "FIN_WAIT_1"
+  | Fin_wait_2 -> "FIN_WAIT_2"
+  | Close_wait -> "CLOSE_WAIT"
+  | Closing -> "CLOSING"
+  | Last_ack -> "LAST_ACK"
+  | Time_wait -> "TIME_WAIT"
+
+(* BSD 4.4 tcp_xmit_timer, ticks scaled by 8 (srtt) and 4 (rttvar). *)
+let update_rtt t rtt =
+  if t.srtt <> 0 then begin
+    let delta = rtt - 1 - (t.srtt lsr 3) in
+    t.srtt <- max 1 (t.srtt + delta);
+    let delta = abs delta - (t.rttvar lsr 2) in
+    t.rttvar <- max 1 (t.rttvar + delta)
+  end
+  else begin
+    t.srtt <- rtt lsl 3;
+    t.rttvar <- rtt lsl 1
+  end;
+  t.rtt_seq <- -1
+
+let rto_ticks t = max 2 ((t.srtt lsr 3) + t.rttvar)

@@ -1,0 +1,74 @@
+(** TCP control block: per-connection state.
+
+    The §2.2.4 change (byte/short state fields widened to 64-bit words so
+    the first-generation Alpha needs no extract/insert sequences) does not
+    change behaviour, only the modeled instruction counts; it is a cost-model
+    toggle in {!Specs}, not a different TCB. *)
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+
+type t = {
+  mutable state : state;
+  local_ip : int;
+  local_port : int;
+  mutable remote_ip : int;
+  mutable remote_port : int;
+  (* send side *)
+  mutable iss : int;
+  mutable snd_una : int;  (** oldest unacknowledged *)
+  mutable snd_nxt : int;
+  mutable snd_wnd : int;  (** peer-advertised window *)
+  mutable snd_cwnd : int;  (** congestion window *)
+  mutable snd_ssthresh : int;
+  mutable snd_max_wnd : int;  (** largest window ever advertised by us *)
+  (* receive side *)
+  mutable irs : int;
+  mutable rcv_nxt : int;
+  mutable rcv_wnd : int;
+  mutable rcv_adv : int;  (** highest advertised rcv_nxt + window *)
+  mutable mss : int;
+  (* round-trip timing *)
+  mutable srtt : int;  (** scaled smoothed RTT, BSD style (ticks << 3) *)
+  mutable rttvar : int;
+  mutable rtt_seq : int;  (** sequence being timed, -1 if none *)
+  mutable rtt_start_us : float;
+  (* bookkeeping *)
+  mutable delack_pending : bool;
+  mutable dupacks : int;
+  mutable segments_in : int;
+  mutable segments_out : int;
+  mutable retransmits : int;
+  sim_addr : int;  (** simulated address for d-cache modeling *)
+}
+
+val sim_size : int
+(** Modeled TCB footprint in bytes. *)
+
+val create :
+  Protolat_xkernel.Simmem.t ->
+  local_ip:int -> local_port:int -> remote_ip:int -> remote_port:int ->
+  iss:int -> t
+
+val key : local_port:int -> remote_ip:int -> remote_port:int -> string
+(** Demultiplexing key used in the TCP session map. *)
+
+val key_of : t -> string
+
+val state_string : state -> string
+
+(** BSD-style RTT estimator update; [rtt] in timer ticks. *)
+val update_rtt : t -> int -> unit
+
+val rto_ticks : t -> int
+(** Current retransmission timeout, in ticks, with the BSD floor of 2. *)

@@ -1,0 +1,59 @@
+(** TCP: BSD-derived x-kernel TCP (§2.1).
+
+    The full segment path is real — sequence/ack arithmetic, checksums over
+    the wire bytes, the three-way handshake, retransmission and delayed-ack
+    timers, congestion and advertised windows.  The latency-relevant
+    optimizations are behavioral toggles from {!Opts}:
+    - [avoid_muldiv]: congestion-window common-case test and the 33%
+      shift/add advertised-window update (vs 35% with multiply/divide);
+    - [header_prediction]: BSD header prediction, which on a bidirectional
+      connection merely adds a dozen instructions;
+    - [word_fields] and the rest affect only the cost model ({!Specs}). *)
+
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+
+type t
+
+type session
+
+val create : Ns.Host_env.t -> Ip.t -> opts:Opts.t -> t
+
+val connect :
+  t ->
+  local_port:int ->
+  remote_ip:int ->
+  remote_port:int ->
+  receive:(session -> bytes -> unit) ->
+  session
+(** Sends the SYN; the handshake completes as the simulation runs. *)
+
+val listen : t -> port:int -> receive:(session -> bytes -> unit) -> unit
+
+val send : session -> bytes -> unit
+(** Send application data on an established connection (tcp_send →
+    tcp_output). *)
+
+val send_msg : session -> Xk.Msg.t -> unit
+(** Like {!send} but with a caller-owned message buffer (the test protocols
+    reuse one buffer so the steady-state d-cache stream is realistic). *)
+
+val close : session -> unit
+
+val state : session -> Tcb.state
+
+val tcb : session -> Tcb.t
+
+val session_count : t -> int
+
+val set_receive : session -> (session -> bytes -> unit) -> unit
+
+val set_nodelay : session -> bool -> unit
+(** Disable the Nagle algorithm (small-segment coalescing while data is in
+    flight).  Like BSD, Nagle is on by default; the latency ping-pong is
+    unaffected because it never has unacknowledged data when it sends. *)
+
+val retransmits : t -> int
+
+val persist_probes : t -> int
+(** Zero-window probes sent (the persist timer, RFC 1122). *)

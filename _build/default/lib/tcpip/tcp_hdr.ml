@@ -1,0 +1,72 @@
+type t = {
+  sport : int;
+  dport : int;
+  seq : int;
+  ack : int;
+  flags : int;
+  window : int;
+  checksum : int;
+  urgent : int;
+}
+
+let size = 20
+
+let fin = 0x01
+
+let syn = 0x02
+
+let rst = 0x04
+
+let psh = 0x08
+
+let ack_flag = 0x10
+
+let urg = 0x20
+
+let make ?(flags = 0) ?(window = 4096) ?(urgent = 0) ~sport ~dport ~seq ~ack
+    () =
+  { sport; dport; seq; ack; flags; window; checksum = 0; urgent }
+
+let put16 b off v =
+  Bytes.set b off (Char.chr (v lsr 8 land 0xFF));
+  Bytes.set b (off + 1) (Char.chr (v land 0xFF))
+
+let put32 b off v =
+  put16 b off (v lsr 16 land 0xFFFF);
+  put16 b (off + 2) (v land 0xFFFF)
+
+let get8 b off = Char.code (Bytes.get b off)
+
+let get16 b off = (get8 b off lsl 8) lor get8 b (off + 1)
+
+let get32 b off = (get16 b off lsl 16) lor get16 b (off + 2)
+
+let to_bytes ?(checksum = 0) t =
+  let b = Bytes.make size '\000' in
+  put16 b 0 t.sport;
+  put16 b 2 t.dport;
+  put32 b 4 t.seq;
+  put32 b 8 t.ack;
+  Bytes.set b 12 (Char.chr (5 lsl 4)); (* data offset = 5 words *)
+  Bytes.set b 13 (Char.chr (t.flags land 0x3F));
+  put16 b 14 t.window;
+  put16 b 16 checksum;
+  put16 b 18 t.urgent;
+  b
+
+let of_bytes b =
+  if Bytes.length b < size then invalid_arg "Tcp_hdr.of_bytes: short";
+  { sport = get16 b 0;
+    dport = get16 b 2;
+    seq = get32 b 4;
+    ack = get32 b 8;
+    flags = get8 b 13 land 0x3F;
+    window = get16 b 14;
+    checksum = get16 b 16;
+    urgent = get16 b 18 }
+
+let has t flag = t.flags land flag <> 0
+
+let pp fmt t =
+  Format.fprintf fmt "TCP{%d->%d seq=%d ack=%d flags=%02x win=%d}" t.sport
+    t.dport t.seq t.ack t.flags t.window

@@ -1,0 +1,39 @@
+(** TCP header (RFC 793), 20 bytes without options. *)
+
+type t = {
+  sport : int;
+  dport : int;
+  seq : int;  (** 32-bit sequence number *)
+  ack : int;
+  flags : int;
+  window : int;
+  checksum : int;
+  urgent : int;
+}
+
+val size : int
+
+val fin : int
+
+val syn : int
+
+val rst : int
+
+val psh : int
+
+val ack_flag : int
+
+val urg : int
+
+val make :
+  ?flags:int -> ?window:int -> ?urgent:int -> sport:int -> dport:int ->
+  seq:int -> ack:int -> unit -> t
+
+val to_bytes : ?checksum:int -> t -> bytes
+
+val of_bytes : bytes -> t
+(** @raise Invalid_argument on short input. *)
+
+val has : t -> int -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+module Meter = Xk.Meter
+module Msg = Xk.Msg
+
+type role =
+  | Client
+  | Server
+
+type t = {
+  env : Ns.Host_env.t;
+  tcp : Tcp.t;
+  role : role;
+  msg : Msg.t;  (** reused send buffer *)
+  mutable session : Tcp.session option;
+  mutable remaining : int;
+  mutable completed : int;
+  mutable first_send : bool;
+  mutable on_roundtrip : int -> unit;
+  mutable on_complete : unit -> unit;
+}
+
+let meter t = t.env.Ns.Host_env.meter
+
+let payload = Bytes.make 1 'p'
+
+let tcptest_send t =
+  let m = meter t in
+  Meter.fn m "tcptest_send" (fun () ->
+      (match t.session with
+      | None -> failwith "Tcptest: no session"
+      | Some s ->
+        m.Meter.cold ~triggered:t.first_send "tcptest_send" "init";
+        t.first_send <- false;
+        m.Meter.block "tcptest_send" "main"
+          ~writes:[ Meter.range ~base:(Msg.sim_addr t.msg) ~len:8 () ];
+        m.Meter.call "tcptest_send" "main" 0;
+        Meter.fn m "msg_prepare" (fun () ->
+            m.Meter.block "msg_prepare" "body"
+              ~writes:[ Meter.range ~base:(Msg.sim_addr t.msg) ~len:16 () ];
+            m.Meter.cold ~triggered:false "msg_prepare" "grow";
+            Msg.set_payload t.msg payload);
+        m.Meter.call "tcptest_send" "main" 1;
+        Tcp.send_msg s t.msg))
+
+let tcptest_recv t _data =
+  let m = meter t in
+  Meter.fn m "tcptest_recv" (fun () ->
+      m.Meter.block "tcptest_recv" "main";
+      match t.role with
+      | Server ->
+        m.Meter.cold ~triggered:false "tcptest_recv" "done_check";
+        m.Meter.call "tcptest_recv" "main" 0;
+        tcptest_send t
+      | Client ->
+        t.remaining <- t.remaining - 1;
+        t.completed <- t.completed + 1;
+        t.on_roundtrip t.completed;
+        let finished = t.remaining <= 0 in
+        m.Meter.cold ~triggered:finished "tcptest_recv" "done_check";
+        if finished then t.on_complete ()
+        else begin
+          m.Meter.call "tcptest_recv" "main" 0;
+          tcptest_send t
+        end)
+
+let make env tcp role rounds =
+  { env;
+    tcp;
+    role;
+    msg = Msg.alloc env.Ns.Host_env.simmem ~headroom:128 64;
+    session = None;
+    remaining = rounds;
+    completed = 0;
+    first_send = true;
+    on_roundtrip = (fun _ -> ());
+    on_complete = (fun () -> ()) }
+
+let client env tcp ~local_port ~remote_ip ~remote_port ~rounds =
+  let t = make env tcp Client rounds in
+  let session =
+    Tcp.connect tcp ~local_port ~remote_ip ~remote_port ~receive:(fun _ data ->
+        tcptest_recv t data)
+  in
+  t.session <- Some session;
+  t
+
+let server env tcp ~port =
+  let t = make env tcp Server 0 in
+  Tcp.listen tcp ~port ~receive:(fun s data ->
+      if t.session = None then t.session <- Some s;
+      tcptest_recv t data);
+  t
+
+let start t =
+  match t.session with
+  | Some s when Tcp.state s = Tcb.Established ->
+    Ns.Host_env.phase t.env "client_send" (fun () -> tcptest_send t)
+  | _ -> failwith "Tcptest.start: connection not established"
+
+let session t = t.session
+
+let rounds_completed t = t.completed
+
+let set_on_roundtrip t f = t.on_roundtrip <- f
+
+let set_on_complete t f = t.on_complete <- f

@@ -1,0 +1,35 @@
+(** TCPTEST: the ping-pong latency test protocol (Figure 1).
+
+    The client sends a 1-byte message (TCP sends nothing for a truly empty
+    send, §4.2) and the server echoes it; each echo completes a roundtrip
+    and triggers the next send until the configured number of rounds is
+    done. *)
+
+module Ns = Protolat_netsim
+
+type t
+
+val client :
+  Ns.Host_env.t ->
+  Tcp.t ->
+  local_port:int ->
+  remote_ip:int ->
+  remote_port:int ->
+  rounds:int ->
+  t
+(** Creates the endpoint and initiates the TCP connection. *)
+
+val server : Ns.Host_env.t -> Tcp.t -> port:int -> t
+
+val start : t -> unit
+(** Client only: send the first ping.
+    @raise Failure if the connection is not yet established. *)
+
+val session : t -> Tcp.session option
+
+val rounds_completed : t -> int
+
+val set_on_roundtrip : t -> (int -> unit) -> unit
+(** Called after each completed roundtrip with its index (1-based). *)
+
+val set_on_complete : t -> (unit -> unit) -> unit

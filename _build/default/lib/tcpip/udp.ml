@@ -1,0 +1,82 @@
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+module Msg = Xk.Msg
+
+let header_size = 8
+
+let proto_udp = 17
+
+type t = {
+  env : Ns.Host_env.t;
+  ip : Ip.t;
+  ports : (int, src_ip:int -> src_port:int -> bytes -> unit) Hashtbl.t;
+  mutable datagrams_in : int;
+  mutable cksum_failures : int;
+}
+
+let put16 b off v =
+  Bytes.set b off (Char.chr (v lsr 8 land 0xFF));
+  Bytes.set b (off + 1) (Char.chr (v land 0xFF))
+
+let get16 b off =
+  (Char.code (Bytes.get b off) lsl 8) lor Char.code (Bytes.get b (off + 1))
+
+let demux t ~(hdr : Ip_hdr.t) msg =
+  t.datagrams_in <- t.datagrams_in + 1;
+  let seg = Msg.contents msg in
+  if Bytes.length seg < header_size then t.cksum_failures <- t.cksum_failures + 1
+  else begin
+    let pseudo =
+      Checksum.pseudo_header ~src:hdr.Ip_hdr.src ~dst:hdr.Ip_hdr.dst
+        ~proto:proto_udp ~len:(Bytes.length seg)
+    in
+    let stored = get16 seg 6 in
+    (* a zero checksum means "not computed" (RFC 768) *)
+    if stored <> 0 && not (Checksum.verify ~initial:pseudo seg 0 (Bytes.length seg))
+    then t.cksum_failures <- t.cksum_failures + 1
+    else begin
+      let raw = Msg.pop msg header_size in
+      let src_port = get16 raw 0 and dst_port = get16 raw 2 in
+      let len = get16 raw 4 in
+      match Hashtbl.find_opt t.ports dst_port with
+      | None -> ()
+      | Some f ->
+        let payload = Msg.peek msg 0 (min (len - header_size) (Msg.len msg)) in
+        f ~src_ip:hdr.Ip_hdr.src ~src_port payload
+    end
+  end
+
+let create env ip =
+  let t =
+    { env; ip; ports = Hashtbl.create 16; datagrams_in = 0; cksum_failures = 0 }
+  in
+  Ip.register ip ~proto:proto_udp (fun ~hdr msg -> demux t ~hdr msg);
+  t
+
+let bind t ~port f =
+  if Hashtbl.mem t.ports port then failwith "Udp.bind: port in use";
+  Hashtbl.replace t.ports port f
+
+let unbind t ~port = Hashtbl.remove t.ports port
+
+let send t ~src_port ~dst_ip ~dst_port payload =
+  let len = header_size + Bytes.length payload in
+  let hdr = Bytes.make header_size '\000' in
+  put16 hdr 0 src_port;
+  put16 hdr 2 dst_port;
+  put16 hdr 4 len;
+  let seg = Bytes.cat hdr payload in
+  let pseudo =
+    Checksum.pseudo_header ~src:(Ip.my_ip t.ip) ~dst:dst_ip ~proto:proto_udp
+      ~len
+  in
+  let csum = Checksum.compute ~initial:pseudo seg 0 len in
+  let csum = if csum = 0 then 0xFFFF else csum in
+  put16 seg 6 csum;
+  let msg = Msg.alloc t.env.Ns.Host_env.simmem ~headroom:64 0 in
+  Msg.set_payload msg seg;
+  Ip.push t.ip ~dst:dst_ip ~proto:proto_udp msg
+
+let datagrams_in t = t.datagrams_in
+
+let checksum_failures t = t.cksum_failures

@@ -1,0 +1,26 @@
+(** UDP (RFC 768) over the IP layer — part of the x-kernel protocol suite,
+    rounded out for library completeness (the paper's experiments use the
+    TCP/IP and RPC stacks; UDP is not on a metered path and reports nothing
+    to the meter). *)
+
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+
+val header_size : int
+
+type t
+
+val create : Ns.Host_env.t -> Ip.t -> t
+
+val bind :
+  t -> port:int -> (src_ip:int -> src_port:int -> bytes -> unit) -> unit
+(** Register a receiver.  @raise Failure if the port is taken. *)
+
+val unbind : t -> port:int -> unit
+
+val send :
+  t -> src_port:int -> dst_ip:int -> dst_port:int -> bytes -> unit
+
+val datagrams_in : t -> int
+
+val checksum_failures : t -> int

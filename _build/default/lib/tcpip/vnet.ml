@@ -1,0 +1,48 @@
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+module Meter = Xk.Meter
+
+type t = {
+  env : Ns.Host_env.t;
+  netdev : Ns.Netdev.t;
+  ethertype : int;
+  routes : (int, int) Hashtbl.t;
+  mutable resolver : (int -> (int -> unit) -> unit) option;
+  mutable upper : src_mac:int -> Xk.Msg.t -> unit;
+}
+
+let create env netdev ~ethertype =
+  let t =
+    { env; netdev; ethertype; routes = Hashtbl.create 8; resolver = None;
+      upper = (fun ~src_mac:_ _ -> ()) }
+  in
+  Ns.Netdev.register netdev ~ethertype (fun ~src msg ->
+      let m = env.Ns.Host_env.meter in
+      Meter.fn m "vnet_demux" (fun () ->
+          m.Meter.block "vnet_demux" "fwd";
+          m.Meter.call "vnet_demux" "fwd" 0;
+          t.upper ~src_mac:src msg));
+  t
+
+let add_route t ~ip ~mac = Hashtbl.replace t.routes ip mac
+
+let set_resolver t f = t.resolver <- Some f
+
+let set_upper t f = t.upper <- f
+
+let push t ~dst_ip msg =
+  let m = t.env.Ns.Host_env.meter in
+  Meter.fn m "vnet_push" (fun () ->
+      m.Meter.block "vnet_push" "fwd";
+      match Hashtbl.find_opt t.routes dst_ip with
+      | Some mac ->
+        m.Meter.call "vnet_push" "fwd" 0;
+        Ns.Netdev.send t.netdev ~dst:mac ~ethertype:t.ethertype msg
+      | None -> (
+        match t.resolver with
+        | None -> failwith "Vnet.push: no route"
+        | Some resolve ->
+          m.Meter.call "vnet_push" "fwd" 0;
+          resolve dst_ip (fun mac ->
+              Hashtbl.replace t.routes dst_ip mac;
+              Ns.Netdev.send t.netdev ~dst:mac ~ethertype:t.ethertype msg)))

@@ -1,0 +1,25 @@
+(** VNET: the virtual protocol that routes outgoing messages to the right
+    network adaptor (§2.1).  In BSD this functionality is folded into IP;
+    in the x-kernel it is its own (nearly trivial) protocol — which is why
+    path-inlining removes it almost entirely. *)
+
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+
+type t
+
+val create : Ns.Host_env.t -> Ns.Netdev.t -> ethertype:int -> t
+
+val add_route : t -> ip:int -> mac:int -> unit
+
+val set_resolver : t -> (int -> (int -> unit) -> unit) -> unit
+(** Fallback when no static route exists (typically {!Arp.resolve}): the
+    packet is sent when the resolver produces the MAC, and the binding is
+    cached as a route. *)
+
+val set_upper : t -> (src_mac:int -> Xk.Msg.t -> unit) -> unit
+(** Inbound handler (IP's demux); VNET registers itself with the driver. *)
+
+val push : t -> dst_ip:int -> Xk.Msg.t -> unit
+(** @raise Failure if no route is known for [dst_ip] and no resolver is
+    installed. *)

@@ -1,0 +1,72 @@
+type 'a entry = {
+  prio : float;
+  seq : int;
+  value : 'a;
+}
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable seq : int;
+}
+
+let create () = { data = [||]; len = 0; seq = 0 }
+
+let is_empty t = t.len = 0
+
+let size t = t.len
+
+let less a b = if a.prio = b.prio then a.seq < b.seq else a.prio < b.prio
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.data.(i) t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && less t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.len && less t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t prio value =
+  let entry = { prio; seq = t.seq; value } in
+  t.seq <- t.seq + 1;
+  if t.len >= Array.length t.data then begin
+    let cap = max 16 (2 * Array.length t.data) in
+    let data = Array.make cap entry in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  t.data.(t.len) <- entry;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let min_priority t = if t.len = 0 then None else Some t.data.(0).prio
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let clear t = t.len <- 0

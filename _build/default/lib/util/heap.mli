@@ -1,0 +1,20 @@
+(** Binary min-heap keyed by float priority, with stable ordering for equal
+    priorities (FIFO by insertion sequence). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+
+val min_priority : 'a t -> float option
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the entry with the smallest priority (earliest
+    insertion breaking ties). *)
+
+val clear : 'a t -> unit

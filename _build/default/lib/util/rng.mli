@@ -1,0 +1,25 @@
+(** Deterministic seeded PRNG (SplitMix64).  All experiment nondeterminism
+    flows through explicit [Rng.t] values so runs are reproducible. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes an independent generator. *)
+
+val next : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** Derive an independent generator (for per-sample streams). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

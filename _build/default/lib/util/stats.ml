@@ -1,0 +1,29 @@
+let mean = function
+  | [] -> invalid_arg "Stats.mean"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let n = float_of_int (List.length xs) in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. (n -. 1.0))
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max"
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
+
+let percent_slowdown slow fast = 100.0 *. (slow -. fast) /. fast
+
+type summary = {
+  mean : float;
+  stddev : float;
+  n : int;
+}
+
+let summarize xs = { mean = mean xs; stddev = stddev xs; n = List.length xs }
+
+let pp_summary fmt s = Format.fprintf fmt "%.1f±%.2f (n=%d)" s.mean s.stddev s.n

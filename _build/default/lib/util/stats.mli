@@ -1,0 +1,23 @@
+(** Sample statistics for experiment reporting. *)
+
+val mean : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val stddev : float list -> float
+(** Sample standard deviation (n-1 denominator); 0 for fewer than 2 points. *)
+
+val min_max : float list -> float * float
+(** @raise Invalid_argument on the empty list. *)
+
+val percent_slowdown : float -> float -> float
+(** [percent_slowdown slow fast] is [100 * (slow - fast) / fast]. *)
+
+type summary = {
+  mean : float;
+  stddev : float;
+  n : int;
+}
+
+val summarize : float list -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,89 @@
+type align =
+  | Left
+  | Right
+
+type row =
+  | Cells of string list
+  | Separator
+
+type t = {
+  title : string;
+  headers : string list;
+  mutable aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~title ~headers =
+  let aligns =
+    match headers with
+    | [] -> []
+    | _ :: rest -> Left :: List.map (fun _ -> Right) rest
+  in
+  { title; headers; aligns; rows = [] }
+
+let set_align t aligns = t.aligns <- aligns
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: width mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let all_cell_rows =
+    t.headers :: List.filter_map (function Cells c -> Some c | Separator -> None) rows
+  in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let note_row cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  List.iter note_row all_cell_rows;
+  let aligns = Array.of_list t.aligns in
+  let align_of i = if i < Array.length aligns then aligns.(i) else Right in
+  let render_cells cells =
+    cells
+    |> List.mapi (fun i c -> pad (align_of i) widths.(i) c)
+    |> String.concat "  "
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (2 * (ncols - 1))
+  in
+  let sep = String.make (max total_width (String.length t.title)) '-' in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_cells t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      (match row with
+      | Cells cells -> Buffer.add_string buf (render_cells cells)
+      | Separator -> Buffer.add_string buf sep);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_f ?(digits = 1) v = Printf.sprintf "%.*f" digits v
+
+let cell_pm ?(digits = 1) mean sd = Printf.sprintf "%.*f±%.2f" digits mean sd
+
+let cell_pct ?(digits = 1) v = Printf.sprintf "%+.*f" digits v

@@ -1,0 +1,33 @@
+(** Fixed-width plain-text tables, used by the benchmark harness to print the
+    paper's tables side by side with measured values. *)
+
+type align =
+  | Left
+  | Right
+
+type t
+
+val create : title:string -> headers:string list -> t
+
+val set_align : t -> align list -> unit
+(** Per-column alignment; default is [Left] for the first column and [Right]
+    for the rest. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header width. *)
+
+val add_separator : t -> unit
+
+val render : t -> string
+
+val print : t -> unit
+
+(** Formatting helpers for cells. *)
+
+val cell_f : ?digits:int -> float -> string
+
+val cell_pm : ?digits:int -> float -> float -> string
+(** [cell_pm mean sd] renders ["mean±sd"]. *)
+
+val cell_pct : ?digits:int -> float -> string
+(** Signed percentage, e.g. ["+12.9"]. *)

@@ -1,0 +1,61 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create ?capacity:_ () = { data = [||]; len = 0 }
+
+let length v = v.len
+
+let ensure v n needed_elt =
+  if n > Array.length v.data then begin
+    let cap = max 16 (max n (2 * Array.length v.data)) in
+    let data = Array.make cap needed_elt in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let push v x =
+  ensure v (v.len + 1) x;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get";
+  v.data.(i)
+
+let set v i x =
+  if i < 0 || i >= v.len then invalid_arg "Vec.set";
+  v.data.(i) <- x
+
+let clear v = v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let to_list v =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (v.data.(i) :: acc) in
+  go (v.len - 1) []
+
+let of_list xs =
+  let v = create () in
+  List.iter (push v) xs;
+  v
+
+let to_array v = Array.sub v.data 0 v.len
+
+let append dst src = iter (push dst) src

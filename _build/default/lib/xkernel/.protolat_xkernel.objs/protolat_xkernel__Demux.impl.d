@@ -1,0 +1,1 @@
+lib/xkernel/demux.ml: Map Meter

@@ -1,0 +1,1 @@
+lib/xkernel/demux.mli: Map Meter

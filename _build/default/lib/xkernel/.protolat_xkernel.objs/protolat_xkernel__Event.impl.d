@@ -1,0 +1,1 @@
+lib/xkernel/event.ml: Protolat_util

@@ -1,0 +1,1 @@
+lib/xkernel/map.ml: Array Char List Option String

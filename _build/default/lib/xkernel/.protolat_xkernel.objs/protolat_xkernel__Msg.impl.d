@@ -1,0 +1,1 @@
+lib/xkernel/msg.ml: Bytes Simmem String

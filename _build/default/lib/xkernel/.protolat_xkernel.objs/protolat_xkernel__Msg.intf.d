@@ -1,0 +1,1 @@
+lib/xkernel/msg.mli: Simmem

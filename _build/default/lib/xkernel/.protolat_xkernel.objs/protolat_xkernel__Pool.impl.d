@@ -1,0 +1,1 @@
+lib/xkernel/pool.ml: List Msg Simmem

@@ -1,0 +1,1 @@
+lib/xkernel/pool.mli: Msg Simmem

@@ -1,0 +1,1 @@
+lib/xkernel/simmem.mli:

@@ -1,0 +1,1 @@
+lib/xkernel/thread.ml: List Queue Simmem

@@ -1,0 +1,37 @@
+let lookup (m : Meter.t) ~inline ~caller map key =
+  m.Meter.block caller "map_cache";
+  if inline then begin
+    (* inlined cache test: call the general function only on a miss *)
+    match Map.resolve_detail map key with
+    | Some (v, `Cache_hit) -> Some v
+    | Some (_, `Probed) | None ->
+      (* the inlined test failed; fall into the general function, which
+         will probe (the cache was just refilled by resolve_detail, so we
+         must not consult it again — probe explicitly) *)
+      m.Meter.call caller "map_cache" 0;
+      Meter.fn m "map_resolve" (fun () ->
+          m.Meter.block "map_resolve" "entry";
+          m.Meter.block "map_resolve" "cache";
+          m.Meter.block "map_resolve" "probe";
+          m.Meter.cold ~triggered:false "map_resolve" "collision";
+          Map.resolve map key)
+  end
+  else begin
+    m.Meter.call caller "map_cache" 0;
+    Meter.fn m "map_resolve" (fun () ->
+        m.Meter.block "map_resolve" "entry";
+        let result = Map.resolve_detail map key in
+        m.Meter.block "map_resolve" "cache";
+        match result with
+        | Some (v, `Cache_hit) ->
+          m.Meter.cold ~triggered:false "map_resolve" "collision";
+          Some v
+        | Some (v, `Probed) ->
+          m.Meter.block "map_resolve" "probe";
+          m.Meter.cold ~triggered:false "map_resolve" "collision";
+          Some v
+        | None ->
+          m.Meter.block "map_resolve" "probe";
+          m.Meter.cold ~triggered:false "map_resolve" "collision";
+          None)
+  end

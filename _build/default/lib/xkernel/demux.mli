@@ -1,0 +1,10 @@
+(** Metered demultiplexing lookups with conditional inlining (§2.2.3).
+
+    With [inline] true, the one-entry-cache test runs inlined in the caller
+    (the caller's "map_cache" block) and the general [map_resolve] function
+    is entered only on a cache miss; with [inline] false every lookup calls
+    the general function.  Callers must have a "map_cache" block with a
+    call site 0 targeting "map_resolve" in their spec. *)
+
+val lookup :
+  Meter.t -> inline:bool -> caller:string -> 'v Map.t -> string -> 'v option

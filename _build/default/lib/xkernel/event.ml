@@ -1,0 +1,69 @@
+module Heap = Protolat_util.Heap
+
+type entry = {
+  mutable cancelled : bool;
+  mutable fired : bool;
+  fn : unit -> unit;
+}
+
+type t = {
+  heap : entry Heap.t;
+  mutable live : int;
+}
+
+type handle = t * entry
+
+let create () = { heap = Heap.create (); live = 0 }
+
+let register t ~at fn =
+  let e = { cancelled = false; fired = false; fn } in
+  Heap.push t.heap at e;
+  t.live <- t.live + 1;
+  ((t, e) : handle)
+
+let cancel ((t, e) : handle) =
+  if e.cancelled || e.fired then false
+  else begin
+    e.cancelled <- true;
+    t.live <- t.live - 1;
+    true
+  end
+
+let advance t now =
+  let fired = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Heap.min_priority t.heap with
+    | Some due when due <= now -> (
+      match Heap.pop t.heap with
+      | None -> continue := false
+      | Some (_, e) ->
+        if not e.cancelled then begin
+          e.fired <- true;
+          t.live <- t.live - 1;
+          incr fired;
+          e.fn ()
+        end)
+    | _ -> continue := false
+  done;
+  !fired
+
+let pending t = t.live
+
+let next_due t =
+  (* skip cancelled entries at the top *)
+  let rec go () =
+    match Heap.min_priority t.heap with
+    | None -> None
+    | Some due -> (
+      match Heap.pop t.heap with
+      | None -> None
+      | Some (_, e) ->
+        if e.cancelled then go ()
+        else begin
+          (* push back *)
+          Heap.push t.heap due e;
+          Some due
+        end)
+  in
+  go ()

@@ -1,0 +1,25 @@
+(** Timer event management (x-kernel EVENT interface).
+
+    The manager is driven by an external clock: protocols register events at
+    absolute times, and the owner (the network simulator or a test) calls
+    [advance] as simulated time progresses. *)
+
+type t
+
+type handle
+
+val create : unit -> t
+
+val register : t -> at:float -> (unit -> unit) -> handle
+(** Schedule a callback at absolute time [at] (microseconds). *)
+
+val cancel : handle -> bool
+(** [cancel h] returns [false] if the event already fired or was cancelled. *)
+
+val advance : t -> float -> int
+(** Fire all events due at or before the given time, in time order; returns
+    the number fired.  Callbacks may register further events. *)
+
+val pending : t -> int
+
+val next_due : t -> float option

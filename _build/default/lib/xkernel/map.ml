@@ -1,0 +1,165 @@
+type 'v bucket = {
+  mutable chain : (string * 'v) list;
+  mutable on_list : bool;
+  mutable next_nonempty : int;  (* -1 = end of list *)
+}
+
+type counters = {
+  resolves : int;
+  cache_hits : int;
+  key_compares : int;
+  buckets_scanned : int;
+}
+
+type 'v t = {
+  buckets : 'v bucket array;
+  mask : int;
+  mutable head : int;  (* head of the non-empty bucket list, -1 if none *)
+  mutable cache : (string * 'v) option;
+  mutable n : int;
+  mutable c_resolves : int;
+  mutable c_cache_hits : int;
+  mutable c_key_compares : int;
+  mutable c_buckets_scanned : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create ?(buckets = 256) () =
+  if not (is_pow2 buckets) then invalid_arg "Map.create: buckets must be 2^k";
+  { buckets =
+      Array.init buckets (fun _ ->
+          { chain = []; on_list = false; next_nonempty = -1 });
+    mask = buckets - 1;
+    head = -1;
+    cache = None;
+    n = 0;
+    c_resolves = 0;
+    c_cache_hits = 0;
+    c_key_compares = 0;
+    c_buckets_scanned = 0 }
+
+let bucket_count t = Array.length t.buckets
+
+let size t = t.n
+
+(* FNV-1a over the key bytes. *)
+let hash key =
+  let h = ref 0x811C9DC5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0x3FFFFFFF)
+    key;
+  !h
+
+let index t key = hash key land t.mask
+
+let push_nonempty t i =
+  let b = t.buckets.(i) in
+  if not b.on_list then begin
+    b.on_list <- true;
+    b.next_nonempty <- t.head;
+    t.head <- i
+  end
+
+let bind t key v =
+  let i = index t key in
+  let b = t.buckets.(i) in
+  let existed = List.mem_assoc key b.chain in
+  if existed then b.chain <- (key, v) :: List.remove_assoc key b.chain
+  else begin
+    b.chain <- (key, v) :: b.chain;
+    t.n <- t.n + 1
+  end;
+  push_nonempty t i;
+  (match t.cache with
+  | Some (k, _) when String.equal k key -> t.cache <- Some (key, v)
+  | _ -> ())
+
+let unbind t key =
+  let i = index t key in
+  let b = t.buckets.(i) in
+  if List.mem_assoc key b.chain then begin
+    b.chain <- List.remove_assoc key b.chain;
+    t.n <- t.n - 1;
+    (* lazy: the bucket stays on the non-empty list even if now empty *)
+    (match t.cache with
+    | Some (k, _) when String.equal k key -> t.cache <- None
+    | _ -> ());
+    true
+  end
+  else false
+
+let resolve_detail t key =
+  t.c_resolves <- t.c_resolves + 1;
+  match t.cache with
+  | Some (k, v) when (t.c_key_compares <- t.c_key_compares + 1;
+                      String.equal k key) ->
+    t.c_cache_hits <- t.c_cache_hits + 1;
+    Some (v, `Cache_hit)
+  | _ ->
+    let b = t.buckets.(index t key) in
+    let rec find = function
+      | [] -> None
+      | (k, v) :: rest ->
+        t.c_key_compares <- t.c_key_compares + 1;
+        if String.equal k key then Some v else find rest
+    in
+    (match find b.chain with
+    | Some v ->
+      t.cache <- Some (key, v);
+      Some (v, `Probed)
+    | None -> None)
+
+let resolve t key = Option.map fst (resolve_detail t key)
+
+let traverse t f =
+  (* Walk the non-empty list; unlink buckets found empty (lazy cleanup). *)
+  let prev = ref (-1) in
+  let cur = ref t.head in
+  while !cur >= 0 do
+    let b = t.buckets.(!cur) in
+    t.c_buckets_scanned <- t.c_buckets_scanned + 1;
+    let next = b.next_nonempty in
+    if b.chain = [] then begin
+      (* unlink *)
+      b.on_list <- false;
+      b.next_nonempty <- -1;
+      if !prev < 0 then t.head <- next
+      else t.buckets.(!prev).next_nonempty <- next
+    end
+    else begin
+      List.iter (fun (k, v) -> f k v) b.chain;
+      prev := !cur
+    end;
+    cur := next
+  done
+
+let traverse_all_buckets t f =
+  Array.iter
+    (fun b ->
+      t.c_buckets_scanned <- t.c_buckets_scanned + 1;
+      List.iter (fun (k, v) -> f k v) b.chain)
+    t.buckets
+
+let nonempty_list_length t =
+  let n = ref 0 in
+  let cur = ref t.head in
+  while !cur >= 0 do
+    incr n;
+    cur := t.buckets.(!cur).next_nonempty
+  done;
+  !n
+
+let counters t =
+  { resolves = t.c_resolves;
+    cache_hits = t.c_cache_hits;
+    key_compares = t.c_key_compares;
+    buckets_scanned = t.c_buckets_scanned }
+
+let reset_counters t =
+  t.c_resolves <- 0;
+  t.c_cache_hits <- 0;
+  t.c_key_compares <- 0;
+  t.c_buckets_scanned <- 0

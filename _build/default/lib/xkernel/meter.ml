@@ -1,0 +1,60 @@
+type range = {
+  base : int;
+  off : int;
+  len : int;
+}
+
+type t = {
+  enter : string -> unit;
+  leave : string -> unit;
+  block : ?reads:range list -> ?writes:range list -> string -> string -> unit;
+  cold :
+    ?reads:range list ->
+    ?writes:range list ->
+    triggered:bool ->
+    string ->
+    string ->
+    unit;
+  call : string -> string -> int -> unit;
+}
+
+let null =
+  { enter = (fun _ -> ());
+    leave = (fun _ -> ());
+    block = (fun ?reads:_ ?writes:_ _ _ -> ());
+    cold = (fun ?reads:_ ?writes:_ ~triggered:_ _ _ -> ());
+    call = (fun _ _ _ -> ()) }
+
+let fn m name k =
+  m.enter name;
+  match k () with
+  | r ->
+    m.leave name;
+    r
+  | exception e ->
+    m.leave name;
+    raise e
+
+let range ~base ?(off = 0) ~len () = { base; off; len }
+
+let both a b =
+  { enter =
+      (fun f ->
+        a.enter f;
+        b.enter f);
+    leave =
+      (fun f ->
+        a.leave f;
+        b.leave f);
+    block =
+      (fun ?reads ?writes f blk ->
+        a.block ?reads ?writes f blk;
+        b.block ?reads ?writes f blk);
+    cold =
+      (fun ?reads ?writes ~triggered f blk ->
+        a.cold ?reads ?writes ~triggered f blk;
+        b.cold ?reads ?writes ~triggered f blk);
+    call =
+      (fun f blk i ->
+        a.call f blk i;
+        b.call f blk i) }

@@ -1,0 +1,45 @@
+(** Instrumentation interface between protocol code and the machine model.
+
+    Protocol implementations do real work (parse headers, update state,
+    compute checksums) and, through a meter, report which modeled basic
+    blocks that work corresponds to.  The execution engine's meter turns
+    these reports into an instruction/data trace positioned according to the
+    current code image; the {!null} meter discards them, so the stacks can
+    run standalone. *)
+
+type range = {
+  base : int;  (** simulated address of the object *)
+  off : int;
+  len : int;  (** bytes touched *)
+}
+
+type t = {
+  enter : string -> unit;  (** function entry: emits the prologue *)
+  leave : string -> unit;  (** function exit: emits the epilogue + ret *)
+  block :
+    ?reads:range list -> ?writes:range list -> string -> string -> unit;
+      (** [block f b] executes hot block [b] of function [f] *)
+  cold :
+    ?reads:range list ->
+    ?writes:range list ->
+    triggered:bool ->
+    string ->
+    string ->
+    unit;
+      (** [cold ~triggered f b] reaches the guard of cold block [b]; when
+          [triggered] the cold code itself also executes *)
+  call : string -> string -> int -> unit;
+      (** [call f b i]: the [i]-th call site at the end of block [b] *)
+}
+
+val null : t
+
+val fn : t -> string -> (unit -> 'a) -> 'a
+(** [fn m name k]: bracket [k] with [enter]/[leave] (the epilogue is emitted
+    even if [k] raises). *)
+
+val range : base:int -> ?off:int -> len:int -> unit -> range
+
+(** Compose: send every report to both meters (used to cross-check traces
+    in tests). *)
+val both : t -> t -> t

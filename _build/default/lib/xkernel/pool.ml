@@ -1,0 +1,32 @@
+type t = {
+  sim : Simmem.t;
+  shortcircuit : bool;
+  mutable free : Msg.t list;
+  mutable reused : int;
+  mutable reallocated : int;
+}
+
+let create sim ?(shortcircuit = true) ~buffers ~size () =
+  let free = List.init buffers (fun _ -> Msg.alloc sim size) in
+  { sim; shortcircuit; free; reused = 0; reallocated = 0 }
+
+let available t = List.length t.free
+
+let get t =
+  match t.free with
+  | [] -> failwith "Pool.get: exhausted"
+  | m :: rest ->
+    t.free <- rest;
+    m
+
+let put t m =
+  let outcome = Msg.refresh ~shortcircuit:t.shortcircuit t.sim m in
+  (match outcome with
+  | Msg.Reused -> t.reused <- t.reused + 1
+  | Msg.Reallocated -> t.reallocated <- t.reallocated + 1);
+  t.free <- m :: t.free;
+  outcome
+
+let reused t = t.reused
+
+let reallocated t = t.reallocated

@@ -1,0 +1,23 @@
+(** Preallocated message-buffer pools for interrupt handlers (§2.2.2).
+
+    Incoming packets are received into buffers taken from the pool; after
+    protocol processing the buffer is refreshed and returned.  The refresh
+    short-circuit avoids the free()/malloc() pair whenever the buffer holds
+    the sole remaining reference. *)
+
+type t
+
+val create : Simmem.t -> ?shortcircuit:bool -> buffers:int -> size:int -> unit -> t
+
+val available : t -> int
+
+val get : t -> Msg.t
+(** @raise Failure when the pool is exhausted. *)
+
+val put : t -> Msg.t -> Msg.refresh_outcome
+(** Refresh the buffer (short-circuiting if enabled) and return it to the
+    pool; reports whether the free()/malloc() pair was short-circuited. *)
+
+val reused : t -> int
+
+val reallocated : t -> int

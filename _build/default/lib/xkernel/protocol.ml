@@ -1,0 +1,53 @@
+type node = {
+  name : string;
+  role : string;
+}
+
+type t = {
+  title : string;
+  nodes : node list;
+}
+
+let make title nodes = { title; nodes }
+
+let title t = t.title
+
+let names t = List.map (fun n -> n.name) t.nodes
+
+let box_width t =
+  List.fold_left (fun w n -> max w (String.length n.name)) 8 t.nodes + 2
+
+let render_lines t =
+  let w = box_width t in
+  let border = "+" ^ String.make w '-' ^ "+" in
+  let center s =
+    let pad = w - String.length s in
+    let l = pad / 2 in
+    "|" ^ String.make l ' ' ^ s ^ String.make (pad - l) ' ' ^ "|"
+  in
+  let lines =
+    List.concat_map (fun n -> [ border; center n.name ]) t.nodes @ [ border ]
+  in
+  let header =
+    let pad = max 0 (w + 2 - String.length t.title) in
+    let l = pad / 2 in
+    String.make l ' ' ^ t.title ^ String.make (pad - l) ' '
+  in
+  header :: lines
+
+let render t = String.concat "\n" (render_lines t) ^ "\n"
+
+let render_pair a b =
+  let la = render_lines a and lb = render_lines b in
+  let wa =
+    List.fold_left (fun w s -> max w (String.length s)) 0 la
+  in
+  let rec zip xs ys acc =
+    match (xs, ys) with
+    | [], [] -> List.rev acc
+    | x :: xs', y :: ys' ->
+      zip xs' ys' ((x ^ String.make (wa - String.length x + 6) ' ' ^ y) :: acc)
+    | x :: xs', [] -> zip xs' [] (x :: acc)
+    | [], y :: ys' -> zip [] ys' ((String.make (wa + 6) ' ' ^ y) :: acc)
+  in
+  String.concat "\n" (zip la lb []) ^ "\n"

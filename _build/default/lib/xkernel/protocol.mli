@@ -1,0 +1,25 @@
+(** Protocol-graph description and rendering (Figure 1).
+
+    The concrete protocols are ordinary modules wired explicitly by their
+    stack constructors; this module carries the common vocabulary: a named
+    node per protocol and the stacking order, rendered for Figure 1. *)
+
+type node = {
+  name : string;
+  role : string;  (** one-line description shown beside the box *)
+}
+
+type t
+
+val make : string -> node list -> t
+(** [make title nodes] describes a stack, top protocol first. *)
+
+val title : t -> string
+
+val names : t -> string list
+
+val render : t -> string
+(** ASCII box diagram, top to bottom. *)
+
+val render_pair : t -> t -> string
+(** Two stacks side by side, as in Figure 1. *)

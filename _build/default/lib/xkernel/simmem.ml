@@ -1,0 +1,12 @@
+type t = { mutable cursor : int }
+
+let create ?(base = 0x1000_0000) () = { cursor = base }
+
+let alloc t ?(align = 8) bytes =
+  let addr = (t.cursor + align - 1) / align * align in
+  t.cursor <- addr + bytes;
+  addr
+
+let cursor t = t.cursor
+
+let bump t bytes = t.cursor <- t.cursor + bytes

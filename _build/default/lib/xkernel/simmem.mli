@@ -1,0 +1,21 @@
+(** Simulated data-address space.
+
+    Protocol objects (connection state, message buffers, hash tables,
+    stacks) are given stable addresses in a modeled heap so that the d-cache
+    simulator sees realistic reference streams.  A bump allocator suffices:
+    the x-kernel test configuration never frees during the measured path. *)
+
+type t
+
+val create : ?base:int -> unit -> t
+(** Default base is 0x1000_0000, far from any code region. *)
+
+val alloc : t -> ?align:int -> int -> int
+(** [alloc t bytes] returns the address of a fresh region.  Default
+    alignment is 8 (Alpha natural alignment for pointers/longs). *)
+
+val cursor : t -> int
+
+val bump : t -> int -> unit
+(** Advance the cursor by [bytes]: models allocation noise between samples
+    (differing startup free-list states, §4.4). *)

@@ -1,0 +1,95 @@
+module Stack_pool = struct
+  type stack = {
+    id : int;
+    addr : int;
+    bytes : int;
+  }
+
+  type t = {
+    sim : Simmem.t;
+    stack_bytes : int;
+    mutable free : stack list; (* LIFO *)
+    mutable created : int;
+    mutable reuses : int;
+  }
+
+  let create sim ?(stack_bytes = 8192) () =
+    { sim; stack_bytes; free = []; created = 0; reuses = 0 }
+
+  let acquire t =
+    match t.free with
+    | s :: rest ->
+      t.free <- rest;
+      t.reuses <- t.reuses + 1;
+      s
+    | [] ->
+      let s =
+        { id = t.created;
+          addr = Simmem.alloc t.sim t.stack_bytes;
+          bytes = t.stack_bytes }
+      in
+      t.created <- t.created + 1;
+      s
+
+  let release t s = t.free <- s :: t.free
+
+  let created t = t.created
+
+  let reuses t = t.reuses
+end
+
+type cont = unit -> unit
+
+type t = {
+  pool : Stack_pool.t;
+  queue : (string * cont) Queue.t;
+  mutable running : Stack_pool.stack option;
+  mutable dispatches : int;
+}
+
+let create pool =
+  { pool; queue = Queue.create (); running = None; dispatches = 0 }
+
+let spawn t ?(name = "thread") f = Queue.add (name, f) t.queue
+
+let run t =
+  let n = ref 0 in
+  while not (Queue.is_empty t.queue) do
+    let _, f = Queue.take t.queue in
+    let stack = Stack_pool.acquire t.pool in
+    t.running <- Some stack;
+    t.dispatches <- t.dispatches + 1;
+    incr n;
+    (try f ()
+     with e ->
+       t.running <- None;
+       Stack_pool.release t.pool stack;
+       raise e);
+    t.running <- None;
+    Stack_pool.release t.pool stack
+  done;
+  !n
+
+let pending t = Queue.length t.queue
+
+let current_stack t = t.running
+
+let dispatches t = t.dispatches
+
+module Condition = struct
+  type 'a t = { mutable waiting : ('a -> unit) list (* FIFO: append *) }
+
+  let create () = { waiting = [] }
+
+  let wait c k = c.waiting <- c.waiting @ [ k ]
+
+  let signal sched c v =
+    match c.waiting with
+    | [] -> false
+    | k :: rest ->
+      c.waiting <- rest;
+      spawn sched ~name:"signaled" (fun () -> k v);
+      true
+
+  let waiters c = List.length c.waiting
+end

@@ -1,0 +1,74 @@
+(** Continuation-based thread manager with first-class stacks (§2.2.1).
+
+    The paper's d-cache optimization: stacks are detached from threads and
+    managed LIFO, so latency-sensitive path invocations normally run on the
+    same (cached) stack; blocking is expressed as a continuation, which
+    frees the stack for the next runnable thread.
+
+    A continuation runs to completion on a stack borrowed from the pool and
+    returns the stack when it finishes or blocks. *)
+
+module Stack_pool : sig
+  type t
+
+  type stack = {
+    id : int;
+    addr : int;  (** simulated base address, for d-cache modeling *)
+    bytes : int;
+  }
+
+  val create : Simmem.t -> ?stack_bytes:int -> unit -> t
+
+  val acquire : t -> stack
+  (** LIFO: the most recently released stack is handed out first. *)
+
+  val release : t -> stack -> unit
+
+  val created : t -> int
+  (** Stacks ever allocated. *)
+
+  val reuses : t -> int
+  (** Acquisitions served from the free list. *)
+end
+
+type t
+(** A scheduler. *)
+
+type cont = unit -> unit
+
+val create : Stack_pool.t -> t
+
+val spawn : t -> ?name:string -> cont -> unit
+(** Enqueue a runnable continuation. *)
+
+val run : t -> int
+(** Run continuations until the queue drains; returns the number run.
+    Each continuation executes with a stack attached (LIFO reuse). *)
+
+val pending : t -> int
+(** Continuations waiting in the run queue. *)
+
+val current_stack : t -> Stack_pool.stack option
+(** The stack of the continuation currently executing (None outside
+    [run]). *)
+
+val dispatches : t -> int
+
+(** Condition variables carrying a value to the blocked continuation. *)
+module Condition : sig
+  type t'
+
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val wait : 'a t -> ('a -> unit) -> unit
+  (** Register the continuation to run when the condition is signaled. *)
+
+  val signal : t' -> 'a t -> 'a -> bool
+  (** [signal sched c v] moves one waiter (FIFO) to the run queue; returns
+      [false] if nobody was waiting. *)
+
+  val waiters : 'a t -> int
+end
+with type t' := t

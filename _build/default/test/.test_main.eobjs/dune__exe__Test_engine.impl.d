@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Float Hashtbl List Option Printf Protolat Protolat_layout Protolat_machine Protolat_tcpip Protolat_util QCheck QCheck_alcotest String

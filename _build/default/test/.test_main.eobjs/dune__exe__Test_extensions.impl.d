@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Buffer Bytes Char List Printf Protolat Protolat_machine Protolat_netsim Protolat_rpc Protolat_tcpip Protolat_util Protolat_xkernel QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array List Protolat_layout Protolat_machine

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_engine Test_extensions Test_layout Test_machine Test_netsim Test_rpc Test_tcpip Test_util Test_xkernel

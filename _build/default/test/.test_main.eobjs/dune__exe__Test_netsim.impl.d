@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Bytes Float Protolat_netsim Protolat_xkernel

@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Bytes Char List Protolat_netsim Protolat_rpc Protolat_xkernel QCheck QCheck_alcotest String

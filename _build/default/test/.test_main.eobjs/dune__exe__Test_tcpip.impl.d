@@ -1,0 +1,1 @@
+test/test_tcpip.ml: Alcotest Bytes Char List Printf Protolat_netsim Protolat_tcpip Protolat_xkernel QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_xkernel.ml: Alcotest Bytes Hashtbl List Protolat_xkernel QCheck QCheck_alcotest String

@@ -1,0 +1,260 @@
+module L = Protolat_layout
+module Instr = Protolat_machine.Instr
+module Block = L.Block
+module Func = L.Func
+module Image = L.Image
+module Strategy = L.Strategy
+
+let hot id n = Func.item (Block.make ~id ~kind:Block.Hot (Instr.vec ~alu:n ()))
+
+let hot_calls id n calls =
+  Func.item ~callees:calls (Block.make ~id ~kind:Block.Hot (Instr.vec ~alu:n ()))
+
+let cold id n =
+  Func.item (Block.make ~id ~kind:Block.Error (Instr.vec ~alu:n ()))
+
+let f1 () = Func.make ~name:"f1" [ hot "a" 10; cold "e" 6; hot "b" 8 ]
+
+let f2 () =
+  Func.make ~name:"f2" ~cat:Func.Library [ hot_calls "m" 12 [ "f1" ] ]
+
+let test_static_counts () =
+  let f = f1 () in
+  (* pro 5 + epi 4+1ret + 10 + guard 1 + 6 + 8 = 35 *)
+  Alcotest.(check int) "static" 35 (Func.static_instrs f);
+  (* hot drops the cold body but keeps the guard *)
+  Alcotest.(check int) "hot" 29 (Func.hot_instrs f);
+  Alcotest.(check (list string)) "callees" [ "f1" ] (Func.callees (f2 ()))
+
+let test_image_std_layout () =
+  let img = Image.build [ (Image.single (f1 ()), 0x1000) ] in
+  (* inline cold: guard then cold body then next hot *)
+  let addr key =
+    match Image.find img ~func:"f1" ~key with
+    | Image.Slot s -> s.Image.addr
+    | _ -> Alcotest.fail ("missing " ^ key)
+  in
+  let a = addr (Image.Key.hot "a") in
+  let g = addr (Image.Key.guard "e") in
+  let c = addr (Image.Key.cold "e") in
+  let b = addr (Image.Key.hot "b") in
+  Alcotest.(check bool) "order a<g<c<b" true (a < g && g < c && c < b)
+
+let test_image_outlined_layout () =
+  let img = Image.build [ (Image.single ~outlined:true (f1 ()), 0x1000) ] in
+  let addr key =
+    match Image.find img ~func:"f1" ~key with
+    | Image.Slot s -> s.Image.addr
+    | _ -> Alcotest.fail ("missing " ^ key)
+  in
+  (* outlined: cold body moves behind the epilogue *)
+  Alcotest.(check bool) "cold after epi" true
+    (addr (Image.Key.cold "e") > addr Image.Key.epi);
+  Alcotest.(check bool) "hot b before epi" true
+    (addr (Image.Key.hot "b") < addr Image.Key.epi);
+  (match Image.find img ~func:"f1" ~key:(Image.Key.guard "e") with
+  | Image.Slot s ->
+    Alcotest.(check bool) "guard marked outlined" true s.Image.cold_outlined
+  | _ -> Alcotest.fail "no guard")
+
+let test_separate_cold_region () =
+  let u = Image.single ~outlined:true ~separate_cold:true (f1 ()) in
+  let img = Image.build [ (u, 0x1000) ] in
+  (match Image.find img ~func:"f1" ~key:(Image.Key.cold "e") with
+  | Image.Slot s ->
+    (* the shared cold region lies beyond the unit *)
+    Alcotest.(check bool) "cold far away" true
+      (s.Image.addr > 0x1000 + Image.size_bytes u)
+  | _ -> Alcotest.fail "cold missing");
+  Alcotest.(check bool) "unit size excludes cold" true
+    (Image.size_bytes u < Image.size_bytes (Image.single ~outlined:true (f1 ())));
+  Alcotest.(check bool) "cold_size positive" true (Image.cold_size_bytes u > 0)
+
+let test_fused_elision () =
+  let img =
+    Image.build
+      [ (Image.fused ~name:"chain" [ f2 (); f1 () ], 0x1000) ]
+  in
+  (* interior call from f2 to f1 is elided, as are f2's epilogue and f1's
+     prologue *)
+  Alcotest.(check bool) "stub elided" true
+    (Image.find img ~func:"f2" ~key:(Image.Key.stub "m" 0) = Image.Elided);
+  Alcotest.(check bool) "f2 epi elided" true
+    (Image.find img ~func:"f2" ~key:Image.Key.epi = Image.Elided);
+  Alcotest.(check bool) "f1 pro elided" true
+    (Image.find img ~func:"f1" ~key:Image.Key.pro = Image.Elided);
+  (* first prologue and last epilogue remain *)
+  (match Image.find img ~func:"f2" ~key:Image.Key.pro with
+  | Image.Slot _ -> ()
+  | _ -> Alcotest.fail "f2 pro should exist");
+  match Image.find img ~func:"f1" ~key:Image.Key.epi with
+  | Image.Slot _ -> ()
+  | _ -> Alcotest.fail "f1 epi should exist"
+
+let test_inline_shrink () =
+  let big =
+    Func.make ~name:"big" ~inline_shrink_pct:50
+      [ Func.item (Block.make ~id:"h" ~kind:Block.Hot (Instr.vec ~alu:100 ())) ]
+  in
+  let alone = Image.single big in
+  let inlined = Image.fused ~name:"c" [ f2 (); big ] in
+  Alcotest.(check bool) "shrink reduces size" true
+    (Image.size_bytes inlined
+    < Image.size_bytes (Image.single (f2 ())) + Image.size_bytes alone)
+
+let test_overlap_rejected () =
+  let u1 = Image.single (f1 ()) and u2 = Image.single (f2 ()) in
+  Alcotest.(check bool) "overlap raises" true
+    (try
+       ignore (Image.build [ (u1, 0x1000); (u2, 0x1004) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_duplicate_function_rejected () =
+  Alcotest.(check bool) "duplicate raises" true
+    (try
+       ignore
+         (Image.build
+            [ (Image.single (f1 ()), 0x1000); (Image.single (f1 ()), 0x8000) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_specialized_stub () =
+  let caller =
+    Func.make ~name:"caller" [ hot_calls "m" 5 [ "f1" ] ]
+  in
+  let plain = Image.build [ (Image.single caller, 0x1000) ] in
+  let spec =
+    Image.build
+      [ (Image.single ~specialize:true ~intra_calls:[ "f1" ] caller, 0x1000) ]
+  in
+  let stub img =
+    match Image.find img ~func:"caller" ~key:(Image.Key.stub "m" 0) with
+    | Image.Slot s -> Array.length s.Image.instrs
+    | _ -> Alcotest.fail "stub missing"
+  in
+  Alcotest.(check int) "plain stub = load+jsr" 2 (stub plain);
+  Alcotest.(check int) "specialized stub = bsr" 1 (stub spec)
+
+let test_dilution_footprint () =
+  let f =
+    Func.make ~name:"d"
+      [ Func.item (Block.make ~id:"h" ~kind:Block.Hot (Instr.vec ~alu:100 ())) ]
+  in
+  let dense = Image.single f in
+  let diluted = Image.single ~dilution_pct:30 f in
+  Alcotest.(check bool) "dilution grows footprint" true
+    (Image.size_bytes diluted > Image.size_bytes dense);
+  let img = Image.build [ (diluted, 0x1000) ] in
+  match Image.find img ~func:"d" ~key:(Image.Key.hot "h") with
+  | Image.Slot s ->
+    let n = Array.length s.Image.pcs in
+    Alcotest.(check bool) "pcs stretched" true
+      (s.Image.pcs.(n - 1) - s.Image.pcs.(0) > 4 * (n - 1))
+  | _ -> Alcotest.fail "missing block"
+
+(* ----- strategies ----------------------------------------------------------- *)
+
+let units () =
+  [ Image.single (f1 ());
+    Image.single (f2 ());
+    Image.single
+      (Func.make ~name:"f3" [ hot "x" 40 ]) ]
+
+let no_overlap placement =
+  let extents =
+    List.map (fun (u, a) -> (a, a + Image.size_bytes u)) placement
+    |> List.sort compare
+  in
+  let rec go = function
+    | (_, e) :: ((s, _) :: _ as rest) -> e <= s && go rest
+    | _ -> true
+  in
+  go extents
+
+let test_link_order_dense () =
+  let p = Strategy.link_order ~base:0x1000 (units ()) in
+  Alcotest.(check bool) "no overlap" true (no_overlap p);
+  Alcotest.(check bool) "small gaps" true (Strategy.gaps p < 32 * 3)
+
+let test_bipartite_partition () =
+  let icache = 8192 in
+  let p =
+    Strategy.bipartite ~base:0x10000 ~icache_bytes:icache
+      ~order:[ "f1"; "f2"; "f3" ] (units ())
+  in
+  Alcotest.(check bool) "no overlap" true (no_overlap p);
+  (* the library unit (f2) must not share i-cache sets with path units *)
+  let sets (u, a) =
+    let size = Image.size_bytes u in
+    List.init ((size + 31) / 32) (fun k -> (a / 32 + k) mod (icache / 32))
+  in
+  let lib, path =
+    List.partition (fun (u, _) -> Image.unit_name u = "f2") p
+  in
+  let lib_sets = List.concat_map sets lib in
+  let path_sets = List.concat_map sets path in
+  Alcotest.(check bool) "partitions disjoint" true
+    (not (List.exists (fun s -> List.mem s path_sets) lib_sets))
+
+let test_pessimal_same_offset () =
+  let p =
+    Strategy.pessimal ~base:0x10000 ~icache_bytes:8192
+      ~bcache_bytes:(2 * 1024 * 1024) ~bconflict_every:0 (units ())
+  in
+  let offsets = List.map (fun (_, a) -> a mod 8192) p in
+  List.iter
+    (fun o -> Alcotest.(check int) "same i-cache offset" (List.hd offsets) o)
+    offsets
+
+let test_micro_no_overlap () =
+  let p =
+    Strategy.micro_position ~base:0x10000 ~icache_bytes:8192 ~block_bytes:32
+      ~ref_seq:[ "f1"; "f2"; "f1"; "f3"; "f2" ] (units ())
+  in
+  Alcotest.(check bool) "no overlap" true (no_overlap p)
+
+let test_icache_pressure () =
+  let img =
+    Image.build
+      [ (Image.single (f1 ()), 0x10000);
+        (Image.single (f2 ()), 0x10000 + 8192) ]
+  in
+  let pressure =
+    L.Layout_stats.icache_pressure img ~icache_bytes:8192 ~block_bytes:32
+  in
+  (* both functions start at set 0: pressure there is 2 *)
+  Alcotest.(check int) "conflicting set" 2 pressure.(0);
+  Alcotest.(check int) "empty set" 0 pressure.(128)
+
+let test_pessimal_gaps_positive () =
+  let p =
+    Strategy.pessimal ~base:0x10000 ~icache_bytes:8192
+      ~bcache_bytes:(2 * 1024 * 1024) ~bconflict_every:0 (units ())
+  in
+  Alcotest.(check bool) "pessimal wastes address space" true
+    (Strategy.gaps p > 8192)
+
+let extra_suite =
+  [ Alcotest.test_case "icache pressure" `Quick test_icache_pressure;
+    Alcotest.test_case "pessimal gaps" `Quick test_pessimal_gaps_positive ]
+
+let suite =
+  ( "layout",
+    [ Alcotest.test_case "static counts" `Quick test_static_counts;
+      Alcotest.test_case "inline-cold layout" `Quick test_image_std_layout;
+      Alcotest.test_case "outlined layout" `Quick test_image_outlined_layout;
+      Alcotest.test_case "separate cold region" `Quick test_separate_cold_region;
+      Alcotest.test_case "fused elision" `Quick test_fused_elision;
+      Alcotest.test_case "inline shrink" `Quick test_inline_shrink;
+      Alcotest.test_case "overlap rejected" `Quick test_overlap_rejected;
+      Alcotest.test_case "duplicate rejected" `Quick
+        test_duplicate_function_rejected;
+      Alcotest.test_case "specialized stub" `Quick test_specialized_stub;
+      Alcotest.test_case "dilution footprint" `Quick test_dilution_footprint;
+      Alcotest.test_case "link order dense" `Quick test_link_order_dense;
+      Alcotest.test_case "bipartite partition" `Quick test_bipartite_partition;
+      Alcotest.test_case "pessimal offsets" `Quick test_pessimal_same_offset;
+      Alcotest.test_case "micro no overlap" `Quick test_micro_no_overlap ]
+    @ extra_suite )
+

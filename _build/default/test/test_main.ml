@@ -1,0 +1,11 @@
+let () =
+  Alcotest.run "protolat"
+    [ Test_util.suite;
+      Test_machine.suite;
+      Test_layout.suite;
+      Test_xkernel.suite;
+      Test_netsim.suite;
+      Test_tcpip.suite;
+      Test_rpc.suite;
+      Test_extensions.suite;
+      Test_engine.suite ]

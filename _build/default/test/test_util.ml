@@ -1,0 +1,128 @@
+module Vec = Protolat_util.Vec
+module Heap = Protolat_util.Heap
+module Rng = Protolat_util.Rng
+module Stats = Protolat_util.Stats
+module Table = Protolat_util.Table
+
+let test_vec_basics () =
+  let v = Vec.create () in
+  Alcotest.(check int) "empty" 0 (Vec.length v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Vec.set v 42 (-1);
+  Alcotest.(check int) "set" (-1) (Vec.get v 42);
+  Alcotest.check_raises "oob" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v 100))
+
+let test_vec_append_clear () =
+  let a = Vec.of_list [ 1; 2; 3 ] and b = Vec.of_list [ 4; 5 ] in
+  Vec.append a b;
+  Alcotest.(check (list int)) "append" [ 1; 2; 3; 4; 5 ] (Vec.to_list a);
+  Vec.clear a;
+  Alcotest.(check int) "clear" 0 (Vec.length a)
+
+let prop_vec_roundtrip =
+  QCheck.Test.make ~name:"vec of_list/to_list roundtrip" ~count:100
+    QCheck.(list int)
+    (fun l -> Vec.to_list (Vec.of_list l) = l)
+
+let prop_vec_to_array =
+  QCheck.Test.make ~name:"vec to_array matches list" ~count:100
+    QCheck.(list int)
+    (fun l -> Array.to_list (Vec.to_array (Vec.of_list l)) = l)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun (p, x) -> Heap.push h p x)
+    [ (3.0, "c"); (1.0, "a"); (2.0, "b"); (1.0, "a2") ];
+  let drain () =
+    let rec go acc =
+      match Heap.pop h with
+      | None -> List.rev acc
+      | Some (_, x) -> go (x :: acc)
+    in
+    go []
+  in
+  (* equal priorities come out in insertion order *)
+  Alcotest.(check (list string)) "order" [ "a"; "a2"; "b"; "c" ] (drain ())
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in priority order" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.0))
+    (fun ps ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.push h p p) ps;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare ps)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 17 in
+    if x < 0 || x >= 17 then Alcotest.fail "out of bounds"
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int") (fun () ->
+      ignore (Rng.int r 0))
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 3 in
+  let a = Array.init 50 Fun.id in
+  let b = Array.copy a in
+  Rng.shuffle r b;
+  Alcotest.(check bool) "permutation" true
+    (List.sort compare (Array.to_list b) = Array.to_list a)
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev" 1.0 (Stats.stddev [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev single" 0.0 (Stats.stddev [ 5.0 ]);
+  let lo, hi = Stats.min_max [ 3.0; 1.0; 2.0 ] in
+  Alcotest.(check (float 1e-9)) "min" 1.0 lo;
+  Alcotest.(check (float 1e-9)) "max" 3.0 hi;
+  Alcotest.(check (float 1e-9)) "slowdown" 50.0
+    (Stats.percent_slowdown 150.0 100.0)
+
+let test_table_render () =
+  let t = Table.create ~title:"T" ~headers:[ "a"; "b" ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_separator t;
+  Table.add_row t [ "yy"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0);
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Table.add_row: width mismatch") (fun () ->
+      Table.add_row t [ "only-one" ])
+
+let test_table_cells () =
+  Alcotest.(check string) "pm" "1.5±0.25" (Table.cell_pm 1.5 0.25);
+  Alcotest.(check string) "pct" "+12.9" (Table.cell_pct 12.94);
+  Alcotest.(check string) "f" "3.14" (Table.cell_f ~digits:2 3.14159)
+
+let suite =
+  ( "util",
+    [ Alcotest.test_case "vec basics" `Quick test_vec_basics;
+      Alcotest.test_case "vec append/clear" `Quick test_vec_append_clear;
+      QCheck_alcotest.to_alcotest prop_vec_roundtrip;
+      QCheck_alcotest.to_alcotest prop_vec_to_array;
+      Alcotest.test_case "heap order" `Quick test_heap_order;
+      QCheck_alcotest.to_alcotest prop_heap_sorted;
+      Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+      Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+      Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutes;
+      Alcotest.test_case "stats" `Quick test_stats;
+      Alcotest.test_case "table render" `Quick test_table_render;
+      Alcotest.test_case "table cells" `Quick test_table_cells ] )
