@@ -3,7 +3,12 @@
    microbenchmarks of the core data structures — including the §2.2.1
    hash-table traversal comparison, which is a genuine wall-clock claim.
 
-   Usage:  dune exec bench/main.exe [-- quick] [-- only tableN|figures|micro]  *)
+   Usage:  dune exec bench/main.exe -- [quick] [only tableN|figures|micro]
+                                       [-j N | --jobs N] [json] [rev=ID]
+
+   [json] switches to perf-trajectory mode: instead of printing tables it
+   times a full sweep and writes wall-clock plus simulated-latency numbers
+   to BENCH_<rev>.json, the perf baseline future changes compare against. *)
 
 module P = Protolat
 module Table = Protolat_util.Table
@@ -12,6 +17,8 @@ module T = Protolat_tcpip
 
 let quick = Array.exists (( = ) "quick") Sys.argv
 
+let json_mode = Array.exists (( = ) "json") Sys.argv
+
 let only =
   let rec find i =
     if i >= Array.length Sys.argv - 1 then None
@@ -19,6 +26,23 @@ let only =
     else find (i + 1)
   in
   find 1
+
+let jobs =
+  let rec find i =
+    if i >= Array.length Sys.argv then Protolat_util.Dpool.default_jobs ()
+    else if (Sys.argv.(i) = "-j" || Sys.argv.(i) = "--jobs")
+            && i + 1 < Array.length Sys.argv
+    then
+      match int_of_string_opt Sys.argv.(i + 1) with
+      | Some n -> n
+      | None ->
+          prerr_endline
+            ("bench: invalid jobs value '" ^ Sys.argv.(i + 1)
+           ^ "', expected an integer");
+          exit 2
+    else find (i + 1)
+  in
+  max 1 (find 1)
 
 let want name =
   match only with None -> true | Some o -> String.equal o name
@@ -40,9 +64,11 @@ let run_tables () =
       if quick then (3, 3, 12) else (10, 5, 24)
     in
     Printf.printf
-      "\n(running %d TCP/IP and %d RPC samples of %d measured roundtrips per version)\n%!"
-      samples_tcp samples_rpc rounds;
-    let results = P.Experiments.full_run ~samples_tcp ~samples_rpc ~rounds () in
+      "\n(running %d TCP/IP and %d RPC samples of %d measured roundtrips per version, %d job%s)\n%!"
+      samples_tcp samples_rpc rounds jobs (if jobs = 1 then "" else "s");
+    let results =
+      P.Experiments.full_run ~samples_tcp ~samples_rpc ~rounds ~jobs ()
+    in
     if want "table4" then Table.print (P.Experiments.table4 results);
     if want "table5" then Table.print (P.Experiments.table5 results);
     if want "table6" then Table.print (P.Experiments.table6 results);
@@ -159,7 +185,98 @@ let run_bechamel () =
       | _ -> Printf.printf "%-48s (no estimate)\n" name)
     (List.sort compare rows)
 
+(* ----- perf trajectory (json mode) ---------------------------------------- *)
+
+let git_rev () =
+  let from_arg =
+    let rec find i =
+      if i >= Array.length Sys.argv then None
+      else
+        let a = Sys.argv.(i) in
+        if String.length a > 4 && String.sub a 0 4 = "rev=" then
+          Some (String.sub a 4 (String.length a - 4))
+        else find (i + 1)
+    in
+    find 1
+  in
+  match from_arg with
+  | Some r -> r
+  | None -> (
+    match
+      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+      let line = try input_line ic with End_of_file -> "" in
+      (Unix.close_process_in ic, line)
+    with
+    | Unix.WEXITED 0, rev when rev <> "" -> rev
+    | _ | (exception _) -> "dev")
+
+let timestamp () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let run_json () =
+  let samples_tcp, samples_rpc, rounds =
+    if quick then (3, 3, 12) else (10, 5, 24)
+  in
+  let rev = git_rev () in
+  Printf.printf "bench json mode: rev=%s jobs=%d %s\n%!" rev jobs
+    (if quick then "(quick)" else "(full)");
+  let t0 = Unix.gettimeofday () in
+  let results =
+    P.Experiments.full_run ~samples_tcp ~samples_rpc ~rounds ~jobs ()
+  in
+  let sweep_wall = Unix.gettimeofday () -. t0 in
+  let t1 = Unix.gettimeofday () in
+  ignore
+    (P.Engine.run ~stack:P.Engine.Tcpip ~config:(P.Config.make P.Config.All) ());
+  let single_wall = Unix.gettimeofday () -. t1 in
+  let buf = Buffer.create 2048 in
+  let stack_json stack =
+    let entries =
+      List.map
+        (fun v ->
+          let s = P.Experiments.get results stack v in
+          Printf.sprintf "      \"%s\": {\"mean\": %.4f, \"stddev\": %.4f}"
+            (P.Config.version_name v)
+            s.P.Engine.rtt.Protolat_util.Stats.mean
+            s.P.Engine.rtt.Protolat_util.Stats.stddev)
+        P.Paper.version_order
+    in
+    String.concat ",\n" entries
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"rev\": \"%s\",\n" rev);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"timestamp\": \"%s\",\n" (timestamp ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"quick\": %b,\n  \"jobs\": %d,\n" quick jobs);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"samples\": {\"tcpip\": %d, \"rpc\": %d, \"rounds\": %d},\n"
+       samples_tcp samples_rpc rounds);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"wall_clock_s\": {\"full_sweep\": %.4f, \"single_run_all\": %.4f},\n"
+       sweep_wall single_wall);
+  Buffer.add_string buf "  \"simulated_rtt_us\": {\n";
+  Buffer.add_string buf "    \"tcpip\": {\n";
+  Buffer.add_string buf (stack_json P.Engine.Tcpip);
+  Buffer.add_string buf "\n    },\n    \"rpc\": {\n";
+  Buffer.add_string buf (stack_json P.Engine.Rpc);
+  Buffer.add_string buf "\n    }\n  }\n}\n";
+  let path = Printf.sprintf "BENCH_%s.json" rev in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "sweep %.2fs, single run %.3fs -> wrote %s\n%!" sweep_wall
+    single_wall path
+
 let () =
-  run_tables ();
-  if want "micro" || only = None then run_bechamel ();
+  if json_mode then run_json ()
+  else begin
+    run_tables ();
+    if want "micro" || only = None then run_bechamel ()
+  end;
   print_newline ()

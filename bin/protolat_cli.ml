@@ -42,6 +42,15 @@ let rounds_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Protolat_util.Dpool.default_jobs ())
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Worker domains for sweeps (default: the recommended domain \
+           count; 1 = sequential). Results are identical at any job count.")
+
 (* ----- run -------------------------------------------------------------- *)
 
 let run_cmd =
@@ -86,7 +95,7 @@ let tables_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Fewer samples/rounds.")
   in
-  let run which quick =
+  let run which quick jobs =
     let want n = List.mem n which in
     if want "table1" then Protolat_util.Table.print (P.Experiments.table1 ());
     if want "table2" then Protolat_util.Table.print (P.Experiments.table2 ());
@@ -97,7 +106,7 @@ let tables_cmd =
         if quick then (3, 3, 12) else (10, 5, 24)
       in
       let results =
-        P.Experiments.full_run ~samples_tcp ~samples_rpc ~rounds ()
+        P.Experiments.full_run ~samples_tcp ~samples_rpc ~rounds ~jobs ()
       in
       List.iter
         (fun (n, t) -> if want n then Protolat_util.Table.print (t results))
@@ -113,7 +122,7 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate the paper's tables.")
-    Term.(const run $ which $ quick)
+    Term.(const run $ which $ quick $ jobs_arg)
 
 (* ----- figures ------------------------------------------------------------ *)
 
@@ -188,24 +197,28 @@ let trace_cmd =
 (* ----- sweep -------------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run stack rounds =
+  let run stack rounds jobs =
     Printf.printf "%-8s %12s %10s %8s %8s\n" "Version" "RTT [us]" "Tp [us]"
       "mCPI" "iCPI";
-    List.iter
-      (fun v ->
-        let r =
-          P.Engine.run ~rounds ~stack ~config:(P.Config.make v) ()
-        in
+    let results =
+      Protolat_util.Dpool.run ~jobs
+        (List.map
+           (fun v ->
+             fun () -> P.Engine.run ~rounds ~stack ~config:(P.Config.make v) ())
+           P.Paper.version_order)
+    in
+    List.iter2
+      (fun v r ->
         let s = r.P.Engine.steady in
         Printf.printf "%-8s %12.1f %10.1f %8.2f %8.2f\n"
           (P.Config.version_name v)
           (Stats.mean r.P.Engine.rtts)
           s.M.Perf.time_us s.M.Perf.mcpi s.M.Perf.icpi)
-      P.Paper.version_order
+      P.Paper.version_order results
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Measure all six versions of a stack.")
-    Term.(const run $ stack_arg $ rounds_arg)
+    Term.(const run $ stack_arg $ rounds_arg $ jobs_arg)
 
 let () =
   let info =

@@ -21,6 +21,7 @@ let stack_name = function Tcpip -> "TCP/IP" | Rpc -> "RPC"
 (* ----- stack descriptors -------------------------------------------------- *)
 
 type desc = {
+  tag : string;  (** stable identity, used as part of the image-cache key *)
   funcs : T.Opts.t -> Func.t list;
   invocation_order : string list;
   chains : (string * string list) list;
@@ -28,14 +29,16 @@ type desc = {
 }
 
 let tcpip_desc =
-  { funcs = T.Specs.all;
+  { tag = "tcpip";
+    funcs = T.Specs.all;
     invocation_order = T.Specs.invocation_order;
     chains =
       [ ("out_path", T.Specs.output_chain); ("in_path", T.Specs.input_chain) ];
     path_names = T.Specs.path_function_names }
 
 let rpc_client_desc =
-  { funcs = R.Specs.all;
+  { tag = "rpc_client";
+    funcs = R.Specs.all;
     invocation_order = R.Specs.invocation_order;
     chains =
       [ ("call_path", R.Specs.call_chain); ("in_path", R.Specs.input_chain) ];
@@ -43,6 +46,7 @@ let rpc_client_desc =
 
 let rpc_server_desc =
   { rpc_client_desc with
+    tag = "rpc_server";
     chains =
       [ ("srv_in_path", R.Specs.server_input_chain);
         ("srv_out_path", R.Specs.server_output_chain) ] }
@@ -69,7 +73,8 @@ let untraced_funcs =
 
 let code_base = 0x10000
 
-let build_image (config : Config.t) (desc : desc) ~(layout : Config.layout) =
+let build_image_uncached (config : Config.t) (desc : desc)
+    ~(layout : Config.layout) =
   let funcs = desc.funcs config.Config.opts @ untraced_funcs in
   let outlined = Config.outlined config.Config.version in
   let inlined = Config.path_inlined config.Config.version in
@@ -140,76 +145,97 @@ let build_image (config : Config.t) (desc : desc) ~(layout : Config.layout) =
   in
   Image.build placement
 
+(* Images are immutable once built and depend only on (stack descriptor,
+   version, §2.2 option set, placement strategy), so repeated samples of
+   the same configuration — sequential or fanned across domains — share
+   one build instead of re-laying-out an identical code image per run. *)
+let image_cache :
+    (string * Config.version * T.Opts.t * Config.layout, Image.t) Hashtbl.t =
+  Hashtbl.create 32
+
+let image_cache_mutex = Mutex.create ()
+
+let build_image (config : Config.t) (desc : desc) ~(layout : Config.layout) =
+  let key = (desc.tag, config.Config.version, config.Config.opts, layout) in
+  Mutex.lock image_cache_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock image_cache_mutex)
+    (fun () ->
+      match Hashtbl.find_opt image_cache key with
+      | Some img -> img
+      | None ->
+        let img = build_image_uncached config desc ~layout in
+        Hashtbl.add image_cache key img;
+        img)
+
 (* ----- per-host engine state ---------------------------------------------- *)
+
+(* Reusable address queue: meter ranges expand into 8-byte-granular
+   addresses in a per-host int-array cursor instead of fresh list cells on
+   every block emission. *)
+type queue = {
+  mutable buf : int array;
+  mutable len : int;
+  mutable pos : int;
+}
+
+let queue_create () = { buf = Array.make 64 0; len = 0; pos = 0 }
+
+let rec queue_push_ranges q = function
+  | [] -> ()
+  | (r : Meter.range) :: rest ->
+    let n = max 1 ((r.Meter.len + 7) / 8) in
+    for i = 0 to n - 1 do
+      if q.len = Array.length q.buf then begin
+        let b = Array.make (2 * q.len) 0 in
+        Array.blit q.buf 0 b 0 q.len;
+        q.buf <- b
+      end;
+      q.buf.(q.len) <- r.Meter.base + r.Meter.off + (8 * i);
+      q.len <- q.len + 1
+    done;
+    queue_push_ranges q rest
+
+let queue_fill q ranges =
+  q.len <- 0;
+  q.pos <- 0;
+  queue_push_ranges q ranges
+
+(* next queued address, or -1 when drained (addresses are non-negative) *)
+let queue_pop q =
+  if q.pos < q.len then begin
+    let a = q.buf.(q.pos) in
+    q.pos <- q.pos + 1;
+    a
+  end
+  else -1
 
 type hstate = {
   params : Machine.Params.t;
   image : Image.t;
   memsys : Machine.Memsys.t;
+  mlat : float array;  (* Memsys.lat_cell memsys: per-instruction latency *)
+  clock : float array;  (* Sim.clock_cell sim: simulated wall clock *)
   sim : Ns.Sim.t;
   trace : Trace.t;
+  rq : queue;  (* pending read addresses for the block being emitted *)
+  wq : queue;  (* pending write addresses *)
   mutable collecting : bool;
   mutable traced : bool;
-  mutable pending : Instr.cls option;  (* dual-issue pairing state *)
+  mutable pending : int;  (* dual-issue pairing state: Instr.code, -1 = none *)
   mutable pair_attempts : int;
   mutable depth : int;  (* call depth, for synthetic stack references *)
   stack_base : int;
   mutable synth : int;
   mutable touch : int;
-  mutable busy_us : float;  (* accumulated modeled CPU time *)
+  busy_us : float array;
+      (* accumulated modeled CPU time; 1-element array because a mutable
+         float field in this mixed record would box on every store, and we
+         store once per modeled instruction *)
       (* rotating heap-touch cursor: models the allocator / mbuf / pcb /
          timer-wheel churn that gives protocol code its large per-packet
          data footprint *)
 }
-
-let charge h cycles =
-  let us = Machine.Params.cycles_to_us h.params cycles in
-  h.busy_us <- h.busy_us +. us;
-  Ns.Sim.advance_clock h.sim us
-
-let issue_and_penalty h cls =
-  let p = h.params in
-  let issue =
-    match h.pending with
-    | None ->
-      h.pending <- Some cls;
-      0.0
-    | Some prev ->
-      let paired =
-        Machine.Cpu.can_pair prev cls
-        && begin
-             h.pair_attempts <- h.pair_attempts + 1;
-             h.pair_attempts * p.Machine.Params.pair_success_pct mod 100
-             < p.Machine.Params.pair_success_pct
-           end
-      in
-      if paired then begin
-        h.pending <- None;
-        1.0
-      end
-      else begin
-        h.pending <- Some cls;
-        1.0
-      end
-  in
-  let pen =
-    match cls with
-    | Instr.Br_taken -> p.Machine.Params.br_taken_penalty
-    | Instr.Jsr -> p.Machine.Params.br_taken_penalty +. p.Machine.Params.call_penalty
-    | Instr.Ret -> p.Machine.Params.br_taken_penalty +. p.Machine.Params.ret_penalty
-    | Instr.Mul -> p.Machine.Params.mul_cycles
-    | Instr.Load -> p.Machine.Params.load_use_penalty
-    | Instr.Alu | Instr.Store | Instr.Br_not_taken | Instr.Nop -> 0.0
-  in
-  issue +. pen
-
-(* expand meter ranges into a queue of 8-byte-granular addresses *)
-let expand_ranges ranges =
-  List.concat_map
-    (fun (r : Meter.range) ->
-      let n = max 1 ((r.Meter.len + 7) / 8) in
-      List.init n (fun i -> r.Meter.base + r.Meter.off + (8 * i)))
-    ranges
 
 let touch_window = 12 * 1024
 
@@ -222,53 +248,103 @@ let synth_stack_addr h =
     h.stack_base + 8192 + h.touch
   end
 
+(* The per-instruction hot path: no boxed events, options, tuples or list
+   cells — access kind/address travel as immediate ints straight into the
+   memory system and the packed trace.  The whole computation lives in one
+   function body and exchanges floats with Memsys and the clock through
+   preallocated cells: a float argument or computed return at a call
+   boundary is boxed by the compiler, and at one instruction per call that
+   boxing dominated the simulator's allocation profile. *)
+let emit_one h ~pc ~cls ~kind ~addr =
+  Machine.Memsys.access_acc h.memsys ~pc ~kind ~addr;
+  let p = h.params in
+  let issue =
+    if h.pending < 0 then begin
+      h.pending <- Instr.code cls;
+      0.0
+    end
+    else begin
+      let prev = Instr.of_code h.pending in
+      let paired =
+        Machine.Cpu.can_pair prev cls
+        && begin
+             h.pair_attempts <- h.pair_attempts + 1;
+             h.pair_attempts * p.Machine.Params.pair_success_pct mod 100
+             < p.Machine.Params.pair_success_pct
+           end
+      in
+      if paired then h.pending <- -1 else h.pending <- Instr.code cls;
+      1.0
+    end
+  in
+  let pen =
+    match cls with
+    | Instr.Br_taken -> p.Machine.Params.br_taken_penalty
+    | Instr.Jsr ->
+      p.Machine.Params.br_taken_penalty +. p.Machine.Params.call_penalty
+    | Instr.Ret ->
+      p.Machine.Params.br_taken_penalty +. p.Machine.Params.ret_penalty
+    | Instr.Mul -> p.Machine.Params.mul_cycles
+    | Instr.Load -> p.Machine.Params.load_use_penalty
+    | Instr.Alu | Instr.Store | Instr.Br_not_taken | Instr.Nop -> 0.0
+  in
+  let us = (h.mlat.(0) +. (issue +. pen)) /. p.Machine.Params.clock_mhz in
+  h.busy_us.(0) <- h.busy_us.(0) +. us;
+  h.clock.(0) <- h.clock.(0) +. us;
+  if h.collecting && h.traced then Trace.add_packed h.trace ~pc ~cls ~kind ~addr
+
 let emit_instrs h ?(reads = []) ?(writes = []) (slot : Image.slot)
     ?(override : Instr.cls option) () =
-  let rq = ref (expand_ranges reads) and wq = ref (expand_ranges writes) in
-  Array.iteri
-    (fun i cls ->
-      let cls = match override with Some c when i = 0 -> c | _ -> cls in
-      let pc = slot.Image.pcs.(i) in
-      let access =
-        match cls with
-        | Instr.Load -> (
-          match !rq with
-          | a :: rest ->
-            rq := rest;
-            Some (Trace.Read a)
-          | [] -> Some (Trace.Read (synth_stack_addr h)))
-        | Instr.Store -> (
-          match !wq with
-          | a :: rest ->
-            wq := rest;
-            Some (Trace.Write a)
-          | [] -> Some (Trace.Write (synth_stack_addr h)))
-        | _ -> None
-      in
-      let event = { Trace.pc; cls; access } in
-      let stalls = Machine.Memsys.process h.memsys event in
-      let cpu = issue_and_penalty h cls in
-      charge h (stalls +. cpu);
-      if h.collecting && h.traced then
-        Trace.add h.trace ~pc ~cls ?access ())
-    slot.Image.instrs
+  queue_fill h.rq reads;
+  queue_fill h.wq writes;
+  let instrs = slot.Image.instrs and pcs = slot.Image.pcs in
+  for i = 0 to Array.length instrs - 1 do
+    let cls =
+      match override with Some c when i = 0 -> c | _ -> instrs.(i)
+    in
+    let pc = pcs.(i) in
+    match cls with
+    | Instr.Load ->
+      let a = queue_pop h.rq in
+      emit_one h ~pc ~cls ~kind:Trace.kind_read
+        ~addr:(if a >= 0 then a else synth_stack_addr h)
+    | Instr.Store ->
+      let a = queue_pop h.wq in
+      emit_one h ~pc ~cls ~kind:Trace.kind_write
+        ~addr:(if a >= 0 then a else synth_stack_addr h)
+    | _ -> emit_one h ~pc ~cls ~kind:Trace.kind_none ~addr:0
+  done
 
 let fail_unknown func key =
   failwith (Printf.sprintf "Engine: no slot for %s/%s in this image" func key)
 
-let lookup h ~func ~key =
+let emit_key h ?reads ?writes ~func ~key () =
   match Image.find h.image ~func ~key with
-  | Image.Slot s -> Some s
-  | Image.Elided -> None
+  | Image.Slot slot -> emit_instrs h ?reads ?writes slot ()
+  | Image.Elided -> ()
   | Image.Unknown -> fail_unknown func key
 
-let emit_key h ?reads ?writes ~func ~key () =
-  match lookup h ~func ~key with
-  | Some slot -> emit_instrs h ?reads ?writes slot ()
-  | None -> ()
+(* Block/guard/cold/stub key strings repeat for the same few dozen block
+   ids thousands of times per run; memoizing them per meter keeps string
+   building off the per-block hot path.  The tables live in the meter's
+   closure, so they are private to one host of one run — no cross-domain
+   sharing. *)
+let memo_key tbl build id =
+  match Hashtbl.find tbl id with
+  | s -> s
+  | exception Not_found ->
+    let s = build id in
+    Hashtbl.add tbl id s;
+    s
 
 (* the meter for one host *)
 let make_meter h =
+  let khot = Hashtbl.create 64 in
+  let kguard = Hashtbl.create 64 in
+  let kcold = Hashtbl.create 64 in
+  let kstub : (string, (int, string) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
   { Meter.enter =
       (fun f ->
         h.depth <- h.depth + 1;
@@ -283,12 +359,16 @@ let make_meter h =
         h.depth <- max 0 (h.depth - 1));
     block =
       (fun ?reads ?writes f b ->
-        emit_key h ?reads ?writes ~func:f ~key:(Image.Key.hot b) ());
+        emit_key h ?reads ?writes ~func:f ~key:(memo_key khot Image.Key.hot b)
+          ());
     cold =
       (fun ?reads ?writes ~triggered f b ->
-        match lookup h ~func:f ~key:(Image.Key.guard b) with
-        | None -> () (* whole block elided *)
-        | Some guard ->
+        match
+          Image.find h.image ~func:f ~key:(memo_key kguard Image.Key.guard b)
+        with
+        | Image.Elided -> () (* whole block elided *)
+        | Image.Unknown -> fail_unknown f (Image.Key.guard b)
+        | Image.Slot guard ->
           let outl = guard.Image.cold_outlined in
           let guard_cls =
             match (outl, triggered) with
@@ -299,16 +379,28 @@ let make_meter h =
           in
           emit_instrs h guard ~override:guard_cls ();
           if triggered then
-            emit_key h ?reads ?writes ~func:f ~key:(Image.Key.cold b) ());
+            emit_key h ?reads ?writes ~func:f
+              ~key:(memo_key kcold Image.Key.cold b) ());
     call =
       (fun f b i ->
-        emit_key h ~func:f ~key:(Image.Key.stub b i) ()) }
+        let inner = memo_key kstub (fun _ -> Hashtbl.create 8) b in
+        let key =
+          match Hashtbl.find inner i with
+          | s -> s
+          | exception Not_found ->
+            let s = Image.Key.stub b i in
+            Hashtbl.add inner i s;
+            s
+        in
+        emit_key h ~func:f ~key ()) }
+
+let key_hot_body = Image.Key.hot "body"
 
 let emit_untraced h name =
   let was = h.traced in
   h.traced <- false;
   emit_key h ~func:name ~key:Image.Key.pro ();
-  emit_key h ~func:name ~key:(Image.Key.hot "body") ();
+  emit_key h ~func:name ~key:key_hot_body ();
   emit_key h ~func:name ~key:Image.Key.epi ();
   h.traced <- was
 
@@ -323,7 +415,7 @@ let install_phase_hook ?(rx_overhead_us = 0.0) h (env : Ns.Host_env.t) =
       | "rx_intr" ->
         emit_untraced h "intr_dispatch";
         if rx_overhead_us > 0.0 then begin
-          h.busy_us <- h.busy_us +. rx_overhead_us;
+          h.busy_us.(0) <- h.busy_us.(0) +. rx_overhead_us;
           Ns.Sim.advance_clock h.sim rx_overhead_us
         end
       | "tx_intr" -> emit_untraced h "intr_tx"
@@ -360,20 +452,25 @@ let make_hstate ~params ~image ~sim ~simmem =
   (* one region: [stack (8KB, grows down) | heap-touch window] *)
   let region = Xk.Simmem.alloc simmem (8192 + 8192 + touch_window) in
   let stack_base = region + 8192 in
+  let memsys = Machine.Memsys.create params in
   { params;
     image;
-    memsys = Machine.Memsys.create params;
+    memsys;
+    mlat = Machine.Memsys.lat_cell memsys;
+    clock = Ns.Sim.clock_cell sim;
     sim;
     trace = Trace.create ();
+    rq = queue_create ();
+    wq = queue_create ();
     collecting = false;
     traced = true;
-    pending = None;
+    pending = -1;
     pair_attempts = 0;
     depth = 0;
     stack_base;
     synth = 0;
     touch = 0;
-    busy_us = 0.0 }
+    busy_us = [| 0.0 |] }
 
 let static_path_of (config : Config.t) desc =
   let funcs = desc.funcs config.Config.opts in
@@ -545,7 +642,7 @@ let throughput ?(bytes = 64 * 1024) ?(params = Machine.Params.default)
   if T.Tcp.state session <> T.Tcb.Established then
     failwith "Engine.throughput: handshake failed";
   let t0 = Ns.Sim.now pair.T.Stack.sim in
-  let cpu0_c = ch.busy_us and cpu0_s = sh.busy_us in
+  let cpu0_c = ch.busy_us.(0) and cpu0_s = sh.busy_us.(0) in
   Ns.Host_env.phase cenv "bulk_send" (fun () ->
       T.Tcp.send session (Bytes.make bytes 'b'));
   let deadline = t0 +. 10.0e6 in
@@ -564,8 +661,8 @@ let throughput ?(bytes = 64 * 1024) ?(params = Machine.Params.default)
   let cb = T.Tcp.tcb session in
   { mbits_per_s = float_of_int (bytes * 8) /. elapsed;
     elapsed_us = elapsed;
-    client_cpu_pct = 100.0 *. (ch.busy_us -. cpu0_c) /. elapsed;
-    server_cpu_pct = 100.0 *. (sh.busy_us -. cpu0_s) /. elapsed;
+    client_cpu_pct = 100.0 *. (ch.busy_us.(0) -. cpu0_c) /. elapsed;
+    server_cpu_pct = 100.0 *. (sh.busy_us.(0) -. cpu0_s) /. elapsed;
     segments = cb.T.Tcb.segments_out }
 
 type sample_set = {
@@ -573,12 +670,18 @@ type sample_set = {
   result : run_result;
 }
 
-let sample ?(samples = 10) ?(rounds = 24) ?(params = Machine.Params.default)
-    ~stack ~config () =
-  let results =
-    List.init samples (fun i ->
-        run ~seed:(1000 + (i * 7919)) ~rounds ~params ~stack ~config ())
-  in
+let sample_seed i = 1000 + (i * 7919)
+
+let collect results =
+  let n = List.length results in
+  if n = 0 then invalid_arg "Engine.collect: no results";
   let means = List.map (fun r -> Util.Stats.mean r.rtts) results in
-  { rtt = Util.Stats.summarize means;
-    result = List.nth results (samples - 1) }
+  { rtt = Util.Stats.summarize means; result = List.nth results (n - 1) }
+
+let sample ?(samples = 10) ?(rounds = 24) ?(params = Machine.Params.default)
+    ?(jobs = 1) ~stack ~config () =
+  let tasks =
+    List.init samples (fun i ->
+        fun () -> run ~seed:(sample_seed i) ~rounds ~params ~stack ~config ())
+  in
+  collect (Util.Dpool.run ~jobs tasks)

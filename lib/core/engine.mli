@@ -76,14 +76,25 @@ type sample_set = {
   result : run_result;  (** the last sample's detailed result *)
 }
 
+val sample_seed : int -> int
+(** Seed used for the [i]-th sample of a sample set (shared with
+    {!Experiments.full_run}'s parallel fan-out so job counts do not change
+    results). *)
+
+val collect : run_result list -> sample_set
+(** Aggregate per-seed runs (in sample order) into a sample set. *)
+
 val sample :
   ?samples:int ->
   ?rounds:int ->
   ?params:Machine.Params.t ->
+  ?jobs:int ->
   stack:stack_kind ->
   config:Config.t ->
   unit ->
   sample_set
 (** The paper's protocol: several samples (10 for TCP/IP, 5 for RPC by
     default) of a long ping-pong run, each perturbed (startup allocation
-    state), reported as mean ± stddev. *)
+    state), reported as mean ± stddev.  [jobs] (default 1) fans the
+    independent seeded runs across that many domains; the aggregate is
+    bit-identical at any job count. *)

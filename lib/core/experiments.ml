@@ -14,14 +14,43 @@ type results = {
   rpc : (Config.version * Engine.sample_set) list;
 }
 
-let full_run ?(samples_tcp = 10) ?(samples_rpc = 5) ?(rounds = 24) () =
-  let run stack samples =
+(* The full sweep is 6 configurations x 2 stacks x N seeded samples, every
+   run independent: flatten them into one task list and drain it with a
+   domain pool.  Seeds and result order match the sequential path exactly,
+   so any [jobs] count produces bit-identical tables. *)
+let full_run ?(samples_tcp = 10) ?(samples_rpc = 5) ?(rounds = 24)
+    ?(jobs = 1) () =
+  let specs =
+    List.concat_map
+      (fun (stack, samples) ->
+        List.concat_map
+          (fun v -> List.init samples (fun i -> (stack, v, i)))
+          Paper.version_order)
+      [ (Engine.Tcpip, samples_tcp); (Engine.Rpc, samples_rpc) ]
+  in
+  let results =
+    Util.Dpool.run ~jobs
+      (List.map
+         (fun (stack, v, i) ->
+           fun () ->
+            Engine.run ~seed:(Engine.sample_seed i) ~rounds ~stack
+              ~config:(Config.make v) ())
+         specs)
+  in
+  let paired = List.combine specs results in
+  let per_version stack =
     List.map
       (fun v ->
-        (v, Engine.sample ~samples ~rounds ~stack ~config:(Config.make v) ()))
+        let runs =
+          List.filter_map
+            (fun ((s, v', _), r) ->
+              if s = stack && v' = v then Some r else None)
+            paired
+        in
+        (v, Engine.collect runs))
       Paper.version_order
   in
-  { tcp = run Engine.Tcpip samples_tcp; rpc = run Engine.Rpc samples_rpc }
+  { tcp = per_version Engine.Tcpip; rpc = per_version Engine.Rpc }
 
 let get results stack v =
   let l = match stack with Engine.Tcpip -> results.tcp | Engine.Rpc -> results.rpc in

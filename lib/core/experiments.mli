@@ -10,8 +10,18 @@ type results = {
 }
 
 val full_run :
-  ?samples_tcp:int -> ?samples_rpc:int -> ?rounds:int -> unit -> results
-(** Defaults follow the paper: 10 samples for TCP/IP, 5 for RPC. *)
+  ?samples_tcp:int ->
+  ?samples_rpc:int ->
+  ?rounds:int ->
+  ?jobs:int ->
+  unit ->
+  results
+(** Defaults follow the paper: 10 samples for TCP/IP, 5 for RPC.  [jobs]
+    (default 1) fans the independent (configuration, seed) runs across
+    that many domains; results are bit-identical at any job count. *)
+
+val get : results -> Engine.stack_kind -> Config.version -> Engine.sample_set
+(** Look up one configuration's sample set in a [full_run] result. *)
 
 val table1 : unit -> Protolat_util.Table.t
 (** Dynamic instruction-count reductions of the §2.2 changes. *)

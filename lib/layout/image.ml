@@ -13,7 +13,7 @@ module Key = struct
 
   let cold id = "cold:" ^ id
 
-  let stub block i = Printf.sprintf "stub:%s:%d" block i
+  let stub block i = "stub:" ^ block ^ ":" ^ string_of_int i
 end
 
 type slot = {
@@ -213,25 +213,35 @@ let cold_size_bytes u =
 
 (* --- building ----------------------------------------------------------- *)
 
-type t = {
-  slots_by_key : (string * string, slot) Hashtbl.t;
-  elided : (string * string, unit) Hashtbl.t;
-  mutable all_slots : slot list; (* reversed during build *)
-  mutable region_list : (string * int * int) list;
-  mutable max_addr : int;
-}
-
 type lookup =
   | Slot of slot
   | Elided
   | Unknown
 
+(* Lookup is two-level (function name, then key) and stores pre-allocated
+   [lookup] values: [find] runs on the engine's per-block hot path, so a
+   hit must not allocate a pair key or option. *)
+type t = {
+  by_func : (string, (string, lookup) Hashtbl.t) Hashtbl.t;
+  mutable all_slots : slot list; (* reversed during build *)
+  mutable region_list : (string * int * int) list;
+  mutable max_addr : int;
+}
+
+let func_table t func =
+  match Hashtbl.find t.by_func func with
+  | inner -> inner
+  | exception Not_found ->
+    let inner = Hashtbl.create 16 in
+    Hashtbl.add t.by_func func inner;
+    inner
+
 let add_slot t (slot : slot) =
-  let k = (slot.func, slot.key) in
-  if Hashtbl.mem t.slots_by_key k then
+  let inner = func_table t slot.func in
+  if Hashtbl.mem inner slot.key then
     invalid_arg
       (Printf.sprintf "Image: duplicate slot %s/%s" slot.func slot.key);
-  Hashtbl.replace t.slots_by_key k slot;
+  Hashtbl.replace inner slot.key (Slot slot);
   t.all_slots <- slot :: t.all_slots;
   let last =
     if Array.length slot.pcs = 0 then slot.addr
@@ -239,7 +249,7 @@ let add_slot t (slot : slot) =
   in
   t.max_addr <- max t.max_addr (last + ib)
 
-let elide t func key = Hashtbl.replace t.elided (func, key) ()
+let elide t func key = Hashtbl.replace (func_table t func) key Elided
 
 (* Emit one slot at the cursor; returns the next cursor.  [dilution]
    stretches hot code: a gap slot is interleaved at even intervals. *)
@@ -408,8 +418,7 @@ let build_fused t ~global_cold base (f : fused) =
 
 let build units =
   let t =
-    { slots_by_key = Hashtbl.create 512;
-      elided = Hashtbl.create 64;
+    { by_func = Hashtbl.create 64;
       all_slots = [];
       region_list = [];
       max_addr = 0 }
@@ -466,9 +475,12 @@ let build units =
   t
 
 let find t ~func ~key =
-  match Hashtbl.find_opt t.slots_by_key (func, key) with
-  | Some s -> Slot s
-  | None -> if Hashtbl.mem t.elided (func, key) then Elided else Unknown
+  match Hashtbl.find t.by_func func with
+  | exception Not_found -> Unknown
+  | inner -> (
+    match Hashtbl.find inner key with
+    | v -> v
+    | exception Not_found -> Unknown)
 
 let end_addr t = t.max_addr
 

@@ -17,6 +17,11 @@ val name : t -> string
 
 val block_bytes : t -> int
 
+val line_of : t -> int -> int
+(** [line_of t addr] is the block (line) address containing byte address
+    [addr] — a shift by the precomputed log2 of the block size, shared by
+    {!access} and {!probe}. *)
+
 val access : t -> int -> outcome
 (** [access t addr] looks up (and on a miss, fills) the block containing
     byte address [addr]. *)

@@ -12,9 +12,9 @@ let issue_cycles (p : Params.t) trace =
   let i = ref 0 in
   let attempts = ref 0 in
   while !i < n do
-    let a = (Trace.get trace !i).Trace.cls in
+    let a = Trace.cls_at trace !i in
     let structurally =
-      !i + 1 < n && can_pair a (Trace.get trace (!i + 1)).Trace.cls
+      !i + 1 < n && can_pair a (Trace.cls_at trace (!i + 1))
     in
     let paired =
       structurally
@@ -39,7 +39,9 @@ let penalty (p : Params.t) = function
 
 let perfect_memory_cycles p trace =
   let pen = ref 0.0 in
-  Trace.iter (fun e -> pen := !pen +. penalty p e.Trace.cls) trace;
+  for i = 0 to Trace.length trace - 1 do
+    pen := !pen +. penalty p (Trace.cls_at trace i)
+  done;
   issue_cycles p trace +. !pen
 
 let icpi p trace =

@@ -30,6 +30,26 @@ let to_string = function
 
 let all = [ Alu; Load; Store; Br_taken; Br_not_taken; Jsr; Ret; Mul; Nop ]
 
+let n_classes = 9
+
+let code = function
+  | Alu -> 0
+  | Load -> 1
+  | Store -> 2
+  | Br_taken -> 3
+  | Br_not_taken -> 4
+  | Jsr -> 5
+  | Ret -> 6
+  | Mul -> 7
+  | Nop -> 8
+
+let by_code =
+  [| Alu; Load; Store; Br_taken; Br_not_taken; Jsr; Ret; Mul; Nop |]
+
+let of_code c =
+  if c < 0 || c >= n_classes then invalid_arg "Instr.of_code";
+  by_code.(c)
+
 type vector = {
   alu : int;
   load : int;

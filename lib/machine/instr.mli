@@ -27,6 +27,15 @@ val to_string : cls -> string
 
 val all : cls list
 
+val n_classes : int
+
+val code : cls -> int
+(** Dense integer code in [0, n_classes), for packed (struct-of-arrays)
+    trace storage. *)
+
+val of_code : int -> cls
+(** @raise Invalid_argument on an out-of-range code. *)
+
 (** Instruction-count vectors: how many instructions of each class a basic
     block contains.  Blocks expand deterministically to a class sequence. *)
 type vector = {

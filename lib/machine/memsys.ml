@@ -10,7 +10,12 @@ type t = {
   mutable b_repl : int;
   mutable dwb_miss : int; (* d-read misses + writes that reach the b-cache *)
   mutable dwb_acc : int;
-  mutable stalls : float;
+  stalls : float array;
+      (* 1-element array: a mutable float field in this mixed record would box
+         on every store, and stalls accumulate once per cache miss *)
+  lat : float array;
+      (* scratch cell holding the latency of the most recent [access_acc];
+         returning the float instead would box it on every instruction *)
 }
 
 type cache_row = {
@@ -44,7 +49,8 @@ let create p =
     b_repl = 0;
     dwb_miss = 0;
     dwb_acc = 0;
-    stalls = 0.0 }
+    stalls = [| 0.0 |];
+    lat = [| 0.0 |] }
 
 let params t = t.p
 
@@ -77,7 +83,7 @@ let ifetch t addr =
   match Cache.access t.ic addr with
   | Cache.Hit -> 0.0
   | Cache.Miss_cold | Cache.Miss_repl ->
-    let block = addr / t.p.Params.block_bytes in
+    let block = Cache.line_of t.ic addr in
     let sequential = block = t.last_imiss_block + 1 in
     t.last_imiss_block <- block;
     let lat =
@@ -91,7 +97,7 @@ let ifetch t addr =
         lat
         +. baccess t ((block + 1) * t.p.Params.block_bytes) ~charge:`Prefetch
     in
-    t.stalls <- t.stalls +. lat;
+    t.stalls.(0) <- t.stalls.(0) +. lat;
     lat
 
 let load t addr =
@@ -101,7 +107,7 @@ let load t addr =
   | Cache.Miss_cold | Cache.Miss_repl ->
     t.dwb_miss <- t.dwb_miss + 1;
     let lat = baccess t addr ~charge:`Full in
-    t.stalls <- t.stalls +. lat;
+    t.stalls.(0) <- t.stalls.(0) +. lat;
     lat
 
 let store t addr =
@@ -122,7 +128,7 @@ let store t addr =
     (* Retirement happens because the buffer is full: the CPU stalls for the
        drain, modeled as a fraction of the b-cache write latency. *)
     let stall = t.p.Params.wb_retire_cycles in
-    t.stalls <- t.stalls +. stall;
+    t.stalls.(0) <- t.stalls.(0) +. stall;
     stall
 
 let drain_write_buffer t =
@@ -131,6 +137,23 @@ let drain_write_buffer t =
     (fun v -> ignore (baccess t (v * t.p.Params.block_bytes) ~charge:`Prefetch))
     victims;
   0.0
+
+(* Hot-path variant of [access]: deposits the latency in [t.lat] instead of
+   returning it, so the per-instruction caller never sees a boxed float.
+   [ifetch]/[load]/[store] return static 0.0 on hits; their computed returns
+   box only on misses. *)
+let access_acc t ~pc ~kind ~addr =
+  let s = ifetch t pc in
+  t.lat.(0) <-
+    (if kind = Trace.kind_read then s +. load t addr
+     else if kind = Trace.kind_write then s +. store t addr
+     else s)
+
+let lat_cell t = t.lat
+
+let access t ~pc ~kind ~addr =
+  access_acc t ~pc ~kind ~addr;
+  t.lat.(0)
 
 let process t (e : Trace.event) =
   let s = ifetch t e.Trace.pc in
@@ -141,7 +164,12 @@ let process t (e : Trace.event) =
 
 let run t trace =
   let total = ref 0.0 in
-  Trace.iter (fun e -> total := !total +. process t e) trace;
+  for i = 0 to Trace.length trace - 1 do
+    total :=
+      !total
+      +. access t ~pc:(Trace.pc_at trace i) ~kind:(Trace.kind_at trace i)
+           ~addr:(Trace.addr_at trace i)
+  done;
   !total
 
 let invalidate_primary t =
@@ -164,7 +192,7 @@ let reset_stats t =
   t.b_repl <- 0;
   t.dwb_miss <- 0;
   t.dwb_acc <- 0;
-  t.stalls <- 0.0
+  t.stalls.(0) <- 0.0
 
 let stats t =
   { icache =
@@ -173,7 +201,7 @@ let stats t =
         repl = Cache.repl_misses t.ic };
     dwb = { miss = t.dwb_miss; acc = t.dwb_acc; repl = Cache.repl_misses t.dc };
     bcache = { miss = t.b_miss; acc = t.b_acc; repl = t.b_repl };
-    stall_cycles = t.stalls }
+    stall_cycles = t.stalls.(0) }
 
 let pp_stats fmt s =
   Format.fprintf fmt

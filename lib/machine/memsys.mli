@@ -23,6 +23,20 @@ val store : t -> int -> float
 
 val drain_write_buffer : t -> float
 
+val access : t -> pc:int -> kind:int -> addr:int -> float
+(** Allocation-free form of {!process}: one instruction fetch at [pc] plus
+    an optional data reference described by a {!Trace.kind_read} /
+    {!Trace.kind_write} / {!Trace.kind_none} kind and address.  Returns
+    total stall cycles. *)
+
+val access_acc : t -> pc:int -> kind:int -> addr:int -> unit
+(** Like {!access} but deposits the latency in the cell returned by
+    {!lat_cell} instead of returning it: a float return would be boxed at
+    the call boundary, and this runs once per simulated instruction. *)
+
+val lat_cell : t -> float array
+(** 1-element scratch cell written by {!access_acc}. *)
+
 val process : t -> Trace.event -> float
 (** Run one trace event through the hierarchy (ifetch + optional data
     reference); returns total stall cycles. *)

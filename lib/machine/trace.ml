@@ -1,5 +1,3 @@
-module Vec = Protolat_util.Vec
-
 type access =
   | Read of int
   | Write of int
@@ -10,42 +8,118 @@ type event = {
   access : access option;
 }
 
-type t = event Vec.t
+(* Struct-of-arrays storage: one int column per field instead of a vector
+   of boxed event records.  The simulator's hot path appends tens of
+   thousands of events per roundtrip; packing them into flat int arrays
+   means appending allocates nothing (amortized) and replaying is a linear
+   scan with no pointer chasing — the paper's own §2.2 medicine applied to
+   the simulator itself. *)
+type t = {
+  mutable pcs : int array;
+  mutable clss : int array;  (* Instr.code *)
+  mutable kinds : int array;  (* access kind: kind_none/read/write *)
+  mutable addrs : int array;  (* data address; 0 when kind_none *)
+  mutable len : int;
+}
 
-let create () = Vec.create ()
+let kind_none = 0
 
-let length = Vec.length
+let kind_read = 1
 
-let add t ~pc ~cls ?access () = Vec.push t { pc; cls; access }
+let kind_write = 2
 
-let get = Vec.get
+let create () =
+  { pcs = [||]; clss = [||]; kinds = [||]; addrs = [||]; len = 0 }
 
-let iter = Vec.iter
+let length t = t.len
 
-let append = Vec.append
+let grow t needed =
+  let cap = max 1024 (max needed (2 * Array.length t.pcs)) in
+  let g a =
+    let b = Array.make cap 0 in
+    Array.blit a 0 b 0 t.len;
+    b
+  in
+  t.pcs <- g t.pcs;
+  t.clss <- g t.clss;
+  t.kinds <- g t.kinds;
+  t.addrs <- g t.addrs
+
+let add_packed t ~pc ~cls ~kind ~addr =
+  if t.len = Array.length t.pcs then grow t (t.len + 1);
+  let i = t.len in
+  t.pcs.(i) <- pc;
+  t.clss.(i) <- Instr.code cls;
+  t.kinds.(i) <- kind;
+  t.addrs.(i) <- addr;
+  t.len <- i + 1
+
+let add t ~pc ~cls ?access () =
+  match access with
+  | None -> add_packed t ~pc ~cls ~kind:kind_none ~addr:0
+  | Some (Read a) -> add_packed t ~pc ~cls ~kind:kind_read ~addr:a
+  | Some (Write a) -> add_packed t ~pc ~cls ~kind:kind_write ~addr:a
+
+let pc_at t i = t.pcs.(i)
+
+let cls_at t i = Instr.of_code t.clss.(i)
+
+let kind_at t i = t.kinds.(i)
+
+let addr_at t i = t.addrs.(i)
+
+let access_at t i =
+  match t.kinds.(i) with
+  | 0 -> None
+  | 1 -> Some (Read t.addrs.(i))
+  | _ -> Some (Write t.addrs.(i))
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get";
+  { pc = t.pcs.(i); cls = cls_at t i; access = access_at t i }
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f { pc = t.pcs.(i); cls = cls_at t i; access = access_at t i }
+  done
+
+let append dst src =
+  let n = dst.len + src.len in
+  if n > Array.length dst.pcs then grow dst n;
+  Array.blit src.pcs 0 dst.pcs dst.len src.len;
+  Array.blit src.clss 0 dst.clss dst.len src.len;
+  Array.blit src.kinds 0 dst.kinds dst.len src.len;
+  Array.blit src.addrs 0 dst.addrs dst.len src.len;
+  dst.len <- n
 
 let class_counts t =
-  let tbl = Hashtbl.create 16 in
-  iter
-    (fun e ->
-      let n = try Hashtbl.find tbl e.cls with Not_found -> 0 in
-      Hashtbl.replace tbl e.cls (n + 1))
-    t;
-  List.map (fun c -> (c, try Hashtbl.find tbl c with Not_found -> 0)) Instr.all
+  let counts = Array.make Instr.n_classes 0 in
+  for i = 0 to t.len - 1 do
+    let c = t.clss.(i) in
+    counts.(c) <- counts.(c) + 1
+  done;
+  List.map (fun c -> (c, counts.(Instr.code c))) Instr.all
 
 let taken_branch_fraction t =
+  let taken_code = Instr.code Instr.Br_taken in
   let taken = ref 0 in
-  iter (fun e -> if e.cls = Instr.Br_taken then incr taken) t;
-  if length t = 0 then 0.0 else float_of_int !taken /. float_of_int (length t)
+  for i = 0 to t.len - 1 do
+    if t.clss.(i) = taken_code then incr taken
+  done;
+  if t.len = 0 then 0.0 else float_of_int !taken /. float_of_int t.len
 
 let distinct_blocks t ~block_bytes =
   let seen = Hashtbl.create 256 in
-  iter (fun e -> Hashtbl.replace seen (e.pc / block_bytes) ()) t;
+  for i = 0 to t.len - 1 do
+    Hashtbl.replace seen (t.pcs.(i) / block_bytes) ()
+  done;
   Hashtbl.length seen
 
 let touched_instr_offsets t =
   let seen = Hashtbl.create 1024 in
-  iter (fun e -> Hashtbl.replace seen e.pc ()) t;
+  for i = 0 to t.len - 1 do
+    Hashtbl.replace seen t.pcs.(i) ()
+  done;
   seen
 
 (* ----- serialization ----------------------------------------------------- *)

@@ -15,12 +15,39 @@ type event = {
 }
 
 type t
+(** Traces are stored struct-of-arrays: flat int columns for pc, class
+    code, access kind and data address.  Appending via {!add_packed} and
+    scanning via the [_at] accessors allocate nothing, which keeps the
+    simulator's per-instruction hot path allocation-free. *)
 
 val create : unit -> t
 
 val length : t -> int
 
 val add : t -> pc:int -> cls:Instr.cls -> ?access:access -> unit -> unit
+
+(** {2 Packed (allocation-free) interface} *)
+
+val kind_none : int
+
+val kind_read : int
+
+val kind_write : int
+
+val add_packed : t -> pc:int -> cls:Instr.cls -> kind:int -> addr:int -> unit
+(** [add_packed t ~pc ~cls ~kind ~addr] appends one event without boxing.
+    [kind] is one of {!kind_none}, {!kind_read}, {!kind_write}; [addr] is
+    ignored when [kind = kind_none]. *)
+
+val pc_at : t -> int -> int
+
+val cls_at : t -> int -> Instr.cls
+
+val kind_at : t -> int -> int
+
+val addr_at : t -> int -> int
+
+(** {2 Event (boxed) interface — analysis paths} *)
 
 val get : t -> int -> event
 

@@ -1,27 +1,30 @@
 module Heap = Protolat_util.Heap
 
+(* [now] lives in a 1-element float array: a plain mutable float field in
+   this mixed record would be boxed, and the engine advances the clock once
+   per modeled instruction — that write must not allocate. *)
 type t = {
-  mutable now : float;
+  now : float array;
   queue : (unit -> unit) Heap.t;
 }
 
-let create () = { now = 0.0; queue = Heap.create () }
+let create () = { now = [| 0.0 |]; queue = Heap.create () }
 
-let now t = t.now
+let now t = t.now.(0)
 
 let schedule_at t ~at fn =
-  if at < t.now then invalid_arg "Sim.schedule_at: time in the past";
+  if at < t.now.(0) then invalid_arg "Sim.schedule_at: time in the past";
   Heap.push t.queue at fn
 
 let schedule t ~delay fn =
   if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
-  schedule_at t ~at:(t.now +. delay) fn
+  schedule_at t ~at:(t.now.(0) +. delay) fn
 
 let step t =
   match Heap.pop t.queue with
   | None -> false
   | Some (at, fn) ->
-    t.now <- max t.now at;
+    if at > t.now.(0) then t.now.(0) <- at;
     fn ();
     true
 
@@ -37,11 +40,15 @@ let run ?until t =
       | _ ->
         if step t then incr count else continue := false)
   done;
-  (match until with Some u -> t.now <- max t.now u | None -> ());
+  (match until with
+  | Some u -> if u > t.now.(0) then t.now.(0) <- u
+  | None -> ());
   !count
 
 let advance_clock t delta =
   if delta < 0.0 then invalid_arg "Sim.advance_clock";
-  t.now <- t.now +. delta
+  t.now.(0) <- t.now.(0) +. delta
+
+let clock_cell t = t.now
 
 let pending t = Heap.size t.queue

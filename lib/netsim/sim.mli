@@ -23,4 +23,10 @@ val advance_clock : t -> float -> unit
 (** Model computation time: move the clock forward by the given amount
     (events due in between remain pending until [run]/[step]). *)
 
+val clock_cell : t -> float array
+(** The 1-element cell backing {!now}.  Exposed so a caller charging time
+    once per simulated instruction can bump the clock without a float
+    crossing a call boundary (which would box it); treat as write-only
+    accumulation, never replace the array. *)
+
 val pending : t -> int

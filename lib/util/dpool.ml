@@ -1,0 +1,67 @@
+(* A small OCaml 5 work pool: independent tasks are pushed onto a
+   mutex-protected deque and drained by [jobs] domains (the calling domain
+   included).  Results come back in submission order, so a parallel sweep
+   is bit-identical to the sequential one as long as the tasks themselves
+   are independent. *)
+
+type 'a deque = {
+  m : Mutex.t;
+  mutable front : 'a list;
+  mutable back : 'a list; (* reversed *)
+}
+
+let deque_create () = { m = Mutex.create (); front = []; back = [] }
+
+let push_back d x =
+  Mutex.lock d.m;
+  d.back <- x :: d.back;
+  Mutex.unlock d.m
+
+let pop_front d =
+  Mutex.lock d.m;
+  (match d.front with
+  | [] ->
+    d.front <- List.rev d.back;
+    d.back <- []
+  | _ -> ());
+  let r =
+    match d.front with
+    | [] -> None
+    | x :: rest ->
+      d.front <- rest;
+      Some x
+  in
+  Mutex.unlock d.m;
+  r
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let run ?jobs tasks =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let n = List.length tasks in
+  if jobs <= 1 || n <= 1 then List.map (fun f -> f ()) tasks
+  else begin
+    let q = deque_create () in
+    List.iteri (fun i f -> push_back q (i, f)) tasks;
+    let results = Array.make n None in
+    let error = Atomic.make None in
+    let rec worker () =
+      if Atomic.get error = None then
+        match pop_front q with
+        | None -> ()
+        | Some (i, f) ->
+          (match f () with
+          | r -> results.(i) <- Some r
+          | exception e ->
+            ignore (Atomic.compare_and_set error None (Some e)));
+          worker ()
+    in
+    let helpers =
+      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join helpers;
+    (match Atomic.get error with Some e -> raise e | None -> ());
+    Array.to_list results
+    |> List.map (function Some r -> r | None -> assert false)
+  end

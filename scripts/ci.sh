@@ -1,0 +1,8 @@
+#!/bin/sh
+# Smoke script: full build, test suite, and a quick end-to-end bench table.
+# Usage: scripts/ci.sh  (run from the repository root)
+set -eu
+
+dune build @all
+dune runtest
+dune exec bench/main.exe -- quick only table1

@@ -243,10 +243,25 @@ let test_config_names () =
     P.Config.all_versions;
   Alcotest.(check bool) "unknown" true (P.Config.of_name "XXX" = None)
 
+(* The domain-parallel sweep must be a pure scheduling change: the same
+   (config, seed) runs land in the same result slots, so the rendered
+   tables are bit-identical at any job count. *)
+let test_full_run_jobs_identical () =
+  let render jobs =
+    let r =
+      P.Experiments.full_run ~samples_tcp:2 ~samples_rpc:2 ~rounds:6 ~jobs ()
+    in
+    Protolat_util.Table.render (P.Experiments.table4 r)
+    ^ Protolat_util.Table.render (P.Experiments.table7 r)
+  in
+  Alcotest.(check string) "jobs:4 = jobs:1" (render 1) (render 4)
+
 let suite =
   ( "engine",
     [ Alcotest.test_case "all configs complete" `Slow test_all_configs_complete;
       Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "parallel sweep determinism" `Slow
+        test_full_run_jobs_identical;
       Alcotest.test_case "seed perturbation" `Quick test_seed_perturbs;
       Alcotest.test_case "tcp version ordering" `Slow test_version_ordering_tcp;
       Alcotest.test_case "rpc version ordering" `Slow test_version_ordering_rpc;

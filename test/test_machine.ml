@@ -231,6 +231,63 @@ let test_trace_stats () =
     (Trace.taken_branch_fraction t);
   Alcotest.(check int) "distinct blocks" 1 (Trace.distinct_blocks t ~block_bytes:32)
 
+(* The packed struct-of-arrays trace must behave exactly like the boxed
+   event list it replaced: build a random event list, append it through
+   [add], and check the [_at] accessors, [get]/[iter] and [class_counts]
+   against the reference. *)
+let prop_trace_soa_roundtrip =
+  let cls_gen = QCheck.Gen.oneofl Instr.all in
+  let access_gen =
+    QCheck.Gen.(
+      frequency
+        [ (3, return None);
+          (1, map (fun a -> Some (Trace.Read a)) (int_bound 0xFFFF));
+          (1, map (fun a -> Some (Trace.Write a)) (int_bound 0xFFFF)) ])
+  in
+  let event_gen =
+    QCheck.Gen.(
+      map2
+        (fun (pc, cls) access -> { Trace.pc; cls; access })
+        (pair (int_bound 0xFFFFF) cls_gen)
+        access_gen)
+  in
+  QCheck.Test.make ~name:"packed trace round-trips events" ~count:100
+    (QCheck.make QCheck.Gen.(list_size (int_bound 200) event_gen))
+    (fun events ->
+      let t = Trace.create () in
+      List.iter
+        (fun (e : Trace.event) ->
+          Trace.add t ~pc:e.Trace.pc ~cls:e.Trace.cls ?access:e.Trace.access
+            ())
+        events;
+      let n = List.length events in
+      Trace.length t = n
+      && List.for_all2
+           (fun (e : Trace.event) i ->
+             Trace.get t i = e
+             && Trace.pc_at t i = e.Trace.pc
+             && Trace.cls_at t i = e.Trace.cls
+             &&
+             match e.Trace.access with
+             | None -> Trace.kind_at t i = Trace.kind_none
+             | Some (Trace.Read a) ->
+               Trace.kind_at t i = Trace.kind_read && Trace.addr_at t i = a
+             | Some (Trace.Write a) ->
+               Trace.kind_at t i = Trace.kind_write && Trace.addr_at t i = a)
+           events
+           (List.init n Fun.id)
+      && (let seen = ref [] in
+          Trace.iter (fun e -> seen := e :: !seen) t;
+          List.rev !seen = events)
+      && Trace.class_counts t
+         = List.map
+             (fun c ->
+               ( c,
+                 List.length
+                   (List.filter (fun (e : Trace.event) -> e.Trace.cls = c)
+                      events) ))
+             Instr.all)
+
 let suite =
   ( "machine",
     [ Alcotest.test_case "vector totals" `Quick test_vector_total;
@@ -241,6 +298,7 @@ let suite =
       Alcotest.test_case "cache geometry" `Quick test_cache_bad_geometry;
       QCheck_alcotest.to_alcotest prop_cache_deterministic;
       Alcotest.test_case "write buffer" `Quick test_wb_merge;
+      QCheck_alcotest.to_alcotest prop_trace_soa_roundtrip;
       Alcotest.test_case "memsys ifetch" `Quick test_memsys_ifetch;
       Alcotest.test_case "memsys prefetch" `Quick test_memsys_prefetch_counted;
       Alcotest.test_case "memsys d/wb" `Quick test_memsys_dwb_accounting;

@@ -112,6 +112,25 @@ let test_table_cells () =
   Alcotest.(check string) "pct" "+12.9" (Table.cell_pct 12.94);
   Alcotest.(check string) "f" "3.14" (Table.cell_f ~digits:2 3.14159)
 
+(* ----- Dpool ---------------------------------------------------------------- *)
+
+module Dpool = Protolat_util.Dpool
+
+let test_dpool_order () =
+  let tasks = List.init 37 (fun i -> fun () -> i * i) in
+  let expect = List.init 37 (fun i -> i * i) in
+  Alcotest.(check (list int)) "jobs:1" expect (Dpool.run ~jobs:1 tasks);
+  Alcotest.(check (list int)) "jobs:4" expect (Dpool.run ~jobs:4 tasks);
+  Alcotest.(check (list int)) "jobs > tasks" [ 7 ]
+    (Dpool.run ~jobs:8 [ (fun () -> 7) ])
+
+let test_dpool_exn () =
+  Alcotest.check_raises "worker exception propagates" Exit (fun () ->
+      ignore
+        (Dpool.run ~jobs:3
+           (List.init 8 (fun i ->
+                fun () -> if i = 5 then raise Exit else i))))
+
 let suite =
   ( "util",
     [ Alcotest.test_case "vec basics" `Quick test_vec_basics;
@@ -125,4 +144,6 @@ let suite =
       Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutes;
       Alcotest.test_case "stats" `Quick test_stats;
       Alcotest.test_case "table render" `Quick test_table_render;
+      Alcotest.test_case "dpool preserves order" `Quick test_dpool_order;
+      Alcotest.test_case "dpool propagates errors" `Quick test_dpool_exn;
       Alcotest.test_case "table cells" `Quick test_table_cells ] )
