@@ -478,8 +478,8 @@ let static_path_of (config : Config.t) desc =
 
 (* Drive a prepared pair of hosts: [start] kicks the client, [completed]
    reads its roundtrip count, [on_roundtrip] installs the callback. *)
-let drive ~sim ~(ch : hstate) ~start ~on_roundtrip ~completed ~rounds ~warmup
-    =
+let drive ~sim ~(ch : hstate) ?(window_us = 5.0e6) ~start ~on_roundtrip
+    ~completed ~rounds ~warmup () =
   let total = rounds + warmup in
   let rtts = ref [] in
   let last = ref 0.0 in
@@ -490,7 +490,7 @@ let drive ~sim ~(ch : hstate) ~start ~on_roundtrip ~completed ~rounds ~warmup
       (* collect exactly one steady-state roundtrip's trace *)
       ch.collecting <- i = warmup);
   start ();
-  ignore (Ns.Sim.run ~until:(Ns.Sim.now sim +. 5.0e6) sim);
+  ignore (Ns.Sim.run ~until:(Ns.Sim.now sim +. window_us) sim);
   if completed () < total then
     failwith
       (Printf.sprintf "Engine.drive: only %d of %d roundtrips completed"
@@ -509,8 +509,21 @@ let finish ~params ~config ~desc ~(ch : hstate) ~rtts ~retransmissions =
     static_path = static_path_of config desc;
     retransmissions }
 
-let run_tcpip ?(rx_overhead_us = 0.0) ~seed ~rounds ~warmup ~params
-    ~(config : Config.t) ~layout () =
+(* seeded fault plans for one pair: one wire plan on the link, one device
+   plan per host's LANCE (independent split streams per class inside each) *)
+let install_fault ~seed spec ~link ~client_lance ~server_lance =
+  Ns.Ether.Link.set_fault link (Some (Ns.Fault.create ~seed spec));
+  Ns.Lance.set_fault client_lance
+    (Some (Ns.Fault.create ~seed:(seed + 101) spec));
+  Ns.Lance.set_fault server_lance
+    (Some (Ns.Fault.create ~seed:(seed + 211) spec))
+
+let compose_meter base = function
+  | None -> base
+  | Some extra -> Xk.Meter.both base extra
+
+let run_tcpip ?(rx_overhead_us = 0.0) ?fault ?extra_meter ~seed ~rounds
+    ~warmup ~params ~(config : Config.t) ~layout () =
   let client_image = build_image config tcpip_desc ~layout in
   let server_image = client_image in
   let pair =
@@ -529,24 +542,34 @@ let run_tcpip ?(rx_overhead_us = 0.0) ~seed ~rounds ~warmup ~params
     make_hstate ~params ~image:server_image ~sim:pair.T.Stack.sim
       ~simmem:senv.Ns.Host_env.simmem
   in
-  cenv.Ns.Host_env.meter <- make_meter ch;
-  senv.Ns.Host_env.meter <- make_meter sh;
+  cenv.Ns.Host_env.meter <- compose_meter (make_meter ch) extra_meter;
+  senv.Ns.Host_env.meter <- compose_meter (make_meter sh) extra_meter;
   install_phase_hook ~rx_overhead_us ch cenv;
   install_phase_hook ~rx_overhead_us sh senv;
   let client_test, _server_test =
     T.Stack.establish pair ~rounds:(rounds + warmup)
   in
+  (* faults start only after the handshake so every run reaches steady
+     state; the window widens because retransmission timeouts back off *)
+  (match fault with
+  | None -> ()
+  | Some spec ->
+    install_fault ~seed:(seed lxor 0x5EED) spec ~link:pair.T.Stack.link
+      ~client_lance:pair.T.Stack.client.T.Stack.lance
+      ~server_lance:pair.T.Stack.server.T.Stack.lance);
+  let window_us = if fault = None then None else Some 60.0e6 in
   let rtts =
-    drive ~sim:pair.T.Stack.sim ~ch
+    drive ~sim:pair.T.Stack.sim ~ch ?window_us
       ~start:(fun () -> T.Tcptest.start client_test)
       ~on_roundtrip:(T.Tcptest.set_on_roundtrip client_test)
       ~completed:(fun () -> T.Tcptest.rounds_completed client_test)
-      ~rounds ~warmup
+      ~rounds ~warmup ()
   in
   finish ~params ~config ~desc:tcpip_desc ~ch ~rtts
     ~retransmissions:(T.Tcp.retransmits pair.T.Stack.client.T.Stack.tcp)
 
-let run_rpc ~seed ~rounds ~warmup ~params ~(config : Config.t) ~layout () =
+let run_rpc ?fault ?extra_meter ~seed ~rounds ~warmup ~params
+    ~(config : Config.t) ~layout () =
   let client_image = build_image config rpc_client_desc ~layout in
   (* the server always runs the best version (§4.2) *)
   let server_image =
@@ -566,27 +589,34 @@ let run_rpc ~seed ~rounds ~warmup ~params ~(config : Config.t) ~layout () =
     make_hstate ~params ~image:server_image ~sim:pair.R.Rstack.sim
       ~simmem:senv.Ns.Host_env.simmem
   in
-  cenv.Ns.Host_env.meter <- make_meter ch;
-  senv.Ns.Host_env.meter <- make_meter sh;
+  cenv.Ns.Host_env.meter <- compose_meter (make_meter ch) extra_meter;
+  senv.Ns.Host_env.meter <- compose_meter (make_meter sh) extra_meter;
   install_phase_hook ch cenv;
   install_phase_hook sh senv;
   let client_test, _server_test =
     R.Rstack.make_tests pair ~rounds:(rounds + warmup)
   in
+  (match fault with
+  | None -> ()
+  | Some spec ->
+    install_fault ~seed:(seed lxor 0x5EED) spec ~link:pair.R.Rstack.link
+      ~client_lance:pair.R.Rstack.client.R.Rstack.lance
+      ~server_lance:pair.R.Rstack.server.R.Rstack.lance);
+  let window_us = if fault = None then None else Some 60.0e6 in
   let rtts =
-    drive ~sim:pair.R.Rstack.sim ~ch
+    drive ~sim:pair.R.Rstack.sim ~ch ?window_us
       ~start:(fun () -> R.Xrpctest.start client_test)
       ~on_roundtrip:(R.Xrpctest.set_on_roundtrip client_test)
       ~completed:(fun () -> R.Xrpctest.rounds_completed client_test)
-      ~rounds ~warmup
+      ~rounds ~warmup ()
   in
   finish ~params ~config ~desc:rpc_client_desc ~ch ~rtts
     ~retransmissions:
       (R.Chan.request_retransmits pair.R.Rstack.client.R.Rstack.chan)
 
 let run ?(seed = 42) ?(rounds = 24) ?(warmup = 8)
-    ?(params = Machine.Params.default) ?layout ?(rx_overhead_us = 0.0) ~stack
-    ~(config : Config.t) () =
+    ?(params = Machine.Params.default) ?layout ?(rx_overhead_us = 0.0) ?fault
+    ?extra_meter ~stack ~(config : Config.t) () =
   let layout =
     match layout with
     | Some l -> l
@@ -594,8 +624,11 @@ let run ?(seed = 42) ?(rounds = 24) ?(warmup = 8)
   in
   match stack with
   | Tcpip ->
-    run_tcpip ~rx_overhead_us ~seed ~rounds ~warmup ~params ~config ~layout ()
-  | Rpc -> run_rpc ~seed ~rounds ~warmup ~params ~config ~layout ()
+    run_tcpip ~rx_overhead_us ?fault ?extra_meter ~seed ~rounds ~warmup
+      ~params ~config ~layout ()
+  | Rpc ->
+    run_rpc ?fault ?extra_meter ~seed ~rounds ~warmup ~params ~config ~layout
+      ()
 
 (* ----- bulk-transfer throughput (§4.1: "none of the techniques
    negatively affected throughput"; §2.2.5: CPU utilization) ------------- *)

@@ -44,6 +44,8 @@ val run :
   ?params:Machine.Params.t ->
   ?layout:Config.layout ->
   ?rx_overhead_us:float ->
+  ?fault:Protolat_netsim.Fault.spec ->
+  ?extra_meter:Protolat_xkernel.Meter.t ->
   stack:stack_kind ->
   config:Config.t ->
   unit ->
@@ -51,7 +53,13 @@ val run :
 (** One measurement run: establish the connection, [warmup] roundtrips,
     then [rounds] measured roundtrips (default 24/8).  [rx_overhead_us]
     charges a packet classifier in front of every receive (TCP/IP only;
-    the paper's PIN/ALL results assume a zero-overhead classifier). *)
+    the paper's PIN/ALL results assume a zero-overhead classifier).
+    [fault] installs a seeded wire + device fault plan after the
+    connection is established (and widens the drive window so backed-off
+    retransmissions still finish every roundtrip); [extra_meter] is
+    composed with the engine meter on both hosts — used by the soak
+    harness to record cold-path (outlined error block) coverage during
+    fully metered runs. *)
 
 type throughput_result = {
   mbits_per_s : float;

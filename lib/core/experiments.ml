@@ -632,3 +632,41 @@ let dec_unix_mcpi () =
     [ "optimally configured (ALL)"; f2 Paper.optimal_mcpi;
       f2 best.Engine.steady.Perf.mcpi ];
   t
+
+let fault_injection () =
+  let t =
+    Table.create
+      ~title:
+        "Fault injection: latency and cold-path coverage under seeded faults"
+      ~headers:
+        [ "Stack"; "Schedule"; "RTT [us]"; "Rexmt"; "Cold blocks hit" ]
+  in
+  let tracked = Soak.tracked_cold_blocks in
+  let schedule name =
+    (List.find (fun s -> s.Soak.sname = name) Soak.schedules).Soak.sspec
+  in
+  let row stack sname =
+    let cover = Soak.Cover.create () in
+    let r =
+      Engine.run ~seed:42 ~fault:(schedule sname)
+        ~extra_meter:(Soak.Cover.meter cover) ~stack
+        ~config:(Config.make Config.All) ()
+    in
+    let hit =
+      List.length
+        (List.filter
+           (fun (func, block) -> Soak.Cover.triggered cover ~func ~block > 0)
+           tracked)
+    in
+    Table.add_row t
+      [ Engine.stack_name stack;
+        sname;
+        f1 (Util.Stats.mean r.Engine.rtts);
+        i r.Engine.retransmissions;
+        Printf.sprintf "%d/%d" hit (List.length tracked) ]
+  in
+  List.iter (row Engine.Tcpip)
+    [ "clean"; "loss"; "burst"; "corrupt"; "dup"; "reorder" ];
+  Table.add_separator t;
+  List.iter (row Engine.Rpc) [ "clean"; "loss" ];
+  t

@@ -80,3 +80,10 @@ val throughput : unit -> Protolat_util.Table.t
 val dec_unix_mcpi : unit -> Protolat_util.Table.t
 (** §5: mCPI of a production-style (original-options) stack vs the
     optimally configured system. *)
+
+val fault_injection : unit -> Protolat_util.Table.t
+(** Seeded {!Protolat_netsim.Fault} schedules under the fully metered
+    engine (ALL configuration): mean roundtrip latency, retransmissions,
+    and how many of the soak-tracked outlined cold blocks each schedule
+    drives.  Quantifies what the outlined error paths cost when they do
+    run (S2.2.3). *)

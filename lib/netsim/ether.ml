@@ -27,6 +27,7 @@ module Link = struct
     mutable sent : int;
     mutable dropped : int;
     mutable loss : frame -> bool;
+    mutable fault : Fault.t option;
   }
 
   let create sim ?(propagation_us = 0.3) () =
@@ -35,7 +36,8 @@ module Link = struct
       handlers = Array.make 2 None;
       sent = 0;
       dropped = 0;
-      loss = (fun _ -> false) }
+      loss = (fun _ -> false);
+      fault = None }
 
   let check_station station =
     if station < 0 || station > 1 then invalid_arg "Ether.Link: bad station"
@@ -47,20 +49,48 @@ module Link = struct
   let transmit t ~station frame =
     check_station station;
     t.sent <- t.sent + 1;
-    let delay =
+    let base_delay =
       tx_time_us (Bytes.length frame.payload) +. t.propagation_us
     in
     let peer = 1 - station in
-    if t.loss frame then begin
-      t.dropped <- t.dropped + 1
-    end
-    else
+    let deliver delay frame =
       Sim.schedule t.sim ~delay (fun () ->
           match t.handlers.(peer) with
           | Some h -> h frame
           | None -> ())
+    in
+    if t.loss frame then t.dropped <- t.dropped + 1
+    else
+      match t.fault with
+      | None -> deliver base_delay frame
+      | Some f ->
+        let v = Fault.wire_verdict f ~len:(Bytes.length frame.payload) in
+        if v.Fault.drop then t.dropped <- t.dropped + 1
+        else begin
+          let frame =
+            if v.Fault.corrupt_at < 0 then frame
+            else begin
+              (* senders keep a reference to the payload for
+                 retransmission: corrupt a copy, never in place *)
+              let payload = Bytes.copy frame.payload in
+              let b = Char.code (Bytes.get payload v.Fault.corrupt_at) in
+              Bytes.set payload v.Fault.corrupt_at
+                (Char.chr (b lxor v.Fault.corrupt_mask));
+              { frame with payload }
+            end
+          in
+          let delay = base_delay +. v.Fault.extra_delay_us in
+          deliver delay frame;
+          if v.Fault.duplicate then
+            (* the copy arrives one serialization time later *)
+            deliver (delay +. tx_time_us (Bytes.length frame.payload)) frame
+        end
 
   let set_loss t f = t.loss <- f
+
+  let set_fault t f = t.fault <- f
+
+  let fault t = t.fault
 
   let frames_sent t = t.sent
 

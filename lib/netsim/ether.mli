@@ -41,9 +41,19 @@ module Link : sig
       serialization + propagation time. *)
 
   val set_loss : t -> (frame -> bool) -> unit
-  (** Install a loss predicate: frames for which it returns [true] are
-      dropped after serialization (fault injection for retransmission
-      tests). *)
+  (** Deprecated: install an ad-hoc loss predicate (frames for which it
+      returns [true] are dropped after serialization).  Kept as a thin
+      shim for targeted drop-exactly-this-frame tests; new code should
+      use {!set_fault} with a seeded {!Fault.t} plan instead.  The
+      predicate composes with the fault plan: it is consulted first. *)
+
+  val set_fault : t -> Fault.t option -> unit
+  (** Install a seeded fault plan applied per frame at transmit time:
+      loss and burst loss drop the frame; corruption flips one bit in a
+      copy of the payload; duplication delivers the frame twice;
+      reordering/jitter add bounded extra delivery delay. *)
+
+  val fault : t -> Fault.t option
 
   val frames_sent : t -> int
 

@@ -1,0 +1,179 @@
+module Rng = Protolat_util.Rng
+
+type ge_spec = {
+  p_good_to_bad : float;
+  p_bad_to_good : float;
+  loss_good_pct : float;
+  loss_bad_pct : float;
+}
+
+type spec = {
+  loss_pct : float;
+  ge : ge_spec option;
+  corrupt_pct : float;
+  duplicate_pct : float;
+  reorder_pct : float;
+  reorder_delay_us : float;
+  jitter_us : float;
+  tx_stall_pct : float;
+  tx_stall_us : float;
+  rx_overrun_pct : float;
+}
+
+let clean =
+  { loss_pct = 0.0;
+    ge = None;
+    corrupt_pct = 0.0;
+    duplicate_pct = 0.0;
+    reorder_pct = 0.0;
+    reorder_delay_us = 0.0;
+    jitter_us = 0.0;
+    tx_stall_pct = 0.0;
+    tx_stall_us = 0.0;
+    rx_overrun_pct = 0.0 }
+
+type t = {
+  spec : spec;
+  (* one independent stream per fault class: the draw sequence of one
+     class never perturbs another *)
+  rng_loss : Rng.t;
+  rng_ge : Rng.t;
+  rng_corrupt : Rng.t;
+  rng_dup : Rng.t;
+  rng_reorder : Rng.t;
+  rng_jitter : Rng.t;
+  rng_txstall : Rng.t;
+  rng_rxover : Rng.t;
+  mutable ge_bad : bool;
+  mutable frames : int;
+  mutable drops : int;
+  mutable corruptions : int;
+  mutable duplications : int;
+  mutable reorderings : int;
+  mutable tx_stalls : int;
+  mutable rx_overruns : int;
+}
+
+let create ~seed spec =
+  let root = Rng.create seed in
+  let next () = Rng.split root in
+  let rng_loss = next () in
+  let rng_ge = next () in
+  let rng_corrupt = next () in
+  let rng_dup = next () in
+  let rng_reorder = next () in
+  let rng_jitter = next () in
+  let rng_txstall = next () in
+  let rng_rxover = next () in
+  { spec;
+    rng_loss;
+    rng_ge;
+    rng_corrupt;
+    rng_dup;
+    rng_reorder;
+    rng_jitter;
+    rng_txstall;
+    rng_rxover;
+    ge_bad = false;
+    frames = 0;
+    drops = 0;
+    corruptions = 0;
+    duplications = 0;
+    reorderings = 0;
+    tx_stalls = 0;
+    rx_overruns = 0 }
+
+let spec t = t.spec
+
+type verdict = {
+  drop : bool;
+  corrupt_at : int;
+  corrupt_mask : int;
+  duplicate : bool;
+  extra_delay_us : float;
+}
+
+let hit rng pct = pct > 0.0 && Rng.float rng 100.0 < pct
+
+let ge_loss t =
+  match t.spec.ge with
+  | None -> false
+  | Some g ->
+    (* state transition first, then a loss draw in the new state; both
+       draws come from the dedicated GE stream *)
+    (if t.ge_bad then begin
+       if Rng.float t.rng_ge 1.0 < g.p_bad_to_good then t.ge_bad <- false
+     end
+     else if Rng.float t.rng_ge 1.0 < g.p_good_to_bad then t.ge_bad <- true);
+    let pct = if t.ge_bad then g.loss_bad_pct else g.loss_good_pct in
+    hit t.rng_ge pct
+
+let wire_verdict t ~len =
+  t.frames <- t.frames + 1;
+  (* every class draws on every frame so the streams stay aligned with
+     the frame sequence no matter which faults fire *)
+  let independent_loss = hit t.rng_loss t.spec.loss_pct in
+  let burst_loss = ge_loss t in
+  let drop = independent_loss || burst_loss in
+  let corrupt = hit t.rng_corrupt t.spec.corrupt_pct in
+  let corrupt_at, corrupt_mask =
+    if corrupt && len > 0 then
+      (Rng.int t.rng_corrupt len, 1 lsl Rng.int t.rng_corrupt 8)
+    else (-1, 0)
+  in
+  let duplicate = hit t.rng_dup t.spec.duplicate_pct in
+  let reorder = hit t.rng_reorder t.spec.reorder_pct in
+  let reorder_delay =
+    if reorder then Rng.float t.rng_reorder t.spec.reorder_delay_us else 0.0
+  in
+  let jitter =
+    if t.spec.jitter_us > 0.0 then Rng.float t.rng_jitter t.spec.jitter_us
+    else 0.0
+  in
+  if drop then t.drops <- t.drops + 1;
+  if (not drop) && corrupt_at >= 0 then
+    t.corruptions <- t.corruptions + 1;
+  if (not drop) && duplicate then t.duplications <- t.duplications + 1;
+  if (not drop) && reorder then t.reorderings <- t.reorderings + 1;
+  { drop;
+    corrupt_at = (if drop then -1 else corrupt_at);
+    corrupt_mask;
+    duplicate = (not drop) && duplicate;
+    extra_delay_us = reorder_delay +. jitter }
+
+let draw_tx_stall t =
+  if hit t.rng_txstall t.spec.tx_stall_pct then begin
+    t.tx_stalls <- t.tx_stalls + 1;
+    Rng.float t.rng_txstall t.spec.tx_stall_us
+  end
+  else 0.0
+
+let rx_overrun t =
+  if hit t.rng_rxover t.spec.rx_overrun_pct then begin
+    t.rx_overruns <- t.rx_overruns + 1;
+    true
+  end
+  else false
+
+let frames_seen t = t.frames
+
+let drops t = t.drops
+
+let corruptions t = t.corruptions
+
+let duplications t = t.duplications
+
+let reorderings t = t.reorderings
+
+let tx_stalls t = t.tx_stalls
+
+let rx_overruns t = t.rx_overruns
+
+let counters t =
+  [ ("corruptions", t.corruptions);
+    ("drops", t.drops);
+    ("duplications", t.duplications);
+    ("frames", t.frames);
+    ("reorderings", t.reorderings);
+    ("rx_overruns", t.rx_overruns);
+    ("tx_stalls", t.tx_stalls) ]

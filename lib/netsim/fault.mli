@@ -1,0 +1,79 @@
+(** Deterministic seeded fault injection.
+
+    A fault plan is a set of per-frame fault probabilities (wire faults:
+    loss — independent or Gilbert–Elliott burst — bit corruption,
+    duplication, bounded reordering, delay jitter) plus device faults
+    (LANCE tx stalls modelling ring exhaustion, rx overruns).  All
+    randomness flows through split {!Protolat_util.Rng} streams derived
+    from a single seed, with one independent stream per fault class, so a
+    given plan produces the identical fault sequence for the identical
+    sequence of frames regardless of what other draws happen elsewhere. *)
+
+(** Two-state Gilbert–Elliott burst-loss channel. *)
+type ge_spec = {
+  p_good_to_bad : float;  (** per-frame transition probability, good→bad *)
+  p_bad_to_good : float;  (** per-frame transition probability, bad→good *)
+  loss_good_pct : float;  (** loss probability in the good state, percent *)
+  loss_bad_pct : float;   (** loss probability in the bad state, percent *)
+}
+
+type spec = {
+  loss_pct : float;        (** independent per-frame loss, percent *)
+  ge : ge_spec option;     (** burst loss; composes with [loss_pct] *)
+  corrupt_pct : float;     (** per-frame single-bit corruption, percent *)
+  duplicate_pct : float;   (** per-frame duplication, percent *)
+  reorder_pct : float;     (** per-frame extra-delay reordering, percent *)
+  reorder_delay_us : float;(** bound on the reordering delay *)
+  jitter_us : float;       (** uniform extra delivery delay in [0, jitter) *)
+  tx_stall_pct : float;    (** LANCE controller stall probability, percent *)
+  tx_stall_us : float;     (** bound on the stall duration *)
+  rx_overrun_pct : float;  (** LANCE rx-descriptor overrun, percent *)
+}
+
+val clean : spec
+(** All probabilities zero. *)
+
+type t
+
+val create : seed:int -> spec -> t
+
+val spec : t -> spec
+
+(** Fate of one frame on the wire, drawn by {!wire_verdict}. *)
+type verdict = {
+  drop : bool;
+  corrupt_at : int;      (** byte offset to corrupt, or -1 *)
+  corrupt_mask : int;    (** single-bit XOR mask for that byte *)
+  duplicate : bool;
+  extra_delay_us : float;(** reordering + jitter delay to add *)
+}
+
+val wire_verdict : t -> len:int -> verdict
+(** Draw the fate of the next frame ([len] = payload length in bytes).
+    Counters are updated as a side effect. *)
+
+val draw_tx_stall : t -> float
+(** Extra µs the LANCE controller stalls before accepting the next
+    transmit (0.0 almost always; [tx_stall_us]-bounded otherwise). *)
+
+val rx_overrun : t -> bool
+(** Whether the next received frame is lost to an rx-descriptor overrun. *)
+
+(** {2 Counters} *)
+
+val frames_seen : t -> int
+
+val drops : t -> int
+
+val corruptions : t -> int
+
+val duplications : t -> int
+
+val reorderings : t -> int
+
+val tx_stalls : t -> int
+
+val rx_overruns : t -> int
+
+val counters : t -> (string * int) list
+(** All counters as a sorted assoc list (stable rendering order). *)

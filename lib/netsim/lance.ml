@@ -19,6 +19,12 @@ type t = {
   mutable frames_rx : int;
   mutable busy_until : float;
       (* the controller serializes: one frame on the wire at a time *)
+  mutable tx_outstanding : int;
+      (* descriptors handed over but not yet returned (OWN still set) *)
+  mutable rx_missed : bool;
+      (* an rx-descriptor overrun happened since the last receive *)
+  mutable rx_missed_total : int;
+  mutable fault : Fault.t option;
 }
 
 let create sim simmem link ~station ?(mode = Usc_direct) ?(ring_size = 16)
@@ -39,18 +45,33 @@ let create sim simmem link ~station ?(mode = Usc_direct) ?(ring_size = 16)
       on_receive = (fun _ -> ());
       frames_tx = 0;
       frames_rx = 0;
-      busy_until = 0.0 }
+      busy_until = 0.0;
+      tx_outstanding = 0;
+      rx_missed = false;
+      rx_missed_total = 0;
+      fault = None }
   in
   Ether.Link.attach link ~station (fun frame ->
-      t.frames_rx <- t.frames_rx + 1;
-      (* controller DMAs the frame and fills the next receive descriptor *)
-      let desc = t.ring_size + t.rx_index in
-      t.rx_index <- (t.rx_index + 1) mod t.ring_size;
-      Usc.set t.shared ~desc Usc.Status
-        (Ether.frame_bytes (Bytes.length frame.Ether.payload));
-      Usc.set t.shared ~desc Usc.Flags Usc.flags_enp;
-      Sim.schedule sim ~delay:t.rx_interrupt_delay_us (fun () ->
-          t.on_receive frame));
+      let overrun =
+        match t.fault with Some f -> Fault.rx_overrun f | None -> false
+      in
+      if overrun then begin
+        (* no free receive descriptor: the controller drops the frame and
+           latches the MISS condition for the next receive interrupt *)
+        t.rx_missed <- true;
+        t.rx_missed_total <- t.rx_missed_total + 1
+      end
+      else begin
+        t.frames_rx <- t.frames_rx + 1;
+        (* controller DMAs the frame and fills the next receive descriptor *)
+        let desc = t.ring_size + t.rx_index in
+        t.rx_index <- (t.rx_index + 1) mod t.ring_size;
+        Usc.set t.shared ~desc Usc.Status
+          (Ether.frame_bytes (Bytes.length frame.Ether.payload));
+        Usc.set t.shared ~desc Usc.Flags Usc.flags_enp;
+        Sim.schedule sim ~delay:t.rx_interrupt_delay_us (fun () ->
+            t.on_receive frame)
+      end);
   t
 
 let set_handlers t ~on_tx_complete ~on_receive =
@@ -80,16 +101,25 @@ let fill_tx_descriptor t ~desc ~len =
 let tx_complete_latency_us t payload_len =
   t.controller_overhead_us +. Ether.tx_time_us payload_len
 
+let tx_ring_full t = t.tx_outstanding >= t.ring_size
+
 let transmit t frame =
+  if tx_ring_full t then
+    invalid_arg "Lance.transmit: tx ring full (check tx_ring_full first)";
   let desc = t.tx_index in
   t.tx_index <- (t.tx_index + 1) mod t.ring_size;
+  t.tx_outstanding <- t.tx_outstanding + 1;
   fill_tx_descriptor t ~desc ~len:(Bytes.length frame.Ether.payload);
   t.frames_tx <- t.frames_tx + 1;
-  (* the controller picks the frame up after its overhead, but transmits
-     frames strictly in order: a frame waits for the wire to go idle *)
+  (* the controller picks the frame up after its overhead (plus any
+     injected stall), but transmits frames strictly in order: a frame
+     waits for the wire to go idle *)
+  let stall =
+    match t.fault with Some f -> Fault.draw_tx_stall f | None -> 0.0
+  in
   let now = Sim.now t.sim in
   let start =
-    Float.max (now +. t.controller_overhead_us) t.busy_until
+    Float.max (now +. t.controller_overhead_us +. stall) t.busy_until
   in
   let tx_time = Ether.tx_time_us (Bytes.length frame.Ether.payload) in
   t.busy_until <- start +. tx_time;
@@ -99,7 +129,17 @@ let transmit t frame =
          when the frame has left the wire *)
       Sim.schedule t.sim ~delay:tx_time (fun () ->
           Usc.set t.shared ~desc Usc.Flags (Usc.flags_stp lor Usc.flags_enp);
+          t.tx_outstanding <- t.tx_outstanding - 1;
           t.on_tx_complete ()))
+
+let set_fault t f = t.fault <- f
+
+let consume_rx_missed t =
+  let m = t.rx_missed in
+  t.rx_missed <- false;
+  m
+
+let rx_missed_total t = t.rx_missed_total
 
 let tx_descriptor_rings t = t.shared
 

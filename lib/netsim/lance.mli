@@ -39,7 +39,25 @@ val transmit : t -> Ether.frame -> unit
     descriptor (through the configured access mode, exercising the sparse
     memory), and the controller raises [on_tx_complete] after
     [controller_overhead + serialization] and delivers the frame to the
-    peer station. *)
+    peer station.
+    @raise Invalid_argument if the transmit ring is full — callers must
+    check {!tx_ring_full} first and queue the frame until the next
+    transmit-complete interrupt. *)
+
+val tx_ring_full : t -> bool
+(** All [ring_size] transmit descriptors are owned by the controller. *)
+
+val set_fault : t -> Fault.t option -> unit
+(** Install a device fault plan: transmit stalls delay the controller
+    pickup (so descriptors stay owned longer and the ring can fill), and
+    rx overruns drop incoming frames before a descriptor is filled,
+    latching a MISS condition for {!consume_rx_missed}. *)
+
+val consume_rx_missed : t -> bool
+(** Whether an rx-descriptor overrun happened since the last call; reading
+    clears the latch (the driver checks this in its receive interrupt). *)
+
+val rx_missed_total : t -> int
 
 val tx_descriptor_rings : t -> Sparse_mem.t
 (** The shared descriptor memory (transmit ring followed by receive ring) —

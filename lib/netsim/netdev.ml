@@ -19,8 +19,12 @@ type t = {
   handlers : (src:int -> Msg.t -> unit) Xk.Map.t;
   arp : (int, unit) Hashtbl.t;
   pool : Xk.Pool.t;
+  tx_backlog : Ether.frame Queue.t;
+      (* frames that found the tx ring full, drained from tx_intr *)
   mutable frames_sent : int;
   mutable frames_received : int;
+  mutable tx_ring_full_events : int;
+  mutable rx_desc_errors : int;
 }
 
 let etk ethertype = Printf.sprintf "%04x" ethertype
@@ -47,12 +51,21 @@ let lance_send t frame =
   Meter.fn m "lance_send" (fun () ->
       m.Meter.block "lance_send" "setup"
         ~reads:[ Meter.range ~base:(Sparse_mem.sim_addr_of_word shared 0) ~len:16 () ];
-      m.Meter.cold ~triggered:false "lance_send" "ring_full";
-      m.Meter.block "lance_send" "desc"
-        ~writes:[ Meter.range ~base:(Sparse_mem.sim_addr_of_word shared 0) ~len:40 () ];
-      Lance.transmit t.lance frame;
-      t.frames_sent <- t.frames_sent + 1;
-      m.Meter.block "lance_send" "go")
+      let full = Lance.tx_ring_full t.lance in
+      m.Meter.cold ~triggered:full "lance_send" "ring_full";
+      if full then begin
+        (* all descriptors owned by the controller: park the frame until
+           a transmit-complete interrupt frees one *)
+        t.tx_ring_full_events <- t.tx_ring_full_events + 1;
+        Queue.add frame t.tx_backlog
+      end
+      else begin
+        m.Meter.block "lance_send" "desc"
+          ~writes:[ Meter.range ~base:(Sparse_mem.sim_addr_of_word shared 0) ~len:40 () ];
+        Lance.transmit t.lance frame;
+        t.frames_sent <- t.frames_sent + 1;
+        m.Meter.block "lance_send" "go"
+      end)
 
 let send t ~dst ~ethertype msg =
   let m = t.env.Host_env.meter in
@@ -108,7 +121,9 @@ let lance_rx t frame =
   Meter.fn m "lance_rx" (fun () ->
       t.frames_received <- t.frames_received + 1;
       m.Meter.block "lance_rx" "getbuf";
-      m.Meter.cold ~triggered:false "lance_rx" "baddesc";
+      let missed = Lance.consume_rx_missed t.lance in
+      if missed then t.rx_desc_errors <- t.rx_desc_errors + 1;
+      m.Meter.cold ~triggered:missed "lance_rx" "baddesc";
       m.Meter.block "lance_rx" "desc_rx"
         ~reads:[ Meter.range ~base:(Sparse_mem.sim_addr_of_word shared 0) ~len:40 () ];
       m.Meter.block "lance_rx" "dispatch";
@@ -130,12 +145,21 @@ let create env lance ~mac ?(config = improved_config) ?(rx_buffers = 16) () =
         Xk.Pool.create env.Host_env.simmem
           ~shortcircuit:config.refresh_shortcircuit ~buffers:rx_buffers
           ~size:1600 ();
+      tx_backlog = Queue.create ();
       frames_sent = 0;
-      frames_received = 0 }
+      frames_received = 0;
+      tx_ring_full_events = 0;
+      rx_desc_errors = 0 }
   in
   Lance.set_handlers lance
     ~on_tx_complete:(fun () ->
-      Host_env.phase env "tx_intr" (fun () -> ()))
+      Host_env.phase env "tx_intr" (fun () ->
+          while
+            (not (Queue.is_empty t.tx_backlog))
+            && not (Lance.tx_ring_full t.lance)
+          do
+            lance_send t (Queue.pop t.tx_backlog)
+          done))
     ~on_receive:(fun frame ->
       Host_env.phase env "rx_intr" (fun () -> lance_rx t frame));
   t
@@ -149,3 +173,7 @@ let rx_pool t = t.pool
 let frames_sent t = t.frames_sent
 
 let frames_received t = t.frames_received
+
+let tx_ring_full_events t = t.tx_ring_full_events
+
+let rx_desc_errors t = t.rx_desc_errors

@@ -34,3 +34,12 @@ val rx_pool : t -> Xk.Pool.t
 val frames_sent : t -> int
 
 val frames_received : t -> int
+
+val tx_ring_full_events : t -> int
+(** Sends that found every transmit descriptor owned by the controller
+    (the "ring_full" cold path); such frames are parked on a backlog and
+    drained from the transmit-complete interrupt. *)
+
+val rx_desc_errors : t -> int
+(** Receive interrupts that observed a latched rx-overrun (the "baddesc"
+    cold path). *)

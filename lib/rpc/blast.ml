@@ -8,6 +8,9 @@ type partial = {
   frags : bytes option array;
   mutable have : int;
   from : int;
+  msg_id : int;
+  mutable nack_timer : Xk.Event.handle option;
+  mutable nack_tries : int;
 }
 
 type t = {
@@ -17,6 +20,9 @@ type t = {
   inline : bool;
   frag_size : int;
   partials : partial Xk.Map.t;
+  completed : (string, unit) Hashtbl.t;
+      (** reassemblies already delivered, so late duplicate fragments do
+          not recreate a partial that can never complete *)
   mutable upper : src:int -> Msg.t -> unit;
   mutable next_msg_id : int;
   mutable last_sent : (int * int * bytes array) option;
@@ -24,25 +30,41 @@ type t = {
   mutable fragmented : int;
   mutable nacks : int;
   mutable retransmissions : int;
+  mutable cksum_drops : int;
+  mutable late_fragments : int;
+  mutable abandoned : int;
 }
 
 let meter t = t.env.Ns.Host_env.meter
 
 let pkey ~src ~msg_id = Printf.sprintf "%x:%x" src msg_id
 
+(* the receiver re-NACKs on a timer so a lost last fragment (or a lost
+   NACK) cannot stall reassembly forever *)
+let nack_timeout_us = 4000.0
+
+let max_nack_tries = 8
+
+(* checksum covers the BLAST header (with its cksum field zeroed) plus
+   the payload, so header corruption is detected too *)
+let header_sum hdr =
+  Protolat_tcpip.Checksum.sum hdr 0 Hdrs.Blast.size
+
 let send_fragment t ~dst ~kind ~msg_id ~frag_ix ~frag_count payload =
   let msg = Msg.alloc t.env.Ns.Host_env.simmem ~headroom:64 0 in
   Msg.set_payload msg payload;
-  let cksum =
-    Protolat_tcpip.Checksum.compute payload 0 (Bytes.length payload)
+  let hdr =
+    { Hdrs.Blast.kind;
+      msg_id;
+      frag_ix;
+      frag_count;
+      frag_len = Bytes.length payload }
   in
-  Msg.push msg
-    (Hdrs.Blast.to_bytes ~cksum
-       { Hdrs.Blast.kind;
-         msg_id;
-         frag_ix;
-         frag_count;
-         frag_len = Bytes.length payload });
+  let initial = header_sum (Hdrs.Blast.to_bytes hdr) in
+  let cksum =
+    Protolat_tcpip.Checksum.compute ~initial payload 0 (Bytes.length payload)
+  in
+  Msg.push msg (Hdrs.Blast.to_bytes ~cksum hdr);
   Ns.Netdev.send t.netdev ~dst ~ethertype:t.ethertype msg
 
 let push t ~dst msg =
@@ -59,16 +81,19 @@ let push t ~dst msg =
         m.Meter.block "blast_push" "hdr"
           ~writes:[ Meter.range ~base:(Msg.sim_addr msg) ~len:Hdrs.Blast.size () ];
         m.Meter.call "blast_push" "hdr" 0;
-        let cksum =
-          Cksum.compute m ~sim_base:(Msg.sim_addr msg) (Msg.contents msg) 0 len
+        let hdr =
+          { Hdrs.Blast.kind = Hdrs.Blast.Data;
+            msg_id;
+            frag_ix = 0;
+            frag_count = 1;
+            frag_len = len }
         in
-        Msg.push msg
-          (Hdrs.Blast.to_bytes ~cksum
-             { Hdrs.Blast.kind = Hdrs.Blast.Data;
-               msg_id;
-               frag_ix = 0;
-               frag_count = 1;
-               frag_len = len });
+        let initial = header_sum (Hdrs.Blast.to_bytes hdr) in
+        let cksum =
+          Cksum.compute m ~initial ~sim_base:(Msg.sim_addr msg)
+            (Msg.contents msg) 0 len
+        in
+        Msg.push msg (Hdrs.Blast.to_bytes ~cksum hdr);
         m.Meter.block "blast_push" "send";
         m.Meter.call "blast_push" "send" 0;
         Ns.Netdev.send t.netdev ~dst ~ethertype:t.ethertype msg
@@ -120,6 +145,41 @@ let deliver_up t ~src msg =
   m.Meter.call "blast_demux" "deliver" 0;
   t.upper ~src msg
 
+let missing_of partial =
+  let missing = ref [] in
+  Array.iteri
+    (fun i f -> if f = None then missing := i :: !missing)
+    partial.frags;
+  List.rev !missing
+
+let cancel_nack_timer partial =
+  match partial.nack_timer with
+  | Some h ->
+    ignore (Xk.Event.cancel h);
+    partial.nack_timer <- None
+  | None -> ()
+
+let rec arm_nack_timer t ~key partial =
+  partial.nack_timer <-
+    Some
+      (Ns.Host_env.timeout t.env ~delay:nack_timeout_us (fun () ->
+           match Xk.Map.resolve t.partials key with
+           | Some p when p == partial ->
+             if partial.nack_tries >= max_nack_tries then begin
+               (* give up: drop the partial so its slot is reclaimed *)
+               ignore (Xk.Map.unbind t.partials key);
+               partial.nack_timer <- None;
+               t.abandoned <- t.abandoned + 1
+             end
+             else begin
+               partial.nack_tries <- partial.nack_tries + 1;
+               Ns.Host_env.phase t.env "blast_nack" (fun () ->
+                   send_nack t ~dst:partial.from ~msg_id:partial.msg_id
+                     (missing_of partial));
+               arm_nack_timer t ~key partial
+             end
+           | _ -> partial.nack_timer <- None))
+
 let demux t ~src msg =
   let m = meter t in
   Meter.fn m "blast_demux" (fun () ->
@@ -128,12 +188,17 @@ let demux t ~src msg =
       let raw = Msg.pop msg Hdrs.Blast.size in
       let hdr = Hdrs.Blast.of_bytes raw in
       m.Meter.call "blast_demux" "parse" 0;
+      let hdr0 = Bytes.sub raw 0 Hdrs.Blast.size in
+      Bytes.set hdr0 12 '\000';
+      Bytes.set hdr0 13 '\000';
       let computed =
-        Cksum.compute m ~sim_base:(Msg.sim_addr msg) (Msg.contents msg) 0
-          (Msg.len msg)
+        Cksum.compute m ~initial:(header_sum hdr0)
+          ~sim_base:(Msg.sim_addr msg) (Msg.contents msg) 0 (Msg.len msg)
       in
-      if computed <> Hdrs.Blast.cksum_of raw then ()
-      else ignore computed;
+      let bad = computed <> Hdrs.Blast.cksum_of raw in
+      m.Meter.cold ~triggered:bad "blast_demux" "cksum_bad";
+      if bad then t.cksum_drops <- t.cksum_drops + 1
+      else
       match hdr.Hdrs.Blast.kind with
       | Hdrs.Blast.Nack ->
         m.Meter.block "blast_demux" "map_cache";
@@ -148,52 +213,67 @@ let demux t ~src msg =
         deliver_up t ~src msg
       | Hdrs.Blast.Data ->
         let key = pkey ~src ~msg_id:hdr.Hdrs.Blast.msg_id in
-        let partial =
-          match
-            Xk.Demux.lookup m ~inline:t.inline ~caller:"blast_demux"
-              t.partials key
-          with
-          | Some p -> p
-          | None ->
-            let p =
-              { frags = Array.make hdr.Hdrs.Blast.frag_count None;
-                have = 0;
-                from = src }
-            in
-            Xk.Map.bind t.partials key p;
-            p
-        in
-        m.Meter.cold ~triggered:true "blast_demux" "reass";
-        let ix = hdr.Hdrs.Blast.frag_ix in
-        if ix < Array.length partial.frags && partial.frags.(ix) = None
-        then begin
-          partial.frags.(ix) <- Some (Msg.contents msg);
-          partial.have <- partial.have + 1
-        end;
-        if partial.have = Array.length partial.frags then begin
-          m.Meter.cold ~triggered:false "blast_demux" "sendnack";
-          ignore (Xk.Map.unbind t.partials key);
-          let whole =
-            Bytes.concat Bytes.empty
-              (Array.to_list partial.frags
-              |> List.map (function Some b -> b | None -> assert false))
-          in
-          let out = Msg.alloc t.env.Ns.Host_env.simmem ~headroom:64 0 in
-          Msg.set_payload out whole;
-          deliver_up t ~src out
+        if Hashtbl.mem t.completed key then begin
+          (* late duplicate of an already-delivered reassembly *)
+          t.late_fragments <- t.late_fragments + 1;
+          m.Meter.cold ~triggered:false "blast_demux" "reass";
+          m.Meter.cold ~triggered:false "blast_demux" "sendnack"
         end
         else begin
-          (* if this was the last fragment index and we still have gaps,
-             request the missing ones *)
-          let last = ix = Array.length partial.frags - 1 in
-          m.Meter.cold ~triggered:last "blast_demux" "sendnack";
-          if last then begin
-            let missing = ref [] in
-            Array.iteri
-              (fun i f -> if f = None then missing := i :: !missing)
-              partial.frags;
-            send_nack t ~dst:src ~msg_id:hdr.Hdrs.Blast.msg_id
-              (List.rev !missing)
+          let partial =
+            match
+              Xk.Demux.lookup m ~inline:t.inline ~caller:"blast_demux"
+                t.partials key
+            with
+            | Some p -> p
+            | None ->
+              let p =
+                { frags = Array.make hdr.Hdrs.Blast.frag_count None;
+                  have = 0;
+                  from = src;
+                  msg_id = hdr.Hdrs.Blast.msg_id;
+                  nack_timer = None;
+                  nack_tries = 0 }
+              in
+              Xk.Map.bind t.partials key p;
+              arm_nack_timer t ~key p;
+              p
+          in
+          m.Meter.cold ~triggered:true "blast_demux" "reass";
+          let ix = hdr.Hdrs.Blast.frag_ix in
+          if ix < Array.length partial.frags && partial.frags.(ix) = None
+          then begin
+            partial.frags.(ix) <- Some (Msg.contents msg);
+            partial.have <- partial.have + 1
+          end;
+          if partial.have = Array.length partial.frags then begin
+            m.Meter.cold ~triggered:false "blast_demux" "sendnack";
+            ignore (Xk.Map.unbind t.partials key);
+            cancel_nack_timer partial;
+            Hashtbl.replace t.completed key ();
+            let whole =
+              Bytes.concat Bytes.empty
+                (Array.to_list partial.frags
+                |> List.map (function Some b -> b | None -> assert false))
+            in
+            let out = Msg.alloc t.env.Ns.Host_env.simmem ~headroom:64 0 in
+            Msg.set_payload out whole;
+            deliver_up t ~src out
+          end
+          else begin
+            (* progress restarts the gap timer: a fragment proves the
+               sender is still transmitting, so only a stall (or a hole
+               at the end of the burst) should trigger recovery *)
+            partial.nack_tries <- 0;
+            cancel_nack_timer partial;
+            arm_nack_timer t ~key partial;
+            (* if this was the last fragment index and we still have gaps,
+               request the missing ones *)
+            let last = ix = Array.length partial.frags - 1 in
+            m.Meter.cold ~triggered:last "blast_demux" "sendnack";
+            if last then
+              send_nack t ~dst:src ~msg_id:hdr.Hdrs.Blast.msg_id
+                (missing_of partial)
           end
         end)
 
@@ -205,12 +285,16 @@ let create env netdev ~ethertype ~map_cache_inline ?(frag_size = 1400) () =
       inline = map_cache_inline;
       frag_size;
       partials = Xk.Map.create ~buckets:32 ();
+      completed = Hashtbl.create 64;
       upper = (fun ~src:_ _ -> ());
       next_msg_id = 1;
       last_sent = None;
       fragmented = 0;
       nacks = 0;
-      retransmissions = 0 }
+      retransmissions = 0;
+      cksum_drops = 0;
+      late_fragments = 0;
+      abandoned = 0 }
   in
   Ns.Netdev.register netdev ~ethertype (fun ~src msg -> demux t ~src msg);
   t
@@ -222,3 +306,9 @@ let messages_fragmented t = t.fragmented
 let nacks_sent t = t.nacks
 
 let retransmissions t = t.retransmissions
+
+let cksum_drops t = t.cksum_drops
+
+let late_fragments t = t.late_fragments
+
+let abandoned t = t.abandoned

@@ -28,3 +28,13 @@ val messages_fragmented : t -> int
 val nacks_sent : t -> int
 
 val retransmissions : t -> int
+
+val cksum_drops : t -> int
+(** Fragments rejected because the computed checksum (over the header
+    with a zeroed cksum field, plus the payload) did not match. *)
+
+val late_fragments : t -> int
+(** Duplicate fragments of messages already delivered (ignored). *)
+
+val abandoned : t -> int
+(** Partial reassemblies given up on after repeated unanswered NACKs. *)

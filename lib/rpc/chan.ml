@@ -10,7 +10,11 @@ type chan_state = {
   mutable waiting : (bytes -> unit) option;
   mutable timeout : Xk.Event.handle option;
   mutable last_request : bytes option;
-  mutable last_reply : bytes option;
+  mutable last_reply : (int * bytes) option;
+      (** (sequence it answered, payload): a replay must only answer a
+          duplicate of that same sequence, never a later call that
+          happens to reuse the channel *)
+  mutable rexmt_tries : int;
 }
 
 type t = {
@@ -23,6 +27,7 @@ type t = {
   mutable outstanding : int;
   mutable req_retransmits : int;
   mutable dup_requests : int;
+  mutable call_failures : int;
 }
 
 let meter t = t.env.Ns.Host_env.meter
@@ -35,7 +40,7 @@ let get_chan t id =
   | None ->
     let c =
       { id; seq = 0; expected = 0; waiting = None; timeout = None;
-        last_request = None; last_reply = None }
+        last_request = None; last_reply = None; rexmt_tries = 0 }
     in
     Xk.Map.bind t.channels (ckey id) c;
     c
@@ -53,16 +58,31 @@ let send_request t (c : chan_state) payload =
          len = Bytes.length payload });
   Bid.push t.bid ~dst:t.peer_mac msg
 
+(* unanswered request retransmissions before the call is abandoned, so a
+   dead server cannot keep a channel (and its timer) alive forever *)
+let max_rexmt_tries = 10
+
 let rec arm_timeout t (c : chan_state) =
   c.timeout <-
     Some
       (Ns.Host_env.timeout t.env ~delay:rexmt_timeout_us (fun () ->
            match (c.waiting, c.last_request) with
            | Some _, Some payload ->
-             Ns.Host_env.phase t.env "chan_rexmt" (fun () ->
-                 t.req_retransmits <- t.req_retransmits + 1;
-                 send_request t c payload;
-                 arm_timeout t c)
+             if c.rexmt_tries >= max_rexmt_tries then begin
+               (* give up: fail the call and release the channel *)
+               t.call_failures <- t.call_failures + 1;
+               c.waiting <- None;
+               c.timeout <- None;
+               c.last_request <- None;
+               c.rexmt_tries <- 0;
+               t.outstanding <- t.outstanding - 1
+             end
+             else
+               Ns.Host_env.phase t.env "chan_rexmt" (fun () ->
+                   c.rexmt_tries <- c.rexmt_tries + 1;
+                   t.req_retransmits <- t.req_retransmits + 1;
+                   send_request t c payload;
+                   arm_timeout t c)
            | _ -> ()))
 
 let call t ~chan msg ~reply =
@@ -80,6 +100,7 @@ let call t ~chan msg ~reply =
       m.Meter.cold ~triggered:(c.seq land 0xFFFF_FFFF <> c.seq) "chan_call"
         "seqwrap";
       let payload = Msg.contents msg in
+      c.rexmt_tries <- 0;
       c.last_request <- Some payload;
       Msg.push msg
         (Hdrs.Chan.to_bytes
@@ -122,7 +143,7 @@ let send_reply t (c : chan_state) seq payload =
              chan = c.id;
              seq;
              len = Bytes.length payload });
-      c.last_reply <- Some payload;
+      c.last_reply <- Some (seq, payload);
       m.Meter.block "chan_reply" "send";
       m.Meter.call "chan_reply" "send" 0;
       Bid.push t.bid ~dst:t.peer_mac msg)
@@ -182,10 +203,13 @@ let demux t ~src:_ msg =
         m.Meter.cold ~triggered:dup "chan_demux" "dupmsg";
         if dup then begin
           t.dup_requests <- t.dup_requests + 1;
-          (* at-most-once: replay the cached reply *)
+          (* at-most-once: replay the cached reply, but only if it
+             answered this very sequence — an unanswered request must
+             stay unanswered, not inherit an older call's reply *)
           match c.last_reply with
-          | Some r -> send_reply t c hdr.Hdrs.Chan.seq r
-          | None -> ()
+          | Some (rseq, r) when rseq = hdr.Hdrs.Chan.seq ->
+            send_reply t c hdr.Hdrs.Chan.seq r
+          | _ -> ()
         end
         else begin
           c.expected <- hdr.Hdrs.Chan.seq;
@@ -213,7 +237,8 @@ let create env bid ~peer_mac ?(map_cache_inline = true) () =
       server = None;
       outstanding = 0;
       req_retransmits = 0;
-      dup_requests = 0 }
+      dup_requests = 0;
+      call_failures = 0 }
   in
   Bid.set_upper bid (fun ~src msg -> demux t ~src msg);
   t
@@ -225,3 +250,5 @@ let outstanding t = t.outstanding
 let request_retransmits t = t.req_retransmits
 
 let duplicate_requests t = t.dup_requests
+
+let call_failures t = t.call_failures

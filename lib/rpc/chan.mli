@@ -27,3 +27,7 @@ val outstanding : t -> int
 val request_retransmits : t -> int
 
 val duplicate_requests : t -> int
+
+val call_failures : t -> int
+(** Calls abandoned after the request-retransmission cap: the waiting
+    continuation is dropped and the channel released. *)

@@ -86,6 +86,7 @@ let blast_push (_ : Opts.t) =
 let blast_demux (o : Opts.t) =
   Func.make ~name:"blast_demux" ~inline_shrink_pct:12
     ([ hot "parse" ~calls:[ "in_cksum" ] (v ~a:32 ~l:15 ~s:4 ~bnt:4 ()) ]
+    @ [ err "cksum_bad" (v ~a:20 ~l:8 ~s:3 ()) ]
     @ map_cache_item o
     @ [ err "reass" (v ~a:120 ~l:50 ~s:36 ());
         err "sendnack" (v ~a:55 ~l:22 ~s:14 ());

@@ -137,7 +137,10 @@ let push t ~dst ~proto msg =
   Meter.fn m "ip_push" (fun () ->
       m.Meter.block "ip_push" "route"
         ~reads:[ Meter.range ~base:(Msg.sim_addr msg) ~len:16 () ];
-      m.Meter.cold ~triggered:false "ip_push" "noroute";
+      let routed = Vnet.has_route t.vnet ~ip:dst in
+      m.Meter.cold ~triggered:(not routed) "ip_push" "noroute";
+      if not routed then t.dropped <- t.dropped + 1
+      else
       let total_len = Ip_hdr.size + Msg.len msg in
       let needs_frag = total_len > t.mtu in
       m.Meter.cold ~triggered:needs_frag "ip_push" "fragment";

@@ -40,6 +40,9 @@ type t = {
   mutable segments_in : int;
   mutable segments_out : int;
   mutable retransmits : int;
+  mutable rexmt_shift : int;
+      (** consecutive retransmissions of the same data: exponential
+          backoff exponent, reset when new data is acked (Karn) *)
   sim_addr : int;
 }
 
@@ -72,6 +75,7 @@ let create sim ~local_ip ~local_port ~remote_ip ~remote_port ~iss =
     segments_in = 0;
     segments_out = 0;
     retransmits = 0;
+    rexmt_shift = 0;
     sim_addr = Simmem.alloc sim sim_size }
 
 let key ~local_port ~remote_ip ~remote_port =
@@ -94,8 +98,11 @@ let state_string = function
   | Last_ack -> "LAST_ACK"
   | Time_wait -> "TIME_WAIT"
 
-(* BSD 4.4 tcp_xmit_timer, ticks scaled by 8 (srtt) and 4 (rttvar). *)
+(* BSD 4.4 tcp_xmit_timer, ticks scaled by 8 (srtt) and 4 (rttvar).  A
+   sub-tick measurement still counts as one tick, or srtt would stay 0
+   and keep re-initializing. *)
 let update_rtt t rtt =
+  let rtt = max 1 rtt in
   if t.srtt <> 0 then begin
     let delta = rtt - 1 - (t.srtt lsr 3) in
     t.srtt <- max 1 (t.srtt + delta);
@@ -108,4 +115,7 @@ let update_rtt t rtt =
   end;
   t.rtt_seq <- -1
 
-let rto_ticks t = max 2 ((t.srtt lsr 3) + t.rttvar)
+(* minimum RTO of 6 ticks (~5.9 ms): the floor must clear the peer's 2 ms
+   delayed-ack timer plus wire and processing time, or every one-way send
+   retransmits spuriously (BSD's TCPTV_MIN serves the same purpose) *)
+let rto_ticks t = max 6 ((t.srtt lsr 3) + t.rttvar)

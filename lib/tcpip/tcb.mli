@@ -49,6 +49,9 @@ type t = {
   mutable segments_in : int;
   mutable segments_out : int;
   mutable retransmits : int;
+  mutable rexmt_shift : int;
+      (** consecutive retransmissions of the same data: exponential
+          backoff exponent, reset when new data is acked (Karn) *)
   sim_addr : int;  (** simulated address for d-cache modeling *)
 }
 

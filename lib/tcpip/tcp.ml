@@ -105,6 +105,18 @@ let cancel_delack s =
     ignore (Xk.Event.cancel h);
     s.delack <- None
 
+(* exponential retransmit backoff: the RTO doubles per consecutive
+   retransmission of the same data, capped at 2^max_rexmt_shift, and the
+   shift resets when new data is acked (Karn's algorithm) *)
+let max_rexmt_shift = 6
+
+(* consecutive unanswered retransmissions before the connection is
+   dropped (BSD's TCP_MAXRXTSHIFT) *)
+let max_rexmt_tries = 12
+
+let rexmt_delay_ticks cb =
+  Tcb.rto_ticks cb lsl min cb.Tcb.rexmt_shift max_rexmt_shift
+
 let rec tcp_output ?(flags = Tcp_hdr.ack_flag) ?(rexmt = false) s msg =
   let t = s.tcp in
   let m = meter t in
@@ -113,8 +125,9 @@ let rec tcp_output ?(flags = Tcp_hdr.ack_flag) ?(rexmt = false) s msg =
       m.Meter.block "tcp_output" "again" ~reads:(tcb_ranges s)
         ~writes:(tcb_ranges s);
       let len = Msg.len msg in
-      let win = min cb.Tcb.snd_cwnd (max cb.Tcb.snd_wnd cb.Tcb.mss) in
-      let zero_window = win = 0 && len > 0 && cb.Tcb.state = Tcb.Established in
+      let zero_window =
+        cb.Tcb.snd_wnd = 0 && len > 0 && cb.Tcb.state = Tcb.Established
+      in
       m.Meter.cold ~triggered:zero_window "tcp_output" "persist";
       (* decide whether a window update must accompany this segment *)
       (if t.opts.Opts.avoid_muldiv then
@@ -185,7 +198,7 @@ let rec tcp_output ?(flags = Tcp_hdr.ack_flag) ?(rexmt = false) s msg =
           m.Meter.cold ~triggered:false "event_register" "expand";
           if seq_consumed > 0 then begin
             ignore (cancel_rexmt s);
-            let delay = float_of_int (Tcb.rto_ticks cb) *. tick_us in
+            let delay = float_of_int (rexmt_delay_ticks cb) *. tick_us in
             s.rexmt <-
               Some
                 (Ns.Host_env.timeout t.env ~delay (fun () -> retransmit s))
@@ -193,28 +206,54 @@ let rec tcp_output ?(flags = Tcp_hdr.ack_flag) ?(rexmt = false) s msg =
       m.Meter.call "tcp_output" "xmit" 1;
       Ip.push t.ip ~dst:cb.Tcb.remote_ip ~proto:Ip_hdr.proto_tcp msg)
 
-and retransmit s =
+and retransmit ?(fast = false) s =
   let t = s.tcp in
   match s.retx_q with
   | [] -> ()
   | (_, seg) :: _ ->
     Ns.Host_env.phase t.env "rexmt" (fun () ->
-        t.retransmits <- t.retransmits + 1;
-        s.tcb.Tcb.retransmits <- s.tcb.Tcb.retransmits + 1;
-        (* congestion response: collapse the window *)
-        let flight = Seq.sub s.tcb.Tcb.snd_nxt s.tcb.Tcb.snd_una in
-        s.tcb.Tcb.snd_ssthresh <- max (2 * s.tcb.Tcb.mss) (flight / 2);
-        s.tcb.Tcb.snd_cwnd <- s.tcb.Tcb.mss;
         s.rexmt <- None;
-        (* resend the stored segment directly through IP *)
-        let msg = Msg.alloc t.env.Ns.Host_env.simmem 0 in
-        Msg.set_payload msg seg;
-        Ip.push t.ip ~dst:s.tcb.Tcb.remote_ip ~proto:Ip_hdr.proto_tcp msg;
-        s.rexmt <-
-          Some
-            (Ns.Host_env.timeout t.env
-               ~delay:(float_of_int (Tcb.rto_ticks s.tcb) *. tick_us)
-               (fun () -> retransmit s)))
+        if s.tcb.Tcb.rexmt_shift >= max_rexmt_tries then begin
+          (* the peer has not answered any backed-off retransmission:
+             drop the connection so timers and queues drain *)
+          s.tcb.Tcb.state <- Tcb.Closed;
+          s.retx_q <- [];
+          s.sndq <- [];
+          s.ooo <- [];
+          cancel_delack s;
+          (match s.persist with
+          | Some h ->
+            ignore (Xk.Event.cancel h);
+            s.persist <- None
+          | None -> ());
+          ignore (Xk.Map.unbind t.pcbs (Tcb.key_of s.tcb))
+        end
+        else begin
+          let m = meter t in
+          m.Meter.cold ~triggered:true "tcp_output" "rexmt_path";
+          t.retransmits <- t.retransmits + 1;
+          s.tcb.Tcb.retransmits <- s.tcb.Tcb.retransmits + 1;
+          s.tcb.Tcb.rexmt_shift <- s.tcb.Tcb.rexmt_shift + 1;
+          (* Karn: samples from retransmitted data are ambiguous *)
+          s.tcb.Tcb.rtt_seq <- -1;
+          (* congestion response: a timeout collapses the window to one
+             segment; a fast retransmit only halves it (fast recovery), so
+             the flight stays large enough to keep producing the duplicate
+             acks that drive further fast retransmits *)
+          let flight = Seq.sub s.tcb.Tcb.snd_nxt s.tcb.Tcb.snd_una in
+          s.tcb.Tcb.snd_ssthresh <- max (2 * s.tcb.Tcb.mss) (flight / 2);
+          s.tcb.Tcb.snd_cwnd <-
+            (if fast then s.tcb.Tcb.snd_ssthresh else s.tcb.Tcb.mss);
+          (* resend the stored segment directly through IP *)
+          let msg = Msg.alloc t.env.Ns.Host_env.simmem 0 in
+          Msg.set_payload msg seg;
+          Ip.push t.ip ~dst:s.tcb.Tcb.remote_ip ~proto:Ip_hdr.proto_tcp msg;
+          s.rexmt <-
+            Some
+              (Ns.Host_env.timeout t.env
+                 ~delay:(float_of_int (rexmt_delay_ticks s.tcb) *. tick_us)
+                 (fun () -> retransmit s))
+        end)
 
 (* Window-limited transmission: drain the send buffer while the usable
    window (min of congestion and advertised windows, less what is already
@@ -312,6 +351,17 @@ let enter_time_wait s =
              s.tcb.Tcb.state <- Tcb.Closed;
              unbind_session s))
 
+(* consume the RTT timing armed on the SYN / SYN-ACK at the transition to
+   Established: sampled here if the ack covers it, and always disarmed —
+   otherwise the timed handshake segment stays armed until the first data
+   ack and charges the whole pre-transfer idle time as one giant sample *)
+let sample_handshake_rtt s (hdr : Tcp_hdr.t) =
+  let cb = s.tcb in
+  if cb.Tcb.rtt_seq >= 0 && Seq.gt hdr.Tcp_hdr.ack cb.Tcb.rtt_seq then
+    Tcb.update_rtt cb
+      (int_of_float ((now_us s.tcp -. cb.Tcb.rtt_start_us) /. tick_us));
+  cb.Tcb.rtt_seq <- -1
+
 let handshake_input s (hdr : Tcp_hdr.t) =
   (* cold-path (not_established) handling: the three-way handshake and the
      connection-teardown state machine *)
@@ -330,6 +380,7 @@ let handshake_input s (hdr : Tcp_hdr.t) =
     cb.Tcb.snd_una <- hdr.Tcp_hdr.ack;
     cb.Tcb.snd_wnd <- hdr.Tcp_hdr.window;
     cb.Tcb.state <- Tcb.Established;
+    sample_handshake_rtt s hdr;
     ack_retx_q s;
     ignore (cancel_rexmt s);
     tcp_output s (empty ())
@@ -343,6 +394,7 @@ let handshake_input s (hdr : Tcp_hdr.t) =
     cb.Tcb.snd_una <- hdr.Tcp_hdr.ack;
     cb.Tcb.snd_wnd <- hdr.Tcp_hdr.window;
     cb.Tcb.state <- Tcb.Established;
+    sample_handshake_rtt s hdr;
     ack_retx_q s;
     ignore (cancel_rexmt s)
   | Tcb.Fin_wait_1 ->
@@ -447,11 +499,20 @@ let tcp_input s (iphdr : Ip_hdr.t) msg =
           in
           m.Meter.cold ~triggered:old_ack "tcp_input" "old_ack";
           m.Meter.cold ~triggered:dup "tcp_input" "dupack";
-          if dup then cb.Tcb.dupacks <- cb.Tcb.dupacks + 1
+          if dup then begin
+            cb.Tcb.dupacks <- cb.Tcb.dupacks + 1;
+            (* fast retransmit: the third duplicate ack signals a hole at
+               snd_una; resend it now instead of waiting out the RTO *)
+            if cb.Tcb.dupacks = 3 && s.retx_q <> [] then begin
+              ignore (cancel_rexmt s);
+              retransmit ~fast:true s
+            end
+          end
           else cb.Tcb.dupacks <- 0;
           if acked > 0 then begin
             cb.Tcb.snd_una <- hdr.Tcp_hdr.ack;
             cb.Tcb.snd_wnd <- hdr.Tcp_hdr.window;
+            cb.Tcb.rexmt_shift <- 0;
             ack_retx_q s;
             if cb.Tcb.snd_wnd > 0 then begin
               match s.persist with
@@ -466,8 +527,17 @@ let tcp_input s (iphdr : Ip_hdr.t) msg =
             Meter.fn m "event_cancel" (fun () ->
                 m.Meter.block "event_cancel" "remove";
                 m.Meter.cold ~triggered:false "event_cancel" "notfound";
-                if Seq.geq cb.Tcb.snd_una cb.Tcb.snd_nxt then
-                  ignore (cancel_rexmt s));
+                ignore (cancel_rexmt s));
+            (* restart (not just cancel) the retransmit timer while data
+               is outstanding: a new ack proves the flow is moving, so the
+               remaining flight gets a fresh, un-backed-off timeout rather
+               than inheriting a stale multi-second backoff *)
+            if Seq.gt cb.Tcb.snd_nxt cb.Tcb.snd_una then
+              s.rexmt <-
+                Some
+                  (Ns.Host_env.timeout t.env
+                     ~delay:(float_of_int (rexmt_delay_ticks cb) *. tick_us)
+                     (fun () -> retransmit s));
             if cb.Tcb.rtt_seq >= 0 && Seq.gt hdr.Tcp_hdr.ack cb.Tcb.rtt_seq
             then begin
               let ticks =
@@ -515,6 +585,7 @@ let tcp_input s (iphdr : Ip_hdr.t) msg =
           let len = Bytes.length payload in
           let in_order = hdr.Tcp_hdr.seq = cb.Tcb.rcv_nxt in
           m.Meter.cold ~triggered:(len > 0 && not in_order) "tcp_input" "reass";
+          let force_ack = ref false in
           let deliverable =
             if len > 0 && in_order then begin
               cb.Tcb.rcv_nxt <- Seq.add cb.Tcb.rcv_nxt len;
@@ -546,8 +617,15 @@ let tcp_input s (iphdr : Ip_hdr.t) msg =
                     List.sort
                       (fun (a, _) (b, _) -> Seq.sub a b)
                       ((hdr.Tcp_hdr.seq, payload) :: s.ooo);
-                cb.Tcb.delack_pending <- true
-              end;
+                (* ack out-of-order data immediately (not delayed): the
+                   duplicate acks are what lets the sender fast-retransmit
+                   the hole *)
+                force_ack := true
+              end
+              else if len > 0 then
+                (* stale duplicate data: re-ack it, or a retransmitting
+                   sender whose ACK was lost never converges *)
+                cb.Tcb.delack_pending <- true;
               None
             end
           in
@@ -566,6 +644,8 @@ let tcp_input s (iphdr : Ip_hdr.t) msg =
             m.Meter.call "tcp_input" "deliver" 0;
             deliver s data
           | None -> ());
+          if !force_ack && not s.sent_in_input then
+            tcp_output s (Msg.alloc t.env.Ns.Host_env.simmem 0);
           (* if the application did not piggyback a reply, schedule a
              delayed ack *)
           if cb.Tcb.delack_pending && not s.sent_in_input

@@ -26,6 +26,8 @@ let create env netdev ~ethertype =
 
 let add_route t ~ip ~mac = Hashtbl.replace t.routes ip mac
 
+let has_route t ~ip = Hashtbl.mem t.routes ip || t.resolver <> None
+
 let set_resolver t f = t.resolver <- Some f
 
 let set_upper t f = t.upper <- f

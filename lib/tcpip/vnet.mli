@@ -12,6 +12,10 @@ val create : Ns.Host_env.t -> Ns.Netdev.t -> ethertype:int -> t
 
 val add_route : t -> ip:int -> mac:int -> unit
 
+val has_route : t -> ip:int -> bool
+(** Whether a push to [ip] can be delivered: a static route exists or a
+    resolver is installed. *)
+
 val set_resolver : t -> (int -> (int -> unit) -> unit) -> unit
 (** Fallback when no static route exists (typically {!Arp.resolve}): the
     packet is sent when the resolver produces the MAC, and the binding is

@@ -8,4 +8,5 @@ let () =
       Test_tcpip.suite;
       Test_rpc.suite;
       Test_extensions.suite;
+      Test_fault.suite;
       Test_engine.suite ]
