@@ -229,8 +229,9 @@ let run_json () =
   in
   let sweep_wall = Unix.gettimeofday () -. t0 in
   let t1 = Unix.gettimeofday () in
-  ignore
-    (P.Engine.run ~stack:P.Engine.Tcpip ~config:(P.Config.make P.Config.All) ());
+  let single =
+    P.Engine.run ~stack:P.Engine.Tcpip ~config:(P.Config.make P.Config.All) ()
+  in
   let single_wall = Unix.gettimeofday () -. t1 in
   let buf = Buffer.create 2048 in
   let stack_json stack =
@@ -265,7 +266,13 @@ let run_json () =
   Buffer.add_string buf (stack_json P.Engine.Tcpip);
   Buffer.add_string buf "\n    },\n    \"rpc\": {\n";
   Buffer.add_string buf (stack_json P.Engine.Rpc);
-  Buffer.add_string buf "\n    }\n  }\n}\n";
+  Buffer.add_string buf "\n    }\n  },\n";
+  (* the single ALL run's unified metrics dump: device/protocol counters
+     and the RTT histogram, so the perf baseline also pins behaviour *)
+  Buffer.add_string buf "  \"metrics\": ";
+  Buffer.add_string buf
+    (Protolat_obs.Metrics.to_json single.P.Engine.metrics);
+  Buffer.add_string buf "\n}\n";
   let path = Printf.sprintf "BENCH_%s.json" rev in
   let oc = open_out path in
   output_string oc (Buffer.contents buf);

@@ -157,16 +157,80 @@ let layout_cmd =
 (* ----- profile -------------------------------------------------------------- *)
 
 let profile_cmd =
-  let run stack version =
-    Protolat_util.Table.print
-      (P.Experiments.profile ~stack ~version ());
-    Protolat_util.Table.print
-      (P.Experiments.instruction_mix ~stack ~version ())
+  let versions_arg =
+    Arg.(value & pos_all version_conv [] & info [] ~docv:"VERSION"
+           ~doc:"Versions to profile (default: the -c version).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the JSON document instead of text.")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Verify the conservation laws (per-function and per-layer \
+                   sums equal the aggregate report; every i-cache miss is \
+                   classified) and exit non-zero on violation.")
+  in
+  let cold_arg =
+    Arg.(value & flag
+         & info [ "cold" ] ~doc:"Attribute the cold-start replay (Table 6) \
+                                 instead of the steady-state one (Table 7).")
+  in
+  let legacy_arg =
+    Arg.(value & flag
+         & info [ "classic" ]
+             ~doc:"Also print the classic per-function trace/instruction-mix \
+                   tables.")
+  in
+  let run stack version versions seed jobs json check cold legacy =
+    let versions = if versions = [] then [ version ] else versions in
+    let mode = if cold then `Cold else `Steady in
+    let profiles =
+      P.Profile.collect_many ~seed ~mode ~jobs ~stack versions
+    in
+    let failed = ref false in
+    List.iteri
+      (fun i t ->
+        if json then print_string (P.Profile.to_json t)
+        else begin
+          if i > 0 then print_newline ();
+          print_string (P.Profile.render t)
+        end;
+        if json then print_newline ();
+        if check then
+          match P.Profile.check t with
+          | Ok () ->
+            if not json then
+              print_endline "check: attribution sums match the aggregate report"
+          | Error msg ->
+            failed := true;
+            Printf.eprintf "check FAILED (%s/%s):\n%s\n"
+              (P.Engine.stack_name stack)
+              (P.Config.version_name t.P.Profile.version)
+              msg)
+      profiles;
+    if legacy then begin
+      List.iter
+        (fun t ->
+          Protolat_util.Table.print
+            (P.Experiments.profile ~stack ~version:t.P.Profile.version ());
+          Protolat_util.Table.print
+            (P.Experiments.instruction_mix ~stack
+               ~version:t.P.Profile.version ()))
+        profiles
+    end;
+    if !failed then exit 1
   in
   Cmd.v
     (Cmd.info "profile"
-       ~doc:"Per-function and per-class breakdown of a roundtrip trace.")
-    Term.(const run $ stack_arg $ version_arg)
+       ~doc:
+         "Latency attribution: per-layer and per-function cycle/mCPI \
+          breakdowns of a roundtrip trace, plus the i-cache conflict \
+          matrix naming which (victim, evictor) function pairs fight over \
+          cache sets.  Deterministic: byte-identical output for the same \
+          seed at any --jobs count.")
+    Term.(const run $ stack_arg $ version_arg $ versions_arg $ seed_arg
+          $ jobs_arg $ json_arg $ check_arg $ cold_arg $ legacy_arg)
 
 (* ----- trace -------------------------------------------------------------- *)
 
@@ -175,26 +239,82 @@ let trace_cmd =
     Arg.(value & opt (some string) None
          & info [ "o"; "output" ] ~doc:"Write the trace to a file.")
   in
-  let run stack version seed out =
-    let r =
-      P.Engine.run ~seed ~stack ~config:(P.Config.make version) ()
-    in
-    let trace = r.P.Engine.trace in
-    (match out with
+  let raw_arg =
+    Arg.(value & flag
+         & info [ "raw" ]
+             ~doc:"Dump the instruction/data trace (the artifact the paper \
+                   distributed by FTP) instead of the timeline.")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 1
+         & info [ "seeds" ]
+             ~doc:"Timeline processes to capture (one engine run per seed).")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Parse the emitted document and verify it is well-formed \
+                   trace-event JSON with a traceEvents array.")
+  in
+  let loss_arg =
+    Arg.(value & opt float 0.0
+         & info [ "loss" ]
+             ~doc:"Install a seeded fault plan with this per-frame loss \
+                   percentage, so drops, timer backoffs and retransmissions \
+                   appear on the timeline.")
+  in
+  let write out data =
+    match out with
     | Some path ->
       let oc = open_out path in
-      Protolat_machine.Trace.save trace oc;
+      output_string oc data;
       close_out oc;
-      Printf.printf "wrote %d events to %s\n"
-        (Protolat_machine.Trace.length trace)
-        path
-    | None -> print_string (Protolat_machine.Trace.to_string trace))
+      Printf.printf "wrote %d bytes to %s\n" (String.length data) path
+    | None -> print_string data
+  in
+  let run stack version seed out raw seeds jobs check loss =
+    if raw then begin
+      let r = P.Engine.run ~seed ~stack ~config:(P.Config.make version) () in
+      write out (Protolat_machine.Trace.to_string r.P.Engine.trace)
+    end
+    else begin
+      let fault =
+        if loss > 0.0 then
+          Some { Protolat_netsim.Fault.clean with loss_pct = loss }
+        else None
+      in
+      let t =
+        P.Timeline.collect ~base_seed:seed ~seeds ?fault ~jobs ~stack
+          ~version ()
+      in
+      let json = P.Timeline.to_json t in
+      (if check then
+         match Protolat_obs.Json.parse json with
+         | Error msg ->
+           Printf.eprintf "trace JSON is malformed: %s\n" msg;
+           exit 1
+         | Ok v ->
+           (match Protolat_obs.Json.member "traceEvents" v with
+           | Some (Protolat_obs.Json.Arr _ as a) ->
+             Printf.eprintf "trace JSON ok: %d events in %d processes\n"
+               (Protolat_obs.Json.array_length a)
+               (List.length t.P.Timeline.processes)
+           | _ ->
+             Printf.eprintf "trace JSON has no traceEvents array\n";
+             exit 1));
+      write out json
+    end
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
-         "Dump one steady-state roundtrip's instruction/data trace (the           artifact the paper distributed by FTP).")
-    Term.(const run $ stack_arg $ version_arg $ seed_arg $ out_arg)
+         "Export a run's timeline (packets on the wire, device DMAs, timer \
+          arms/fires, retransmissions, injected faults) as Chrome/Perfetto \
+          trace-event JSON — load it at ui.perfetto.dev.  --raw dumps the \
+          per-instruction trace instead.  Byte-identical for the same \
+          seeds at any --jobs count.")
+    Term.(const run $ stack_arg $ version_arg $ seed_arg $ out_arg $ raw_arg
+          $ seeds_arg $ jobs_arg $ check_arg $ loss_arg)
 
 (* ----- soak --------------------------------------------------------------- *)
 

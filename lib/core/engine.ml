@@ -5,6 +5,7 @@ module Xk = Protolat_xkernel
 module Ns = Protolat_netsim
 module T = Protolat_tcpip
 module R = Protolat_rpc
+module Obs = Protolat_obs
 module Instr = Machine.Instr
 module Trace = Machine.Trace
 module Func = Layout.Func
@@ -255,7 +256,7 @@ let synth_stack_addr h =
    preallocated cells: a float argument or computed return at a call
    boundary is boxed by the compiler, and at one instruction per call that
    boxing dominated the simulator's allocation profile. *)
-let emit_one h ~pc ~cls ~kind ~addr =
+let emit_one h ~pc ~cls ~kind ~addr ~fid =
   Machine.Memsys.access_acc h.memsys ~pc ~kind ~addr;
   let p = h.params in
   let issue =
@@ -291,13 +292,20 @@ let emit_one h ~pc ~cls ~kind ~addr =
   let us = (h.mlat.(0) +. (issue +. pen)) /. p.Machine.Params.clock_mhz in
   h.busy_us.(0) <- h.busy_us.(0) +. us;
   h.clock.(0) <- h.clock.(0) +. us;
-  if h.collecting && h.traced then Trace.add_packed h.trace ~pc ~cls ~kind ~addr
+  if h.collecting && h.traced then
+    Trace.add_packed h.trace ~pc ~cls ~kind ~addr ~fid
 
 let emit_instrs h ?(reads = []) ?(writes = []) (slot : Image.slot)
     ?(override : Instr.cls option) () =
   queue_fill h.rq reads;
   queue_fill h.wq writes;
   let instrs = slot.Image.instrs and pcs = slot.Image.pcs in
+  (* tag collected events with their originating function; one intern-table
+     lookup per block, not per instruction *)
+  let fid =
+    if h.collecting && h.traced then Trace.intern h.trace slot.Image.func
+    else -1
+  in
   for i = 0 to Array.length instrs - 1 do
     let cls =
       match override with Some c when i = 0 -> c | _ -> instrs.(i)
@@ -308,11 +316,13 @@ let emit_instrs h ?(reads = []) ?(writes = []) (slot : Image.slot)
       let a = queue_pop h.rq in
       emit_one h ~pc ~cls ~kind:Trace.kind_read
         ~addr:(if a >= 0 then a else synth_stack_addr h)
+        ~fid
     | Instr.Store ->
       let a = queue_pop h.wq in
       emit_one h ~pc ~cls ~kind:Trace.kind_write
         ~addr:(if a >= 0 then a else synth_stack_addr h)
-    | _ -> emit_one h ~pc ~cls ~kind:Trace.kind_none ~addr:0
+        ~fid
+    | _ -> emit_one h ~pc ~cls ~kind:Trace.kind_none ~addr:0 ~fid
   done
 
 let fail_unknown func key =
@@ -437,6 +447,8 @@ type run_result = {
   cold : Machine.Perf.report;
   static_path : int * int;
   retransmissions : int;
+  metrics : Obs.Metrics.t;
+  events : Obs.Tracer.t;
 }
 
 let layout_for config stack ?layout () =
@@ -500,30 +512,60 @@ let drive ~sim ~(ch : hstate) ?(window_us = 5.0e6) ~start ~on_roundtrip
 let perturb simmem seed =
   Xk.Simmem.bump simmem (seed * 1864 mod 16384 / 8 * 8)
 
-let finish ~params ~config ~desc ~(ch : hstate) ~rtts ~retransmissions =
+let finish ~params ~config ~desc ~(ch : hstate) ~rtts ~retransmissions
+    ~metrics ~events =
+  (* the roundtrip latency histogram rides in the same registry as the
+     device/protocol counters, so one dump covers the whole run *)
+  let h = Obs.Metrics.histogram metrics ~help:"roundtrip latency" "engine.rtt_us" in
+  List.iter (Obs.Metrics.observe h) rtts;
   { rtts;
     trace = ch.trace;
     client_image = ch.image;
     steady = Machine.Perf.steady params ch.trace;
     cold = Machine.Perf.cold params ch.trace;
     static_path = static_path_of config desc;
-    retransmissions }
+    retransmissions;
+    metrics;
+    events }
 
 (* seeded fault plans for one pair: one wire plan on the link, one device
    plan per host's LANCE (independent split streams per class inside each) *)
-let install_fault ~seed spec ~link ~client_lance ~server_lance =
-  Ns.Ether.Link.set_fault link (Some (Ns.Fault.create ~seed spec));
+let install_fault ~seed ~metrics spec ~link ~client_lance ~server_lance =
+  let scoped name = Obs.Metrics.scoped metrics name in
+  Ns.Ether.Link.set_fault link
+    (Some (Ns.Fault.create ~seed ~metrics:(scoped "wire") spec));
   Ns.Lance.set_fault client_lance
-    (Some (Ns.Fault.create ~seed:(seed + 101) spec));
+    (Some (Ns.Fault.create ~seed:(seed + 101) ~metrics:(scoped "client_dev") spec));
   Ns.Lance.set_fault server_lance
-    (Some (Ns.Fault.create ~seed:(seed + 211) spec))
+    (Some (Ns.Fault.create ~seed:(seed + 211) ~metrics:(scoped "server_dev") spec))
+
+(* tracer shared by the whole pair: client events on tid 0, server on
+   tid 1, the wire itself on tid 2 *)
+let tid_client = 0
+
+let tid_server = 1
+
+let tid_wire = 2
+
+let make_tracer ~trace_events sim =
+  if trace_events then Obs.Tracer.create ~clock:(Ns.Sim.clock_cell sim) ()
+  else Obs.Tracer.null
+
+let install_tracer tracer ~cenv ~senv ~link ~client_lance ~server_lance =
+  if Obs.Tracer.enabled tracer then begin
+    Ns.Host_env.set_tracer cenv ~tid:tid_client tracer;
+    Ns.Host_env.set_tracer senv ~tid:tid_server tracer;
+    Ns.Ether.Link.set_tracer link ~tid:tid_wire tracer;
+    Ns.Lance.set_tracer client_lance ~tid:tid_client tracer;
+    Ns.Lance.set_tracer server_lance ~tid:tid_server tracer
+  end
 
 let compose_meter base = function
   | None -> base
   | Some extra -> Xk.Meter.both base extra
 
-let run_tcpip ?(rx_overhead_us = 0.0) ?fault ?extra_meter ~seed ~rounds
-    ~warmup ~params ~(config : Config.t) ~layout () =
+let run_tcpip ?(rx_overhead_us = 0.0) ?fault ?extra_meter ?(trace_events = false)
+    ~seed ~rounds ~warmup ~params ~(config : Config.t) ~layout () =
   let client_image = build_image config tcpip_desc ~layout in
   let server_image = client_image in
   let pair =
@@ -532,6 +574,10 @@ let run_tcpip ?(rx_overhead_us = 0.0) ?fault ?extra_meter ~seed ~rounds
   in
   let cenv = pair.T.Stack.client.T.Stack.env in
   let senv = pair.T.Stack.server.T.Stack.env in
+  let tracer = make_tracer ~trace_events pair.T.Stack.sim in
+  install_tracer tracer ~cenv ~senv ~link:pair.T.Stack.link
+    ~client_lance:pair.T.Stack.client.T.Stack.lance
+    ~server_lance:pair.T.Stack.server.T.Stack.lance;
   perturb cenv.Ns.Host_env.simmem seed;
   perturb senv.Ns.Host_env.simmem (seed + 17);
   let ch =
@@ -554,7 +600,8 @@ let run_tcpip ?(rx_overhead_us = 0.0) ?fault ?extra_meter ~seed ~rounds
   (match fault with
   | None -> ()
   | Some spec ->
-    install_fault ~seed:(seed lxor 0x5EED) spec ~link:pair.T.Stack.link
+    install_fault ~seed:(seed lxor 0x5EED) ~metrics:pair.T.Stack.metrics spec
+      ~link:pair.T.Stack.link
       ~client_lance:pair.T.Stack.client.T.Stack.lance
       ~server_lance:pair.T.Stack.server.T.Stack.lance);
   let window_us = if fault = None then None else Some 60.0e6 in
@@ -567,9 +614,10 @@ let run_tcpip ?(rx_overhead_us = 0.0) ?fault ?extra_meter ~seed ~rounds
   in
   finish ~params ~config ~desc:tcpip_desc ~ch ~rtts
     ~retransmissions:(T.Tcp.retransmits pair.T.Stack.client.T.Stack.tcp)
+    ~metrics:pair.T.Stack.metrics ~events:tracer
 
-let run_rpc ?fault ?extra_meter ~seed ~rounds ~warmup ~params
-    ~(config : Config.t) ~layout () =
+let run_rpc ?fault ?extra_meter ?(trace_events = false) ~seed ~rounds ~warmup
+    ~params ~(config : Config.t) ~layout () =
   let client_image = build_image config rpc_client_desc ~layout in
   (* the server always runs the best version (§4.2) *)
   let server_image =
@@ -579,6 +627,10 @@ let run_rpc ?fault ?extra_meter ~seed ~rounds ~warmup ~params
   let pair = R.Rstack.make_pair ~client_opts:config.Config.opts () in
   let cenv = pair.R.Rstack.client.R.Rstack.env in
   let senv = pair.R.Rstack.server.R.Rstack.env in
+  let tracer = make_tracer ~trace_events pair.R.Rstack.sim in
+  install_tracer tracer ~cenv ~senv ~link:pair.R.Rstack.link
+    ~client_lance:pair.R.Rstack.client.R.Rstack.lance
+    ~server_lance:pair.R.Rstack.server.R.Rstack.lance;
   perturb cenv.Ns.Host_env.simmem seed;
   perturb senv.Ns.Host_env.simmem (seed + 17);
   let ch =
@@ -599,7 +651,8 @@ let run_rpc ?fault ?extra_meter ~seed ~rounds ~warmup ~params
   (match fault with
   | None -> ()
   | Some spec ->
-    install_fault ~seed:(seed lxor 0x5EED) spec ~link:pair.R.Rstack.link
+    install_fault ~seed:(seed lxor 0x5EED) ~metrics:pair.R.Rstack.metrics spec
+      ~link:pair.R.Rstack.link
       ~client_lance:pair.R.Rstack.client.R.Rstack.lance
       ~server_lance:pair.R.Rstack.server.R.Rstack.lance);
   let window_us = if fault = None then None else Some 60.0e6 in
@@ -613,10 +666,11 @@ let run_rpc ?fault ?extra_meter ~seed ~rounds ~warmup ~params
   finish ~params ~config ~desc:rpc_client_desc ~ch ~rtts
     ~retransmissions:
       (R.Chan.request_retransmits pair.R.Rstack.client.R.Rstack.chan)
+    ~metrics:pair.R.Rstack.metrics ~events:tracer
 
 let run ?(seed = 42) ?(rounds = 24) ?(warmup = 8)
     ?(params = Machine.Params.default) ?layout ?(rx_overhead_us = 0.0) ?fault
-    ?extra_meter ~stack ~(config : Config.t) () =
+    ?extra_meter ?trace_events ~stack ~(config : Config.t) () =
   let layout =
     match layout with
     | Some l -> l
@@ -624,11 +678,11 @@ let run ?(seed = 42) ?(rounds = 24) ?(warmup = 8)
   in
   match stack with
   | Tcpip ->
-    run_tcpip ~rx_overhead_us ?fault ?extra_meter ~seed ~rounds ~warmup
-      ~params ~config ~layout ()
+    run_tcpip ~rx_overhead_us ?fault ?extra_meter ?trace_events ~seed ~rounds
+      ~warmup ~params ~config ~layout ()
   | Rpc ->
-    run_rpc ?fault ?extra_meter ~seed ~rounds ~warmup ~params ~config ~layout
-      ()
+    run_rpc ?fault ?extra_meter ?trace_events ~seed ~rounds ~warmup ~params
+      ~config ~layout ()
 
 (* ----- bulk-transfer throughput (§4.1: "none of the techniques
    negatively affected throughput"; §2.2.5: CPU utilization) ------------- *)

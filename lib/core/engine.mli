@@ -16,6 +16,7 @@
 
 module Layout = Protolat_layout
 module Machine = Protolat_machine
+module Obs = Protolat_obs
 
 type stack_kind =
   | Tcpip
@@ -31,6 +32,12 @@ type run_result = {
   cold : Machine.Perf.report;  (** cold replay: Table 6 quantities *)
   static_path : int * int;  (** (with cold, hot-only) path instructions *)
   retransmissions : int;
+  metrics : Obs.Metrics.t;
+      (** the pair's unified metrics registry: device/protocol counters
+          under [client.]/[server.]/[link.] scopes, fault counters when a
+          plan was installed, and the [engine.rtt_us] histogram *)
+  events : Obs.Tracer.t;
+      (** timeline events ({!Obs.Tracer.null} unless [trace_events]) *)
 }
 
 val layout_for :
@@ -46,6 +53,7 @@ val run :
   ?rx_overhead_us:float ->
   ?fault:Protolat_netsim.Fault.spec ->
   ?extra_meter:Protolat_xkernel.Meter.t ->
+  ?trace_events:bool ->
   stack:stack_kind ->
   config:Config.t ->
   unit ->
@@ -59,7 +67,9 @@ val run :
     retransmissions still finish every roundtrip); [extra_meter] is
     composed with the engine meter on both hosts — used by the soak
     harness to record cold-path (outlined error block) coverage during
-    fully metered runs. *)
+    fully metered runs.  [trace_events] (default false) records timeline
+    events (packets, timers, faults, retransmissions) into
+    [result.events] for Perfetto export. *)
 
 type throughput_result = {
   mbits_per_s : float;

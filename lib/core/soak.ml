@@ -3,6 +3,18 @@ module Ns = Protolat_netsim
 module T = Protolat_tcpip
 module R = Protolat_rpc
 module Msg = Xk.Msg
+module Obs = Protolat_obs
+
+(* flatten the pair's unified metrics registry into a cell's counter list,
+   so the soak digest and report cover every device/protocol counter the
+   run accumulated (zero counters are omitted to keep cells compact) *)
+let metrics_counters reg =
+  List.filter_map
+    (fun (name, s) ->
+      match s with
+      | Obs.Metrics.Counter v when v > 0 -> Some (name, v)
+      | _ -> None)
+    (Obs.Metrics.dump reg)
 
 (* ----- cold-block coverage ------------------------------------------------ *)
 
@@ -159,10 +171,21 @@ let pattern ~tag len =
 
 (* Same seed derivation as Engine.install_fault, so a soak cell and a
    metered Engine.run with the same seed see the same fault sequence. *)
-let install_faults ~seed ~spec ~link ~client_lance ~server_lance =
-  let lf = Ns.Fault.create ~seed:(seed lxor 0x5EED) spec in
-  let clf = Ns.Fault.create ~seed:(seed lxor 0x5EED + 101) spec in
-  let slf = Ns.Fault.create ~seed:(seed lxor 0x5EED + 211) spec in
+let install_faults ?metrics ~seed ~spec ~link ~client_lance ~server_lance () =
+  let scoped name =
+    match metrics with
+    | Some m -> Some (Obs.Metrics.scoped m name)
+    | None -> None
+  in
+  let lf = Ns.Fault.create ~seed:(seed lxor 0x5EED) ?metrics:(scoped "wire") spec in
+  let clf =
+    Ns.Fault.create ~seed:(seed lxor 0x5EED + 101)
+      ?metrics:(scoped "client_dev") spec
+  in
+  let slf =
+    Ns.Fault.create ~seed:(seed lxor 0x5EED + 211)
+      ?metrics:(scoped "server_dev") spec
+  in
   Ns.Ether.Link.set_fault link (Some lf);
   Ns.Lance.set_fault client_lance (Some clf);
   Ns.Lance.set_fault server_lance (Some slf);
@@ -235,9 +258,10 @@ let tcp_transfer ~cover ~seed ~spec ~quick =
     T.Tcp.set_nodelay cs true;
     (* faults start only after the handshake, as in Engine.run *)
     let faults =
-      install_faults ~seed ~spec ~link:p.T.Stack.link
+      install_faults ~metrics:p.T.Stack.metrics ~seed ~spec
+        ~link:p.T.Stack.link
         ~client_lance:p.T.Stack.client.T.Stack.lance
-        ~server_lance:p.T.Stack.server.T.Stack.lance
+        ~server_lance:p.T.Stack.server.T.Stack.lance ()
     in
     let sent = Buffer.create 8192 in
     let chunks = if quick then 30 else 90 in
@@ -296,7 +320,8 @@ let tcp_transfer ~cover ~seed ~spec ~quick =
          + Ns.Netdev.rx_desc_errors p.T.Stack.server.T.Stack.netdev) ]
       @ fault_counters faults
     in
-    (List.rev !failures, List.sort compare counters)
+    (List.rev !failures,
+   List.sort compare (counters @ metrics_counters p.T.Stack.metrics))
   end
 
 (* The paper's latency ping-pong under faults: every roundtrip must still
@@ -310,9 +335,10 @@ let tcp_pingpong ~cover ~seed ~spec ~quick =
   let rounds = if quick then 20 else 40 in
   let ct, _st = T.Stack.establish p ~rounds in
   let faults =
-    install_faults ~seed ~spec ~link:p.T.Stack.link
+    install_faults ~metrics:p.T.Stack.metrics ~seed ~spec
+      ~link:p.T.Stack.link
       ~client_lance:p.T.Stack.client.T.Stack.lance
-      ~server_lance:p.T.Stack.server.T.Stack.lance
+      ~server_lance:p.T.Stack.server.T.Stack.lance ()
   in
   T.Tcptest.start ct;
   let completed =
@@ -341,7 +367,8 @@ let tcp_pingpong ~cover ~seed ~spec ~quick =
       ("link_drops", Ns.Ether.Link.frames_dropped p.T.Stack.link) ]
     @ fault_counters faults
   in
-  (List.rev !failures, List.sort compare counters)
+  (List.rev !failures,
+   List.sort compare (counters @ metrics_counters p.T.Stack.metrics))
 
 (* Receiver advertises a zero window mid-transfer: the sender must arm
    the persist timer and probe (tcp_output/persist is otherwise dead
@@ -418,7 +445,8 @@ let tcp_zero_window ~cover ~seed:_ ~spec:_ ~quick:_ =
         ("persist_probes", T.Tcp.persist_probes p.T.Stack.client.T.Stack.tcp)
       ]
     in
-    (List.rev !failures, List.sort compare counters)
+    (List.rev !failures,
+   List.sort compare (counters @ metrics_counters p.T.Stack.metrics))
   end
 
 (* Protocol edge cases that need no wire faults: send-before-establish,
@@ -503,7 +531,8 @@ let tcp_edge ~cover ~seed:_ ~spec:_ ~quick:_ =
       ("ip_fragmented", T.Ip.datagrams_fragmented client.T.Stack.ip);
       ("ip_reassembled", T.Ip.datagrams_reassembled server.T.Stack.ip) ]
   in
-  (List.rev !failures, List.sort compare counters)
+  (List.rev !failures,
+   List.sort compare (counters @ metrics_counters p.T.Stack.metrics))
 
 (* Multi-fragment BLAST transfers: reassembly with selective retransmit
    must deliver every message exactly once and intact; a 64 KB burst
@@ -521,8 +550,9 @@ let blast_transfer ~cover ~seed ~spec ~quick =
   R.Blast.set_upper server.R.Rstack.blast (fun ~src:_ msg ->
       deliveries := Msg.contents msg :: !deliveries);
   let faults =
-    install_faults ~seed ~spec ~link:p.R.Rstack.link
-      ~client_lance:client.R.Rstack.lance ~server_lance:server.R.Rstack.lance
+    install_faults ~metrics:p.R.Rstack.metrics ~seed ~spec
+      ~link:p.R.Rstack.link ~client_lance:client.R.Rstack.lance
+      ~server_lance:server.R.Rstack.lance ()
   in
   let sizes = if quick then [ 4000; 33000 ] else [ 4000; 12000; 64000; 2900 ] in
   List.iteri
@@ -581,7 +611,8 @@ let blast_transfer ~cover ~seed ~spec ~quick =
        Ns.Netdev.tx_ring_full_events client.R.Rstack.netdev) ]
     @ fault_counters faults
   in
-  (List.rev !failures, List.sort compare counters)
+  (List.rev !failures,
+   List.sort compare (counters @ metrics_counters p.R.Rstack.metrics))
 
 (* The RPC ping-pong under faults: CHAN's request retransmission must
    carry every call to completion; a clean wire retransmits nothing. *)
@@ -593,9 +624,10 @@ let rpc_pingpong ~cover ~seed ~spec ~quick =
   let rounds = if quick then 15 else 30 in
   let ct, _st = R.Rstack.make_tests p ~rounds in
   let faults =
-    install_faults ~seed ~spec ~link:p.R.Rstack.link
+    install_faults ~metrics:p.R.Rstack.metrics ~seed ~spec
+      ~link:p.R.Rstack.link
       ~client_lance:p.R.Rstack.client.R.Rstack.lance
-      ~server_lance:p.R.Rstack.server.R.Rstack.lance
+      ~server_lance:p.R.Rstack.server.R.Rstack.lance ()
   in
   R.Xrpctest.start ct;
   let completed =
@@ -625,7 +657,8 @@ let rpc_pingpong ~cover ~seed ~spec ~quick =
       ("link_drops", Ns.Ether.Link.frames_dropped p.R.Rstack.link) ]
     @ fault_counters faults
   in
-  (List.rev !failures, List.sort compare counters)
+  (List.rev !failures,
+   List.sort compare (counters @ metrics_counters p.R.Rstack.metrics))
 
 (* CHAN/VCHAN/MSELECT edge cases on a clean wire: a busy channel, an
    unanswered request retransmitting to its cap, a duplicate reply with
@@ -717,7 +750,8 @@ let rpc_stress ~cover ~seed:_ ~spec:_ ~quick:_ =
       ("duplicate_requests", R.Chan.duplicate_requests server.R.Rstack.chan);
       ("call_failures", R.Chan.call_failures client.R.Rstack.chan) ]
   in
-  (List.rev !failures, List.sort compare counters)
+  (List.rev !failures,
+   List.sort compare (counters @ metrics_counters p.R.Rstack.metrics))
 
 (* ----- the matrix --------------------------------------------------------- *)
 
@@ -860,6 +894,25 @@ let render r =
       ^ String.concat ", "
           (List.map (fun (f, bl) -> f ^ "/" ^ bl) r.missing)
       ^ "\n");
+  let agg = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (k, v) ->
+          if String.contains k '.' then
+            Hashtbl.replace agg k
+              (v + Option.value ~default:0 (Hashtbl.find_opt agg k)))
+        c.counters)
+    r.cells;
+  let names = List.sort compare (Hashtbl.fold (fun k _ a -> k :: a) agg []) in
+  if names <> [] then begin
+    Buffer.add_string b "metrics (summed across cells):\n";
+    List.iter
+      (fun k ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-36s %d\n" k (Hashtbl.find agg k)))
+      names
+  end;
   Buffer.add_string b (Printf.sprintf "digest: %s\n" r.digest);
   Buffer.add_string b
     (Printf.sprintf "verdict: %s\n" (if passed r then "PASS" else "FAIL"));

@@ -15,6 +15,11 @@ type t = {
   mutable hits : int;
   mutable cold : int;
   mutable repl : int;
+  mutable last_victim : int;
+      (* block evicted by the most recent access; -1 if it hit or filled an
+         empty set.  Lets an attribution pass name the (victim, evictor)
+         pair of each conflict miss without the cache knowing about
+         functions. *)
 }
 
 type outcome =
@@ -49,7 +54,8 @@ let create ~name ~size_bytes ~block_bytes =
     accesses = 0;
     hits = 0;
     cold = 0;
-    repl = 0 }
+    repl = 0;
+    last_victim = -1 }
 
 let name t = t.name
 
@@ -97,10 +103,12 @@ let access t addr =
   t.accesses <- t.accesses + 1;
   if t.tags.(set) = block then begin
     t.hits <- t.hits + 1;
+    t.last_victim <- -1;
     Hit
   end
   else begin
     let victim = t.tags.(set) in
+    t.last_victim <- victim;
     if victim >= 0 then evicted_add t victim;
     t.tags.(set) <- block;
     if evicted_mem t block then begin
@@ -138,3 +146,5 @@ let misses t = t.cold + t.repl
 let cold_misses t = t.cold
 
 let repl_misses t = t.repl
+
+let last_victim t = t.last_victim

@@ -45,3 +45,9 @@ val misses : t -> int
 val cold_misses : t -> int
 
 val repl_misses : t -> int
+
+val last_victim : t -> int
+(** Block address evicted by the most recent {!access}; [-1] if that access
+    hit or filled an empty set.  Valid until the next access — an
+    attribution pass reads it immediately after each lookup to name the
+    (victim, evictor) pair of a conflict miss. *)

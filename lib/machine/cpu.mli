@@ -18,3 +18,9 @@ val perfect_memory_cycles : Params.t -> Trace.t -> float
 
 val icpi : Params.t -> Trace.t -> float
 (** [perfect_memory_cycles / length]; 0 for the empty trace. *)
+
+val penalty : Params.t -> Instr.cls -> float
+(** Fixed pipeline penalty of one instruction (taken branch, call, return,
+    multiply, average load-use stall); 0 for the rest.  Exposed so
+    attribution passes can charge penalties per instruction and still sum
+    exactly to {!perfect_memory_cycles}. *)

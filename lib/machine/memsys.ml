@@ -54,6 +54,10 @@ let create p =
 
 let params t = t.p
 
+let icache t = t.ic
+
+let dwb_misses t = t.dwb_miss
+
 (* One b-cache reference.  [latency_factor] scales the charged latency: a
    pure prefetch costs nothing now (its benefit shows up as the cheap
    sequential fill later). *)

@@ -14,6 +14,14 @@ val create : Params.t -> t
 
 val params : t -> Params.t
 
+val icache : t -> Cache.t
+(** The i-cache itself — attribution passes read {!Cache.last_victim} and
+    miss counters between accesses to classify conflict misses. *)
+
+val dwb_misses : t -> int
+(** Combined d-read misses + writes that reached the b-cache (the [dwb]
+    row of {!stats}), readable mid-replay without building a [stats]. *)
+
 val ifetch : t -> int -> float
 (** Fetch the instruction at a byte address; returns stall cycles. *)
 

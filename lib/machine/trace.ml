@@ -19,7 +19,11 @@ type t = {
   mutable clss : int array;  (* Instr.code *)
   mutable kinds : int array;  (* access kind: kind_none/read/write *)
   mutable addrs : int array;  (* data address; 0 when kind_none *)
+  mutable fids : int array;  (* interned originating-function id; -1 = none *)
   mutable len : int;
+  intern_tbl : (string, int) Hashtbl.t;
+  mutable funcs : string array;
+  mutable n_funcs : int;
 }
 
 let kind_none = 0
@@ -29,36 +33,65 @@ let kind_read = 1
 let kind_write = 2
 
 let create () =
-  { pcs = [||]; clss = [||]; kinds = [||]; addrs = [||]; len = 0 }
+  { pcs = [||];
+    clss = [||];
+    kinds = [||];
+    addrs = [||];
+    fids = [||];
+    len = 0;
+    intern_tbl = Hashtbl.create 32;
+    funcs = [||];
+    n_funcs = 0 }
 
 let length t = t.len
 
+let intern t name =
+  match Hashtbl.find_opt t.intern_tbl name with
+  | Some i -> i
+  | None ->
+    if t.n_funcs = Array.length t.funcs then begin
+      let a = Array.make (max 32 (2 * t.n_funcs)) "" in
+      Array.blit t.funcs 0 a 0 t.n_funcs;
+      t.funcs <- a
+    end;
+    let i = t.n_funcs in
+    t.funcs.(i) <- name;
+    t.n_funcs <- i + 1;
+    Hashtbl.add t.intern_tbl name i;
+    i
+
+let n_funcs t = t.n_funcs
+
+let func_name t i = t.funcs.(i)
+
 let grow t needed =
   let cap = max 1024 (max needed (2 * Array.length t.pcs)) in
-  let g a =
-    let b = Array.make cap 0 in
+  let g fill a =
+    let b = Array.make cap fill in
     Array.blit a 0 b 0 t.len;
     b
   in
-  t.pcs <- g t.pcs;
-  t.clss <- g t.clss;
-  t.kinds <- g t.kinds;
-  t.addrs <- g t.addrs
+  t.pcs <- g 0 t.pcs;
+  t.clss <- g 0 t.clss;
+  t.kinds <- g 0 t.kinds;
+  t.addrs <- g 0 t.addrs;
+  t.fids <- g (-1) t.fids
 
-let add_packed t ~pc ~cls ~kind ~addr =
+let add_packed t ~pc ~cls ~kind ~addr ~fid =
   if t.len = Array.length t.pcs then grow t (t.len + 1);
   let i = t.len in
   t.pcs.(i) <- pc;
   t.clss.(i) <- Instr.code cls;
   t.kinds.(i) <- kind;
   t.addrs.(i) <- addr;
+  t.fids.(i) <- fid;
   t.len <- i + 1
 
-let add t ~pc ~cls ?access () =
+let add t ~pc ~cls ?access ?(fid = -1) () =
   match access with
-  | None -> add_packed t ~pc ~cls ~kind:kind_none ~addr:0
-  | Some (Read a) -> add_packed t ~pc ~cls ~kind:kind_read ~addr:a
-  | Some (Write a) -> add_packed t ~pc ~cls ~kind:kind_write ~addr:a
+  | None -> add_packed t ~pc ~cls ~kind:kind_none ~addr:0 ~fid
+  | Some (Read a) -> add_packed t ~pc ~cls ~kind:kind_read ~addr:a ~fid
+  | Some (Write a) -> add_packed t ~pc ~cls ~kind:kind_write ~addr:a ~fid
 
 let pc_at t i = t.pcs.(i)
 
@@ -67,6 +100,8 @@ let cls_at t i = Instr.of_code t.clss.(i)
 let kind_at t i = t.kinds.(i)
 
 let addr_at t i = t.addrs.(i)
+
+let fid_at t i = t.fids.(i)
 
 let access_at t i =
   match t.kinds.(i) with
@@ -90,6 +125,12 @@ let append dst src =
   Array.blit src.clss 0 dst.clss dst.len src.len;
   Array.blit src.kinds 0 dst.kinds dst.len src.len;
   Array.blit src.addrs 0 dst.addrs dst.len src.len;
+  (* fids are per-trace intern ids: remap through dst's table *)
+  for i = 0 to src.len - 1 do
+    let fid = src.fids.(i) in
+    dst.fids.(dst.len + i) <-
+      (if fid < 0 then -1 else intern dst src.funcs.(fid))
+  done;
   dst.len <- n
 
 let class_counts t =
@@ -147,30 +188,47 @@ let cls_of_tag = function
   | "nop" -> Instr.Nop
   | s -> failwith ("Trace: unknown instruction class " ^ s)
 
+let event_to_string t i =
+  let pc = t.pcs.(i) in
+  let tag = cls_to_tag (cls_at t i) in
+  let core =
+    match t.kinds.(i) with
+    | 0 -> Printf.sprintf "%x %s" pc tag
+    | 1 -> Printf.sprintf "%x %s R %x" pc tag t.addrs.(i)
+    | _ -> Printf.sprintf "%x %s W %x" pc tag t.addrs.(i)
+  in
+  let fid = t.fids.(i) in
+  if fid < 0 then core else core ^ " @" ^ t.funcs.(fid)
+
 let save t oc =
-  iter
-    (fun e ->
-      match e.access with
-      | None -> Printf.fprintf oc "%x %s\n" e.pc (cls_to_tag e.cls)
-      | Some (Read a) ->
-        Printf.fprintf oc "%x %s R %x\n" e.pc (cls_to_tag e.cls) a
-      | Some (Write a) ->
-        Printf.fprintf oc "%x %s W %x\n" e.pc (cls_to_tag e.cls) a)
-    t
+  for i = 0 to t.len - 1 do
+    output_string oc (event_to_string t i);
+    output_char oc '\n'
+  done
 
 let parse_line t line =
-  match String.split_on_char ' ' (String.trim line) with
+  let tokens = String.split_on_char ' ' (String.trim line) in
+  (* optional trailing "@func" names the originating function *)
+  let tokens, fid =
+    match List.rev tokens with
+    | last :: rest
+      when String.length last > 1 && last.[0] = '@' ->
+      ( List.rev rest,
+        intern t (String.sub last 1 (String.length last - 1)) )
+    | _ -> (tokens, -1)
+  in
+  match tokens with
   | [ "" ] -> ()
   | [ pc; tag ] ->
-    add t ~pc:(int_of_string ("0x" ^ pc)) ~cls:(cls_of_tag tag) ()
+    add t ~pc:(int_of_string ("0x" ^ pc)) ~cls:(cls_of_tag tag) ~fid ()
   | [ pc; tag; "R"; a ] ->
     add t ~pc:(int_of_string ("0x" ^ pc)) ~cls:(cls_of_tag tag)
       ~access:(Read (int_of_string ("0x" ^ a)))
-      ()
+      ~fid ()
   | [ pc; tag; "W"; a ] ->
     add t ~pc:(int_of_string ("0x" ^ pc)) ~cls:(cls_of_tag tag)
       ~access:(Write (int_of_string ("0x" ^ a)))
-      ()
+      ~fid ()
   | _ -> failwith ("Trace: malformed line: " ^ line)
 
 let load ic =
@@ -184,17 +242,10 @@ let load ic =
 
 let to_string t =
   let buf = Buffer.create 4096 in
-  iter
-    (fun e ->
-      (match e.access with
-      | None -> Buffer.add_string buf (Printf.sprintf "%x %s" e.pc (cls_to_tag e.cls))
-      | Some (Read a) ->
-        Buffer.add_string buf (Printf.sprintf "%x %s R %x" e.pc (cls_to_tag e.cls) a)
-      | Some (Write a) ->
-        Buffer.add_string buf
-          (Printf.sprintf "%x %s W %x" e.pc (cls_to_tag e.cls) a));
-      Buffer.add_char buf '\n')
-    t;
+  for i = 0 to t.len - 1 do
+    Buffer.add_string buf (event_to_string t i);
+    Buffer.add_char buf '\n'
+  done;
   Buffer.contents buf
 
 let of_string s =

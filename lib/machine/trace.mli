@@ -24,7 +24,25 @@ val create : unit -> t
 
 val length : t -> int
 
-val add : t -> pc:int -> cls:Instr.cls -> ?access:access -> unit -> unit
+val add : t -> pc:int -> cls:Instr.cls -> ?access:access -> ?fid:int -> unit -> unit
+
+(** {2 Function attribution}
+
+    Each event optionally carries the interned id of its originating
+    function, so analysis passes can roll cycles and cache misses up
+    per-function without a separate pc→function lookup per event.  Ids are
+    per-trace; [-1] means "untagged". *)
+
+val intern : t -> string -> int
+(** Find-or-assign the id for a function name. *)
+
+val n_funcs : t -> int
+
+val func_name : t -> int -> string
+(** Inverse of {!intern}. *)
+
+val fid_at : t -> int -> int
+(** Function id of event [i]; [-1] when untagged. *)
 
 (** {2 Packed (allocation-free) interface} *)
 
@@ -34,10 +52,12 @@ val kind_read : int
 
 val kind_write : int
 
-val add_packed : t -> pc:int -> cls:Instr.cls -> kind:int -> addr:int -> unit
-(** [add_packed t ~pc ~cls ~kind ~addr] appends one event without boxing.
-    [kind] is one of {!kind_none}, {!kind_read}, {!kind_write}; [addr] is
-    ignored when [kind = kind_none]. *)
+val add_packed :
+  t -> pc:int -> cls:Instr.cls -> kind:int -> addr:int -> fid:int -> unit
+(** [add_packed t ~pc ~cls ~kind ~addr ~fid] appends one event without
+    boxing.  [kind] is one of {!kind_none}, {!kind_read}, {!kind_write};
+    [addr] is ignored when [kind = kind_none].  [fid] is an id from
+    {!intern} (or [-1]). *)
 
 val pc_at : t -> int -> int
 
@@ -67,8 +87,10 @@ val distinct_blocks : t -> block_bytes:int -> int
 val touched_instr_offsets : t -> (int, unit) Hashtbl.t
 (** Set of distinct instruction addresses fetched. *)
 
-(** Text serialization (one event per line: [pc class [R|W addr]]) — the
-    paper made its instruction traces available for download; so do we. *)
+(** Text serialization (one event per line: [pc class [R|W addr] [@func]])
+    — the paper made its instruction traces available for download; so do
+    we.  The trailing [@func] records the originating function when the
+    event was tagged. *)
 
 val save : t -> out_channel -> unit
 

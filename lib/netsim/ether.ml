@@ -19,25 +19,38 @@ type frame = {
   payload : bytes;
 }
 
+module Obs = Protolat_obs
+
 module Link = struct
   type t = {
     sim : Sim.t;
     propagation_us : float;
     handlers : (frame -> unit) option array;
-    mutable sent : int;
-    mutable dropped : int;
+    c_sent : Obs.Metrics.counter;
+    c_dropped : Obs.Metrics.counter;
     mutable loss : frame -> bool;
     mutable fault : Fault.t option;
+    mutable tracer : Obs.Tracer.t;
+    mutable trace_tid : int;
   }
 
-  let create sim ?(propagation_us = 0.3) () =
+  let create sim ?(propagation_us = 0.3) ?metrics () =
+    let metrics =
+      match metrics with Some m -> m | None -> Obs.Metrics.create ()
+    in
     { sim;
       propagation_us;
       handlers = Array.make 2 None;
-      sent = 0;
-      dropped = 0;
+      c_sent =
+        Obs.Metrics.counter metrics ~help:"frames put on the wire"
+          "frames_sent";
+      c_dropped =
+        Obs.Metrics.counter metrics ~help:"frames lost on the wire"
+          "frames_dropped";
       loss = (fun _ -> false);
-      fault = None }
+      fault = None;
+      tracer = Obs.Tracer.null;
+      trace_tid = 0 }
 
   let check_station station =
     if station < 0 || station > 1 then invalid_arg "Ether.Link: bad station"
@@ -46,26 +59,46 @@ module Link = struct
     check_station station;
     t.handlers.(station) <- Some handler
 
+  let set_tracer t ~tid tracer =
+    t.tracer <- tracer;
+    t.trace_tid <- tid
+
+  let wire = "wire"
+
   let transmit t ~station frame =
     check_station station;
-    t.sent <- t.sent + 1;
-    let base_delay =
-      tx_time_us (Bytes.length frame.payload) +. t.propagation_us
-    in
+    Obs.Metrics.inc t.c_sent;
+    let traced = Obs.Tracer.enabled t.tracer in
+    let tid = t.trace_tid in
+    let len = Bytes.length frame.payload in
+    (* frame sequence number: unique span id and stable drop label *)
+    let seq = Obs.Metrics.value t.c_sent in
+    let base_delay = tx_time_us len +. t.propagation_us in
     let peer = 1 - station in
-    let deliver delay frame =
+    let deliver ~span delay frame =
+      if span && traced then
+        Obs.Tracer.span_begin t.tracer ~tid ~id:seq ~cat:wire ~name:"frame"
+          ~a0:len;
       Sim.schedule t.sim ~delay (fun () ->
+          if span && traced then
+            Obs.Tracer.span_end t.tracer ~tid ~id:seq ~cat:wire ~name:"frame"
+              ~a0:len;
           match t.handlers.(peer) with
           | Some h -> h frame
           | None -> ())
     in
-    if t.loss frame then t.dropped <- t.dropped + 1
+    let drop () =
+      Obs.Metrics.inc t.c_dropped;
+      if traced then
+        Obs.Tracer.instant t.tracer ~tid ~cat:wire ~name:"drop" ~a0:seq
+    in
+    if t.loss frame then drop ()
     else
       match t.fault with
-      | None -> deliver base_delay frame
+      | None -> deliver ~span:true base_delay frame
       | Some f ->
         let v = Fault.wire_verdict f ~len:(Bytes.length frame.payload) in
-        if v.Fault.drop then t.dropped <- t.dropped + 1
+        if v.Fault.drop then drop ()
         else begin
           let frame =
             if v.Fault.corrupt_at < 0 then frame
@@ -76,14 +109,21 @@ module Link = struct
               let b = Char.code (Bytes.get payload v.Fault.corrupt_at) in
               Bytes.set payload v.Fault.corrupt_at
                 (Char.chr (b lxor v.Fault.corrupt_mask));
+              if traced then
+                Obs.Tracer.instant t.tracer ~tid ~cat:wire ~name:"corrupt"
+                  ~a0:seq;
               { frame with payload }
             end
           in
           let delay = base_delay +. v.Fault.extra_delay_us in
-          deliver delay frame;
-          if v.Fault.duplicate then
+          deliver ~span:true delay frame;
+          if v.Fault.duplicate then begin
+            if traced then
+              Obs.Tracer.instant t.tracer ~tid ~cat:wire ~name:"dup" ~a0:seq;
             (* the copy arrives one serialization time later *)
-            deliver (delay +. tx_time_us (Bytes.length frame.payload)) frame
+            deliver ~span:false (delay +. tx_time_us (Bytes.length frame.payload))
+              frame
+          end
         end
 
   let set_loss t f = t.loss <- f
@@ -92,7 +132,7 @@ module Link = struct
 
   let fault t = t.fault
 
-  let frames_sent t = t.sent
+  let frames_sent t = Obs.Metrics.value t.c_sent
 
-  let frames_dropped t = t.dropped
+  let frames_dropped t = Obs.Metrics.value t.c_dropped
 end

@@ -30,11 +30,21 @@ type frame = {
 module Link : sig
   type t
 
-  val create : Sim.t -> ?propagation_us:float -> unit -> t
+  val create :
+    Sim.t -> ?propagation_us:float -> ?metrics:Protolat_obs.Metrics.t ->
+    unit -> t
+  (** [metrics] hosts the link's [frames_sent]/[frames_dropped] counters
+      (callers pass a scoped view, e.g. ["link."]); defaults to a fresh
+      private registry. *)
 
   val attach : t -> station:int -> (frame -> unit) -> unit
   (** Register the receive handler of a station.
       @raise Invalid_argument for stations other than 0 or 1. *)
+
+  val set_tracer : t -> tid:int -> Protolat_obs.Tracer.t -> unit
+  (** Install a timeline tracer: each delivered frame becomes an async
+      span (begin at transmit, end at delivery) on thread [tid]; drops,
+      corruptions and duplications are instant events. *)
 
   val transmit : t -> station:int -> frame -> unit
   (** Put a frame on the wire; it is delivered to the other station after

@@ -1,4 +1,5 @@
 module Rng = Protolat_util.Rng
+module Obs = Protolat_obs
 
 type ge_spec = {
   p_good_to_bad : float;
@@ -45,16 +46,19 @@ type t = {
   rng_txstall : Rng.t;
   rng_rxover : Rng.t;
   mutable ge_bad : bool;
-  mutable frames : int;
-  mutable drops : int;
-  mutable corruptions : int;
-  mutable duplications : int;
-  mutable reorderings : int;
-  mutable tx_stalls : int;
-  mutable rx_overruns : int;
+  frames : Obs.Metrics.counter;
+  drops : Obs.Metrics.counter;
+  corruptions : Obs.Metrics.counter;
+  duplications : Obs.Metrics.counter;
+  reorderings : Obs.Metrics.counter;
+  tx_stalls : Obs.Metrics.counter;
+  rx_overruns : Obs.Metrics.counter;
 }
 
-let create ~seed spec =
+let create ~seed ?metrics spec =
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
+  in
   let root = Rng.create seed in
   let next () = Rng.split root in
   let rng_loss = next () in
@@ -75,13 +79,13 @@ let create ~seed spec =
     rng_txstall;
     rng_rxover;
     ge_bad = false;
-    frames = 0;
-    drops = 0;
-    corruptions = 0;
-    duplications = 0;
-    reorderings = 0;
-    tx_stalls = 0;
-    rx_overruns = 0 }
+    frames = Obs.Metrics.counter metrics "fault.frames";
+    drops = Obs.Metrics.counter metrics "fault.drops";
+    corruptions = Obs.Metrics.counter metrics "fault.corruptions";
+    duplications = Obs.Metrics.counter metrics "fault.duplications";
+    reorderings = Obs.Metrics.counter metrics "fault.reorderings";
+    tx_stalls = Obs.Metrics.counter metrics "fault.tx_stalls";
+    rx_overruns = Obs.Metrics.counter metrics "fault.rx_overruns" }
 
 let spec t = t.spec
 
@@ -109,7 +113,7 @@ let ge_loss t =
     hit t.rng_ge pct
 
 let wire_verdict t ~len =
-  t.frames <- t.frames + 1;
+  Obs.Metrics.inc t.frames;
   (* every class draws on every frame so the streams stay aligned with
      the frame sequence no matter which faults fire *)
   let independent_loss = hit t.rng_loss t.spec.loss_pct in
@@ -130,11 +134,10 @@ let wire_verdict t ~len =
     if t.spec.jitter_us > 0.0 then Rng.float t.rng_jitter t.spec.jitter_us
     else 0.0
   in
-  if drop then t.drops <- t.drops + 1;
-  if (not drop) && corrupt_at >= 0 then
-    t.corruptions <- t.corruptions + 1;
-  if (not drop) && duplicate then t.duplications <- t.duplications + 1;
-  if (not drop) && reorder then t.reorderings <- t.reorderings + 1;
+  if drop then Obs.Metrics.inc t.drops;
+  if (not drop) && corrupt_at >= 0 then Obs.Metrics.inc t.corruptions;
+  if (not drop) && duplicate then Obs.Metrics.inc t.duplications;
+  if (not drop) && reorder then Obs.Metrics.inc t.reorderings;
   { drop;
     corrupt_at = (if drop then -1 else corrupt_at);
     corrupt_mask;
@@ -143,37 +146,37 @@ let wire_verdict t ~len =
 
 let draw_tx_stall t =
   if hit t.rng_txstall t.spec.tx_stall_pct then begin
-    t.tx_stalls <- t.tx_stalls + 1;
+    Obs.Metrics.inc t.tx_stalls;
     Rng.float t.rng_txstall t.spec.tx_stall_us
   end
   else 0.0
 
 let rx_overrun t =
   if hit t.rng_rxover t.spec.rx_overrun_pct then begin
-    t.rx_overruns <- t.rx_overruns + 1;
+    Obs.Metrics.inc t.rx_overruns;
     true
   end
   else false
 
-let frames_seen t = t.frames
+let frames_seen t = Obs.Metrics.value t.frames
 
-let drops t = t.drops
+let drops t = Obs.Metrics.value t.drops
 
-let corruptions t = t.corruptions
+let corruptions t = Obs.Metrics.value t.corruptions
 
-let duplications t = t.duplications
+let duplications t = Obs.Metrics.value t.duplications
 
-let reorderings t = t.reorderings
+let reorderings t = Obs.Metrics.value t.reorderings
 
-let tx_stalls t = t.tx_stalls
+let tx_stalls t = Obs.Metrics.value t.tx_stalls
 
-let rx_overruns t = t.rx_overruns
+let rx_overruns t = Obs.Metrics.value t.rx_overruns
 
 let counters t =
-  [ ("corruptions", t.corruptions);
-    ("drops", t.drops);
-    ("duplications", t.duplications);
-    ("frames", t.frames);
-    ("reorderings", t.reorderings);
-    ("rx_overruns", t.rx_overruns);
-    ("tx_stalls", t.tx_stalls) ]
+  [ ("corruptions", corruptions t);
+    ("drops", drops t);
+    ("duplications", duplications t);
+    ("frames", frames_seen t);
+    ("reorderings", reorderings t);
+    ("rx_overruns", rx_overruns t);
+    ("tx_stalls", tx_stalls t) ]

@@ -35,7 +35,10 @@ val clean : spec
 
 type t
 
-val create : seed:int -> spec -> t
+val create : seed:int -> ?metrics:Protolat_obs.Metrics.t -> spec -> t
+(** [metrics] hosts the plan's [fault.*] counters (frames, drops,
+    corruptions, duplications, reorderings, tx_stalls, rx_overruns);
+    defaults to a fresh private registry. *)
 
 val spec : t -> spec
 

@@ -1,4 +1,5 @@
 module Xk = Protolat_xkernel
+module Obs = Protolat_obs
 
 type t = {
   sim : Sim.t;
@@ -8,12 +9,19 @@ type t = {
   stack_pool : Xk.Thread.Stack_pool.t;
   sched : Xk.Thread.t;
   mutable run_phase : string -> (unit -> unit) -> unit;
+  metrics : Obs.Metrics.t;
+  mutable tracer : Obs.Tracer.t;
+  mutable trace_tid : int;
 }
 
-let create sim ?(meter = Xk.Meter.null) ?(simmem_base = 0x1000_0000) () =
+let create sim ?(meter = Xk.Meter.null) ?metrics ?(simmem_base = 0x1000_0000)
+    () =
   let simmem = Xk.Simmem.create ~base:simmem_base () in
   let stack_pool = Xk.Thread.Stack_pool.create simmem () in
   let sched = Xk.Thread.create stack_pool in
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
+  in
   { sim;
     simmem;
     meter;
@@ -25,14 +33,40 @@ let create sim ?(meter = Xk.Meter.null) ?(simmem_base = 0x1000_0000) () =
     run_phase =
       (fun _ work ->
         work ();
-        ignore (Xk.Thread.run sched)) }
+        ignore (Xk.Thread.run sched));
+    metrics;
+    tracer = Obs.Tracer.null;
+    trace_tid = 0 }
+
+let set_tracer t ~tid tracer =
+  t.tracer <- tracer;
+  t.trace_tid <- tid
+
+let trace_instant t ~cat ~name ~a0 =
+  if Obs.Tracer.enabled t.tracer then
+    Obs.Tracer.instant t.tracer ~tid:t.trace_tid ~cat ~name ~a0
 
 let phase t name work = t.run_phase name work
 
 let advance_events t = ignore (Xk.Event.advance t.events (Sim.now t.sim))
 
+let timer_seq = "timer"
+
 let timeout t ~delay fn =
   let at = Sim.now t.sim +. delay in
+  let fn =
+    if Obs.Tracer.enabled t.tracer then begin
+      (* round the delay to whole µs for the event arg: it is a label, and
+         an int keeps the tracer columns unboxed *)
+      Obs.Tracer.instant t.tracer ~tid:t.trace_tid ~cat:timer_seq
+        ~name:"timer_arm" ~a0:(int_of_float delay);
+      fun () ->
+        Obs.Tracer.instant t.tracer ~tid:t.trace_tid ~cat:timer_seq
+          ~name:"timer_fire" ~a0:0;
+        fn ()
+    end
+    else fn
+  in
   let h = Xk.Event.register t.events ~at fn in
   Sim.schedule_at t.sim ~at (fun () -> advance_events t);
   h

@@ -1,6 +1,7 @@
 (** Per-host runtime environment shared by all protocol modules: simulated
-    clock and memory, the instrumentation meter, the timer manager, and the
-    continuation scheduler with its LIFO stack pool.
+    clock and memory, the instrumentation meter, the metrics registry, the
+    timeline tracer, the timer manager, and the continuation scheduler
+    with its LIFO stack pool.
 
     [run_phase] is installed by the execution engine: it brackets each burst
     of protocol processing (a send initiation, a receive interrupt) so the
@@ -9,6 +10,7 @@
     the work. *)
 
 module Xk = Protolat_xkernel
+module Obs = Protolat_obs
 
 type t = {
   sim : Sim.t;
@@ -18,9 +20,22 @@ type t = {
   stack_pool : Xk.Thread.Stack_pool.t;
   sched : Xk.Thread.t;
   mutable run_phase : string -> (unit -> unit) -> unit;
+  metrics : Obs.Metrics.t;  (** host-scoped registry (e.g. ["client."]) *)
+  mutable tracer : Obs.Tracer.t;  (** {!Obs.Tracer.null} unless installed *)
+  mutable trace_tid : int;  (** Perfetto thread id for this host's events *)
 }
 
-val create : Sim.t -> ?meter:Xk.Meter.t -> ?simmem_base:int -> unit -> t
+val create :
+  Sim.t -> ?meter:Xk.Meter.t -> ?metrics:Obs.Metrics.t -> ?simmem_base:int ->
+  unit -> t
+(** [metrics] defaults to a fresh private registry so hosts created outside
+    the engine (unit tests, ad-hoc sims) need no wiring. *)
+
+val set_tracer : t -> tid:int -> Obs.Tracer.t -> unit
+(** Install the shared timeline tracer; this host's events carry [tid]. *)
+
+val trace_instant : t -> cat:string -> name:string -> a0:int -> unit
+(** Emit an instant event on this host's thread (no-op when untraced). *)
 
 val phase : t -> string -> (unit -> unit) -> unit
 (** [phase t name work]: run [work] under the engine's phase hook. *)
@@ -30,4 +45,5 @@ val advance_events : t -> unit
 
 val timeout : t -> delay:float -> (unit -> unit) -> Xk.Event.handle
 (** Register a timer event and arrange for the simulation to fire it:
-    protocols use this so their timeouts run without a polling loop. *)
+    protocols use this so their timeouts run without a polling loop.
+    When traced, emits [timer_arm] now and [timer_fire] when it runs. *)

@@ -1,3 +1,5 @@
+module Obs = Protolat_obs
+
 type mode =
   | Copy
   | Usc_direct
@@ -15,20 +17,29 @@ type t = {
   mutable rx_index : int;
   mutable on_tx_complete : unit -> unit;
   mutable on_receive : Ether.frame -> unit;
-  mutable frames_tx : int;
-  mutable frames_rx : int;
+  c_tx : Obs.Metrics.counter;
+  c_rx : Obs.Metrics.counter;
+  c_rx_missed : Obs.Metrics.counter;
+  c_tx_stalls : Obs.Metrics.counter;
   mutable busy_until : float;
       (* the controller serializes: one frame on the wire at a time *)
   mutable tx_outstanding : int;
       (* descriptors handed over but not yet returned (OWN still set) *)
   mutable rx_missed : bool;
       (* an rx-descriptor overrun happened since the last receive *)
-  mutable rx_missed_total : int;
   mutable fault : Fault.t option;
+  mutable tracer : Obs.Tracer.t;
+  mutable trace_tid : int;
 }
 
+let dev = "dev"
+
 let create sim simmem link ~station ?(mode = Usc_direct) ?(ring_size = 16)
-    ?(controller_overhead_us = 47.0) ?(rx_interrupt_delay_us = 2.0) () =
+    ?(controller_overhead_us = 47.0) ?(rx_interrupt_delay_us = 2.0) ?metrics
+    () =
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
+  in
   let t =
     { sim;
       link;
@@ -43,13 +54,25 @@ let create sim simmem link ~station ?(mode = Usc_direct) ?(ring_size = 16)
       rx_index = 0;
       on_tx_complete = (fun () -> ());
       on_receive = (fun _ -> ());
-      frames_tx = 0;
-      frames_rx = 0;
+      c_tx =
+        Obs.Metrics.counter metrics ~help:"frames handed to the controller"
+          "lance.frames_tx";
+      c_rx =
+        Obs.Metrics.counter metrics ~help:"frames DMAed into the rx ring"
+          "lance.frames_rx";
+      c_rx_missed =
+        Obs.Metrics.counter metrics
+          ~help:"frames dropped for want of an rx descriptor"
+          "lance.rx_missed";
+      c_tx_stalls =
+        Obs.Metrics.counter metrics ~help:"injected controller tx stalls"
+          "lance.tx_stalls";
       busy_until = 0.0;
       tx_outstanding = 0;
       rx_missed = false;
-      rx_missed_total = 0;
-      fault = None }
+      fault = None;
+      tracer = Obs.Tracer.null;
+      trace_tid = 0 }
   in
   Ether.Link.attach link ~station (fun frame ->
       let overrun =
@@ -59,10 +82,16 @@ let create sim simmem link ~station ?(mode = Usc_direct) ?(ring_size = 16)
         (* no free receive descriptor: the controller drops the frame and
            latches the MISS condition for the next receive interrupt *)
         t.rx_missed <- true;
-        t.rx_missed_total <- t.rx_missed_total + 1
+        Obs.Metrics.inc t.c_rx_missed;
+        if Obs.Tracer.enabled t.tracer then
+          Obs.Tracer.instant t.tracer ~tid:t.trace_tid ~cat:dev
+            ~name:"rx_overrun" ~a0:(Bytes.length frame.Ether.payload)
       end
       else begin
-        t.frames_rx <- t.frames_rx + 1;
+        Obs.Metrics.inc t.c_rx;
+        if Obs.Tracer.enabled t.tracer then
+          Obs.Tracer.instant t.tracer ~tid:t.trace_tid ~cat:dev
+            ~name:"lance_rx" ~a0:(Bytes.length frame.Ether.payload);
         (* controller DMAs the frame and fills the next receive descriptor *)
         let desc = t.ring_size + t.rx_index in
         t.rx_index <- (t.rx_index + 1) mod t.ring_size;
@@ -110,13 +139,22 @@ let transmit t frame =
   t.tx_index <- (t.tx_index + 1) mod t.ring_size;
   t.tx_outstanding <- t.tx_outstanding + 1;
   fill_tx_descriptor t ~desc ~len:(Bytes.length frame.Ether.payload);
-  t.frames_tx <- t.frames_tx + 1;
+  Obs.Metrics.inc t.c_tx;
+  if Obs.Tracer.enabled t.tracer then
+    Obs.Tracer.instant t.tracer ~tid:t.trace_tid ~cat:dev ~name:"lance_tx"
+      ~a0:(Bytes.length frame.Ether.payload);
   (* the controller picks the frame up after its overhead (plus any
      injected stall), but transmits frames strictly in order: a frame
      waits for the wire to go idle *)
   let stall =
     match t.fault with Some f -> Fault.draw_tx_stall f | None -> 0.0
   in
+  if stall > 0.0 then begin
+    Obs.Metrics.inc t.c_tx_stalls;
+    if Obs.Tracer.enabled t.tracer then
+      Obs.Tracer.instant t.tracer ~tid:t.trace_tid ~cat:dev ~name:"tx_stall"
+        ~a0:(int_of_float stall)
+  end;
   let now = Sim.now t.sim in
   let start =
     Float.max (now +. t.controller_overhead_us +. stall) t.busy_until
@@ -134,12 +172,16 @@ let transmit t frame =
 
 let set_fault t f = t.fault <- f
 
+let set_tracer t ~tid tracer =
+  t.tracer <- tracer;
+  t.trace_tid <- tid
+
 let consume_rx_missed t =
   let m = t.rx_missed in
   t.rx_missed <- false;
   m
 
-let rx_missed_total t = t.rx_missed_total
+let rx_missed_total t = Obs.Metrics.value t.c_rx_missed
 
 let tx_descriptor_rings t = t.shared
 
@@ -147,6 +189,6 @@ let words_touched_per_tx_update = function
   | Copy -> 2 * Usc.descriptor_words (* 5 reads + 5 writes *)
   | Usc_direct -> 4 (* 3 writes + 1 read-modify-write read *)
 
-let frames_transmitted t = t.frames_tx
+let frames_transmitted t = Obs.Metrics.value t.c_tx
 
-let frames_received t = t.frames_rx
+let frames_received t = Obs.Metrics.value t.c_rx

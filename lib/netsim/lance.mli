@@ -26,8 +26,11 @@ val create :
   ?ring_size:int ->
   ?controller_overhead_us:float ->
   ?rx_interrupt_delay_us:float ->
+  ?metrics:Protolat_obs.Metrics.t ->
   unit ->
   t
+(** [metrics] hosts the device counters ([lance.frames_tx], [.frames_rx],
+    [.rx_missed], [.tx_stalls]); defaults to a fresh private registry. *)
 
 val set_handlers :
   t -> on_tx_complete:(unit -> unit) -> on_receive:(Ether.frame -> unit) -> unit
@@ -52,6 +55,11 @@ val set_fault : t -> Fault.t option -> unit
     pickup (so descriptors stay owned longer and the ring can fill), and
     rx overruns drop incoming frames before a descriptor is filled,
     latching a MISS condition for {!consume_rx_missed}. *)
+
+val set_tracer : t -> tid:int -> Protolat_obs.Tracer.t -> unit
+(** Install a timeline tracer: frame handoffs ([lance_tx]), rx DMAs
+    ([lance_rx]), injected stalls and rx overruns become instant events on
+    thread [tid]. *)
 
 val consume_rx_missed : t -> bool
 (** Whether an rx-descriptor overrun happened since the last call; reading

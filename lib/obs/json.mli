@@ -1,0 +1,25 @@
+(** Minimal JSON parser.
+
+    The container has no JSON library baked in, and the observability layer
+    only needs enough JSON to {e validate its own output} (the Perfetto
+    export and the metrics/profile dumps) in tests and CI.  This is a
+    strict recursive-descent parser over the full JSON grammar — objects,
+    arrays, strings with escapes, numbers, booleans, null — that rejects
+    trailing garbage. *)
+
+type v =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of v list
+  | Obj of (string * v) list
+
+val parse : string -> (v, string) result
+(** [Error msg] carries the byte offset and reason of the first failure. *)
+
+val member : string -> v -> v option
+(** Object field lookup ([None] for absent field or non-object). *)
+
+val array_length : v -> int
+(** Length of an [Arr]; 0 otherwise. *)

@@ -1,0 +1,76 @@
+type process = {
+  pid : int;
+  pname : string;
+  threads : (int * string) list;
+  tracer : Tracer.t;
+}
+
+(* ts with fixed sub-ns precision: deterministic and lossless for the
+   simulator's µs-scale clock *)
+let ts_fmt = format_of_string "%.3f"
+
+let escape s =
+  (* event names/categories are simulator-chosen identifiers; escape just
+     enough to stay valid JSON if one ever carries a quote *)
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_meta buf ~first ~pid ?tid ~name ~label () =
+  if not !first then Buffer.add_string buf ",\n";
+  first := false;
+  (match tid with
+  | None ->
+    Buffer.add_string buf
+      (Printf.sprintf "{\"ph\":\"M\",\"pid\":%d,\"name\":\"%s\"" pid name)
+  | Some tid ->
+    Buffer.add_string buf
+      (Printf.sprintf "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\"" pid
+         tid name));
+  Buffer.add_string buf
+    (Printf.sprintf ",\"args\":{\"name\":\"%s\"}}" (escape label))
+
+let add_event buf ~first ~pid (e : Tracer.event) =
+  if not !first then Buffer.add_string buf ",\n";
+  first := false;
+  let ph, id_field =
+    match e.Tracer.phase with
+    | `Instant -> ("i", "")
+    | `Begin -> ("b", Printf.sprintf ",\"id\":%d" e.Tracer.id)
+    | `End -> ("e", Printf.sprintf ",\"id\":%d" e.Tracer.id)
+  in
+  let scope = if ph = "i" then ",\"s\":\"t\"" else "" in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\"%s%s,\"ts\":%(%f%),\"pid\":%d,\"tid\":%d,\"args\":{\"a0\":%d}}"
+       (escape e.Tracer.name) (escape e.Tracer.cat) ph id_field scope ts_fmt
+       e.Tracer.ts pid e.Tracer.tid e.Tracer.a0)
+
+let to_buffer buf processes =
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  let first = ref true in
+  List.iter
+    (fun p ->
+      add_meta buf ~first ~pid:p.pid ~name:"process_name" ~label:p.pname ();
+      List.iter
+        (fun (tid, label) ->
+          add_meta buf ~first ~pid:p.pid ~tid ~name:"thread_name" ~label ())
+        p.threads)
+    processes;
+  List.iter
+    (fun p -> Tracer.iter p.tracer (fun e -> add_event buf ~first ~pid:p.pid e))
+    processes;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n"
+
+let to_string processes =
+  let buf = Buffer.create 65536 in
+  to_buffer buf processes;
+  Buffer.contents buf

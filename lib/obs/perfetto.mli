@@ -1,0 +1,19 @@
+(** Chrome/Perfetto trace-event JSON export.
+
+    Renders one or more {!Tracer} buffers as a single JSON document in the
+    trace-event format ([{"traceEvents":[...]}]) that loads directly in
+    {{:https://ui.perfetto.dev}ui.perfetto.dev} or [chrome://tracing].
+    Each tracer becomes one Perfetto {e process}; its thread ids are
+    labeled via metadata events.  All numbers are printed with fixed
+    formats, so the output is byte-identical for identical inputs. *)
+
+type process = {
+  pid : int;
+  pname : string;  (** process label, e.g. ["tcpip/ALL seed=42"] *)
+  threads : (int * string) list;  (** thread id → label, e.g. client/server *)
+  tracer : Tracer.t;
+}
+
+val to_buffer : Buffer.t -> process list -> unit
+
+val to_string : process list -> string

@@ -1,0 +1,128 @@
+let ph_instant = 0
+
+let ph_begin = 1
+
+let ph_end = 2
+
+type t = {
+  on : bool;
+  clock : float array;
+  cap : int;
+  ts : float array;
+  tids : int array;
+  phs : int array;
+  cats : int array; (* interned string ids *)
+  names : int array;
+  ids : int array; (* async span id; -1 for instants *)
+  a0s : int array;
+  mutable written : int; (* total emissions; ring head = written mod cap *)
+  intern_tbl : (string, int) Hashtbl.t;
+  mutable strings : string array;
+  mutable n_strings : int;
+}
+
+let null =
+  { on = false;
+    clock = [| 0.0 |];
+    cap = 0;
+    ts = [||];
+    tids = [||];
+    phs = [||];
+    cats = [||];
+    names = [||];
+    ids = [||];
+    a0s = [||];
+    written = 0;
+    intern_tbl = Hashtbl.create 1;
+    strings = [||];
+    n_strings = 0 }
+
+let create ?(capacity = 65536) ~clock () =
+  if capacity <= 0 then invalid_arg "Tracer.create: capacity must be positive";
+  { on = true;
+    clock;
+    cap = capacity;
+    ts = Array.make capacity 0.0;
+    tids = Array.make capacity 0;
+    phs = Array.make capacity 0;
+    cats = Array.make capacity 0;
+    names = Array.make capacity 0;
+    ids = Array.make capacity (-1);
+    a0s = Array.make capacity 0;
+    written = 0;
+    intern_tbl = Hashtbl.create 32;
+    strings = Array.make 32 "";
+    n_strings = 0 }
+
+let enabled t = t.on
+
+let intern t s =
+  match Hashtbl.find_opt t.intern_tbl s with
+  | Some i -> i
+  | None ->
+    if t.n_strings = Array.length t.strings then begin
+      let a = Array.make (2 * max 1 t.n_strings) "" in
+      Array.blit t.strings 0 a 0 t.n_strings;
+      t.strings <- a
+    end;
+    let i = t.n_strings in
+    t.strings.(i) <- s;
+    t.n_strings <- i + 1;
+    Hashtbl.add t.intern_tbl s i;
+    i
+
+let emit t ~tid ~ph ~id ~cat ~name ~a0 =
+  if t.on then begin
+    let i = t.written mod t.cap in
+    t.ts.(i) <- t.clock.(0);
+    t.tids.(i) <- tid;
+    t.phs.(i) <- ph;
+    t.cats.(i) <- intern t cat;
+    t.names.(i) <- intern t name;
+    t.ids.(i) <- id;
+    t.a0s.(i) <- a0;
+    t.written <- t.written + 1
+  end
+
+let instant t ~tid ~cat ~name ~a0 =
+  emit t ~tid ~ph:ph_instant ~id:(-1) ~cat ~name ~a0
+
+let span_begin t ~tid ~id ~cat ~name ~a0 =
+  emit t ~tid ~ph:ph_begin ~id ~cat ~name ~a0
+
+let span_end t ~tid ~id ~cat ~name ~a0 =
+  emit t ~tid ~ph:ph_end ~id ~cat ~name ~a0
+
+let length t = min t.written t.cap
+
+let total t = t.written
+
+let dropped t = max 0 (t.written - t.cap)
+
+type event = {
+  ts : float;
+  tid : int;
+  phase : [ `Instant | `Begin | `End ];
+  cat : string;
+  name : string;
+  id : int;
+  a0 : int;
+}
+
+let iter t f =
+  let n = length t in
+  let first = t.written - n in
+  for k = first to t.written - 1 do
+    let i = k mod t.cap in
+    f
+      { ts = t.ts.(i);
+        tid = t.tids.(i);
+        phase =
+          (if t.phs.(i) = ph_instant then `Instant
+           else if t.phs.(i) = ph_begin then `Begin
+           else `End);
+        cat = t.strings.(t.cats.(i));
+        name = t.strings.(t.names.(i));
+        id = t.ids.(i);
+        a0 = t.a0s.(i) }
+  done

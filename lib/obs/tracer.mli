@@ -1,0 +1,56 @@
+(** Ring-buffered timeline event tracer.
+
+    One tracer is shared by every component of a simulation (both hosts,
+    the wire, the devices); each emitter is identified by a small thread id
+    so the exported timeline shows client, server and wire as separate
+    tracks.  Timestamps are read from a shared clock cell (the simulator's
+    [Sim.clock_cell]), so emitters never pass time explicitly — and a
+    disabled tracer ({!null}) reduces every emission to one branch.
+
+    Storage is struct-of-arrays over a fixed-capacity ring: appending
+    allocates nothing once the category/name strings have been interned
+    (interning happens once per distinct string).  When the ring wraps, the
+    oldest events are overwritten and counted in {!dropped}. *)
+
+type t
+
+val null : t
+(** The disabled tracer: {!enabled} is [false] and emissions are no-ops. *)
+
+val create : ?capacity:int -> clock:float array -> unit -> t
+(** [capacity] is the ring size in events (default 65536); [clock] is a
+    1-element cell holding the current simulated time in µs. *)
+
+val enabled : t -> bool
+
+val instant : t -> tid:int -> cat:string -> name:string -> a0:int -> unit
+(** A point event ([ph:"i"] in the trace-event format). *)
+
+val span_begin : t -> tid:int -> id:int -> cat:string -> name:string -> a0:int -> unit
+(** Open an async span ([ph:"b"]); match with {!span_end} on the same
+    [cat]/[name]/[id]. *)
+
+val span_end : t -> tid:int -> id:int -> cat:string -> name:string -> a0:int -> unit
+
+val length : t -> int
+(** Events currently held (≤ capacity). *)
+
+val total : t -> int
+(** Events ever emitted. *)
+
+val dropped : t -> int
+(** Events overwritten by ring wrap-around. *)
+
+(** Decoded event, oldest first. *)
+type event = {
+  ts : float;
+  tid : int;
+  phase : [ `Instant | `Begin | `End ];
+  cat : string;
+  name : string;
+  id : int;  (** async span id; -1 for instants *)
+  a0 : int;
+}
+
+val iter : t -> (event -> unit) -> unit
+(** Iterate the retained events in emission (chronological) order. *)

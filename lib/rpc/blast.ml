@@ -1,5 +1,6 @@
 module Xk = Protolat_xkernel
 module Ns = Protolat_netsim
+module Obs = Protolat_obs
 module Meter = Xk.Meter
 module Msg = Xk.Msg
 module Cksum = Protolat_tcpip.Cksum_meter
@@ -27,12 +28,12 @@ type t = {
   mutable next_msg_id : int;
   mutable last_sent : (int * int * bytes array) option;
       (** (dst, msg_id, fragments) retained for selective retransmit *)
-  mutable fragmented : int;
-  mutable nacks : int;
-  mutable retransmissions : int;
-  mutable cksum_drops : int;
-  mutable late_fragments : int;
-  mutable abandoned : int;
+  c_fragmented : Obs.Metrics.counter;
+  c_nacks : Obs.Metrics.counter;
+  c_retransmissions : Obs.Metrics.counter;
+  c_cksum_drops : Obs.Metrics.counter;
+  c_late_fragments : Obs.Metrics.counter;
+  c_abandoned : Obs.Metrics.counter;
 }
 
 let meter t = t.env.Ns.Host_env.meter
@@ -90,7 +91,7 @@ let push t ~dst msg =
         in
         let initial = header_sum (Hdrs.Blast.to_bytes hdr) in
         let cksum =
-          Cksum.compute m ~initial ~sim_base:(Msg.sim_addr msg)
+          Cksum.compute m ~metrics:t.env.Ns.Host_env.metrics ~initial ~sim_base:(Msg.sim_addr msg)
             (Msg.contents msg) 0 len
         in
         Msg.push msg (Hdrs.Blast.to_bytes ~cksum hdr);
@@ -100,7 +101,7 @@ let push t ~dst msg =
       end
       else begin
         (* outlined fragmentation path *)
-        t.fragmented <- t.fragmented + 1;
+        Obs.Metrics.inc t.c_fragmented;
         let data = Msg.contents msg in
         let count = (len + t.frag_size - 1) / t.frag_size in
         let frags =
@@ -118,7 +119,9 @@ let push t ~dst msg =
 
 (* NACK payload: a byte per missing fragment index (bounded, simple). *)
 let send_nack t ~dst ~msg_id missing =
-  t.nacks <- t.nacks + 1;
+  Obs.Metrics.inc t.c_nacks;
+  Ns.Host_env.trace_instant t.env ~cat:"blast" ~name:"nack"
+    ~a0:(List.length missing);
   let payload = Bytes.create (List.length missing) in
   List.iteri (fun i ix -> Bytes.set payload i (Char.chr (ix land 0xFF))) missing;
   send_fragment t ~dst ~kind:Hdrs.Blast.Nack ~msg_id ~frag_ix:0
@@ -132,7 +135,9 @@ let handle_nack t ~src hdr payload =
       (fun c ->
         let ix = Char.code c in
         if ix < Array.length frags then begin
-          t.retransmissions <- t.retransmissions + 1;
+          Obs.Metrics.inc t.c_retransmissions;
+          Ns.Host_env.trace_instant t.env ~cat:"blast" ~name:"frag_rexmt"
+            ~a0:ix;
           send_fragment t ~dst ~kind:Hdrs.Blast.Data ~msg_id ~frag_ix:ix
             ~frag_count:(Array.length frags) frags.(ix)
         end)
@@ -169,7 +174,7 @@ let rec arm_nack_timer t ~key partial =
                (* give up: drop the partial so its slot is reclaimed *)
                ignore (Xk.Map.unbind t.partials key);
                partial.nack_timer <- None;
-               t.abandoned <- t.abandoned + 1
+               Obs.Metrics.inc t.c_abandoned
              end
              else begin
                partial.nack_tries <- partial.nack_tries + 1;
@@ -192,12 +197,16 @@ let demux t ~src msg =
       Bytes.set hdr0 12 '\000';
       Bytes.set hdr0 13 '\000';
       let computed =
-        Cksum.compute m ~initial:(header_sum hdr0)
+        Cksum.compute m ~metrics:t.env.Ns.Host_env.metrics ~initial:(header_sum hdr0)
           ~sim_base:(Msg.sim_addr msg) (Msg.contents msg) 0 (Msg.len msg)
       in
       let bad = computed <> Hdrs.Blast.cksum_of raw in
       m.Meter.cold ~triggered:bad "blast_demux" "cksum_bad";
-      if bad then t.cksum_drops <- t.cksum_drops + 1
+      if bad then begin
+        Obs.Metrics.inc t.c_cksum_drops;
+        Ns.Host_env.trace_instant t.env ~cat:"blast" ~name:"cksum_drop"
+          ~a0:(Msg.len msg)
+      end
       else
       match hdr.Hdrs.Blast.kind with
       | Hdrs.Blast.Nack ->
@@ -215,7 +224,7 @@ let demux t ~src msg =
         let key = pkey ~src ~msg_id:hdr.Hdrs.Blast.msg_id in
         if Hashtbl.mem t.completed key then begin
           (* late duplicate of an already-delivered reassembly *)
-          t.late_fragments <- t.late_fragments + 1;
+          Obs.Metrics.inc t.c_late_fragments;
           m.Meter.cold ~triggered:false "blast_demux" "reass";
           m.Meter.cold ~triggered:false "blast_demux" "sendnack"
         end
@@ -278,6 +287,7 @@ let demux t ~src msg =
         end)
 
 let create env netdev ~ethertype ~map_cache_inline ?(frag_size = 1400) () =
+  let c = Obs.Metrics.counter env.Ns.Host_env.metrics in
   let t =
     { env;
       netdev;
@@ -289,26 +299,26 @@ let create env netdev ~ethertype ~map_cache_inline ?(frag_size = 1400) () =
       upper = (fun ~src:_ _ -> ());
       next_msg_id = 1;
       last_sent = None;
-      fragmented = 0;
-      nacks = 0;
-      retransmissions = 0;
-      cksum_drops = 0;
-      late_fragments = 0;
-      abandoned = 0 }
+      c_fragmented = c "blast.fragmented";
+      c_nacks = c "blast.nacks";
+      c_retransmissions = c "blast.retransmissions";
+      c_cksum_drops = c "blast.cksum_drops";
+      c_late_fragments = c "blast.late_fragments";
+      c_abandoned = c "blast.abandoned" }
   in
   Ns.Netdev.register netdev ~ethertype (fun ~src msg -> demux t ~src msg);
   t
 
 let set_upper t f = t.upper <- f
 
-let messages_fragmented t = t.fragmented
+let messages_fragmented t = Obs.Metrics.value t.c_fragmented
 
-let nacks_sent t = t.nacks
+let nacks_sent t = Obs.Metrics.value t.c_nacks
 
-let retransmissions t = t.retransmissions
+let retransmissions t = Obs.Metrics.value t.c_retransmissions
 
-let cksum_drops t = t.cksum_drops
+let cksum_drops t = Obs.Metrics.value t.c_cksum_drops
 
-let late_fragments t = t.late_fragments
+let late_fragments t = Obs.Metrics.value t.c_late_fragments
 
-let abandoned t = t.abandoned
+let abandoned t = Obs.Metrics.value t.c_abandoned

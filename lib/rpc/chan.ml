@@ -1,5 +1,6 @@
 module Xk = Protolat_xkernel
 module Ns = Protolat_netsim
+module Obs = Protolat_obs
 module Meter = Xk.Meter
 module Msg = Xk.Msg
 
@@ -25,9 +26,9 @@ type t = {
   inline : bool;
   mutable server : (chan:int -> bytes -> reply:(bytes -> unit) -> unit) option;
   mutable outstanding : int;
-  mutable req_retransmits : int;
-  mutable dup_requests : int;
-  mutable call_failures : int;
+  c_req_retransmits : Obs.Metrics.counter;
+  c_dup_requests : Obs.Metrics.counter;
+  c_call_failures : Obs.Metrics.counter;
 }
 
 let meter t = t.env.Ns.Host_env.meter
@@ -70,7 +71,9 @@ let rec arm_timeout t (c : chan_state) =
            | Some _, Some payload ->
              if c.rexmt_tries >= max_rexmt_tries then begin
                (* give up: fail the call and release the channel *)
-               t.call_failures <- t.call_failures + 1;
+               Obs.Metrics.inc t.c_call_failures;
+               Ns.Host_env.trace_instant t.env ~cat:"chan"
+                 ~name:"call_failure" ~a0:c.id;
                c.waiting <- None;
                c.timeout <- None;
                c.last_request <- None;
@@ -80,7 +83,9 @@ let rec arm_timeout t (c : chan_state) =
              else
                Ns.Host_env.phase t.env "chan_rexmt" (fun () ->
                    c.rexmt_tries <- c.rexmt_tries + 1;
-                   t.req_retransmits <- t.req_retransmits + 1;
+                   Obs.Metrics.inc t.c_req_retransmits;
+                   Ns.Host_env.trace_instant t.env ~cat:"chan"
+                     ~name:"req_retransmit" ~a0:c.rexmt_tries;
                    send_request t c payload;
                    arm_timeout t c)
            | _ -> ()))
@@ -202,7 +207,7 @@ let demux t ~src:_ msg =
         let dup = hdr.Hdrs.Chan.seq <= c.expected in
         m.Meter.cold ~triggered:dup "chan_demux" "dupmsg";
         if dup then begin
-          t.dup_requests <- t.dup_requests + 1;
+          Obs.Metrics.inc t.c_dup_requests;
           (* at-most-once: replay the cached reply, but only if it
              answered this very sequence — an unanswered request must
              stay unanswered, not inherit an older call's reply *)
@@ -228,6 +233,7 @@ let demux t ~src:_ msg =
         end))
 
 let create env bid ~peer_mac ?(map_cache_inline = true) () =
+  let c = Obs.Metrics.counter env.Ns.Host_env.metrics in
   let t =
     { env;
       bid;
@@ -236,9 +242,9 @@ let create env bid ~peer_mac ?(map_cache_inline = true) () =
       inline = map_cache_inline;
       server = None;
       outstanding = 0;
-      req_retransmits = 0;
-      dup_requests = 0;
-      call_failures = 0 }
+      c_req_retransmits = c "chan.req_retransmits";
+      c_dup_requests = c "chan.dup_requests";
+      c_call_failures = c "chan.call_failures" }
   in
   Bid.set_upper bid (fun ~src msg -> demux t ~src msg);
   t
@@ -247,8 +253,8 @@ let set_server t f = t.server <- Some f
 
 let outstanding t = t.outstanding
 
-let request_retransmits t = t.req_retransmits
+let request_retransmits t = Obs.Metrics.value t.c_req_retransmits
 
-let duplicate_requests t = t.dup_requests
+let duplicate_requests t = Obs.Metrics.value t.c_dup_requests
 
-let call_failures t = t.call_failures
+let call_failures t = Obs.Metrics.value t.c_call_failures

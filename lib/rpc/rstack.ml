@@ -1,5 +1,6 @@
 module Xk = Protolat_xkernel
 module Ns = Protolat_netsim
+module Obs = Protolat_obs
 module Opts = Protolat_tcpip.Opts
 
 type host = {
@@ -17,11 +18,11 @@ type host = {
 let ethertype_rpc = 0x0801
 
 let make_host sim link ~station ~mac ~peer_mac ~boot_id ~(opts : Opts.t)
-    ?meter ?simmem_base () =
-  let env = Ns.Host_env.create sim ?meter ?simmem_base () in
+    ?meter ?metrics ?simmem_base () =
+  let env = Ns.Host_env.create sim ?meter ?metrics ?simmem_base () in
   let lance =
     Ns.Lance.create sim env.Ns.Host_env.simmem link ~station
-      ~mode:(Opts.lance_mode opts) ()
+      ~mode:(Opts.lance_mode opts) ~metrics:env.Ns.Host_env.metrics ()
   in
   let netdev =
     Ns.Netdev.create env lance ~mac
@@ -49,6 +50,7 @@ type pair = {
   link : Ns.Ether.Link.t;
   client : host;
   server : host;
+  metrics : Obs.Metrics.t;  (* root registry: client.*, server.*, link.* *)
 }
 
 let mac_client = 0x0800_2B00_0011
@@ -58,18 +60,23 @@ let mac_server = 0x0800_2B00_0012
 let make_pair ?(client_opts = Opts.improved) ?(server_opts = Opts.improved)
     ?client_meter ?server_meter () =
   let sim = Ns.Sim.create () in
-  let link = Ns.Ether.Link.create sim () in
+  let metrics = Obs.Metrics.create () in
+  let link =
+    Ns.Ether.Link.create sim ~metrics:(Obs.Metrics.scoped metrics "link") ()
+  in
   let client =
     make_host sim link ~station:0 ~mac:mac_client ~peer_mac:mac_server
       ~boot_id:0x1001 ~opts:client_opts ?meter:client_meter
-      ~simmem_base:0x1010_0000 ()
+      ~metrics:(Obs.Metrics.scoped metrics "client") ~simmem_base:0x1010_0000
+      ()
   in
   let server =
     make_host sim link ~station:1 ~mac:mac_server ~peer_mac:mac_client
       ~boot_id:0x2001 ~opts:server_opts ?meter:server_meter
-      ~simmem_base:0x3010_0000 ()
+      ~metrics:(Obs.Metrics.scoped metrics "server") ~simmem_base:0x3010_0000
+      ()
   in
-  { sim; link; client; server }
+  { sim; link; client; server; metrics }
 
 let make_tests pair ~rounds =
   let server = Xrpctest.server pair.server.env pair.server.mselect ~client_id:1 in

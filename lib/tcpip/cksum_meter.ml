@@ -1,4 +1,5 @@
 module Meter = Protolat_xkernel.Meter
+module Obs = Protolat_obs
 
 let emit (m : Meter.t) ?(sim_base = 0) off len =
   let rd o l = [ Meter.range ~base:sim_base ~off:o ~len:l () ] in
@@ -24,14 +25,29 @@ let emit (m : Meter.t) ?(sim_base = 0) off len =
       done;
       m.Meter.block "in_cksum" "tail")
 
-let sum m ?(initial = 0) ?sim_base buf off len =
+let count metrics len =
+  match metrics with
+  | None -> ()
+  | Some reg ->
+    Obs.Metrics.inc (Obs.Metrics.counter reg "cksum.calls");
+    Obs.Metrics.add (Obs.Metrics.counter reg "cksum.bytes") len
+
+let sum m ?metrics ?(initial = 0) ?sim_base buf off len =
+  count metrics len;
   emit m ?sim_base off len;
   Checksum.sum ~initial buf off len
 
-let compute m ?(initial = 0) ?sim_base buf off len =
+let compute m ?metrics ?(initial = 0) ?sim_base buf off len =
+  count metrics len;
   emit m ?sim_base off len;
   Checksum.compute ~initial buf off len
 
-let verify m ?(initial = 0) ?sim_base buf off len =
+let verify m ?metrics ?(initial = 0) ?sim_base buf off len =
+  count metrics len;
   emit m ?sim_base off len;
-  Checksum.verify ~initial buf off len
+  let ok = Checksum.verify ~initial buf off len in
+  (if not ok then
+     match metrics with
+     | None -> ()
+     | Some reg -> Obs.Metrics.inc (Obs.Metrics.counter reg "cksum.verify_fail"));
+  ok

@@ -1,17 +1,25 @@
 (** Metered Internet checksum: computes the real checksum while reporting
     the "in_cksum" function's block structure (head, 8-byte quad loop,
-    outlined ≥64-byte unrolled loop, trailing halfword loop, tail). *)
+    outlined ≥64-byte unrolled loop, trailing halfword loop, tail).
+
+    When a metrics registry is supplied, each call also bumps the
+    [cksum.calls] / [cksum.bytes] counters (and [cksum.verify_fail] for
+    failed verifications), so checksum work shows up in the unified
+    metrics dump instead of ad-hoc per-module accumulators. *)
 
 val sum :
   Protolat_xkernel.Meter.t ->
+  ?metrics:Protolat_obs.Metrics.t ->
   ?initial:int -> ?sim_base:int -> bytes -> int -> int -> int
 (** Running (unfolded) sum, like {!Checksum.sum}, with trace emission.
     [sim_base] is the simulated address of [bytes] for d-cache modeling. *)
 
 val compute :
   Protolat_xkernel.Meter.t ->
+  ?metrics:Protolat_obs.Metrics.t ->
   ?initial:int -> ?sim_base:int -> bytes -> int -> int -> int
 
 val verify :
   Protolat_xkernel.Meter.t ->
+  ?metrics:Protolat_obs.Metrics.t ->
   ?initial:int -> ?sim_base:int -> bytes -> int -> int -> bool

@@ -41,7 +41,7 @@ let demux t ~src_mac:_ msg =
       let raw = Msg.peek msg 0 Ip_hdr.size in
       m.Meter.call "ip_demux" "validate" 0;
       let csum_ok =
-        Cksum_meter.verify m ~sim_base:(Msg.sim_addr msg) raw 0 Ip_hdr.size
+        Cksum_meter.verify m ~metrics:t.env.Ns.Host_env.metrics ~sim_base:(Msg.sim_addr msg) raw 0 Ip_hdr.size
       in
       let hdr = if csum_ok then Some (Ip_hdr.of_bytes raw) else None in
       let fragmented =
@@ -182,7 +182,7 @@ let push t ~dst ~proto msg =
         (* to_bytes computes the header checksum; emit the cksum trace *)
         let bytes = Ip_hdr.to_bytes hdr in
         let _ =
-          Cksum_meter.sum m ~sim_base:(Msg.sim_addr msg) bytes 0 Ip_hdr.size
+          Cksum_meter.sum m ~metrics:t.env.Ns.Host_env.metrics ~sim_base:(Msg.sim_addr msg) bytes 0 Ip_hdr.size
         in
         Msg.push msg bytes;
         m.Meter.block "ip_push" "send";

@@ -1,5 +1,6 @@
 module Xk = Protolat_xkernel
 module Ns = Protolat_netsim
+module Obs = Protolat_obs
 
 type host = {
   env : Ns.Host_env.t;
@@ -15,11 +16,12 @@ type host = {
 
 let ethertype_ip = 0x0800
 
-let make_host sim link ~station ~mac ~ip_addr ~opts ?meter ?simmem_base () =
-  let env = Ns.Host_env.create sim ?meter ?simmem_base () in
+let make_host sim link ~station ~mac ~ip_addr ~opts ?meter ?metrics
+    ?simmem_base () =
+  let env = Ns.Host_env.create sim ?meter ?metrics ?simmem_base () in
   let lance =
     Ns.Lance.create sim env.Ns.Host_env.simmem link ~station
-      ~mode:(Opts.lance_mode opts) ()
+      ~mode:(Opts.lance_mode opts) ~metrics:env.Ns.Host_env.metrics ()
   in
   let netdev =
     Ns.Netdev.create env lance ~mac
@@ -43,6 +45,7 @@ type pair = {
   link : Ns.Ether.Link.t;
   client : host;
   server : host;
+  metrics : Obs.Metrics.t;  (* root registry: client.*, server.*, link.* *)
 }
 
 let addr_client = 0xC0A80001 (* 192.168.0.1 *)
@@ -52,20 +55,27 @@ let addr_server = 0xC0A80002
 let make_pair ?(client_opts = Opts.improved) ?(server_opts = Opts.improved)
     ?client_meter ?server_meter () =
   let sim = Ns.Sim.create () in
-  let link = Ns.Ether.Link.create sim () in
+  let metrics = Obs.Metrics.create () in
+  let link =
+    Ns.Ether.Link.create sim ~metrics:(Obs.Metrics.scoped metrics "link") ()
+  in
   let client =
     make_host sim link ~station:0 ~mac:0x0800_2B00_0001 ~ip_addr:addr_client
-      ~opts:client_opts ?meter:client_meter ~simmem_base:0x1010_0000 ()
+      ~opts:client_opts ?meter:client_meter
+      ~metrics:(Obs.Metrics.scoped metrics "client") ~simmem_base:0x1010_0000
+      ()
   in
   let server =
     make_host sim link ~station:1 ~mac:0x0800_2B00_0002 ~ip_addr:addr_server
-      ~opts:server_opts ?meter:server_meter ~simmem_base:0x3010_0000 ()
+      ~opts:server_opts ?meter:server_meter
+      ~metrics:(Obs.Metrics.scoped metrics "server") ~simmem_base:0x3010_0000
+      ()
   in
   Vnet.add_route client.vnet ~ip:addr_server ~mac:server.mac;
   Vnet.add_route client.vnet ~ip:addr_client ~mac:client.mac;
   Vnet.add_route server.vnet ~ip:addr_client ~mac:client.mac;
   Vnet.add_route server.vnet ~ip:addr_server ~mac:server.mac;
-  { sim; link; client; server }
+  { sim; link; client; server; metrics }
 
 let establish pair ~rounds =
   let server_test = Tcptest.server pair.server.env pair.server.tcp ~port:7 in

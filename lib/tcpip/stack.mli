@@ -4,6 +4,7 @@
 
 module Xk = Protolat_xkernel
 module Ns = Protolat_netsim
+module Obs = Protolat_obs
 
 type host = {
   env : Ns.Host_env.t;
@@ -27,6 +28,7 @@ val make_host :
   ip_addr:int ->
   opts:Opts.t ->
   ?meter:Xk.Meter.t ->
+  ?metrics:Obs.Metrics.t ->
   ?simmem_base:int ->
   unit ->
   host
@@ -36,6 +38,9 @@ type pair = {
   link : Ns.Ether.Link.t;
   client : host;
   server : host;
+  metrics : Obs.Metrics.t;
+      (** root registry; hosts register under [client.]/[server.], the wire
+          under [link.] *)
 }
 
 val make_pair :

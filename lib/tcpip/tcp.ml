@@ -1,5 +1,6 @@
 module Xk = Protolat_xkernel
 module Ns = Protolat_netsim
+module Obs = Protolat_obs
 module Meter = Xk.Meter
 module Msg = Xk.Msg
 
@@ -10,8 +11,9 @@ type t = {
   pcbs : session Xk.Map.t;
   listeners : (int, session -> bytes -> unit) Hashtbl.t;
   mutable iss : int;
-  mutable retransmits : int;
-  mutable persist_probes : int;
+  c_retransmits : Obs.Metrics.counter;
+  c_fast_retransmits : Obs.Metrics.counter;
+  c_persist_probes : Obs.Metrics.counter;
 }
 
 and session = {
@@ -41,8 +43,15 @@ let create env ip ~opts =
       pcbs = Xk.Map.create ~buckets:64 ();
       listeners = Hashtbl.create 8;
       iss = 0x1000;
-      retransmits = 0;
-      persist_probes = 0 }
+      c_retransmits =
+        Obs.Metrics.counter env.Ns.Host_env.metrics
+          ~help:"segments resent (timeout + fast)" "tcp.retransmits";
+      c_fast_retransmits =
+        Obs.Metrics.counter env.Ns.Host_env.metrics
+          ~help:"third-dup-ack fast retransmits" "tcp.fast_retransmits";
+      c_persist_probes =
+        Obs.Metrics.counter env.Ns.Host_env.metrics
+          ~help:"zero-window persist probes" "tcp.persist_probes" }
   in
   t
 
@@ -159,7 +168,7 @@ let rec tcp_output ?(flags = Tcp_hdr.ack_flag) ?(rexmt = false) s msg =
       m.Meter.call "tcp_output" "build" 0;
       let csum =
         Checksum.finish
-          (Cksum_meter.sum m ~initial:pseudo ~sim_base:(Msg.sim_addr msg) seg 0
+          (Cksum_meter.sum m ~metrics:t.env.Ns.Host_env.metrics ~initial:pseudo ~sim_base:(Msg.sim_addr msg) seg 0
              (Bytes.length seg))
       in
       Bytes.set hdr_bytes 16 (Char.chr (csum lsr 8 land 0xFF));
@@ -231,7 +240,11 @@ and retransmit ?(fast = false) s =
         else begin
           let m = meter t in
           m.Meter.cold ~triggered:true "tcp_output" "rexmt_path";
-          t.retransmits <- t.retransmits + 1;
+          Obs.Metrics.inc t.c_retransmits;
+          if fast then Obs.Metrics.inc t.c_fast_retransmits;
+          Ns.Host_env.trace_instant t.env ~cat:"tcp"
+            ~name:(if fast then "fast_retransmit" else "retransmit")
+            ~a0:s.tcb.Tcb.rexmt_shift;
           s.tcb.Tcb.retransmits <- s.tcb.Tcb.retransmits + 1;
           s.tcb.Tcb.rexmt_shift <- s.tcb.Tcb.rexmt_shift + 1;
           (* Karn: samples from retransmitted data are ambiguous *)
@@ -301,7 +314,9 @@ and persist_probe s =
   | [] -> ()
   | chunk :: rest ->
     Ns.Host_env.phase t.env "persist" (fun () ->
-        t.persist_probes <- t.persist_probes + 1;
+        Obs.Metrics.inc t.c_persist_probes;
+        Ns.Host_env.trace_instant t.env ~cat:"tcp" ~name:"persist_probe"
+          ~a0:0;
         let payload = Bytes.sub chunk 0 1 in
         let remainder = Bytes.length chunk - 1 in
         s.sndq <-
@@ -470,7 +485,7 @@ let tcp_input s (iphdr : Ip_hdr.t) msg =
       in
       m.Meter.call "tcp_input" "validate" 0;
       let ok =
-        Cksum_meter.verify m ~initial:pseudo ~sim_base:(Msg.sim_addr msg) seg 0
+        Cksum_meter.verify m ~metrics:t.env.Ns.Host_env.metrics ~initial:pseudo ~sim_base:(Msg.sim_addr msg) seg 0
           (Bytes.length seg)
       in
       m.Meter.cold ~triggered:(not ok) "tcp_input" "bad_cksum";
@@ -818,9 +833,9 @@ let set_receive s f = s.receive <- f
 
 let set_nodelay s v = s.nodelay <- v
 
-let retransmits t = t.retransmits
+let retransmits t = Obs.Metrics.value t.c_retransmits
 
-let persist_probes t = t.persist_probes
+let persist_probes t = Obs.Metrics.value t.c_persist_probes
 
 (* wire TCP into IP at creation *)
 let create env ip ~opts =

@@ -1,10 +1,13 @@
 #!/bin/sh
 # Smoke script: full build, test suite, a short multi-seed fault soak,
-# and a quick end-to-end bench table.
+# the latency-attribution and timeline exports (with their consistency /
+# JSON well-formedness checks), and a quick end-to-end bench table.
 # Usage: scripts/ci.sh  (run from the repository root)
 set -eu
 
 dune build @all
 dune runtest
 dune exec bin/protolat_cli.exe -- soak --quick --seeds 2
+dune build @profile-quick
+dune build @trace-quick
 dune exec bench/main.exe -- quick only table1

@@ -8,5 +8,6 @@ let () =
       Test_tcpip.suite;
       Test_rpc.suite;
       Test_extensions.suite;
+      Test_obs.suite;
       Test_fault.suite;
       Test_engine.suite ]
