@@ -152,8 +152,9 @@ let bechamel_tests () =
     Test.make ~name
       (Staged.stage (fun () ->
            ignore
-             (P.Engine.run ~rounds:4 ~warmup:2 ~stack:P.Engine.Tcpip
-                ~config:(P.Config.make version) ())))
+             (P.Engine.run
+                (P.Engine.Spec.make ~rounds:4 ~warmup:2 ~stack:P.Engine.Tcpip
+                   ~config:(P.Config.make version) ()))))
   in
   Test.make_grouped ~name:"protolat"
     [ traversal_list; traversal_full; resolve_hit; cksum; cache; image_build;
@@ -230,7 +231,9 @@ let run_json () =
   let sweep_wall = Unix.gettimeofday () -. t0 in
   let t1 = Unix.gettimeofday () in
   let single =
-    P.Engine.run ~stack:P.Engine.Tcpip ~config:(P.Config.make P.Config.All) ()
+    P.Engine.run
+      (P.Engine.Spec.default ~stack:P.Engine.Tcpip
+         ~config:(P.Config.make P.Config.All))
   in
   let single_wall = Unix.gettimeofday () -. t1 in
   let buf = Buffer.create 2048 in
@@ -248,6 +251,9 @@ let run_json () =
     String.concat ",\n" entries
   in
   Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"schema_version\": %d,\n"
+       Protolat_obs.Json.schema_version);
   Buffer.add_string buf (Printf.sprintf "  \"rev\": \"%s\",\n" rev);
   Buffer.add_string buf
     (Printf.sprintf "  \"timestamp\": \"%s\",\n" (timestamp ()));

@@ -1,0 +1,73 @@
+(* Shared Cmdliner converters and arguments for every protolat subcommand,
+   so the common flags (-s/-c, --seed/--seeds, -j/--jobs, --json, --check,
+   -o) spell and behave identically across the whole CLI. *)
+
+module P = Protolat
+open Cmdliner
+
+let version_conv =
+  let parse s =
+    match P.Config.of_name s with
+    | Some v -> Ok v
+    | None ->
+      Error (`Msg ("unknown version: " ^ s ^ " (BAD/STD/OUT/CLO/PIN/ALL)"))
+  in
+  let print fmt v = Format.pp_print_string fmt (P.Config.version_name v) in
+  Arg.conv (parse, print)
+
+let stack_conv =
+  let parse = function
+    | "tcp" | "tcpip" | "tcp/ip" -> Ok P.Engine.Tcpip
+    | "rpc" -> Ok P.Engine.Rpc
+    | s -> Error (`Msg ("unknown stack: " ^ s ^ " (tcpip|rpc)"))
+  in
+  let print fmt s = Format.pp_print_string fmt (P.Engine.stack_name s) in
+  Arg.conv (parse, print)
+
+let stack_arg =
+  Arg.(
+    value
+    & opt stack_conv P.Engine.Tcpip
+    & info [ "s"; "stack" ] ~doc:"Stack: tcpip or rpc.")
+
+let version_arg =
+  Arg.(
+    value
+    & opt version_conv P.Config.Std
+    & info [ "c"; "config" ]
+        ~doc:"Configuration: BAD, STD, OUT, CLO, PIN or ALL.")
+
+let rounds_arg =
+  Arg.(value & opt int 24 & info [ "r"; "rounds" ] ~doc:"Measured roundtrips.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Protolat_util.Dpool.default_jobs ())
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Worker domains for sweeps (default: the recommended domain \
+           count; 1 = sequential). Results are identical at any job count.")
+
+let seeds_arg ?(default = 1) ~doc () =
+  Arg.(value & opt int default & info [ "seeds" ] ~doc)
+
+let json_arg ?(doc = "Emit the JSON document instead of text.") () =
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let check_arg ~doc () = Arg.(value & flag & info [ "check" ] ~doc)
+
+let out_arg ?(doc = "Write the output to a file.") () =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+
+(* Write [data] to the -o target, or stdout when none was given. *)
+let write out data =
+  match out with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc data;
+    close_out oc;
+    Printf.printf "wrote %d bytes to %s\n" (String.length data) path
+  | None -> print_string data

@@ -5,7 +5,11 @@
      tables   regenerate the paper's tables
      figures  print Figures 1 and 2
      layout   show a configuration's code image
-     sweep    Table 4-style sweep over all versions                     *)
+     sweep    Table 4-style sweep over all versions
+     trace    export a timeline / raw instruction trace
+     profile  latency attribution
+     soak     deterministic fault-injection soak
+     mflow    multi-flow traffic engine with connection churn           *)
 
 module P = Protolat
 module M = Protolat_machine
@@ -13,50 +17,23 @@ module L = Protolat_layout
 module Stats = Protolat_util.Stats
 open Cmdliner
 
-let version_conv =
-  let parse s =
-    match P.Config.of_name s with
-    | Some v -> Ok v
-    | None -> Error (`Msg ("unknown version: " ^ s ^ " (BAD/STD/OUT/CLO/PIN/ALL)"))
-  in
-  let print fmt v = Format.pp_print_string fmt (P.Config.version_name v) in
-  Arg.conv (parse, print)
-
-let stack_conv =
-  let parse = function
-    | "tcp" | "tcpip" | "tcp/ip" -> Ok P.Engine.Tcpip
-    | "rpc" -> Ok P.Engine.Rpc
-    | s -> Error (`Msg ("unknown stack: " ^ s ^ " (tcpip|rpc)"))
-  in
-  let print fmt s = Format.pp_print_string fmt (P.Engine.stack_name s) in
-  Arg.conv (parse, print)
-
-let stack_arg =
-  Arg.(value & opt stack_conv P.Engine.Tcpip & info [ "s"; "stack" ] ~doc:"Stack: tcpip or rpc.")
-
-let version_arg =
-  Arg.(value & opt version_conv P.Config.Std & info [ "c"; "config" ] ~doc:"Configuration: BAD, STD, OUT, CLO, PIN or ALL.")
-
-let rounds_arg =
-  Arg.(value & opt int 24 & info [ "r"; "rounds" ] ~doc:"Measured roundtrips.")
-
-let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
-
-let jobs_arg =
-  Arg.(
-    value
-    & opt int (Protolat_util.Dpool.default_jobs ())
-    & info [ "j"; "jobs" ]
-        ~doc:
-          "Worker domains for sweeps (default: the recommended domain \
-           count; 1 = sequential). Results are identical at any job count.")
+(* Shared flag definitions live in Cli_common so every subcommand spells
+   -s/-c/--seed/--seeds/-j/--json/--check/-o the same way. *)
+let version_conv = Cli_common.version_conv
+let stack_arg = Cli_common.stack_arg
+let version_arg = Cli_common.version_arg
+let rounds_arg = Cli_common.rounds_arg
+let seed_arg = Cli_common.seed_arg
+let jobs_arg = Cli_common.jobs_arg
 
 (* ----- run -------------------------------------------------------------- *)
 
 let run_cmd =
   let run stack version rounds seed =
     let r =
-      P.Engine.run ~seed ~rounds ~stack ~config:(P.Config.make version) ()
+      P.Engine.run
+        (P.Engine.Spec.make ~seed ~rounds ~stack
+           ~config:(P.Config.make version) ())
     in
     let s = r.P.Engine.steady in
     Printf.printf "%s / %s: %d roundtrips\n" (P.Engine.stack_name stack)
@@ -86,7 +63,7 @@ let run_cmd =
 let tables_cmd =
   let names =
     [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "table7";
-      "table8"; "table9"; "map"; "micro"; "decunix"; "fault" ]
+      "table8"; "table9"; "map"; "micro"; "decunix"; "fault"; "mflow" ]
   in
   let which =
     Arg.(value & pos_all string names & info [] ~docv:"TABLE"
@@ -120,7 +97,13 @@ let tables_cmd =
     if want "decunix" then
       Protolat_util.Table.print (P.Experiments.dec_unix_mcpi ());
     if want "fault" then
-      Protolat_util.Table.print (P.Experiments.fault_injection ())
+      Protolat_util.Table.print (P.Experiments.fault_injection ());
+    if want "mflow" then
+      Protolat_util.Table.print
+        (P.Experiments.mflow_scaling
+           ~flow_counts:(if quick then [ 1; 8; 64 ] else [ 1; 8; 64; 256 ])
+           ~seeds:(if quick then 2 else 4)
+           ~jobs ())
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate the paper's tables.")
@@ -161,15 +144,14 @@ let profile_cmd =
     Arg.(value & pos_all version_conv [] & info [] ~docv:"VERSION"
            ~doc:"Versions to profile (default: the -c version).")
   in
-  let json_arg =
-    Arg.(value & flag & info [ "json" ] ~doc:"Emit the JSON document instead of text.")
-  in
+  let json_arg = Cli_common.json_arg () in
   let check_arg =
-    Arg.(value & flag
-         & info [ "check" ]
-             ~doc:"Verify the conservation laws (per-function and per-layer \
-                   sums equal the aggregate report; every i-cache miss is \
-                   classified) and exit non-zero on violation.")
+    Cli_common.check_arg
+      ~doc:
+        "Verify the conservation laws (per-function and per-layer sums \
+         equal the aggregate report; every i-cache miss is classified) and \
+         exit non-zero on violation."
+      ()
   in
   let cold_arg =
     Arg.(value & flag
@@ -235,10 +217,7 @@ let profile_cmd =
 (* ----- trace -------------------------------------------------------------- *)
 
 let trace_cmd =
-  let out_arg =
-    Arg.(value & opt (some string) None
-         & info [ "o"; "output" ] ~doc:"Write the trace to a file.")
-  in
+  let out_arg = Cli_common.out_arg ~doc:"Write the trace to a file." () in
   let raw_arg =
     Arg.(value & flag
          & info [ "raw" ]
@@ -246,15 +225,15 @@ let trace_cmd =
                    distributed by FTP) instead of the timeline.")
   in
   let seeds_arg =
-    Arg.(value & opt int 1
-         & info [ "seeds" ]
-             ~doc:"Timeline processes to capture (one engine run per seed).")
+    Cli_common.seeds_arg
+      ~doc:"Timeline processes to capture (one engine run per seed)." ()
   in
   let check_arg =
-    Arg.(value & flag
-         & info [ "check" ]
-             ~doc:"Parse the emitted document and verify it is well-formed \
-                   trace-event JSON with a traceEvents array.")
+    Cli_common.check_arg
+      ~doc:
+        "Parse the emitted document and verify it is well-formed \
+         trace-event JSON with a traceEvents array."
+      ()
   in
   let loss_arg =
     Arg.(value & opt float 0.0
@@ -263,18 +242,13 @@ let trace_cmd =
                    percentage, so drops, timer backoffs and retransmissions \
                    appear on the timeline.")
   in
-  let write out data =
-    match out with
-    | Some path ->
-      let oc = open_out path in
-      output_string oc data;
-      close_out oc;
-      Printf.printf "wrote %d bytes to %s\n" (String.length data) path
-    | None -> print_string data
-  in
+  let write = Cli_common.write in
   let run stack version seed out raw seeds jobs check loss =
     if raw then begin
-      let r = P.Engine.run ~seed ~stack ~config:(P.Config.make version) () in
+      let r =
+        P.Engine.run
+          (P.Engine.Spec.make ~seed ~stack ~config:(P.Config.make version) ())
+      in
       write out (Protolat_machine.Trace.to_string r.P.Engine.trace)
     end
     else begin
@@ -320,9 +294,8 @@ let trace_cmd =
 
 let soak_cmd =
   let seeds_arg =
-    Arg.(value & opt int 4
-         & info [ "seeds" ]
-             ~doc:"Seeds per randomized fault schedule (clean runs once).")
+    Cli_common.seeds_arg ~default:4
+      ~doc:"Seeds per randomized fault schedule (clean runs once)." ()
   in
   let quick_arg =
     Arg.(value & flag
@@ -344,6 +317,119 @@ let soak_cmd =
           digest is bit-identical for the same seeds at any --jobs count.")
     Term.(const run $ seeds_arg $ jobs_arg $ quick_arg)
 
+(* ----- mflow -------------------------------------------------------------- *)
+
+let mflow_cmd =
+  let flows_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 8; 64 ]
+      & info [ "flows" ] ~docv:"N,N,..."
+          ~doc:"Comma-separated concurrent-flow counts to sweep.")
+  in
+  let seeds_arg =
+    Cli_common.seeds_arg ~default:2 ~doc:"Repetitions per flow count." ()
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "requests" ] ~doc:"Request/response exchanges per flow.")
+  in
+  let lifetime_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "lifetime" ]
+          ~doc:
+            "Mean exchanges a TCP connection carries before churn tears it \
+             down and reopens it (0 = one connection per flow, no churn).")
+  in
+  let think_arg =
+    Arg.(
+      value & opt float 200.0
+      & info [ "think" ]
+          ~doc:"Mean closed-loop think time between exchanges [us].")
+  in
+  let open_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "open-loop" ] ~docv:"US"
+          ~doc:
+            "Open-loop arrivals with this mean interarrival [us] instead \
+             of the closed loop.")
+  in
+  let json_arg = Cli_common.json_arg () in
+  let check_arg =
+    Cli_common.check_arg
+      ~doc:
+        "Parse the JSON report, verify the schema version and cell count, \
+         and require every cell to have drained (no leaked session, timer \
+         or event); exit non-zero on violation."
+      ()
+  in
+  let out_arg = Cli_common.out_arg () in
+  let run stack version flows seeds jobs requests lifetime think open_loop
+      json check out =
+    let workload =
+      { P.Mflow.arrival =
+          (match open_loop with
+          | Some us -> P.Mflow.Open_loop { interarrival_us = us }
+          | None -> P.Mflow.Closed_loop { think_us = think });
+        req_bytes = P.Mflow.default_workload.P.Mflow.req_bytes;
+        resp_bytes = P.Mflow.default_workload.P.Mflow.resp_bytes;
+        requests_per_flow = requests;
+        conn_lifetime = (if lifetime <= 0 then None else Some lifetime) }
+    in
+    let spec =
+      P.Engine.Spec.default ~stack ~config:(P.Config.make version)
+    in
+    let r = P.Mflow.sweep ~flow_counts:flows ~seeds ~jobs ~workload spec in
+    Cli_common.write out
+      (if json then P.Mflow.to_json r ^ "\n" else P.Mflow.render r);
+    if check then begin
+      (match Protolat_obs.Json.parse (P.Mflow.to_json r) with
+      | Error msg ->
+        Printf.eprintf "mflow JSON is malformed: %s\n" msg;
+        exit 1
+      | Ok v ->
+        let expect field n =
+          match Protolat_obs.Json.member field v with
+          | Some (Protolat_obs.Json.Num got) when int_of_float got = n -> ()
+          | _ ->
+            Printf.eprintf "mflow JSON: bad %s\n" field;
+            exit 1
+        in
+        expect "schema_version" Protolat_obs.Json.schema_version;
+        (match Protolat_obs.Json.member "cells" v with
+        | Some cells
+          when Protolat_obs.Json.array_length cells
+               = List.length flows * seeds ->
+          ()
+        | _ ->
+          Printf.eprintf "mflow JSON: wrong cell count\n";
+          exit 1));
+      if not json then
+        Printf.eprintf "check: JSON well-formed, every cell drained\n"
+    end;
+    if not (P.Mflow.passed r) then begin
+      Printf.eprintf "mflow: a cell failed to drain cleanly\n";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "mflow"
+       ~doc:
+         "Multi-flow traffic engine: N concurrent flows with connection \
+          churn through one shared host pair, reporting per-flow and \
+          aggregate latency percentiles (p50/p90/p99/max), the demux \
+          map-cache hit rate, chain compares, bucket scans and peak timer \
+          occupancy per flow count.  The report is byte-identical for the \
+          same seeds at any --jobs count.")
+    Term.(
+      const run $ stack_arg $ version_arg $ flows_arg $ seeds_arg $ jobs_arg
+      $ requests_arg $ lifetime_arg $ think_arg $ open_arg $ json_arg
+      $ check_arg $ out_arg)
+
 (* ----- sweep -------------------------------------------------------------- *)
 
 let sweep_cmd =
@@ -354,7 +440,10 @@ let sweep_cmd =
       Protolat_util.Dpool.run ~jobs
         (List.map
            (fun v ->
-             fun () -> P.Engine.run ~rounds ~stack ~config:(P.Config.make v) ())
+             fun () ->
+              P.Engine.run
+                (P.Engine.Spec.make ~rounds ~stack ~config:(P.Config.make v)
+                   ()))
            P.Paper.version_order)
     in
     List.iter2
@@ -378,4 +467,4 @@ let () =
          Improve Protocol Processing Latency (SIGCOMM '96)."
   in
   exit (Cmd.eval (Cmd.group info [ run_cmd; tables_cmd; figures_cmd; layout_cmd; sweep_cmd; trace_cmd;
-          profile_cmd; soak_cmd ]))
+          profile_cmd; soak_cmd; mflow_cmd ]))

@@ -23,7 +23,7 @@ let () =
       received := Some (Xk.Msg.contents msg));
   (* drop every 5th RPC frame, once each *)
   let n = ref 0 in
-  Ns.Ether.Link.set_loss link (fun f ->
+  Ns.Ether.Link.set_filter link (fun f ->
       f.Ns.Ether.ethertype = 0x801
       && begin
            incr n;

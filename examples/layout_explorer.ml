@@ -10,7 +10,7 @@ module M = Protolat_machine
 
 let show version layout_label =
   let config = P.Config.make version in
-  let r = P.Engine.run ~stack:P.Engine.Tcpip ~config () in
+  let r = P.Engine.run (P.Engine.Spec.default ~stack:P.Engine.Tcpip ~config) in
   Printf.printf "--- %s (%s) ---\n" (P.Config.version_name version)
     layout_label;
   Printf.printf

@@ -11,7 +11,7 @@ module Stats = Protolat_util.Stats
 
 let describe version =
   let config = P.Config.make version in
-  let r = P.Engine.run ~stack:P.Engine.Tcpip ~config () in
+  let r = P.Engine.run (P.Engine.Spec.default ~stack:P.Engine.Tcpip ~config) in
   let s = r.P.Engine.steady in
   Printf.printf "%s:\n" (P.Config.version_name version);
   Printf.printf "  roundtrip latency     %.1f us (mean of %d roundtrips)\n"
@@ -31,8 +31,12 @@ let () =
   print_endline "========================================\n";
   describe P.Config.Std;
   describe P.Config.All;
-  let std = P.Engine.run ~stack:P.Engine.Tcpip ~config:(P.Config.make P.Config.Std) () in
-  let all = P.Engine.run ~stack:P.Engine.Tcpip ~config:(P.Config.make P.Config.All) () in
+  let measure v =
+    P.Engine.run
+      (P.Engine.Spec.default ~stack:P.Engine.Tcpip ~config:(P.Config.make v))
+  in
+  let std = measure P.Config.Std in
+  let all = measure P.Config.All in
   Printf.printf
     "The compiler techniques (outlining + cloning + path-inlining) cut the\n\
      memory CPI from %.2f to %.2f and the end-to-end roundtrip by %.1f us.\n"

@@ -17,8 +17,9 @@ let () =
   List.iter
     (fun v ->
       let s =
-        P.Engine.sample ~samples:5 ~stack:P.Engine.Rpc
-          ~config:(P.Config.make v) ()
+        P.Engine.sample ~samples:5
+          (P.Engine.Spec.default ~stack:P.Engine.Rpc
+             ~config:(P.Config.make v))
       in
       let steady = s.P.Engine.result.P.Engine.steady in
       Printf.printf "%-8s %8.1f±%-5.2f %10.1f %8.2f %8.2f\n"

@@ -14,8 +14,9 @@ let () =
   List.iter
     (fun v ->
       let s =
-        P.Engine.sample ~samples:5 ~stack:P.Engine.Tcpip
-          ~config:(P.Config.make v) ()
+        P.Engine.sample ~samples:5
+          (P.Engine.Spec.default ~stack:P.Engine.Tcpip
+             ~config:(P.Config.make v))
       in
       let rtt = s.P.Engine.rtt.Stats.mean in
       if v = P.Config.All then all_ref := Some rtt;

@@ -8,6 +8,12 @@ let f2 = Table.cell_f ~digits:2
 
 let rtt r = Util.Stats.mean r.Engine.rtts
 
+(* every ablation cell is a TCP/IP spec varying one knob *)
+let run ?params ?layout ?rx_overhead_us config =
+  Engine.run
+    (Engine.Spec.make ?params ?layout ?rx_overhead_us ~stack:Engine.Tcpip
+       ~config ())
+
 let classifier () =
   let t =
     Table.create
@@ -15,15 +21,12 @@ let classifier () =
         "Ablation: packet-classifier overhead in front of the inlined path"
       ~headers:[ "Version"; "classifier [us/pkt]"; "RTT [us]"; "vs OUT [us]" ]
   in
-  let out = rtt (Engine.run ~stack:Engine.Tcpip ~config:(Config.make Config.Out) ()) in
+  let out = rtt (run (Config.make Config.Out)) in
   List.iter
     (fun version ->
       List.iter
         (fun ov ->
-          let r =
-            Engine.run ~rx_overhead_us:ov ~stack:Engine.Tcpip
-              ~config:(Config.make version) ()
-          in
+          let r = run ~rx_overhead_us:ov (Config.make version) in
           Table.add_row t
             [ Config.version_name version; f1 ov; f1 (rtt r);
               f1 (rtt r -. out) ])
@@ -45,12 +48,8 @@ let cache_size () =
   List.iter
     (fun kb ->
       let params = with_icache (kb * 1024) in
-      let std =
-        Engine.run ~params ~stack:Engine.Tcpip ~config:(Config.make Config.Std) ()
-      in
-      let all =
-        Engine.run ~params ~stack:Engine.Tcpip ~config:(Config.make Config.All) ()
-      in
+      let std = run ~params (Config.make Config.Std) in
+      let all = run ~params (Config.make Config.All) in
       Table.add_row t
         [ Printf.sprintf "%d KB" kb;
           f1 (rtt std);
@@ -74,10 +73,7 @@ let linear_vs_bipartite () =
   List.iter
     (fun kb ->
       let params = with_icache (kb * 1024) in
-      let go layout =
-        Engine.run ~params ~layout ~stack:Engine.Tcpip
-          ~config:(Config.make Config.Clo) ()
-      in
+      let go layout = run ~params ~layout (Config.make Config.Clo) in
       let bi = go Config.Bipartite and lin = go Config.Linear in
       Table.add_row t
         [ Printf.sprintf "%d KB" kb;
@@ -108,12 +104,8 @@ let future_machine () =
   in
   List.iter
     (fun (name, params) ->
-      let std =
-        Engine.run ~params ~stack:Engine.Tcpip ~config:(Config.make Config.Std) ()
-      in
-      let all =
-        Engine.run ~params ~stack:Engine.Tcpip ~config:(Config.make Config.All) ()
-      in
+      let std = run ~params (Config.make Config.Std) in
+      let all = run ~params (Config.make Config.All) in
       let tp r = r.Engine.steady.Machine.Perf.time_us in
       Table.add_row t
         [ name;

@@ -668,9 +668,57 @@ let run_rpc ?fault ?extra_meter ?(trace_events = false) ~seed ~rounds ~warmup
       (R.Chan.request_retransmits pair.R.Rstack.client.R.Rstack.chan)
     ~metrics:pair.R.Rstack.metrics ~events:tracer
 
-let run ?(seed = 42) ?(rounds = 24) ?(warmup = 8)
-    ?(params = Machine.Params.default) ?layout ?(rx_overhead_us = 0.0) ?fault
-    ?extra_meter ?trace_events ~stack ~(config : Config.t) () =
+(* ----- run specification: the single construction path for runs -------- *)
+
+module Spec = struct
+  type t = {
+    stack : stack_kind;
+    config : Config.t;
+    seed : int;
+    rounds : int;
+    warmup : int;
+    params : Machine.Params.t;
+    layout : Config.layout option;
+    rx_overhead_us : float;
+    fault : Ns.Fault.spec option;
+    extra_meter : Xk.Meter.t option;
+    trace_events : bool;
+  }
+
+  let make ?(seed = 42) ?(rounds = 24) ?(warmup = 8)
+      ?(params = Machine.Params.default) ?layout ?(rx_overhead_us = 0.0)
+      ?fault ?extra_meter ?(trace_events = false) ~stack ~config () =
+    { stack;
+      config;
+      seed;
+      rounds;
+      warmup;
+      params;
+      layout;
+      rx_overhead_us;
+      fault;
+      extra_meter;
+      trace_events }
+
+  let default ~stack ~config = make ~stack ~config ()
+
+  let with_seed seed t = { t with seed }
+end
+
+let run (spec : Spec.t) =
+  let { Spec.stack;
+        config;
+        seed;
+        rounds;
+        warmup;
+        params;
+        layout;
+        rx_overhead_us;
+        fault;
+        extra_meter;
+        trace_events } =
+    spec
+  in
   let layout =
     match layout with
     | Some l -> l
@@ -678,11 +726,17 @@ let run ?(seed = 42) ?(rounds = 24) ?(warmup = 8)
   in
   match stack with
   | Tcpip ->
-    run_tcpip ~rx_overhead_us ?fault ?extra_meter ?trace_events ~seed ~rounds
+    run_tcpip ~rx_overhead_us ?fault ?extra_meter ~trace_events ~seed ~rounds
       ~warmup ~params ~config ~layout ()
   | Rpc ->
-    run_rpc ?fault ?extra_meter ?trace_events ~seed ~rounds ~warmup ~params
+    run_rpc ?fault ?extra_meter ~trace_events ~seed ~rounds ~warmup ~params
       ~config ~layout ()
+
+let run_legacy ?seed ?rounds ?warmup ?params ?layout ?rx_overhead_us ?fault
+    ?extra_meter ?trace_events ~stack ~(config : Config.t) () =
+  run
+    (Spec.make ?seed ?rounds ?warmup ?params ?layout ?rx_overhead_us ?fault
+       ?extra_meter ?trace_events ~stack ~config ())
 
 (* ----- bulk-transfer throughput (§4.1: "none of the techniques
    negatively affected throughput"; §2.2.5: CPU utilization) ------------- *)
@@ -765,10 +819,12 @@ let collect results =
   let means = List.map (fun r -> Util.Stats.mean r.rtts) results in
   { rtt = Util.Stats.summarize means; result = List.nth results (n - 1) }
 
-let sample ?(samples = 10) ?(rounds = 24) ?(params = Machine.Params.default)
-    ?(jobs = 1) ~stack ~config () =
+let sample ?(samples = 10) ?(jobs = 1) (spec : Spec.t) =
   let tasks =
     List.init samples (fun i ->
-        fun () -> run ~seed:(sample_seed i) ~rounds ~params ~stack ~config ())
+        fun () -> run (Spec.with_seed (sample_seed i) spec))
   in
   collect (Util.Dpool.run ~jobs tasks)
+
+let sample_legacy ?samples ?rounds ?params ?jobs ~stack ~config () =
+  sample ?samples ?jobs (Spec.make ?rounds ?params ~stack ~config ())

@@ -44,7 +44,68 @@ val layout_for :
   Config.t -> stack_kind -> ?layout:Config.layout -> unit -> Layout.Image.t
 (** Build the client code image alone (for layout experiments). *)
 
-val run :
+(** Everything a measurement run needs, in one value.  Construct with
+    {!Spec.make} (which carries the historical defaults) and pass to
+    {!run} / {!sample}; every harness — {!Profile}, {!Timeline}, {!Soak},
+    {!Mflow}, bench, the CLI — goes through this record, so a new run
+    parameter is one field here instead of an optional argument on every
+    entry point. *)
+module Spec : sig
+  type t = {
+    stack : stack_kind;
+    config : Config.t;
+    seed : int;  (** startup-allocation perturbation (default 42) *)
+    rounds : int;  (** measured roundtrips (default 24) *)
+    warmup : int;  (** discarded leading roundtrips (default 8) *)
+    params : Machine.Params.t;
+    layout : Config.layout option;
+        (** [None]: the version's natural layout ({!Config.layout_of}) *)
+    rx_overhead_us : float;
+        (** packet-classifier cost ahead of every receive (TCP/IP only;
+            the paper's PIN/ALL results assume a zero-overhead
+            classifier; default 0) *)
+    fault : Protolat_netsim.Fault.spec option;
+        (** seeded wire + device fault plan, installed after the
+            connection is established (widens the drive window so
+            backed-off retransmissions still finish every roundtrip) *)
+    extra_meter : Protolat_xkernel.Meter.t option;
+        (** composed with the engine meter on both hosts — used by the
+            soak harness to record cold-path coverage in metered runs *)
+    trace_events : bool;
+        (** record timeline events (packets, timers, faults,
+            retransmissions) into [result.events] for Perfetto export *)
+  }
+
+  val make :
+    ?seed:int ->
+    ?rounds:int ->
+    ?warmup:int ->
+    ?params:Machine.Params.t ->
+    ?layout:Config.layout ->
+    ?rx_overhead_us:float ->
+    ?fault:Protolat_netsim.Fault.spec ->
+    ?extra_meter:Protolat_xkernel.Meter.t ->
+    ?trace_events:bool ->
+    stack:stack_kind ->
+    config:Config.t ->
+    unit ->
+    t
+  (** Smart constructor with the historical engine defaults
+      (seed 42, 24 rounds, 8 warmup, default machine params). *)
+
+  val default : stack:stack_kind -> config:Config.t -> t
+  (** [make ~stack ~config ()] — all defaults. *)
+
+  val with_seed : int -> t -> t
+  (** [with_seed s spec] is [spec] reseeded — how {!sample} and the sweep
+      harnesses derive per-sample specs from one base spec. *)
+end
+
+val run : Spec.t -> run_result
+(** One measurement run: establish the connection, [spec.warmup]
+    roundtrips, then [spec.rounds] measured roundtrips. *)
+
+val run_legacy :
   ?seed:int ->
   ?rounds:int ->
   ?warmup:int ->
@@ -58,18 +119,9 @@ val run :
   config:Config.t ->
   unit ->
   run_result
-(** One measurement run: establish the connection, [warmup] roundtrips,
-    then [rounds] measured roundtrips (default 24/8).  [rx_overhead_us]
-    charges a packet classifier in front of every receive (TCP/IP only;
-    the paper's PIN/ALL results assume a zero-overhead classifier).
-    [fault] installs a seeded wire + device fault plan after the
-    connection is established (and widens the drive window so backed-off
-    retransmissions still finish every roundtrip); [extra_meter] is
-    composed with the engine meter on both hosts — used by the soak
-    harness to record cold-path (outlined error block) coverage during
-    fully metered runs.  [trace_events] (default false) records timeline
-    events (packets, timers, faults, retransmissions) into
-    [result.events] for Perfetto export. *)
+[@@deprecated "construct an Engine.Spec.t and call Engine.run"]
+(** The pre-Spec optional-argument entry point, kept as a thin shim:
+    exactly [run (Spec.make ... ())]. *)
 
 type throughput_result = {
   mbits_per_s : float;
@@ -102,7 +154,14 @@ val sample_seed : int -> int
 val collect : run_result list -> sample_set
 (** Aggregate per-seed runs (in sample order) into a sample set. *)
 
-val sample :
+val sample : ?samples:int -> ?jobs:int -> Spec.t -> sample_set
+(** The paper's protocol: several samples (10 for TCP/IP, 5 for RPC by
+    default) of a long ping-pong run, each the base spec reseeded with
+    {!sample_seed} (startup allocation state), reported as mean ± stddev.
+    [jobs] (default 1) fans the independent seeded runs across that many
+    domains; the aggregate is bit-identical at any job count. *)
+
+val sample_legacy :
   ?samples:int ->
   ?rounds:int ->
   ?params:Machine.Params.t ->
@@ -111,8 +170,5 @@ val sample :
   config:Config.t ->
   unit ->
   sample_set
-(** The paper's protocol: several samples (10 for TCP/IP, 5 for RPC by
-    default) of a long ping-pong run, each perturbed (startup allocation
-    state), reported as mean ± stddev.  [jobs] (default 1) fans the
-    independent seeded runs across that many domains; the aggregate is
-    bit-identical at any job count. *)
+[@@deprecated "construct an Engine.Spec.t and call Engine.sample"]
+(** The pre-Spec entry point, kept as a thin shim over {!sample}. *)

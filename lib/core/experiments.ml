@@ -33,8 +33,9 @@ let full_run ?(samples_tcp = 10) ?(samples_rpc = 5) ?(rounds = 24)
       (List.map
          (fun (stack, v, i) ->
            fun () ->
-            Engine.run ~seed:(Engine.sample_seed i) ~rounds ~stack
-              ~config:(Config.make v) ())
+            Engine.run
+              (Engine.Spec.make ~seed:(Engine.sample_seed i) ~rounds ~stack
+                 ~config:(Config.make v) ()))
          specs)
   in
   let paired = List.combine specs results in
@@ -65,7 +66,8 @@ let i = string_of_int
 (* ----- Table 1 ------------------------------------------------------------ *)
 
 let steady_len config =
-  (Engine.run ~stack:Engine.Tcpip ~config ()).Engine.steady.Perf.length
+  (Engine.run (Engine.Spec.default ~stack:Engine.Tcpip ~config))
+    .Engine.steady.Perf.length
 
 let table1 () =
   let improved = T.Opts.improved in
@@ -105,7 +107,9 @@ let table1 () =
 let table2 () =
   let measure opts =
     let r =
-      Engine.run ~stack:Engine.Tcpip ~config:(Config.make ~opts Config.Std) ()
+      Engine.run
+        (Engine.Spec.default ~stack:Engine.Tcpip
+           ~config:(Config.make ~opts Config.Std))
     in
     ( Util.Stats.mean r.Engine.rtts,
       r.Engine.steady.Perf.length,
@@ -185,9 +189,9 @@ let in_function trace image ~func =
 
 let table3 () =
   let r =
-    Engine.run ~stack:Engine.Tcpip
-      ~config:(Config.make ~opts:T.Opts.improved Config.Std)
-      ()
+    Engine.run
+      (Engine.Spec.default ~stack:Engine.Tcpip
+         ~config:(Config.make ~opts:T.Opts.improved Config.Std))
   in
   let trace = r.Engine.trace and image = r.Engine.client_image in
   let seg a b =
@@ -223,7 +227,7 @@ let table3 () =
 
 (* per-function profile of one steady-state roundtrip *)
 let profile ~stack ~version () =
-  let r = Engine.run ~stack ~config:(Config.make version) () in
+  let r = Engine.run (Engine.Spec.default ~stack ~config:(Config.make version)) in
   let trace = r.Engine.trace and image = r.Engine.client_image in
   let fof = func_of_pc image in
   let counts = Hashtbl.create 32 in
@@ -259,7 +263,7 @@ let profile ~stack ~version () =
 
 (* dynamic instruction mix of one roundtrip *)
 let instruction_mix ~stack ~version () =
-  let r = Engine.run ~stack ~config:(Config.make version) () in
+  let r = Engine.run (Engine.Spec.default ~stack ~config:(Config.make version)) in
   let total = Trace.length r.Engine.trace in
   let t =
     Table.create
@@ -498,7 +502,8 @@ let figure1 () =
 let figure2 () =
   let show version title =
     let r =
-      Engine.run ~stack:Engine.Tcpip ~config:(Config.make version) ()
+      Engine.run
+        (Engine.Spec.default ~stack:Engine.Tcpip ~config:(Config.make version))
     in
     title ^ "\n"
     ^ Layout.Layout_stats.footprint r.Engine.client_image ~trace:r.Engine.trace
@@ -555,7 +560,9 @@ let micro_positioning () =
   in
   let run layout label =
     let config = Config.make Config.Clo in
-    let r = Engine.run ~layout ~stack:Engine.Tcpip ~config () in
+    let r =
+      Engine.run (Engine.Spec.make ~layout ~stack:Engine.Tcpip ~config ())
+    in
     let img = Engine.layout_for config Engine.Tcpip ~layout () in
     let regions = Layout.Image.regions img in
     let extents =
@@ -615,15 +622,16 @@ let dec_unix_mcpi () =
       ~headers:[ "System"; "mCPI paper"; "mCPI ours" ]
   in
   let original =
-    Engine.run ~stack:Engine.Tcpip
-      ~config:
-        (Config.make
-           ~opts:{ T.Opts.original with T.Opts.header_prediction = true }
-           Config.Std)
-      ()
+    Engine.run
+      (Engine.Spec.default ~stack:Engine.Tcpip
+         ~config:
+           (Config.make
+              ~opts:{ T.Opts.original with T.Opts.header_prediction = true }
+              Config.Std))
   in
   let best =
-    Engine.run ~stack:Engine.Tcpip ~config:(Config.make Config.All) ()
+    Engine.run
+      (Engine.Spec.default ~stack:Engine.Tcpip ~config:(Config.make Config.All))
   in
   Table.add_row t
     [ "DEC Unix style (original opts, uncontrolled layout)";
@@ -648,9 +656,10 @@ let fault_injection () =
   let row stack sname =
     let cover = Soak.Cover.create () in
     let r =
-      Engine.run ~seed:42 ~fault:(schedule sname)
-        ~extra_meter:(Soak.Cover.meter cover) ~stack
-        ~config:(Config.make Config.All) ()
+      Engine.run
+        (Engine.Spec.make ~seed:42 ~fault:(schedule sname)
+           ~extra_meter:(Soak.Cover.meter cover) ~stack
+           ~config:(Config.make Config.All) ())
     in
     let hit =
       List.length
@@ -669,4 +678,46 @@ let fault_injection () =
     [ "clean"; "loss"; "burst"; "corrupt"; "dup"; "reorder" ];
   Table.add_separator t;
   List.iter (row Engine.Rpc) [ "clean"; "loss" ];
+  t
+
+let mflow_scaling ?(flow_counts = [ 1; 8; 64; 256 ]) ?(seeds = 4) ?(jobs = 1)
+    () =
+  let spec =
+    Engine.Spec.default ~stack:Engine.Tcpip ~config:(Config.make Config.All)
+  in
+  let r = Mflow.sweep ~flow_counts ~seeds ~jobs spec in
+  let t =
+    Table.create
+      ~title:
+        "Multi-flow scaling: latency and demux-map behaviour (TCP, ALL)"
+      ~headers:
+        [ "Flows"; "p50 [us]"; "p90 [us]"; "p99 [us]"; "max [us]";
+          "Hit rate"; "Cmp/res"; "Timer HW"; "Conns" ]
+  in
+  List.iter
+    (fun flows ->
+      let cells =
+        List.filter (fun (c : Mflow.cell) -> c.Mflow.flows = flows)
+          r.Mflow.cells
+      in
+      let n = float_of_int (List.length cells) in
+      let avg f = List.fold_left (fun acc c -> acc +. f c) 0.0 cells /. n in
+      Table.add_row t
+        [ i flows;
+          f1 (avg (fun c -> c.Mflow.lat.Util.Stats.p50));
+          f1 (avg (fun c -> c.Mflow.lat.Util.Stats.p90));
+          f1 (avg (fun c -> c.Mflow.lat.Util.Stats.p99));
+          f1 (avg (fun c -> c.Mflow.lat.Util.Stats.max));
+          f2 (avg (fun c -> Mflow.hit_rate c.Mflow.server_map));
+          f2 (avg (fun c -> Mflow.compares_per_resolve c.Mflow.server_map));
+          i
+            (List.fold_left
+               (fun acc (c : Mflow.cell) -> max acc c.Mflow.timer_high_water)
+               0 cells);
+          i
+            (List.fold_left
+               (fun acc (c : Mflow.cell) -> acc + c.Mflow.conns)
+               0 cells
+            / List.length cells) ])
+    r.Mflow.flow_counts;
   t

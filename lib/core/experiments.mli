@@ -87,3 +87,9 @@ val fault_injection : unit -> Protolat_util.Table.t
     and how many of the soak-tracked outlined cold blocks each schedule
     drives.  Quantifies what the outlined error paths cost when they do
     run (S2.2.3). *)
+
+val mflow_scaling :
+  ?flow_counts:int list -> ?seeds:int -> ?jobs:int -> unit -> Protolat_util.Table.t
+(** Multi-flow scaling (extra experiment): latency percentiles and
+    demux-map statistics as the concurrent-flow count grows past what the
+    one-entry map cache covers (defaults: 1/8/64/256 flows, 4 seeds). *)

@@ -1,0 +1,666 @@
+(* Multi-flow traffic engine: N concurrent flows through one shared host
+   pair, with connection churn and percentile latency reporting.
+
+   Every other harness in the repo drives exactly one client/server pair,
+   which is precisely the situation where the paper's §2.2 demux
+   optimizations look free: the one-entry map cache always hits and the
+   non-empty-bucket list has one entry.  This engine populates the demux
+   maps with many live connections and keeps them churning
+   (establish/teardown), so the cache hit rate, chain-compare counts and
+   traversal costs become measurable functions of the active-flow count —
+   the serving-system view of §2.2's conditional-inlining premise.
+
+   Like Soak, cells run the protocol stacks standalone (no machine model):
+   protocol actions cost zero simulated CPU, so a cell costs milliseconds
+   of wall clock and the latency numbers isolate wire + timer + protocol
+   *sequencing* effects.  Everything is event-driven inside one
+   deterministic [Ns.Sim] queue; sweeps fan cells over [Util.Dpool] and
+   reassemble in submission order, so output is bit-identical at any
+   [--jobs]. *)
+
+module Util = Protolat_util
+module Xk = Protolat_xkernel
+module Ns = Protolat_netsim
+module T = Protolat_tcpip
+module R = Protolat_rpc
+module Obs = Protolat_obs
+module Msg = Xk.Msg
+
+(* ----- workload ----------------------------------------------------------- *)
+
+type arrival =
+  | Closed_loop of { think_us : float }
+  | Open_loop of { interarrival_us : float }
+
+type workload = {
+  arrival : arrival;
+  req_bytes : int;
+  resp_bytes : int;
+  requests_per_flow : int;
+  conn_lifetime : int option;
+}
+
+let default_workload =
+  { arrival = Closed_loop { think_us = 200.0 };
+    req_bytes = 64;
+    resp_bytes = 256;
+    requests_per_flow = 32;
+    conn_lifetime = Some 8 }
+
+let arrival_name = function
+  | Closed_loop { think_us } -> Printf.sprintf "closed(think=%.0fus)" think_us
+  | Open_loop { interarrival_us } ->
+    Printf.sprintf "open(ia=%.0fus)" interarrival_us
+
+(* truncated exponential draw: deterministic per-flow stream, bounded so a
+   single unlucky draw cannot dominate a cell's runtime *)
+let draw_exp rng mean =
+  if mean <= 0.0 then 0.0
+  else
+    let u = Util.Rng.float rng 1.0 in
+    Float.min (8.0 *. mean) (-.mean *. log (1.0 -. u))
+
+let draw_lifetime rng = function
+  | None -> max_int
+  | Some n when n <= 1 -> 1
+  | Some n -> 1 + Util.Rng.int rng ((2 * n) - 1)
+
+(* ----- results ------------------------------------------------------------ *)
+
+type map_stats = {
+  resolves : int;
+  cache_hits : int;
+  key_compares : int;
+  buckets_scanned : int;
+  nonempty : int;  (** residual non-empty-bucket list length *)
+}
+
+let hit_rate m =
+  if m.resolves = 0 then 1.0
+  else float_of_int m.cache_hits /. float_of_int m.resolves
+
+let compares_per_resolve m =
+  if m.resolves = 0 then 0.0
+  else float_of_int m.key_compares /. float_of_int m.resolves
+
+type cell = {
+  stack : Engine.stack_kind;
+  flows : int;
+  seed : int;
+  requests : int;  (** completed request/response exchanges *)
+  conns : int;  (** connections opened (TCP; = [flows] for RPC) *)
+  retransmits : int;
+  lat : Util.Stats.quantiles;  (** aggregate over every exchange *)
+  per_flow : Util.Stats.quantiles array;
+  server_map : map_stats;
+  timer_high_water : int;  (** peak pending timers, worse host *)
+  sweeps : int;  (** PCB housekeeping walks (TCP only) *)
+  drained : bool;  (** no leaked sessions, timers or sim events *)
+  metrics : Obs.Metrics.t;  (** the pair's registry incl. [mflow.*] *)
+}
+
+(* ----- per-flow client state ---------------------------------------------- *)
+
+type flow = {
+  fid : int;
+  rng : Util.Rng.t;
+  inflight : float Queue.t;  (** send timestamps of outstanding requests *)
+  mutable conn : T.Tcp.session option;
+  mutable conn_requests : int;  (** exchanges completed on current conn *)
+  mutable lifetime : int;  (** exchanges this conn carries before churn *)
+  mutable conn_idx : int;  (** connections opened so far (port allocator) *)
+  mutable sent : int;
+  mutable completed : int;
+  mutable resp_acc : int;  (** bytes accumulated toward the head response *)
+  mutable backlog : int;  (** open-loop arrivals awaiting an established conn *)
+  mutable scheduled : int;  (** open-loop arrivals scheduled *)
+  mutable lat : float list;  (** reversed latency samples *)
+}
+
+let server_port = 7000
+
+let client_port_base = 10_000
+
+(* ----- TCP cell ----------------------------------------------------------- *)
+
+let establish_poll_us = 100.0
+
+let sweep_interval_us = 2_000.0
+
+let run_tcp ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
+  if nflows <= 0 then invalid_arg "Mflow: flows must be positive";
+  let pair =
+    T.Stack.make_pair ~client_opts:config.Config.opts
+      ~server_opts:config.Config.opts ()
+  in
+  let sim = pair.T.Stack.sim in
+  let cenv = pair.T.Stack.client.T.Stack.env in
+  let senv = pair.T.Stack.server.T.Stack.env in
+  let ctcp = pair.T.Stack.client.T.Stack.tcp in
+  let stcp = pair.T.Stack.server.T.Stack.tcp in
+  let server_ip = pair.T.Stack.server.T.Stack.ip_addr in
+  let req_payload = Bytes.make (max 1 wl.req_bytes) 'q' in
+  let resp_payload = Bytes.make (max 1 wl.resp_bytes) 'r' in
+  (* server: byte-counting echo responder — every [req_bytes] received on a
+     session answers with [resp_bytes].  Sessions are keyed by their TCB
+     key, not the session value (which is cyclic). *)
+  let srv_acc : (string, int ref) Hashtbl.t = Hashtbl.create 64 in
+  T.Tcp.listen stcp ~port:server_port ~receive:(fun s data ->
+      T.Tcp.set_nodelay s true;
+      let key = T.Tcb.key_of (T.Tcp.tcb s) in
+      let acc =
+        match Hashtbl.find_opt srv_acc key with
+        | Some r -> r
+        | None ->
+          let r = ref 0 in
+          Hashtbl.replace srv_acc key r;
+          r
+      in
+      acc := !acc + Bytes.length data;
+      while !acc >= wl.req_bytes do
+        acc := !acc - wl.req_bytes;
+        T.Tcp.send s resp_payload
+      done);
+  (* server housekeeping: the tcp_slowtimo-style sweep that reaps sessions
+     a departed client left in Close_wait.  It runs over the whole PCB map
+     via the §2.2.1 non-empty-bucket list, so under churn it is also the
+     traversal load the paper's lazy list exists for. *)
+  let sweeps = ref 0 in
+  let sweeping = ref true in
+  let rec sweep_tick () =
+    if !sweeping then begin
+      incr sweeps;
+      ignore (T.Tcp.sweep stcp);
+      ignore (Ns.Host_env.timeout senv ~delay:sweep_interval_us sweep_tick)
+    end
+  in
+  ignore (Ns.Host_env.timeout senv ~delay:sweep_interval_us sweep_tick);
+  let conns_opened = ref 0 in
+  let flows_done = ref 0 in
+  let flow_of i =
+    { fid = i;
+      rng = Util.Rng.create (seed + (1_000_003 * i));
+      inflight = Queue.create ();
+      conn = None;
+      conn_requests = 0;
+      lifetime = 0;
+      conn_idx = 0;
+      sent = 0;
+      completed = 0;
+      resp_acc = 0;
+      backlog = 0;
+      scheduled = 0;
+      lat = [] }
+  in
+  let flows = Array.init nflows flow_of in
+  let send_request f s =
+    f.sent <- f.sent + 1;
+    Queue.push (Ns.Sim.now sim) f.inflight;
+    Ns.Host_env.phase cenv "mflow_send" (fun () -> T.Tcp.send s req_payload)
+  in
+  let rec open_conn f =
+    (* disjoint port spaces per flow: reopened connections get fresh ports
+       so old Time_wait incarnations never collide *)
+    let port = client_port_base + (f.conn_idx * nflows) + f.fid in
+    f.conn_idx <- f.conn_idx + 1;
+    incr conns_opened;
+    f.conn_requests <- 0;
+    f.lifetime <- draw_lifetime f.rng wl.conn_lifetime;
+    let s =
+      T.Tcp.connect ctcp ~local_port:port ~remote_ip:server_ip
+        ~remote_port:server_port ~receive:(client_receive f)
+    in
+    f.conn <- Some s;
+    wait_established f s
+  and wait_established f s =
+    (* the application-level accept poll: flows sequence their own
+       handshakes through the shared event queue *)
+    ignore
+      (Ns.Host_env.timeout cenv ~delay:establish_poll_us (fun () ->
+           match T.Tcp.state s with
+           | T.Tcb.Established ->
+             T.Tcp.set_nodelay s true;
+             conn_ready f s
+           | T.Tcb.Closed -> failwith "Mflow: handshake failed"
+           | _ -> wait_established f s))
+  and conn_ready f s =
+    match wl.arrival with
+    | Closed_loop _ -> send_request f s
+    | Open_loop _ ->
+      let burst = f.backlog in
+      f.backlog <- 0;
+      for _ = 1 to burst do
+        send_request f s
+      done
+  and client_receive f s data =
+    f.resp_acc <- f.resp_acc + Bytes.length data;
+    while f.resp_acc >= wl.resp_bytes do
+      f.resp_acc <- f.resp_acc - wl.resp_bytes;
+      let t0 = Queue.pop f.inflight in
+      f.lat <- (Ns.Sim.now sim -. t0) :: f.lat;
+      f.completed <- f.completed + 1;
+      f.conn_requests <- f.conn_requests + 1;
+      after_response f s
+    done
+  and after_response f s =
+    if f.completed >= wl.requests_per_flow then begin
+      T.Tcp.close s;
+      f.conn <- None;
+      incr flows_done
+    end
+    else if f.conn_requests >= f.lifetime && Queue.is_empty f.inflight then begin
+      (* connection churn: tear down at a quiescent point, reopen fresh *)
+      T.Tcp.close s;
+      f.conn <- None;
+      open_conn f
+    end
+    else
+      match wl.arrival with
+      | Closed_loop { think_us } ->
+        let delay = draw_exp f.rng think_us in
+        if delay <= 0.0 then send_request f s
+        else
+          ignore
+            (Ns.Host_env.timeout cenv ~delay (fun () ->
+                 match f.conn with
+                 | Some s when T.Tcp.state s = T.Tcb.Established ->
+                   send_request f s
+                 | _ -> ()))
+      | Open_loop _ -> ()
+  in
+  (* open-loop arrivals tick independently of the response stream *)
+  let rec schedule_arrival f ia =
+    if f.scheduled < wl.requests_per_flow then begin
+      f.scheduled <- f.scheduled + 1;
+      ignore
+        (Ns.Host_env.timeout cenv ~delay:(draw_exp f.rng ia) (fun () ->
+             (match f.conn with
+             | Some s when T.Tcp.state s = T.Tcb.Established ->
+               send_request f s
+             | _ -> f.backlog <- f.backlog + 1);
+             schedule_arrival f ia))
+    end
+  in
+  Array.iter
+    (fun f ->
+      if wl.requests_per_flow <= 0 then incr flows_done
+      else begin
+        open_conn f;
+        match wl.arrival with
+        | Open_loop { interarrival_us } -> schedule_arrival f interarrival_us
+        | Closed_loop _ -> ()
+      end)
+    flows;
+  (* drive until every flow finished its request quota *)
+  let deadline =
+    Ns.Sim.now sim
+    +. 10.0e6
+    +. (float_of_int (nflows * max 1 wl.requests_per_flow) *. 5_000.0)
+  in
+  let rec pump () =
+    if !flows_done < nflows && Ns.Sim.now sim < deadline then begin
+      ignore (Ns.Sim.run ~until:(Ns.Sim.now sim +. 2_000.0) sim);
+      pump ()
+    end
+  in
+  pump ();
+  if !flows_done < nflows then
+    failwith
+      (Printf.sprintf "Mflow: only %d of %d flows finished by the deadline"
+         !flows_done nflows);
+  (* teardown: keep sweeping until both PCB maps are empty (Close_wait
+     reaped, Time_wait expired), then let the event queue run dry.  The
+     budget must clear fully backed-off retransmit timers — under heavy
+     fan-in the last FIN exchanges can sit behind RTOs of seconds — so it
+     is a time window, not an iteration count. *)
+  let drain_deadline = Ns.Sim.now sim +. 60.0e6 in
+  let rec drain () =
+    ignore (Ns.Sim.run ~until:(Ns.Sim.now sim +. sweep_interval_us) sim);
+    ignore (T.Tcp.sweep stcp);
+    if
+      (T.Tcp.session_count stcp > 0 || T.Tcp.session_count ctcp > 0)
+      && Ns.Sim.now sim < drain_deadline
+    then drain ()
+  in
+  drain ();
+  sweeping := false;
+  ignore (Ns.Sim.run sim);
+  let drained =
+    Ns.Sim.pending sim = 0
+    && Xk.Event.pending cenv.Ns.Host_env.events = 0
+    && Xk.Event.pending senv.Ns.Host_env.events = 0
+    && T.Tcp.session_count ctcp = 0
+    && T.Tcp.session_count stcp = 0
+  in
+  let mc = T.Tcp.map_counters stcp in
+  let server_map =
+    { resolves = mc.Xk.Map.resolves;
+      cache_hits = mc.Xk.Map.cache_hits;
+      key_compares = mc.Xk.Map.key_compares;
+      buckets_scanned = mc.Xk.Map.buckets_scanned;
+      nonempty = T.Tcp.map_nonempty_buckets stcp }
+  in
+  ( flows,
+    { stack = Engine.Tcpip;
+      flows = nflows;
+      seed;
+      requests = Array.fold_left (fun a f -> a + f.completed) 0 flows;
+      conns = !conns_opened;
+      retransmits = T.Tcp.retransmits ctcp + T.Tcp.retransmits stcp;
+      lat = Util.Stats.quantiles [ 0.0 ] (* patched below *);
+      per_flow = [||];
+      server_map;
+      timer_high_water =
+        max
+          (Xk.Event.high_water cenv.Ns.Host_env.events)
+          (Xk.Event.high_water senv.Ns.Host_env.events);
+      sweeps = !sweeps;
+      drained;
+      metrics = pair.T.Stack.metrics } )
+
+(* ----- RPC cell ----------------------------------------------------------- *)
+
+(* N MSELECT clients calling through the shared VCHAN pool: the CHAN
+   channel map takes the role of the TCP PCB map.  Channels are pooled
+   rather than torn down, so churn here is pool growth + interleaving, not
+   connection teardown. *)
+let run_rpc ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
+  if nflows <= 0 then invalid_arg "Mflow: flows must be positive";
+  let pair = R.Rstack.make_pair ~client_opts:config.Config.opts () in
+  let sim = pair.R.Rstack.sim in
+  let cenv = pair.R.Rstack.client.R.Rstack.env in
+  let senv = pair.R.Rstack.server.R.Rstack.env in
+  let resp_payload = Bytes.make (max 1 wl.resp_bytes) 'r' in
+  for f = 0 to nflows - 1 do
+    R.Mselect.register pair.R.Rstack.server.R.Rstack.mselect ~client:f
+      (fun _data ~reply -> reply resp_payload)
+  done;
+  let flows =
+    Array.init nflows (fun i ->
+        { fid = i;
+          rng = Util.Rng.create (seed + (1_000_003 * i));
+          inflight = Queue.create ();
+          conn = None;
+          conn_requests = 0;
+          lifetime = 0;
+          conn_idx = 0;
+          sent = 0;
+          completed = 0;
+          resp_acc = 0;
+          backlog = 0;
+          scheduled = 0;
+          lat = [] })
+  in
+  let flows_done = ref 0 in
+  let rec issue f =
+    f.sent <- f.sent + 1;
+    let t0 = Ns.Sim.now sim in
+    let msg = Msg.alloc cenv.Ns.Host_env.simmem ~headroom:64 0 in
+    Msg.set_payload msg (Bytes.make (max 1 wl.req_bytes) 'q');
+    R.Mselect.call pair.R.Rstack.client.R.Rstack.mselect ~client:f.fid msg
+      ~reply:(fun _ ->
+        f.lat <- (Ns.Sim.now sim -. t0) :: f.lat;
+        f.completed <- f.completed + 1;
+        if f.completed >= wl.requests_per_flow then incr flows_done
+        else
+          match wl.arrival with
+          | Closed_loop { think_us } ->
+            let delay = draw_exp f.rng think_us in
+            if delay <= 0.0 then issue f
+            else ignore (Ns.Host_env.timeout cenv ~delay (fun () -> issue f))
+          | Open_loop _ -> ())
+  in
+  let rec schedule_arrival f ia =
+    if f.scheduled < wl.requests_per_flow then begin
+      f.scheduled <- f.scheduled + 1;
+      ignore
+        (Ns.Host_env.timeout cenv ~delay:(draw_exp f.rng ia) (fun () ->
+             issue f;
+             schedule_arrival f ia))
+    end
+  in
+  Array.iter
+    (fun f ->
+      if wl.requests_per_flow <= 0 then incr flows_done
+      else
+        match wl.arrival with
+        | Closed_loop _ -> issue f
+        | Open_loop { interarrival_us } -> schedule_arrival f interarrival_us)
+    flows;
+  let deadline =
+    Ns.Sim.now sim
+    +. 10.0e6
+    +. (float_of_int (nflows * max 1 wl.requests_per_flow) *. 5_000.0)
+  in
+  let rec pump () =
+    if !flows_done < nflows && Ns.Sim.now sim < deadline then begin
+      ignore (Ns.Sim.run ~until:(Ns.Sim.now sim +. 2_000.0) sim);
+      pump ()
+    end
+  in
+  pump ();
+  if !flows_done < nflows then
+    failwith
+      (Printf.sprintf "Mflow: only %d of %d flows finished by the deadline"
+         !flows_done nflows);
+  ignore (Ns.Sim.run sim);
+  let drained =
+    Ns.Sim.pending sim = 0
+    && Xk.Event.pending cenv.Ns.Host_env.events = 0
+    && Xk.Event.pending senv.Ns.Host_env.events = 0
+  in
+  let schan = pair.R.Rstack.server.R.Rstack.chan in
+  let mc = R.Chan.map_counters schan in
+  let server_map =
+    { resolves = mc.Xk.Map.resolves;
+      cache_hits = mc.Xk.Map.cache_hits;
+      key_compares = mc.Xk.Map.key_compares;
+      buckets_scanned = mc.Xk.Map.buckets_scanned;
+      nonempty = R.Chan.map_nonempty_buckets schan }
+  in
+  ( flows,
+    { stack = Engine.Rpc;
+      flows = nflows;
+      seed;
+      requests = Array.fold_left (fun a f -> a + f.completed) 0 flows;
+      conns = R.Chan.map_size pair.R.Rstack.client.R.Rstack.chan;
+      retransmits =
+        R.Chan.request_retransmits pair.R.Rstack.client.R.Rstack.chan;
+      lat = Util.Stats.quantiles [ 0.0 ];
+      per_flow = [||];
+      server_map;
+      timer_high_water =
+        max
+          (Xk.Event.high_water cenv.Ns.Host_env.events)
+          (Xk.Event.high_water senv.Ns.Host_env.events);
+      sweeps = 0;
+      drained;
+      metrics = pair.R.Rstack.metrics } )
+
+(* ----- cell assembly ------------------------------------------------------ *)
+
+let finish_cell (flows, cell) =
+  let all =
+    Array.fold_left (fun acc f -> List.rev_append f.lat acc) [] flows
+  in
+  let per_flow =
+    Array.map
+      (fun f ->
+        if f.lat = [] then
+          { Util.Stats.p50 = 0.0; p90 = 0.0; p99 = 0.0; max = 0.0; n = 0 }
+        else Util.Stats.quantiles f.lat)
+      flows
+  in
+  let lat =
+    if all = [] then
+      { Util.Stats.p50 = 0.0; p90 = 0.0; p99 = 0.0; max = 0.0; n = 0 }
+    else Util.Stats.quantiles all
+  in
+  let cell = { cell with lat; per_flow } in
+  (* register the cell's headline numbers in the pair's metrics registry *)
+  let mf = Obs.Metrics.scoped cell.metrics "mflow" in
+  let h = Obs.Metrics.histogram mf ~help:"request-response latency" "lat_us" in
+  List.iter (fun v -> Obs.Metrics.observe h v) (List.sort compare all);
+  Obs.Metrics.add
+    (Obs.Metrics.counter mf ~help:"completed exchanges" "requests")
+    cell.requests;
+  Obs.Metrics.add
+    (Obs.Metrics.counter mf ~help:"connections opened" "conns_opened")
+    cell.conns;
+  Obs.Metrics.set
+    (Obs.Metrics.gauge mf ~help:"peak pending timers (worse host)"
+       "timer_high_water")
+    (float_of_int cell.timer_high_water);
+  Obs.Metrics.set
+    (Obs.Metrics.gauge mf ~help:"server demux one-entry cache hit rate"
+       "map_hit_rate")
+    (hit_rate cell.server_map);
+  cell
+
+let run_cell ?(workload = default_workload) ~flows (spec : Engine.Spec.t) =
+  let config = spec.Engine.Spec.config and seed = spec.Engine.Spec.seed in
+  finish_cell
+    (match spec.Engine.Spec.stack with
+    | Engine.Tcpip -> run_tcp ~config ~seed ~flows ~wl:workload ()
+    | Engine.Rpc -> run_rpc ~config ~seed ~flows ~wl:workload ())
+
+(* ----- sweep -------------------------------------------------------------- *)
+
+type report = {
+  rstack : Engine.stack_kind;
+  flow_counts : int list;
+  seeds : int;
+  workload : workload;
+  cells : cell list;  (** ordered: flow counts major, seeds minor *)
+}
+
+(* distinct seed stream from Engine.sample_seed and Soak.seed_for *)
+let seed_for base i = base + (i * 6007)
+
+let sweep ?(flow_counts = [ 1; 8; 64 ]) ?(seeds = 2) ?jobs
+    ?(workload = default_workload) (base : Engine.Spec.t) =
+  if seeds <= 0 then invalid_arg "Mflow.sweep: seeds must be positive";
+  let tasks =
+    List.concat_map
+      (fun n ->
+        List.init seeds (fun i ->
+            fun () ->
+             run_cell ~workload ~flows:n
+               (Engine.Spec.with_seed
+                  (seed_for base.Engine.Spec.seed i)
+                  base)))
+      flow_counts
+  in
+  { rstack = base.Engine.Spec.stack;
+    flow_counts;
+    seeds;
+    workload;
+    cells = Util.Dpool.run ?jobs tasks }
+
+(* mean across the seeds of one flow count *)
+let summary t =
+  List.map
+    (fun n ->
+      let cs = List.filter (fun c -> c.flows = n) t.cells in
+      let k = float_of_int (List.length cs) in
+      let mean f = List.fold_left (fun a c -> a +. f c) 0.0 cs /. k in
+      ( n,
+        ( mean (fun c -> c.lat.Util.Stats.p50),
+          mean (fun c -> c.lat.Util.Stats.p99),
+          mean (fun c -> hit_rate c.server_map),
+          mean (fun c -> compares_per_resolve c.server_map) ) ))
+    t.flow_counts
+
+(* ----- rendering ---------------------------------------------------------- *)
+
+let render t =
+  let tbl =
+    Util.Table.create
+      ~title:
+        (Printf.sprintf "Multi-flow scaling: %s, %s, %d seed%s"
+           (Engine.stack_name t.rstack)
+           (arrival_name t.workload.arrival)
+           t.seeds
+           (if t.seeds = 1 then "" else "s"))
+      ~headers:
+        [ "Flows"; "seed"; "p50 [us]"; "p90"; "p99"; "max"; "hit rate";
+          "cmp/res"; "scans"; "timers"; "conns"; "rexmt"; "drained" ]
+  in
+  let f1 = Util.Table.cell_f ~digits:1 in
+  let f3 = Util.Table.cell_f ~digits:3 in
+  List.iter
+    (fun (c : cell) ->
+      Util.Table.add_row tbl
+        [ string_of_int c.flows; string_of_int c.seed;
+          f1 c.lat.Util.Stats.p50; f1 c.lat.Util.Stats.p90;
+          f1 c.lat.Util.Stats.p99; f1 c.lat.Util.Stats.max;
+          f3 (hit_rate c.server_map);
+          f1 (compares_per_resolve c.server_map);
+          string_of_int c.server_map.buckets_scanned;
+          string_of_int c.timer_high_water; string_of_int c.conns;
+          string_of_int c.retransmits; (if c.drained then "yes" else "NO") ])
+    t.cells;
+  Util.Table.render tbl
+
+let passed t = List.for_all (fun c -> c.drained) t.cells
+
+(* ----- JSON export -------------------------------------------------------- *)
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"schema_version\": %d,\n" Obs.Json.schema_version);
+  Buffer.add_string b "  \"kind\": \"mflow\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"stack\": \"%s\",\n"
+       (match t.rstack with Engine.Tcpip -> "tcpip" | Engine.Rpc -> "rpc"));
+  Buffer.add_string b
+    (Printf.sprintf "  \"seeds\": %d,\n  \"flow_counts\": [%s],\n" t.seeds
+       (String.concat ", " (List.map string_of_int t.flow_counts)));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"workload\": {\"arrival\": \"%s\", \"req_bytes\": %d, \
+        \"resp_bytes\": %d, \"requests_per_flow\": %d, \"conn_lifetime\": \
+        %s},\n"
+       (arrival_name t.workload.arrival)
+       t.workload.req_bytes t.workload.resp_bytes t.workload.requests_per_flow
+       (match t.workload.conn_lifetime with
+       | None -> "null"
+       | Some n -> string_of_int n));
+  Buffer.add_string b "  \"cells\": [\n";
+  let cell_json (c : cell) =
+    let q = c.lat in
+    let flow_p99 = Array.map (fun q -> q.Util.Stats.p99) c.per_flow in
+    Array.sort Float.compare flow_p99;
+    let worst_flow_p99 =
+      if Array.length flow_p99 = 0 then 0.0
+      else flow_p99.(Array.length flow_p99 - 1)
+    in
+    Printf.sprintf
+      "    {\"flows\": %d, \"seed\": %d, \"requests\": %d, \"conns\": %d, \
+       \"p50_us\": %.3f, \"p90_us\": %.3f, \"p99_us\": %.3f, \"max_us\": \
+       %.3f, \"worst_flow_p99_us\": %.3f, \"map_hit_rate\": %.6f, \
+       \"key_compares_per_resolve\": %.4f, \"buckets_scanned\": %d, \
+       \"nonempty_buckets\": %d, \"timer_high_water\": %d, \"sweeps\": %d, \
+       \"retransmits\": %d, \"drained\": %b}"
+      c.flows c.seed c.requests c.conns q.Util.Stats.p50 q.Util.Stats.p90
+      q.Util.Stats.p99 q.Util.Stats.max worst_flow_p99
+      (hit_rate c.server_map)
+      (compares_per_resolve c.server_map)
+      c.server_map.buckets_scanned c.server_map.nonempty c.timer_high_water
+      c.sweeps c.retransmits c.drained
+  in
+  Buffer.add_string b (String.concat ",\n" (List.map cell_json t.cells));
+  Buffer.add_string b "\n  ],\n  \"summary\": [\n";
+  Buffer.add_string b
+    (String.concat ",\n"
+       (List.map
+          (fun (n, (p50, p99, hit, cmp)) ->
+            Printf.sprintf
+              "    {\"flows\": %d, \"p50_us\": %.3f, \"p99_us\": %.3f, \
+               \"map_hit_rate\": %.6f, \"key_compares_per_resolve\": %.4f}"
+              n p50 p99 hit cmp)
+          (summary t)));
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b

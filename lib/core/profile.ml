@@ -96,7 +96,9 @@ type t = {
 let collect ?(seed = 42) ?(rounds = 24) ?(mode = `Steady)
     ?(params = Machine.Params.default) ~stack ~version () =
   let config = Config.make version in
-  let run = Engine.run ~seed ~rounds ~params ~stack ~config () in
+  let run =
+    Engine.run (Engine.Spec.make ~seed ~rounds ~params ~stack ~config ())
+  in
   let attrib =
     Obs.Attrib.profile ~mode params run.Engine.client_image run.Engine.trace
   in
@@ -256,7 +258,9 @@ let to_json t =
   let b = Buffer.create 8192 in
   let tot = t.attrib.Obs.Attrib.totals in
   let rep = report t in
-  Printf.bprintf b "{\"stack\":\"%s\",\"version\":\"%s\",\"seed\":%d,"
+  Printf.bprintf b
+    "{\"schema_version\":%d,\"stack\":\"%s\",\"version\":\"%s\",\"seed\":%d,"
+    Obs.Json.schema_version
     (Engine.stack_name t.stack)
     (Config.version_name t.version)
     t.seed;

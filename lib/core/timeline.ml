@@ -16,8 +16,9 @@ let collect ?(base_seed = 42) ?(seeds = 1) ?(rounds = 12) ?fault ?jobs ~stack
     Protolat_util.Dpool.run ?jobs
       (List.init seeds (fun i ->
            fun () ->
-            Engine.run ~seed:(seed_of ~base_seed i) ~rounds ?fault
-              ~trace_events:true ~stack ~config ()))
+            Engine.run
+              (Engine.Spec.make ~seed:(seed_of ~base_seed i) ~rounds ?fault
+                 ~trace_events:true ~stack ~config ())))
   in
   let processes =
     List.mapi

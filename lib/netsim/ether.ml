@@ -126,7 +126,9 @@ module Link = struct
           end
         end
 
-  let set_loss t f = t.loss <- f
+  let set_filter t f = t.loss <- f
+
+  let set_loss = set_filter
 
   let set_fault t f = t.fault <- f
 

@@ -50,12 +50,16 @@ module Link : sig
   (** Put a frame on the wire; it is delivered to the other station after
       serialization + propagation time. *)
 
+  val set_filter : t -> (frame -> bool) -> unit
+  (** Install a targeted drop predicate (frames for which it returns
+      [true] are dropped after serialization).  Meant for deterministic
+      drop-exactly-this-frame tests; for statistical impairment use
+      {!set_fault} with a seeded {!Fault.t} plan instead.  The predicate
+      composes with the fault plan: it is consulted first. *)
+
   val set_loss : t -> (frame -> bool) -> unit
-  (** Deprecated: install an ad-hoc loss predicate (frames for which it
-      returns [true] are dropped after serialization).  Kept as a thin
-      shim for targeted drop-exactly-this-frame tests; new code should
-      use {!set_fault} with a seeded {!Fault.t} plan instead.  The
-      predicate composes with the fault plan: it is consulted first. *)
+  [@@deprecated "use Ether.Link.set_filter (or set_fault for seeded plans)"]
+  (** Old name of {!set_filter}, kept as a compatibility shim. *)
 
   val set_fault : t -> Fault.t option -> unit
   (** Install a seeded fault plan applied per frame at transmit time:

@@ -1,3 +1,5 @@
+let schema_version = 1
+
 type v =
   | Null
   | Bool of bool

@@ -7,6 +7,11 @@
     arrays, strings with escapes, numbers, booleans, null — that rejects
     trailing garbage. *)
 
+val schema_version : int
+(** Version stamped as a top-level ["schema_version"] field into every JSON
+    export of the repo (metrics dump, profile dump, Perfetto metadata,
+    bench snapshot, mflow report).  Bump when any export changes shape. *)
+
 type v =
   | Null
   | Bool of bool

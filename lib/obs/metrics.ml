@@ -166,6 +166,8 @@ let to_json t =
     Buffer.add_char buf '}'
   in
   Buffer.add_char buf '{';
+  Buffer.add_string buf
+    (Printf.sprintf "\"schema_version\":%d," Json.schema_version);
   section "counters"
     (function Counter n -> Some n | _ -> None)
     (fun n -> Buffer.add_string buf (string_of_int n));

@@ -55,7 +55,9 @@ let add_event buf ~first ~pid (e : Tracer.event) =
        e.Tracer.ts pid e.Tracer.tid e.Tracer.a0)
 
 let to_buffer buf processes =
-  Buffer.add_string buf "{\"traceEvents\":[\n";
+  Buffer.add_string buf
+    (Printf.sprintf "{\"schema_version\":%d,\"traceEvents\":[\n"
+       Json.schema_version);
   let first = ref true in
   List.iter
     (fun p ->

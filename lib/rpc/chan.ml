@@ -258,3 +258,9 @@ let request_retransmits t = Obs.Metrics.value t.c_req_retransmits
 let duplicate_requests t = Obs.Metrics.value t.c_dup_requests
 
 let call_failures t = Obs.Metrics.value t.c_call_failures
+
+let map_counters t = Xk.Map.counters t.channels
+
+let map_size t = Xk.Map.size t.channels
+
+let map_nonempty_buckets t = Xk.Map.nonempty_list_length t.channels

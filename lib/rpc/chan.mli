@@ -31,3 +31,13 @@ val duplicate_requests : t -> int
 val call_failures : t -> int
 (** Calls abandoned after the request-retransmission cap: the waiting
     continuation is dropped and the channel released. *)
+
+val map_counters : t -> Xk.Map.counters
+(** Operation counters of the channel demux map (resolves, one-entry cache
+    hits, key compares, buckets scanned). *)
+
+val map_size : t -> int
+(** Number of channel states currently bound in the demux map. *)
+
+val map_nonempty_buckets : t -> int
+(** Length of the channel map's lazily maintained non-empty-bucket list. *)

@@ -704,6 +704,11 @@ let demux t ~(hdr : Ip_hdr.t) msg =
           m.Meter.cold ~triggered:true "tcp_demux" "listen_path";
           match Hashtbl.find_opt t.listeners thdr.Tcp_hdr.dport with
           | None -> None
+          (* passive open happens on SYN only: a stale segment from an
+             already-reaped incarnation (late retransmit, wandering FIN)
+             must not instantiate an embryo session — it would sit in
+             Listen forever, since only a SYN can advance it *)
+          | Some _ when not (Tcp_hdr.has thdr Tcp_hdr.syn) -> None
           | Some receive ->
             let tcb =
               Tcb.create t.env.Ns.Host_env.simmem ~local_ip:(Ip.my_ip t.ip)
@@ -829,6 +834,22 @@ let tcb s = s.tcb
 
 let session_count t = Xk.Map.size t.pcbs
 
+let map_counters t = Xk.Map.counters t.pcbs
+
+let map_nonempty_buckets t = Xk.Map.nonempty_list_length t.pcbs
+
+(* tcp_slowtimo-style housekeeping walk over the whole PCB map: reap
+   half-closed server sessions the application never looked at again.  This
+   is the periodic full-map traversal the §2.2.1 non-empty-bucket list was
+   invented for — under multi-flow load it is what generates the
+   buckets_scanned counter. *)
+let sweep t =
+  let visited = ref 0 in
+  Xk.Map.traverse t.pcbs (fun _ s ->
+      incr visited;
+      if s.tcb.Tcb.state = Tcb.Close_wait then close s);
+  !visited
+
 let set_receive s f = s.receive <- f
 
 let set_nodelay s v = s.nodelay <- v
@@ -842,3 +863,4 @@ let create env ip ~opts =
   let t = create env ip ~opts in
   register_with_ip t;
   t
+

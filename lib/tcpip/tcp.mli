@@ -46,6 +46,20 @@ val tcb : session -> Tcb.t
 
 val session_count : t -> int
 
+val map_counters : t -> Xk.Map.counters
+(** Operation counters of the PCB demux map (resolves, one-entry cache
+    hits, key compares, buckets scanned by traversals). *)
+
+val map_nonempty_buckets : t -> int
+(** Current length of the PCB map's lazily maintained non-empty-bucket
+    list (§2.2.1), including abandoned entries. *)
+
+val sweep : t -> int
+(** Housekeeping walk over every PCB (tcp_slowtimo style): closes sessions
+    left in [Close_wait] by a departed peer.  Returns the number of
+    sessions visited.  Uses {!Xk.Map.traverse}, so its cost — and the
+    [buckets_scanned] counter — follows the non-empty-bucket list. *)
+
 val set_receive : session -> (session -> bytes -> unit) -> unit
 
 val set_nodelay : session -> bool -> unit

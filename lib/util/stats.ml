@@ -18,6 +18,45 @@ let min_max = function
 
 let percent_slowdown slow fast = 100.0 *. (slow -. fast) /. fast
 
+(* nearest-rank percentile on a sorted copy: the smallest sample such that at
+   least p% of the distribution is <= it.  No interpolation, so every reported
+   value is an actual sample — hand-checkable and stable under jobs order. *)
+let percentile p xs =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  match xs with
+  | [] -> invalid_arg "Stats.percentile"
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort Float.compare a;
+    let n = Array.length a in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+
+type quantiles = {
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+  n : int;
+}
+
+let quantiles xs =
+  match xs with
+  | [] -> invalid_arg "Stats.quantiles"
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort Float.compare a;
+    let n = Array.length a in
+    let at p =
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      a.(max 0 (min (n - 1) (rank - 1)))
+    in
+    { p50 = at 50.0; p90 = at 90.0; p99 = at 99.0; max = a.(n - 1); n }
+
+let pp_quantiles fmt q =
+  Format.fprintf fmt "p50=%.1f p90=%.1f p99=%.1f max=%.1f (n=%d)" q.p50 q.p90
+    q.p99 q.max q.n
+
 type summary = {
   mean : float;
   stddev : float;

@@ -12,6 +12,26 @@ val min_max : float list -> float * float
 val percent_slowdown : float -> float -> float
 (** [percent_slowdown slow fast] is [100 * (slow - fast) / fast]. *)
 
+val percentile : float -> float list -> float
+(** [percentile p xs] is the nearest-rank p-th percentile of [xs] — the
+    smallest sample with at least [p]% of the distribution at or below it.
+    Always an actual sample, never interpolated.
+    @raise Invalid_argument on the empty list or [p] outside [0,100]. *)
+
+type quantiles = {
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+  n : int;
+}
+
+val quantiles : float list -> quantiles
+(** Nearest-rank p50/p90/p99 plus the maximum, in one sort.
+    @raise Invalid_argument on the empty list. *)
+
+val pp_quantiles : Format.formatter -> quantiles -> unit
+
 type summary = {
   mean : float;
   stddev : float;

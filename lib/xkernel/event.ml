@@ -9,16 +9,18 @@ type entry = {
 type t = {
   heap : entry Heap.t;
   mutable live : int;
+  mutable high_water : int;
 }
 
 type handle = t * entry
 
-let create () = { heap = Heap.create (); live = 0 }
+let create () = { heap = Heap.create (); live = 0; high_water = 0 }
 
 let register t ~at fn =
   let e = { cancelled = false; fired = false; fn } in
   Heap.push t.heap at e;
   t.live <- t.live + 1;
+  if t.live > t.high_water then t.high_water <- t.live;
   ((t, e) : handle)
 
 let cancel ((t, e) : handle) =
@@ -49,6 +51,8 @@ let advance t now =
   !fired
 
 let pending t = t.live
+
+let high_water t = t.high_water
 
 let next_due t =
   (* skip cancelled entries at the top *)

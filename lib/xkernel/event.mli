@@ -22,4 +22,8 @@ val advance : t -> float -> int
 
 val pending : t -> int
 
+val high_water : t -> int
+(** Peak number of simultaneously registered (uncancelled, unfired) events
+    over the manager's lifetime — the timer-wheel occupancy figure. *)
+
 val next_due : t -> float option

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Smoke script: full build, test suite, a short multi-seed fault soak,
 # the latency-attribution and timeline exports (with their consistency /
-# JSON well-formedness checks), and a quick end-to-end bench table.
+# JSON well-formedness checks), a quick multi-flow sweep, and a quick
+# end-to-end bench table.
 # Usage: scripts/ci.sh  (run from the repository root)
 set -eu
 
@@ -10,4 +11,5 @@ dune runtest
 dune exec bin/protolat_cli.exe -- soak --quick --seeds 2
 dune build @profile-quick
 dune build @trace-quick
+dune build @mflow-quick
 dune exec bench/main.exe -- quick only table1

@@ -5,7 +5,7 @@ module T = Protolat_tcpip
 module Stats = Protolat_util.Stats
 
 let run ?layout stack v =
-  P.Engine.run ?layout ~stack ~config:(P.Config.make v) ()
+  P.Engine.run (P.Engine.Spec.make ?layout ~stack ~config:(P.Config.make v) ())
 
 let mean_rtt (r : P.Engine.run_result) = Stats.mean r.P.Engine.rtts
 
@@ -32,8 +32,13 @@ let test_determinism () =
     b.P.Engine.steady.M.Perf.length
 
 let test_seed_perturbs () =
-  let a = P.Engine.run ~seed:1 ~stack:P.Engine.Tcpip ~config:(P.Config.make P.Config.Std) () in
-  let b = P.Engine.run ~seed:2 ~stack:P.Engine.Tcpip ~config:(P.Config.make P.Config.Std) () in
+  let with_seed seed =
+    P.Engine.run
+      (P.Engine.Spec.make ~seed ~stack:P.Engine.Tcpip
+         ~config:(P.Config.make P.Config.Std) ())
+  in
+  let a = with_seed 1 in
+  let b = with_seed 2 in
   (* different allocation perturbation, nearly identical means *)
   Alcotest.(check bool) "close but measured independently" true
     (Float.abs (mean_rtt a -. mean_rtt b) < 5.0)
@@ -84,17 +89,17 @@ let test_table1_within_tolerance () =
   let t = P.Experiments.table1 () in
   ignore (Protolat_util.Table.render t);
   let base =
-    (P.Engine.run ~stack:P.Engine.Tcpip
-       ~config:(P.Config.make ~opts:T.Opts.improved P.Config.Std)
-       ())
+    (P.Engine.run
+       (P.Engine.Spec.default ~stack:P.Engine.Tcpip
+          ~config:(P.Config.make ~opts:T.Opts.improved P.Config.Std)))
       .P.Engine.steady.M.Perf.length
   in
   let delta flip paper =
     let opts = flip T.Opts.improved in
     let len =
-      (P.Engine.run ~stack:P.Engine.Tcpip
-         ~config:(P.Config.make ~opts P.Config.Std)
-         ())
+      (P.Engine.run
+         (P.Engine.Spec.default ~stack:P.Engine.Tcpip
+            ~config:(P.Config.make ~opts P.Config.Std)))
         .P.Engine.steady.M.Perf.length
     in
     let d = len - base in
@@ -146,8 +151,9 @@ let test_layout_for_builds () =
 
 let test_sample_stddev_small () =
   let s =
-    P.Engine.sample ~samples:4 ~rounds:10 ~stack:P.Engine.Tcpip
-      ~config:(P.Config.make P.Config.Std) ()
+    P.Engine.sample ~samples:4
+      (P.Engine.Spec.make ~rounds:10 ~stack:P.Engine.Tcpip
+         ~config:(P.Config.make P.Config.Std) ())
   in
   Alcotest.(check bool) "stddev well under 1% of mean" true
     (s.P.Engine.rtt.Stats.stddev < 0.01 *. s.P.Engine.rtt.Stats.mean)

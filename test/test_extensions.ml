@@ -122,7 +122,7 @@ let test_bulk_transfer_with_loss () =
   (* drop the 3rd and 7th large frames: exercises out-of-order queueing at
      the receiver and oldest-first retransmission at the sender *)
   let count = ref 0 in
-  Ns.Ether.Link.set_loss p.T.Stack.link (fun f ->
+  Ns.Ether.Link.set_filter p.T.Stack.link (fun f ->
       if Bytes.length f.Ns.Ether.payload > 1000 then begin
         incr count;
         !count = 3 || !count = 7
@@ -173,8 +173,9 @@ let test_classifier_rule_order () =
 let test_classifier_ablation_direction () =
   let rtt ov =
     let r =
-      P.Engine.run ~rx_overhead_us:ov ~stack:P.Engine.Tcpip
-        ~config:(P.Config.make P.Config.All) ()
+      P.Engine.run
+        (P.Engine.Spec.make ~rx_overhead_us:ov ~stack:P.Engine.Tcpip
+           ~config:(P.Config.make P.Config.All) ())
     in
     Protolat_util.Stats.mean r.P.Engine.rtts
   in
@@ -304,7 +305,9 @@ let test_trace_roundtrip () =
 let test_trace_roundtrip_real () =
   let module Tr = Protolat_machine.Trace in
   let r =
-    P.Engine.run ~stack:P.Engine.Tcpip ~config:(P.Config.make P.Config.Std) ()
+    P.Engine.run
+      (P.Engine.Spec.default ~stack:P.Engine.Tcpip
+         ~config:(P.Config.make P.Config.Std))
   in
   let t = r.P.Engine.trace in
   let t' = Tr.of_string (Tr.to_string t) in
@@ -334,8 +337,9 @@ let test_cache_size_convergence () =
   let gain kb =
     let r v =
       Protolat_util.Stats.mean
-        (P.Engine.run ~params:(params kb) ~stack:P.Engine.Tcpip
-           ~config:(P.Config.make v) ())
+        (P.Engine.run
+           (P.Engine.Spec.make ~params:(params kb) ~stack:P.Engine.Tcpip
+              ~config:(P.Config.make v) ()))
           .P.Engine.rtts
     in
     r P.Config.Std -. r P.Config.All

@@ -10,4 +10,5 @@ let () =
       Test_extensions.suite;
       Test_obs.suite;
       Test_fault.suite;
-      Test_engine.suite ]
+      Test_engine.suite;
+      Test_mflow.suite ]

@@ -73,7 +73,7 @@ let test_link_loss () =
   let link = Ether.Link.create s () in
   let got = ref 0 in
   Ether.Link.attach link ~station:1 (fun _ -> incr got);
-  Ether.Link.set_loss link (fun f -> f.Ether.ethertype = 0xdead);
+  Ether.Link.set_filter link (fun f -> f.Ether.ethertype = 0xdead);
   let send ty =
     Ether.Link.transmit link ~station:0
       { Ether.dst = 0; src = 0; ethertype = ty; payload = Bytes.make 1 'x' }

@@ -229,10 +229,39 @@ let test_trace_deterministic_and_wellformed () =
         (Obs.Json.array_length a > 0)
     | _ -> Alcotest.fail "no traceEvents array")
 
+(* every JSON export carries the same top-level schema_version and still
+   parses with our own parser (the round-trip CI relies on) *)
+let test_schema_version_round_trips () =
+  let check_doc what json =
+    match Obs.Json.parse json with
+    | Error e -> Alcotest.fail (what ^ " JSON does not parse: " ^ e)
+    | Ok v -> (
+      match Obs.Json.member "schema_version" v with
+      | Some (Obs.Json.Num n) ->
+        Alcotest.(check int)
+          (what ^ " schema_version")
+          Obs.Json.schema_version (int_of_float n)
+      | _ -> Alcotest.fail (what ^ ": schema_version missing"))
+  in
+  let reg = Obs.Metrics.create () in
+  Obs.Metrics.inc (Obs.Metrics.counter reg "c");
+  check_doc "metrics" (Obs.Metrics.to_json reg);
+  let profile =
+    P.Profile.collect ~rounds:12 ~stack:P.Engine.Tcpip ~version:P.Config.All
+      ()
+  in
+  check_doc "profile" (P.Profile.to_json profile);
+  let timeline =
+    P.Timeline.collect ~seeds:1 ~rounds:8 ~stack:P.Engine.Rpc
+      ~version:P.Config.Std ()
+  in
+  check_doc "timeline" (P.Timeline.to_json timeline)
+
 let test_engine_events_and_metrics () =
   let r =
-    P.Engine.run ~rounds:8 ~trace_events:true ~stack:P.Engine.Tcpip
-      ~config:(P.Config.make P.Config.All) ()
+    P.Engine.run
+      (P.Engine.Spec.make ~rounds:8 ~trace_events:true ~stack:P.Engine.Tcpip
+         ~config:(P.Config.make P.Config.All) ())
   in
   Alcotest.(check bool) "tracer captured events" true
     (Obs.Tracer.length r.P.Engine.events > 0);
@@ -245,8 +274,9 @@ let test_engine_events_and_metrics () =
     Alcotest.(check int) "rtt histogram has every measured roundtrip" 8 count
   | _ -> Alcotest.fail "engine.rtt_us missing");
   let off =
-    P.Engine.run ~rounds:8 ~stack:P.Engine.Tcpip
-      ~config:(P.Config.make P.Config.All) ()
+    P.Engine.run
+      (P.Engine.Spec.make ~rounds:8 ~stack:P.Engine.Tcpip
+         ~config:(P.Config.make P.Config.All) ())
   in
   Alcotest.(check bool) "tracing off by default" false
     (Obs.Tracer.enabled off.P.Engine.events)
@@ -268,5 +298,7 @@ let suite =
         test_profile_deterministic;
       Alcotest.test_case "trace deterministic and well-formed" `Quick
         test_trace_deterministic_and_wellformed;
+      Alcotest.test_case "schema_version round-trips in every export" `Quick
+        test_schema_version_round_trips;
       Alcotest.test_case "engine events and unified metrics" `Quick
         test_engine_events_and_metrics ] )

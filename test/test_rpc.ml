@@ -66,7 +66,7 @@ let test_request_retransmit_on_loss () =
   let pair, client, _ =
     run_rpc ~rounds:3 ~until:8.0e6
       ~before_start:(fun pair ->
-        Ns.Ether.Link.set_loss pair.R.Rstack.link (fun _ ->
+        Ns.Ether.Link.set_filter pair.R.Rstack.link (fun _ ->
             if !dropped then false
             else begin
               dropped := true;
@@ -86,7 +86,7 @@ let test_reply_loss_at_most_once () =
   let pair, client, server =
     run_rpc ~rounds:2 ~until:8.0e6
       ~before_start:(fun pair ->
-        Ns.Ether.Link.set_loss pair.R.Rstack.link (fun f ->
+        Ns.Ether.Link.set_filter pair.R.Rstack.link (fun f ->
             (* replies come from the server (station 1) *)
             if !to_drop > 0 && f.Ns.Ether.src = 0x0800_2B00_0012 then begin
               decr to_drop;
@@ -147,7 +147,7 @@ let test_blast_selective_retransmit () =
       got := Some (Bytes.to_string (Xk.Msg.contents msg)));
   (* drop the second fragment once *)
   let count = ref 0 in
-  Ns.Ether.Link.set_loss link (fun f ->
+  Ns.Ether.Link.set_filter link (fun f ->
       if f.Ns.Ether.ethertype = 0x801 then begin
         incr count;
         !count = 2

@@ -164,7 +164,7 @@ let test_retransmission_on_loss () =
   let client, _ = T.Stack.establish pair ~rounds:3 in
   (* drop the first data frame on the wire *)
   let dropped = ref false in
-  Ns.Ether.Link.set_loss pair.T.Stack.link (fun f ->
+  Ns.Ether.Link.set_filter pair.T.Stack.link (fun f ->
       if (not !dropped) && Bytes.length f.Ns.Ether.payload >= 55 then begin
         dropped := true;
         true
