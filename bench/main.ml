@@ -3,12 +3,15 @@
    microbenchmarks of the core data structures — including the §2.2.1
    hash-table traversal comparison, which is a genuine wall-clock claim.
 
-   Usage:  dune exec bench/main.exe -- [quick] [only tableN|figures|micro]
+   Usage:  dune exec bench/main.exe -- [quick] [only tableN|figures|layout|micro]
                                        [-j N | --jobs N] [json] [rev=ID]
+                                       [compare]
 
    [json] switches to perf-trajectory mode: instead of printing tables it
    times a full sweep and writes wall-clock plus simulated-latency numbers
-   to BENCH_<rev>.json, the perf baseline future changes compare against. *)
+   to BENCH_<rev>.json, the perf baseline future changes compare against.
+   [compare] diffs the two most recent BENCH_*.json snapshots and exits
+   nonzero on a >10% full-sweep wall-time regression. *)
 
 module P = Protolat
 module Table = Protolat_util.Table
@@ -89,12 +92,36 @@ let run_tables () =
     Table.print (P.Experiments.dec_unix_mcpi ());
     Table.print (P.Bsd_model.report ())
   end;
+  if want "layout" || only = None then begin
+    banner "Layout sweep (incremental: pc rewrite + block-cache replay)";
+    (* code images are immutable and cached per (config, layout); build
+       them up front so the sweep comparison times sweep mechanics, not
+       the shared one-time image construction *)
+    List.iter
+      (fun layout ->
+        ignore
+          (P.Engine.layout_for (P.Config.make P.Config.Clo) P.Engine.Tcpip
+             ~layout ()))
+      P.Experiments.layout_candidates;
+    let t0 = Unix.gettimeofday () in
+    let tbl = P.Experiments.layout_sweep_table () in
+    let inc_s = Unix.gettimeofday () -. t0 in
+    Table.print tbl;
+    let t1 = Unix.gettimeofday () in
+    ignore (P.Experiments.layout_sweep ~incremental:false ());
+    let full_s = Unix.gettimeofday () -. t1 in
+    Printf.printf
+      "incremental sweep %.3fs vs full simulation per layout %.3fs (%.1fx)\n%!"
+      inc_s full_s
+      (full_s /. Float.max inc_s 1e-9)
+  end;
   if want "ablations" || only = None then begin
     banner "Ablations";
     Table.print (P.Ablation.classifier ());
     Table.print (P.Ablation.cache_size ());
     Table.print (P.Ablation.linear_vs_bipartite ());
-    Table.print (P.Ablation.future_machine ())
+    Table.print (P.Ablation.future_machine ());
+    Table.print (P.Ablation.layout_matrix ())
   end
 
 (* ----- Bechamel microbenchmarks ---------------------------------------------- *)
@@ -236,6 +263,20 @@ let run_json () =
          ~config:(P.Config.make P.Config.All))
   in
   let single_wall = Unix.gettimeofday () -. t1 in
+  (* warm the (cached, shared) code-image cache so both sweep timings
+     measure sweep mechanics, not one-time image construction *)
+  List.iter
+    (fun layout ->
+      ignore
+        (P.Engine.layout_for (P.Config.make P.Config.Clo) P.Engine.Tcpip
+           ~layout ()))
+    P.Experiments.layout_candidates;
+  let t2 = Unix.gettimeofday () in
+  ignore (P.Experiments.layout_sweep ~incremental:true ());
+  let layout_inc_wall = Unix.gettimeofday () -. t2 in
+  let t3 = Unix.gettimeofday () in
+  ignore (P.Experiments.layout_sweep ~incremental:false ());
+  let layout_full_wall = Unix.gettimeofday () -. t3 in
   let buf = Buffer.create 2048 in
   let stack_json stack =
     let entries =
@@ -265,8 +306,9 @@ let run_json () =
        samples_tcp samples_rpc rounds);
   Buffer.add_string buf
     (Printf.sprintf
-       "  \"wall_clock_s\": {\"full_sweep\": %.4f, \"single_run_all\": %.4f},\n"
-       sweep_wall single_wall);
+       "  \"wall_clock_s\": {\"full_sweep\": %.4f, \"single_run_all\": %.4f, \
+        \"layout_sweep_incremental\": %.4f, \"layout_sweep_full\": %.4f},\n"
+       sweep_wall single_wall layout_inc_wall layout_full_wall);
   Buffer.add_string buf "  \"simulated_rtt_us\": {\n";
   Buffer.add_string buf "    \"tcpip\": {\n";
   Buffer.add_string buf (stack_json P.Engine.Tcpip);
@@ -286,8 +328,106 @@ let run_json () =
   Printf.printf "sweep %.2fs, single run %.3fs -> wrote %s\n%!" sweep_wall
     single_wall path
 
+(* ----- compare mode -------------------------------------------------------- *)
+
+(* [compare] diffs the two most recent BENCH_*.json snapshots (by their
+   embedded timestamp): wall clock and per-version simulated RTTs.  Exits
+   nonzero when the newer full-sweep wall time regressed more than 10%
+   against a comparable (same quick-flag) baseline — the repo's perf gate,
+   wired into scripts/ci.sh via scripts/bench_compare.sh. *)
+
+module Json = Protolat_obs.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let jstr v = match v with Some (Json.Str s) -> s | _ -> ""
+
+let jnum v = match v with Some (Json.Num f) -> Some f | _ -> None
+
+let jpath v path =
+  List.fold_left (fun v k -> Option.bind v (Json.member k)) (Some v) path
+
+let run_compare () =
+  let snapshots =
+    Sys.readdir "." |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f > 6
+           && String.sub f 0 6 = "BENCH_"
+           && Filename.check_suffix f ".json")
+    |> List.filter_map (fun f ->
+           match Json.parse (read_file f) with
+           | Ok v -> Some (f, v)
+           | Error e ->
+             Printf.eprintf "bench compare: skipping %s: %s\n" f e;
+             None)
+    |> List.sort (fun (fa, a) (fb, b) ->
+           (* ISO-8601 timestamps order lexicographically *)
+           compare
+             (jstr (Json.member "timestamp" a), fa)
+             (jstr (Json.member "timestamp" b), fb))
+  in
+  match List.rev snapshots with
+  | [] | [ _ ] ->
+    print_endline
+      "bench compare: fewer than two BENCH_*.json snapshots, nothing to \
+       compare";
+    exit 0
+  | (fnew, vnew) :: (fold, vold) :: _ ->
+    let rev v = jstr (Json.member "rev" v) in
+    let quick_of v = Json.member "quick" v = Some (Json.Bool true) in
+    Printf.printf "bench compare: %s (rev %s) vs %s (rev %s)\n" fold
+      (rev vold) fnew (rev vnew);
+    let pct a b = 100.0 *. (b -. a) /. a in
+    let wall key =
+      match
+        ( jnum (jpath vold [ "wall_clock_s"; key ]),
+          jnum (jpath vnew [ "wall_clock_s"; key ]) )
+      with
+      | Some a, Some b ->
+        Printf.printf "  wall %-16s %8.3fs -> %8.3fs  (%+.1f%%)\n" key a b
+          (pct a b);
+        Some (a, b)
+      | _ -> None
+    in
+    let sweep = wall "full_sweep" in
+    ignore (wall "single_run_all");
+    ignore (wall "layout_sweep_incremental");
+    ignore (wall "layout_sweep_full");
+    List.iter
+      (fun stack ->
+        List.iter
+          (fun ver ->
+            match
+              ( jnum (jpath vold [ "simulated_rtt_us"; stack; ver; "mean" ]),
+                jnum (jpath vnew [ "simulated_rtt_us"; stack; ver; "mean" ])
+              )
+            with
+            | Some a, Some b ->
+              Printf.printf "  rtt  %-5s %-4s %10.2fus -> %10.2fus  (%+.2f%%)\n"
+                stack ver a b (pct a b)
+            | _ -> ())
+          [ "STD"; "OUT"; "CLO"; "BAD"; "PIN"; "ALL" ])
+      [ "tcpip"; "rpc" ];
+    let comparable = quick_of vold = quick_of vnew in
+    if not comparable then
+      print_endline
+        "  (quick flags differ: wall-clock regression gate skipped)";
+    (match sweep with
+    | Some (a, b) when comparable && b > 1.1 *. a ->
+      Printf.printf
+        "bench compare: FAIL - full sweep regressed %.1f%% (>10%% gate)\n"
+        (pct a b);
+      exit 1
+    | _ -> print_endline "bench compare: OK (within the 10% wall-time gate)")
+
 let () =
-  if json_mode then run_json ()
+  if Array.exists (( = ) "compare") Sys.argv then run_compare ()
+  else if json_mode then run_json ()
   else begin
     run_tables ();
     if want "micro" || only = None then run_bechamel ()

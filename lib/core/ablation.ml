@@ -84,6 +84,59 @@ let linear_vs_bipartite () =
     [ 8; 16; 32; 64 ];
   t
 
+(* Layouts x i-cache sizes from ONE protocol simulation: the base run's
+   steady trace is retargeted per layout (pc rewrite), and per geometry the
+   segmentation is rebuilt once and re-bound per candidate — the sweep's
+   cost is replays, not full runs (see Experiments.layout_sweep). *)
+let layout_matrix () =
+  let module Layout = Protolat_layout in
+  let module Trace = Machine.Trace in
+  let config = Config.make Config.Clo in
+  let stack = Engine.Tcpip in
+  let base_layout = Config.layout_of config.Config.version in
+  let base =
+    Engine.run (Engine.Spec.make ~stack ~config ~layout:base_layout ())
+  in
+  let traces =
+    List.map
+      (fun layout ->
+        if layout = base_layout then (layout, base.Engine.trace)
+        else
+          let img = Engine.layout_for config stack ~layout () in
+          ( layout,
+            Trace.map_pcs
+              (Layout.Image.pc_map base.Engine.client_image img)
+              base.Engine.trace ))
+      Experiments.layout_candidates
+  in
+  let t =
+    Table.create
+      ~title:
+        "Ablation: steady replay time [us] by layout and i-cache size \
+         (TCP/IP, cloned+outlined; incremental sweep)"
+      ~headers:
+        ("i-cache"
+        :: List.map
+             (fun (l, _) -> Config.layout_name l)
+             traces)
+  in
+  List.iter
+    (fun kb ->
+      let params = with_icache (kb * 1024) in
+      let bc0 = Machine.Blockcache.segment params base.Engine.trace in
+      Table.add_row t
+        (Printf.sprintf "%d KB" kb
+        :: List.map
+             (fun (layout, trace) ->
+               let bc =
+                 if layout = base_layout then bc0
+                 else Machine.Blockcache.rebind bc0 trace
+               in
+               f1 (Machine.Perf.steady_bc params bc).Machine.Perf.time_us)
+             traces))
+    [ 4; 8; 16; 32 ];
+  t
+
 let future_machine () =
   let t =
     Table.create

@@ -42,6 +42,13 @@ let layout_of = function
   | Clo | All -> Bipartite
   | Bad -> Pessimal
 
+let layout_name = function
+  | Link_order -> "link-order"
+  | Bipartite -> "bipartite"
+  | Pessimal -> "pessimal"
+  | Micro -> "micro-positioning"
+  | Linear -> "linear"
+
 let path_inlined = function
   | Pin | All -> true
   | Std | Out | Clo | Bad -> false

@@ -28,6 +28,8 @@ type layout =
 
 val layout_of : version -> layout
 
+val layout_name : layout -> string
+
 val path_inlined : version -> bool
 
 val cloned : version -> bool

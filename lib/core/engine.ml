@@ -211,10 +211,51 @@ let queue_pop q =
   end
   else -1
 
+(* Per-slot memo for the warm-block fast path (see {!Machine.Blockcache} for
+   the replay-side counterpart and the general equivalence argument).  A
+   slot's instruction classes, penalties and i-cache lines never change, so
+   the per-instruction float expression of [emit_one] is precomputed for
+   the dominant case [lat = 0.0] (no memory stall):
+
+     us0.(i) = (0.0 +. (0.0 +. pen_i)) /. clock     (second of a pair)
+     us1.(i) = (0.0 +. (1.0 +. pen_i)) /. clock     (new issue slot)
+
+   and for the stall case the addends [pens.(i) = 0.0 +. pen_i] and
+   [sum1.(i) = 1.0 +. pen_i] keep the original operation order, so every
+   emitted microsecond is bit-identical to the slow path's.
+
+   The slot is further segmented into {e chunks} — maximal instruction
+   ranges sharing one i-cache line (pcs increase within a slot, so each
+   distinct line is exactly one chunk).  Chunks are the fast path's warmth
+   granularity: one generation compare decides whether the chunk's fetches
+   would all hit (nothing can evict the line mid-chunk: data references
+   never touch the i-cache and every fetch in the chunk is to this line),
+   in which case the hits are credited in one step and only data references
+   enter the memory system.  A chunk whose line is not resident falls back
+   to full per-instruction fetches — so one missing line costs one chunk,
+   not the whole slot.  [gens] holds the per-chunk generation snapshot
+   ([-1] = unverified), only ever taken while the line is resident; the
+   memo table is private to one host state, whose memory system never
+   changes, so snapshots cannot leak across caches. *)
+type smemo = {
+  m_codes : int array;
+  m_pens : float array;
+  m_sum1 : float array;
+  m_us0 : float array;
+  m_us1 : float array;
+  m_chunk_start : int array;  (* chunk c = instrs [start.(c), start.(c+1)) *)
+  m_chunk_line : int array;
+  m_chunk_set : int array;
+  m_gens : int array;
+}
+
 type hstate = {
   params : Machine.Params.t;
   image : Image.t;
   memsys : Machine.Memsys.t;
+  icache : Machine.Cache.t;
+  fp : bool;  (* warm-block fast path enabled for this host *)
+  memo : (int, smemo) Hashtbl.t;  (* keyed by slot base address *)
   mlat : float array;  (* Memsys.lat_cell memsys: per-instruction latency *)
   clock : float array;  (* Sim.clock_cell sim: simulated wall clock *)
   sim : Ns.Sim.t;
@@ -224,7 +265,10 @@ type hstate = {
   mutable collecting : bool;
   mutable traced : bool;
   mutable pending : int;  (* dual-issue pairing state: Instr.code, -1 = none *)
-  mutable pair_attempts : int;
+  mutable pair_mod : int;
+      (* (attempts * pair_success_pct) mod 100, maintained incrementally:
+         the pairing test [attempts * pct mod 100 < pct] without the
+         per-attempt integer division *)
   mutable depth : int;  (* call depth, for synthetic stack references *)
   stack_base : int;
   mutable synth : int;
@@ -249,6 +293,185 @@ let synth_stack_addr h =
     h.stack_base + 8192 + h.touch
   end
 
+(* ----- warm-block fast path ----------------------------------------------- *)
+
+let code_load = Instr.code Instr.Load
+
+let code_store = Instr.code Instr.Store
+
+let code_mul = Instr.code Instr.Mul
+
+let build_smemo (p : Machine.Params.t) ic (slot : Image.slot) =
+  let instrs = slot.Image.instrs and pcs = slot.Image.pcs in
+  let n = Array.length instrs in
+  let clock = p.Machine.Params.clock_mhz in
+  let m_codes = Array.map Instr.code instrs in
+  let m_pens = Array.make n 0.0 in
+  let m_sum1 = Array.make n 0.0 in
+  let m_us0 = Array.make n 0.0 in
+  let m_us1 = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let pen =
+      match instrs.(i) with
+      | Instr.Br_taken -> p.Machine.Params.br_taken_penalty
+      | Instr.Jsr ->
+        p.Machine.Params.br_taken_penalty +. p.Machine.Params.call_penalty
+      | Instr.Ret ->
+        p.Machine.Params.br_taken_penalty +. p.Machine.Params.ret_penalty
+      | Instr.Mul -> p.Machine.Params.mul_cycles
+      | Instr.Load -> p.Machine.Params.load_use_penalty
+      | Instr.Alu | Instr.Store | Instr.Br_not_taken | Instr.Nop -> 0.0
+    in
+    m_pens.(i) <- 0.0 +. pen;
+    m_sum1.(i) <- 1.0 +. pen;
+    m_us0.(i) <- (0.0 +. (0.0 +. pen)) /. clock;
+    m_us1.(i) <- (0.0 +. (1.0 +. pen)) /. clock
+  done;
+  (* chunk = maximal instr range on one i-cache line; pcs increase within a
+     slot, so lines are non-decreasing and each distinct line is one chunk *)
+  let starts = ref [] and lines = ref [] in
+  let nchunks = ref 0 in
+  for i = 0 to n - 1 do
+    let line = Machine.Cache.line_of ic pcs.(i) in
+    match !lines with
+    | l :: _ when l = line -> ()
+    | _ ->
+      starts := i :: !starts;
+      lines := line :: !lines;
+      incr nchunks
+  done;
+  let k = !nchunks in
+  let m_chunk_start = Array.make (k + 1) n in
+  let m_chunk_line = Array.make k 0 in
+  List.iteri (fun j s -> m_chunk_start.(k - 1 - j) <- s) !starts;
+  List.iteri (fun j l -> m_chunk_line.(k - 1 - j) <- l) !lines;
+  { m_codes;
+    m_pens;
+    m_sum1;
+    m_us0;
+    m_us1;
+    m_chunk_start;
+    m_chunk_line;
+    m_chunk_set = Array.map (Machine.Cache.set_of_line ic) m_chunk_line;
+    m_gens = Array.make k (-1) }
+
+let smemo_for h (slot : Image.slot) =
+  match Hashtbl.find h.memo slot.Image.addr with
+  | m -> m
+  | exception Not_found ->
+    let m = build_smemo h.params h.icache slot in
+    Hashtbl.add h.memo slot.Image.addr m;
+    m
+
+(* Fast-path slot emission: the exact computation of [emit_one], chunk by
+   chunk.  A warm chunk (line verified resident by generation compare, or
+   by probe on mismatch) skips its instruction fetches — they would all hit,
+   contributing zero stall and no state change beyond the hit counters,
+   credited in one step — and only its data references enter the memory
+   system.  A cold chunk performs full per-instruction accesses and then
+   snapshots its generation (the line was just fetched and nothing in the
+   chunk can evict it).  Pairing state, synthetic-address state and the
+   sequential busy/clock accumulation are bit-for-bit the slow path's. *)
+let emit_slot_fast h (m : smemo) (slot : Image.slot) =
+  let p = h.params in
+  let clock = p.Machine.Params.clock_mhz in
+  let pct = p.Machine.Params.pair_success_pct in
+  let codes = m.m_codes in
+  let pcs = slot.Image.pcs in
+  let ic = h.icache in
+  let igens = Machine.Cache.generations ic in
+  let mlat = h.mlat in
+  let nchunks = Array.length m.m_chunk_line in
+  for c = 0 to nchunks - 1 do
+    let lo = Array.unsafe_get m.m_chunk_start c in
+    let hi = Array.unsafe_get m.m_chunk_start (c + 1) - 1 in
+    let warm =
+      let g = Array.unsafe_get igens (Array.unsafe_get m.m_chunk_set c) in
+      Array.unsafe_get m.m_gens c = g
+      || Machine.Cache.resident_line ic (Array.unsafe_get m.m_chunk_line c)
+         && begin
+              Array.unsafe_set m.m_gens c g;
+              true
+            end
+    in
+    (* [fetch_i]: the single instruction of the chunk that performs a real
+       fetch (the miss), or -1 when the line is already resident.  Every
+       other fetch in the chunk is a guaranteed hit — the miss at [lo]
+       fills this very line and nothing in the chunk can evict it. *)
+    let fetch_i = if warm then -1 else lo in
+    for i = lo to hi do
+      let code = Array.unsafe_get codes i in
+      let lat =
+        if i <> fetch_i then
+          if code = code_load then begin
+            let a = queue_pop h.rq in
+            Machine.Memsys.daccess_acc h.memsys ~kind:Trace.kind_read
+              ~addr:(if a >= 0 then a else synth_stack_addr h);
+            mlat.(0)
+          end
+          else if code = code_store then begin
+            let a = queue_pop h.wq in
+            Machine.Memsys.daccess_acc h.memsys ~kind:Trace.kind_write
+              ~addr:(if a >= 0 then a else synth_stack_addr h);
+            mlat.(0)
+          end
+          else 0.0
+        else begin
+          (if code = code_load then
+             let a = queue_pop h.rq in
+             Machine.Memsys.access_acc h.memsys
+               ~pc:(Array.unsafe_get pcs i)
+               ~kind:Trace.kind_read
+               ~addr:(if a >= 0 then a else synth_stack_addr h)
+           else if code = code_store then
+             let a = queue_pop h.wq in
+             Machine.Memsys.access_acc h.memsys
+               ~pc:(Array.unsafe_get pcs i)
+               ~kind:Trace.kind_write
+               ~addr:(if a >= 0 then a else synth_stack_addr h)
+           else
+             Machine.Memsys.access_acc h.memsys
+               ~pc:(Array.unsafe_get pcs i)
+               ~kind:Trace.kind_none ~addr:0);
+          mlat.(0)
+        end
+      in
+      let us =
+        if h.pending < 0 then begin
+          h.pending <- code;
+          if lat = 0.0 then Array.unsafe_get m.m_us0 i
+          else (lat +. Array.unsafe_get m.m_pens i) /. clock
+        end
+        else begin
+          let prev = h.pending in
+          let paired =
+            prev <> code_mul && code <> code_mul
+            && (prev = code_load || prev = code_store)
+               <> (code = code_load || code = code_store)
+            && begin
+                 let r = h.pair_mod + pct in
+                 let r = if r >= 100 then r - 100 else r in
+                 h.pair_mod <- r;
+                 r < pct
+               end
+          in
+          if paired then h.pending <- -1 else h.pending <- code;
+          if lat = 0.0 then Array.unsafe_get m.m_us1 i
+          else (lat +. Array.unsafe_get m.m_sum1 i) /. clock
+        end
+      in
+      h.busy_us.(0) <- h.busy_us.(0) +. us;
+      h.clock.(0) <- h.clock.(0) +. us
+    done;
+    (* hit credit for every skipped fetch; after the miss at [lo], so the
+       i-cache's last_victim ends as the slow path leaves it (the victim if
+       the chunk is a lone miss, -1 whenever hits follow) *)
+    Machine.Cache.credit_hits ic (if warm then hi - lo + 1 else hi - lo);
+    if not warm then
+      Array.unsafe_set m.m_gens c
+        (Array.unsafe_get igens (Array.unsafe_get m.m_chunk_set c))
+  done
+
 (* The per-instruction hot path: no boxed events, options, tuples or list
    cells — access kind/address travel as immediate ints straight into the
    memory system and the packed trace.  The whole computation lives in one
@@ -269,9 +492,11 @@ let emit_one h ~pc ~cls ~kind ~addr ~fid =
       let paired =
         Machine.Cpu.can_pair prev cls
         && begin
-             h.pair_attempts <- h.pair_attempts + 1;
-             h.pair_attempts * p.Machine.Params.pair_success_pct mod 100
-             < p.Machine.Params.pair_success_pct
+             let pct = p.Machine.Params.pair_success_pct in
+             let r = h.pair_mod + pct in
+             let r = if r >= 100 then r - 100 else r in
+             h.pair_mod <- r;
+             r < pct
            end
       in
       if paired then h.pending <- -1 else h.pending <- Instr.code cls;
@@ -295,10 +520,7 @@ let emit_one h ~pc ~cls ~kind ~addr ~fid =
   if h.collecting && h.traced then
     Trace.add_packed h.trace ~pc ~cls ~kind ~addr ~fid
 
-let emit_instrs h ?(reads = []) ?(writes = []) (slot : Image.slot)
-    ?(override : Instr.cls option) () =
-  queue_fill h.rq reads;
-  queue_fill h.wq writes;
+let emit_slot_slow h (slot : Image.slot) (override : Instr.cls option) =
   let instrs = slot.Image.instrs and pcs = slot.Image.pcs in
   (* tag collected events with their originating function; one intern-table
      lookup per block, not per instruction *)
@@ -324,6 +546,17 @@ let emit_instrs h ?(reads = []) ?(writes = []) (slot : Image.slot)
         ~fid
     | _ -> emit_one h ~pc ~cls ~kind:Trace.kind_none ~addr:0 ~fid
   done
+
+let emit_instrs h ?(reads = []) ?(writes = []) (slot : Image.slot)
+    ?(override : Instr.cls option) () =
+  queue_fill h.rq reads;
+  queue_fill h.wq writes;
+  (* the fast path cannot take overridden guards (the first class differs
+     from the memoized one) or trace-collecting emissions (events must be
+     appended per instruction) — both are rare *)
+  if h.fp && override = None && not (h.collecting && h.traced) then
+    emit_slot_fast h (smemo_for h slot) slot
+  else emit_slot_slow h slot override
 
 let fail_unknown func key =
   failwith (Printf.sprintf "Engine: no slot for %s/%s in this image" func key)
@@ -468,6 +701,9 @@ let make_hstate ~params ~image ~sim ~simmem =
   { params;
     image;
     memsys;
+    icache = Machine.Memsys.icache memsys;
+    fp = Machine.Blockcache.enabled ();
+    memo = Hashtbl.create 256;
     mlat = Machine.Memsys.lat_cell memsys;
     clock = Ns.Sim.clock_cell sim;
     sim;
@@ -477,7 +713,7 @@ let make_hstate ~params ~image ~sim ~simmem =
     collecting = false;
     traced = true;
     pending = -1;
-    pair_attempts = 0;
+    pair_mod = 0;
     depth = 0;
     stack_base;
     synth = 0;
@@ -518,11 +754,12 @@ let finish ~params ~config ~desc ~(ch : hstate) ~rtts ~retransmissions
      device/protocol counters, so one dump covers the whole run *)
   let h = Obs.Metrics.histogram metrics ~help:"roundtrip latency" "engine.rtt_us" in
   List.iter (Obs.Metrics.observe h) rtts;
+  let cold, steady = Machine.Perf.cold_and_steady params ch.trace in
   { rtts;
     trace = ch.trace;
     client_image = ch.image;
-    steady = Machine.Perf.steady params ch.trace;
-    cold = Machine.Perf.cold params ch.trace;
+    steady;
+    cold;
     static_path = static_path_of config desc;
     retransmissions;
     metrics;
@@ -732,12 +969,6 @@ let run (spec : Spec.t) =
     run_rpc ?fault ?extra_meter ~trace_events ~seed ~rounds ~warmup ~params
       ~config ~layout ()
 
-let run_legacy ?seed ?rounds ?warmup ?params ?layout ?rx_overhead_us ?fault
-    ?extra_meter ?trace_events ~stack ~(config : Config.t) () =
-  run
-    (Spec.make ?seed ?rounds ?warmup ?params ?layout ?rx_overhead_us ?fault
-       ?extra_meter ?trace_events ~stack ~config ())
-
 (* ----- bulk-transfer throughput (§4.1: "none of the techniques
    negatively affected throughput"; §2.2.5: CPU utilization) ------------- *)
 
@@ -825,6 +1056,3 @@ let sample ?(samples = 10) ?(jobs = 1) (spec : Spec.t) =
         fun () -> run (Spec.with_seed (sample_seed i) spec))
   in
   collect (Util.Dpool.run ~jobs tasks)
-
-let sample_legacy ?samples ?rounds ?params ?jobs ~stack ~config () =
-  sample ?samples ?jobs (Spec.make ?rounds ?params ~stack ~config ())

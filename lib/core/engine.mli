@@ -103,25 +103,13 @@ end
 
 val run : Spec.t -> run_result
 (** One measurement run: establish the connection, [spec.warmup]
-    roundtrips, then [spec.rounds] measured roundtrips. *)
+    roundtrips, then [spec.rounds] measured roundtrips.
 
-val run_legacy :
-  ?seed:int ->
-  ?rounds:int ->
-  ?warmup:int ->
-  ?params:Machine.Params.t ->
-  ?layout:Config.layout ->
-  ?rx_overhead_us:float ->
-  ?fault:Protolat_netsim.Fault.spec ->
-  ?extra_meter:Protolat_xkernel.Meter.t ->
-  ?trace_events:bool ->
-  stack:stack_kind ->
-  config:Config.t ->
-  unit ->
-  run_result
-[@@deprecated "construct an Engine.Spec.t and call Engine.run"]
-(** The pre-Spec optional-argument entry point, kept as a thin shim:
-    exactly [run (Spec.make ... ())]. *)
+    The engine's online simulation uses the warm-block fast path (slots
+    whose i-cache lines are verifiably resident are charged their memoized
+    cost; see {!Machine.Blockcache}) unless it is disabled via
+    [PROTOLAT_FASTPATH=0] or {!Machine.Blockcache.set_enabled} — results
+    are bit-identical either way. *)
 
 type throughput_result = {
   mbits_per_s : float;
@@ -160,15 +148,3 @@ val sample : ?samples:int -> ?jobs:int -> Spec.t -> sample_set
     {!sample_seed} (startup allocation state), reported as mean ± stddev.
     [jobs] (default 1) fans the independent seeded runs across that many
     domains; the aggregate is bit-identical at any job count. *)
-
-val sample_legacy :
-  ?samples:int ->
-  ?rounds:int ->
-  ?params:Machine.Params.t ->
-  ?jobs:int ->
-  stack:stack_kind ->
-  config:Config.t ->
-  unit ->
-  sample_set
-[@@deprecated "construct an Engine.Spec.t and call Engine.sample"]
-(** The pre-Spec entry point, kept as a thin shim over {!sample}. *)

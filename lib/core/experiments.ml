@@ -587,6 +587,79 @@ let micro_positioning () =
   run Config.Micro "micro-positioning";
   t
 
+(* ----- incremental layout sweep ------------------------------------------- *)
+
+let layout_candidates =
+  [ Config.Bipartite; Config.Micro; Config.Linear; Config.Link_order;
+    Config.Pessimal ]
+
+(* One measurement run executes the same protocol actions under every
+   candidate placement of the same units, so a layout sweep does not need a
+   full protocol simulation per candidate: the base run's steady-state
+   trace is retargeted to each placement by rewriting instruction addresses
+   ({!Layout.Image.pc_map} + {!Trace.map_pcs}), the one-time basic-block
+   segmentation is re-bound to the new i-cache lines
+   ({!Machine.Blockcache.rebind}), and only the i-side mapping is
+   re-evaluated ({!Perf.steady_bc} / {!Perf.cold}).  [~incremental:false]
+   runs the full simulation per candidate instead — the reports are
+   bit-identical, several times slower. *)
+let layout_sweep ?(config = Config.make Config.Clo) ?(stack = Engine.Tcpip)
+    ?(layouts = layout_candidates) ~incremental () =
+  if not incremental then
+    List.map
+      (fun layout ->
+        let r = Engine.run (Engine.Spec.make ~stack ~config ~layout ()) in
+        (layout, r.Engine.cold, r.Engine.steady))
+      layouts
+  else begin
+    let base_layout = Config.layout_of config.Config.version in
+    let spec = Engine.Spec.make ~stack ~config ~layout:base_layout () in
+    let base = Engine.run spec in
+    let params = spec.Engine.Spec.params in
+    let bc = Machine.Blockcache.segment params base.Engine.trace in
+    List.map
+      (fun layout ->
+        if layout = base_layout then
+          (layout, base.Engine.cold, base.Engine.steady)
+        else begin
+          let img = Engine.layout_for config stack ~layout () in
+          let trace' =
+            Trace.map_pcs
+              (Layout.Image.pc_map base.Engine.client_image img)
+              base.Engine.trace
+          in
+          let bc' = Machine.Blockcache.rebind bc trace' in
+          (layout, Perf.cold params trace', Perf.steady_bc params bc')
+        end)
+      layouts
+  end
+
+let layout_sweep_table ?(incremental = true) () =
+  let rows = layout_sweep ~incremental () in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Layout sweep (TCP/IP, cloned+outlined; %s: one run, per-layout \
+            pc rewrite + block-cache replay)"
+           (if incremental then "incremental" else "full simulation"))
+      ~headers:
+        [ "Layout"; "steady [us]"; "steady mCPI"; "i-miss"; "i-repl";
+          "cold [us]" ]
+  in
+  List.iter
+    (fun (layout, cold, steady) ->
+      let s = steady.Perf.stats in
+      Table.add_row t
+        [ Config.layout_name layout;
+          f1 steady.Perf.time_us;
+          Table.cell_f ~digits:2 steady.Perf.mcpi;
+          i s.Memsys.icache.Memsys.miss;
+          i s.Memsys.icache.Memsys.repl;
+          f1 cold.Perf.time_us ])
+    rows;
+  t
+
 let throughput () =
   let t =
     Table.create

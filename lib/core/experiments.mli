@@ -72,6 +72,30 @@ val map_traversal : unit -> Protolat_util.Table.t
 val micro_positioning : unit -> Protolat_util.Table.t
 (** §3.2: micro-positioning vs bipartite layout. *)
 
+val layout_candidates : Config.layout list
+(** Every placement strategy, in sweep order. *)
+
+val layout_sweep :
+  ?config:Config.t ->
+  ?stack:Engine.stack_kind ->
+  ?layouts:Config.layout list ->
+  incremental:bool ->
+  unit ->
+  (Config.layout * Protolat_machine.Perf.report
+  * Protolat_machine.Perf.report) list
+(** Cold and steady replay reports for each candidate placement of the
+    same code units ([(layout, cold, steady)]).  [~incremental:true]
+    captures one base run and re-evaluates only the i-side mapping per
+    candidate: instruction addresses are rewritten with
+    {!Protolat_layout.Image.pc_map}, the basic-block segmentation is
+    re-bound with {!Protolat_machine.Blockcache.rebind}, and the warm
+    replays go through the block cache.  [~incremental:false] runs the
+    full protocol simulation per layout.  Both produce bit-identical
+    reports; the incremental sweep is several times faster. *)
+
+val layout_sweep_table : ?incremental:bool -> unit -> Protolat_util.Table.t
+(** {!layout_sweep} as a printed table (default incremental). *)
+
 val throughput : unit -> Protolat_util.Table.t
 (** §4.1: the techniques do not hurt throughput (the wire is the
     bottleneck); §2.2.5: the instruction-count changes reduce CPU

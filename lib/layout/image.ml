@@ -490,3 +490,17 @@ let slots t = t.all_slots
 
 let static_instr_count t =
   List.fold_left (fun acc s -> acc + Array.length s.instrs) 0 t.all_slots
+
+let pc_map a b =
+  let map = Hashtbl.create 4096 in
+  List.iter
+    (fun (sa : slot) ->
+      match find b ~func:sa.func ~key:sa.key with
+      | Slot sb when Array.length sb.pcs = Array.length sa.pcs ->
+        Array.iteri (fun i pc -> Hashtbl.replace map pc sb.pcs.(i)) sa.pcs
+      | Slot _ | Elided | Unknown -> ())
+    a.all_slots;
+  fun pc ->
+    match Hashtbl.find_opt map pc with
+    | Some pc' -> pc'
+    | None -> invalid_arg (Printf.sprintf "Image.pc_map: unmapped pc 0x%x" pc)

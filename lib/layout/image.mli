@@ -128,3 +128,14 @@ val slots : t -> slot list
 (** All slots in address order. *)
 
 val static_instr_count : t -> int
+
+val pc_map : t -> t -> int -> int
+(** [pc_map a b] maps instruction addresses of image [a] to the addresses
+    of the same instructions in image [b], by matching slots on
+    [(func, key)] element-wise.  The incremental step of a layout sweep:
+    a trace captured against [a] is retargeted to candidate placement [b]
+    by rewriting pcs only — classes, data references and ordering are
+    layout-independent.
+
+    @raise Invalid_argument when applied to a pc with no slot in [a] or
+    whose slot has no same-shaped counterpart in [b]. *)

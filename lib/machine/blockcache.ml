@@ -1,0 +1,280 @@
+(* Memoized basic-block replay.
+
+   A trace spends almost all of its instructions inside straight-line runs
+   (consecutive pcs 4 bytes apart) that repeat identically across warmup
+   iterations and steady-state replays.  Once such a run's i-cache lines are
+   all resident, re-simulating it instruction by instruction does nothing but
+   rediscover n hits: the i-side contributes zero stall, never touches the
+   sequential-stream state, and bumps only the hit counters.  This module
+   segments a trace into runs once, then replays it by
+
+   - verifying each run's lines are still resident via {!Cache} generation
+     tags (k integer compares in the common case, k probes after an
+     invalidation), and when warm, charging the i-side with a single
+     {!Cache.credit_hits} and replaying only the data references through
+     {!Memsys.daccess_acc};
+   - falling back to the exact per-instruction {!Memsys.access_acc} loop for
+     runs that are not verifiably warm (first encounter, post-invalidate,
+     layout conflict within the run, or the fast path disabled).
+
+   Equivalence argument (why results are bit-identical to {!Memsys.run}):
+   both replays keep the memory system in the same state at every run
+   boundary, by induction.  For a warm run, the slow path's i-fetches would
+   all hit — a hit returns a static 0.0 without touching stalls, stream
+   state, or the b-cache, so skipping them changes nothing except the hit
+   counters, which {!Cache.credit_hits} applies in one step (integer
+   addition commutes).  Data references never read or modify i-cache state,
+   so they see identical d-cache/write-buffer/b-cache state and are replayed
+   in the same order with the same addresses; stall accumulation order is
+   preserved because hits contribute no terms.  Runs whose lines cannot be
+   proven resident take the slow path verbatim. *)
+
+let enabled_flag =
+  ref
+    (match Sys.getenv_opt "PROTOLAT_FASTPATH" with
+    | Some ("0" | "false" | "off" | "no") -> false
+    | _ -> true)
+
+let enabled () = !enabled_flag
+
+let set_enabled b = enabled_flag := b
+
+type run = {
+  start : int; (* first trace index of the run *)
+  len : int;
+  refs : int array; (* trace indices within the run carrying a data ref *)
+  mutable lines : int array; (* distinct i-cache lines, first-touch order *)
+  mutable sets : int array; (* set index of each line *)
+  mutable gens : int array;
+      (* generation snapshot per line, taken at a moment the line was
+         resident; -1 = unverified.  Generations only grow, so a stale or
+         initial -1 snapshot can never match. *)
+  mutable conflict : bool;
+      (* two distinct lines of this run map to the same set: the run can
+         evict its own lines mid-flight, so it is never warm-replayable *)
+}
+
+type t = {
+  trace : Trace.t;
+  block_shift : int;
+  n_sets : int;
+  runs : run array;
+  mutable bound : Memsys.t option;
+      (* the memory system the gen snapshots refer to, compared physically:
+         a fresh cache restarts generations at 0, which could coincide with
+         stale snapshots and fake residency *)
+  mutable fast_runs : int;
+  mutable slow_runs : int;
+}
+
+let trace t = t.trace
+
+let n_runs t = Array.length t.runs
+
+let fast_runs t = t.fast_runs
+
+let slow_runs t = t.slow_runs
+
+let reset_counters t =
+  t.fast_runs <- 0;
+  t.slow_runs <- 0
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+(* Distinct lines touched by trace indices [start, start+len), in
+   first-touch order.  Within a freshly segmented run pcs are contiguous so
+   lines are consecutive, but after a layout remap a run may straddle a
+   relocation boundary — hence the general linear-scan dedup (runs are a few
+   lines long, so O(len * k) is trivial). *)
+let run_lines trace ~block_shift ~start ~len =
+  let acc = ref [] in
+  let k = ref 0 in
+  for i = start to start + len - 1 do
+    let line = Trace.pc_at trace i lsr block_shift in
+    if not (List.mem line !acc) then begin
+      acc := line :: !acc;
+      incr k
+    end
+  done;
+  let lines = Array.make !k 0 in
+  List.iteri (fun j line -> lines.(!k - 1 - j) <- line) !acc;
+  lines
+
+let bind_lines t r =
+  let lines =
+    run_lines t.trace ~block_shift:t.block_shift ~start:r.start ~len:r.len
+  in
+  let mask = t.n_sets - 1 in
+  let k = Array.length lines in
+  let sets = Array.map (fun line -> line land mask) lines in
+  let conflict = ref false in
+  for a = 0 to k - 1 do
+    for b = a + 1 to k - 1 do
+      if sets.(a) = sets.(b) then conflict := true
+    done
+  done;
+  r.lines <- lines;
+  r.sets <- sets;
+  r.gens <- Array.make k (-1);
+  r.conflict <- !conflict
+
+let segment (p : Params.t) trace =
+  let n = Trace.length trace in
+  let block_shift = log2 p.Params.block_bytes in
+  let n_sets = p.Params.icache_bytes / p.Params.block_bytes in
+  let runs = ref [] in
+  let start = ref 0 in
+  let refs = ref [] in
+  let n_refs = ref 0 in
+  let flush stop =
+    (* [start, stop) is one run *)
+    if stop > !start then begin
+      let refs_arr = Array.make !n_refs 0 in
+      List.iteri (fun j i -> refs_arr.(!n_refs - 1 - j) <- i) !refs;
+      runs :=
+        { start = !start;
+          len = stop - !start;
+          refs = refs_arr;
+          lines = [||];
+          sets = [||];
+          gens = [||];
+          conflict = false }
+        :: !runs;
+      refs := [];
+      n_refs := 0
+    end;
+    start := stop
+  in
+  for i = 0 to n - 1 do
+    if Trace.kind_at trace i <> Trace.kind_none then begin
+      refs := i :: !refs;
+      incr n_refs
+    end;
+    if i + 1 >= n || Trace.pc_at trace (i + 1) <> Trace.pc_at trace i + 4 then
+      flush (i + 1)
+  done;
+  let t =
+    { trace;
+      block_shift;
+      n_sets;
+      runs = Array.of_list (List.rev !runs);
+      bound = None;
+      fast_runs = 0;
+      slow_runs = 0 }
+  in
+  Array.iter (bind_lines t) t.runs;
+  t
+
+let rebind t trace' =
+  if Trace.length trace' <> Trace.length t.trace then
+    invalid_arg "Blockcache.rebind: trace length mismatch";
+  let t' =
+    { t with
+      trace = trace';
+      runs = Array.map (fun r -> { r with lines = [||] }) t.runs;
+      bound = None;
+      fast_runs = 0;
+      slow_runs = 0 }
+  in
+  Array.iter (bind_lines t') t'.runs;
+  t'
+
+(* The slow path must be the exact per-instruction loop of [Memsys.run]. *)
+let replay_run_slow m trace r =
+  let fin = r.start + r.len - 1 in
+  for i = r.start to fin do
+    Memsys.access_acc m ~pc:(Trace.pc_at trace i) ~kind:(Trace.kind_at trace i)
+      ~addr:(Trace.addr_at trace i)
+  done
+
+(* Cold replay, one real fetch per line chunk: within a maximal span of
+   consecutive instructions on the same i-cache line, only the first fetch
+   can miss — it makes the line resident and nothing before the span's end
+   fetches any other line, so the remaining fetches are guaranteed hits and
+   reduce to a hit credit plus their data references.  Exact for any run,
+   conflicting or not: cross-chunk evictions happen at the next chunk's
+   first (real) fetch.  Bit-identical to [replay_run_slow] by the warm-run
+   argument applied chunk-tail-wise. *)
+let replay_run_cold m ic ~block_shift trace r =
+  let fin = r.start + r.len - 1 in
+  let i = ref r.start in
+  while !i <= fin do
+    let line = Trace.pc_at trace !i lsr block_shift in
+    Memsys.access_acc m ~pc:(Trace.pc_at trace !i)
+      ~kind:(Trace.kind_at trace !i) ~addr:(Trace.addr_at trace !i);
+    incr i;
+    let hits = ref 0 in
+    while
+      !i <= fin && Trace.pc_at trace !i lsr block_shift = line
+    do
+      incr hits;
+      let k = Trace.kind_at trace !i in
+      if k <> Trace.kind_none then
+        Memsys.daccess_acc m ~kind:k ~addr:(Trace.addr_at trace !i);
+      incr i
+    done;
+    (* after the possible miss at the chunk head, so [last_victim] ends as
+       the per-instruction loop leaves it *)
+    Cache.credit_hits ic !hits
+  done
+
+let replay t m =
+  (match t.bound with
+  | Some m' when m' == m -> ()
+  | _ ->
+    Array.iter
+      (fun r -> Array.fill r.gens 0 (Array.length r.gens) (-1))
+      t.runs;
+    t.bound <- Some m);
+  let ic = Memsys.icache m in
+  let geometry_ok =
+    Cache.n_sets ic = t.n_sets
+    && log2 (Cache.block_bytes ic) = t.block_shift
+  in
+  let fast_on = !enabled_flag && geometry_ok in
+  let igens = Cache.generations ic in
+  let trace = t.trace in
+  for ri = 0 to Array.length t.runs - 1 do
+    let r = t.runs.(ri) in
+    let warm =
+      fast_on && not r.conflict
+      &&
+      let k = Array.length r.lines in
+      let ok = ref true in
+      let j = ref 0 in
+      while !ok && !j < k do
+        let g = igens.(r.sets.(!j)) in
+        if r.gens.(!j) <> g then
+          if Cache.resident_line ic r.lines.(!j) then r.gens.(!j) <- g
+          else ok := false;
+        incr j
+      done;
+      !ok
+    in
+    if warm then begin
+      t.fast_runs <- t.fast_runs + 1;
+      Cache.credit_hits ic r.len;
+      let refs = r.refs in
+      for j = 0 to Array.length refs - 1 do
+        let i = refs.(j) in
+        Memsys.daccess_acc m ~kind:(Trace.kind_at trace i)
+          ~addr:(Trace.addr_at trace i)
+      done
+    end
+    else begin
+      t.slow_runs <- t.slow_runs + 1;
+      if fast_on then replay_run_cold m ic ~block_shift:t.block_shift trace r
+      else replay_run_slow m trace r;
+      (* After a slow pass of a conflict-free run every line was fetched and
+         none evicted another, so all are resident right now: snapshot the
+         generations so the next encounter verifies by comparison alone. *)
+      if fast_on && not r.conflict then
+        for j = 0 to Array.length r.lines - 1 do
+          if Cache.resident_line ic r.lines.(j) then
+            r.gens.(j) <- Cache.generation ic r.sets.(j)
+          else r.gens.(j) <- -1
+        done
+    end
+  done

@@ -1,0 +1,52 @@
+(** Memoized basic-block replay — the simulator's warm-block fast path.
+
+    Segments a trace once into straight-line runs (consecutive pcs), then
+    replays it against a {!Memsys}: a run whose i-cache lines are verifiably
+    resident (witnessed by {!Cache} generation tags) is charged its hits in
+    one step and only its data references are simulated; anything else falls
+    back to the exact per-instruction loop.  Results — stall totals, every
+    cache counter, eviction history — are bit-identical to {!Memsys.run}.
+
+    The knob: set [PROTOLAT_FASTPATH=0] (or [false]/[off]/[no]) in the
+    environment, or call {!set_enabled}[ false], to force the slow path
+    everywhere.  Used by the CI equivalence leg and the fast-path tests. *)
+
+type t
+
+val enabled : unit -> bool
+(** Current state of the global fast-path knob (initialized from the
+    [PROTOLAT_FASTPATH] environment variable; on by default). *)
+
+val set_enabled : bool -> unit
+
+val segment : Params.t -> Trace.t -> t
+(** Segment [trace] into basic-block runs against the i-cache geometry in
+    the params.  One O(length) pass; the result can replay against any
+    number of memory systems. *)
+
+val rebind : t -> Trace.t -> t
+(** [rebind t trace'] reuses [t]'s segmentation (run boundaries and data
+    references, which a code layout change does not alter) but recomputes
+    each run's i-cache lines from [trace']'s pcs — the incremental step of a
+    layout sweep, where only instruction addresses moved.
+
+    @raise Invalid_argument if the traces differ in length. *)
+
+val replay : t -> Memsys.t -> unit
+(** Replay the trace through [m], bit-identical to [Memsys.run m trace].
+    Safe across distinct memory systems (snapshots are invalidated when the
+    target changes) and across mid-replay invalidations (generation tags
+    demote affected runs to the slow path). *)
+
+val trace : t -> Trace.t
+
+val n_runs : t -> int
+
+val fast_runs : t -> int
+(** Runs replayed via the memoized path since the last {!reset_counters}. *)
+
+val slow_runs : t -> int
+(** Runs replayed instruction-by-instruction since the last
+    {!reset_counters}. *)
+
+val reset_counters : t -> unit

@@ -5,6 +5,12 @@ type t = {
   sets : int;
   set_mask : int; (* sets - 1 *)
   tags : int array; (* block address currently cached in each set; -1 empty *)
+  gens : int array;
+      (* per-set generation counter, bumped on every tag change (fill or
+         invalidate).  A memoized basic block records the generation of
+         each of its sets when it verifies residency; as long as the
+         generations still match, the lines are provably still resident
+         and the block can be charged its cached cost without re-probing. *)
   mutable evicted : Bytes.t option array;
       (* paged grow-on-demand bitset over block addresses: blocks evicted
          at least once (feeds cold- vs replacement-miss accounting).  The
@@ -50,6 +56,7 @@ let create ~name ~size_bytes ~block_bytes =
     sets;
     set_mask = sets - 1;
     tags = Array.make sets (-1);
+    gens = Array.make sets 0;
     evicted = Array.make 16 None;
     accesses = 0;
     hits = 0;
@@ -111,6 +118,7 @@ let access t addr =
     t.last_victim <- victim;
     if victim >= 0 then evicted_add t victim;
     t.tags.(set) <- block;
+    t.gens.(set) <- t.gens.(set) + 1;
     if evicted_mem t block then begin
       t.repl <- t.repl + 1;
       Miss_repl
@@ -127,9 +135,32 @@ let probe t addr =
 
 let invalidate_all t =
   for i = 0 to t.sets - 1 do
-    if t.tags.(i) >= 0 then evicted_add t t.tags.(i);
-    t.tags.(i) <- -1
+    if t.tags.(i) >= 0 then begin
+      evicted_add t t.tags.(i);
+      t.tags.(i) <- -1;
+      t.gens.(i) <- t.gens.(i) + 1
+    end
   done
+
+let n_sets t = t.sets
+
+let set_of_line t line = line land t.set_mask
+
+let resident_line t line = t.tags.(line land t.set_mask) = line
+
+let generation t set = t.gens.(set)
+
+let generations t = t.gens
+
+(* Batch credit for a verified-resident basic block: n hits have exactly the
+   counter effect of n per-line [access] hits (accesses/hits up by n, no
+   miss counters, no eviction history, last access hit so no victim). *)
+let credit_hits t n =
+  if n > 0 then begin
+    t.accesses <- t.accesses + n;
+    t.hits <- t.hits + n;
+    t.last_victim <- -1
+  end
 
 let reset_stats t =
   t.accesses <- 0;

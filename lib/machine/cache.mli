@@ -29,6 +29,39 @@ val access : t -> int -> outcome
 val probe : t -> int -> bool
 (** Lookup without filling: is the block containing [addr] resident? *)
 
+(** {2 Generation tags — the basic-block fast path's residency witness}
+
+    Every set carries a generation counter bumped on each tag change (fill
+    or invalidation).  A memoized block that verified all its lines
+    resident at generations [g1..gk] stays provably resident while the
+    generations are unchanged, so re-verification is [k] integer compares
+    instead of [k] probes — and a hit costs no per-instruction work at
+    all. *)
+
+val n_sets : t -> int
+(** Number of sets ([size_bytes / block_bytes]). *)
+
+val set_of_line : t -> int -> int
+(** Set index holding block (line) address [line]. *)
+
+val resident_line : t -> int -> bool
+(** Like {!probe} but on a block (line) address from {!line_of}. *)
+
+val generation : t -> int -> int
+(** Current generation of set [set] (from {!set_of_line}). *)
+
+val generations : t -> int array
+(** The underlying per-set generation array itself, for fast-path
+    verifiers that compare generations in a hot loop (a call per compare
+    is not free without cross-module inlining).  Callers must treat it as
+    read-only. *)
+
+val credit_hits : t -> int -> unit
+(** [credit_hits t n] records [n] hits in one step: exactly the statistics
+    effect of [n] hitting {!access} calls (accesses and hits up by [n],
+    {!last_victim} cleared).  Only valid when the caller has proven all
+    [n] lookups would hit (e.g. via generation tags). *)
+
 val invalidate_all : t -> unit
 (** Empty the cache but keep statistics and eviction history. *)
 

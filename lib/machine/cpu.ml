@@ -37,12 +37,14 @@ let penalty (p : Params.t) = function
   | Instr.Load -> p.load_use_penalty
   | Instr.Alu | Instr.Store | Instr.Br_not_taken | Instr.Nop -> 0.0
 
-let perfect_memory_cycles p trace =
+let penalty_cycles p trace =
   let pen = ref 0.0 in
   for i = 0 to Trace.length trace - 1 do
     pen := !pen +. penalty p (Trace.cls_at trace i)
   done;
-  issue_cycles p trace +. !pen
+  !pen
+
+let perfect_memory_cycles p trace = issue_cycles p trace +. penalty_cycles p trace
 
 let icpi p trace =
   let n = Trace.length trace in

@@ -13,8 +13,13 @@ val can_pair : Instr.cls -> Instr.cls -> bool
 val issue_cycles : Params.t -> Trace.t -> float
 (** Cycles consumed by instruction issue alone (no penalties). *)
 
+val penalty_cycles : Params.t -> Trace.t -> float
+(** Sum of per-instruction {!penalty} over the trace, accumulated in trace
+    order (float addition is not associative; callers that cache this must
+    reproduce the same order). *)
+
 val perfect_memory_cycles : Params.t -> Trace.t -> float
-(** Issue cycles plus all non-memory-system penalties. *)
+(** [issue_cycles +. penalty_cycles]. *)
 
 val icpi : Params.t -> Trace.t -> float
 (** [perfect_memory_cycles / length]; 0 for the empty trace. *)

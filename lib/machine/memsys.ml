@@ -153,6 +153,19 @@ let access_acc t ~pc ~kind ~addr =
      else if kind = Trace.kind_write then s +. store t addr
      else s)
 
+(* Data-side-only access for the basic-block fast path: when the caller has
+   proven the i-fetch would hit (all the block's lines resident, witnessed
+   by generation tags), the i-side contributes exactly 0.0 stall and the
+   data reference is the whole latency.  Bit-identical to [access_acc] with
+   a hitting pc: [ifetch] returns a static 0.0 on hits without touching
+   stalls or stream state, and [0.0 +. x = x] for the non-negative
+   latencies [load]/[store] return. *)
+let daccess_acc t ~kind ~addr =
+  t.lat.(0) <-
+    (if kind = Trace.kind_read then load t addr
+     else if kind = Trace.kind_write then store t addr
+     else 0.0)
+
 let lat_cell t = t.lat
 
 let access t ~pc ~kind ~addr =

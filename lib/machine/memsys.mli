@@ -42,6 +42,14 @@ val access_acc : t -> pc:int -> kind:int -> addr:int -> unit
     {!lat_cell} instead of returning it: a float return would be boxed at
     the call boundary, and this runs once per simulated instruction. *)
 
+val daccess_acc : t -> kind:int -> addr:int -> unit
+(** Data-side-only {!access_acc}: no instruction fetch is simulated.  Only
+    valid when the caller has proven the i-fetch would hit (the block's
+    lines are resident, witnessed by {!Cache} generation tags) — the
+    i-side then contributes exactly zero stall, so skipping it is
+    bit-identical.  The i-cache hit statistics must be credited separately
+    ({!Cache.credit_hits}). *)
+
 val lat_cell : t -> float array
 (** 1-element scratch cell written by {!access_acc}. *)
 

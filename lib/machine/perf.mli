@@ -27,6 +27,22 @@ type report = {
 val cold : Params.t -> Trace.t -> report
 
 val steady : ?warmup:int -> Params.t -> Trace.t -> report
-(** Default [warmup] is 3. *)
+(** Default [warmup] is 3.  Warmup replays after the first go through the
+    {!Blockcache} fast path when it is enabled; the reports are
+    bit-identical either way. *)
+
+val steady_bc : ?warmup:int -> Params.t -> Blockcache.t -> report
+(** {!steady} from an existing segmentation — the incremental step of a
+    layout sweep: segment the base trace once, then per candidate layout
+    {!Blockcache.rebind} the pc-rewritten trace and measure, skipping both
+    re-segmentation and the per-instruction warmup replays. *)
+
+val cold_and_steady : ?warmup:int -> Params.t -> Trace.t -> report * report
+(** Both measurements from one segmentation and one memory system: the
+    first replay from empty caches is the cold report and doubles as the
+    first warmup iteration of the steady one, and the CPU-model scans run
+    once instead of twice per report.  Bit-identical to
+    [(cold p trace, steady ~warmup p trace)].  [warmup] is clamped to at
+    least 1 (the shared first replay requires one warmup iteration). *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -133,6 +133,16 @@ let append dst src =
   done;
   dst.len <- n
 
+let map_pcs f t =
+  { t with
+    pcs = Array.map f (Array.sub t.pcs 0 t.len);
+    clss = Array.sub t.clss 0 t.len;
+    kinds = Array.sub t.kinds 0 t.len;
+    addrs = Array.sub t.addrs 0 t.len;
+    fids = Array.sub t.fids 0 t.len;
+    intern_tbl = Hashtbl.copy t.intern_tbl;
+    funcs = Array.copy t.funcs }
+
 let class_counts t =
   let counts = Array.make Instr.n_classes 0 in
   for i = 0 to t.len - 1 do

@@ -75,6 +75,14 @@ val iter : (event -> unit) -> t -> unit
 
 val append : t -> t -> unit
 
+val map_pcs : (int -> int) -> t -> t
+(** A copy of the trace with every instruction address rewritten through
+    [f] — classes, data references, ordering and function tags unchanged.
+    With {!Protolat_layout.Image.pc_map} as [f], this retargets a trace
+    captured against one code image to a candidate placement of the same
+    units, so a layout sweep replays one captured trace per layout instead
+    of re-running the whole protocol simulation. *)
+
 val class_counts : t -> (Instr.cls * int) list
 (** Histogram of instruction classes, in [Instr.all] order. *)
 

@@ -128,8 +128,6 @@ module Link = struct
 
   let set_filter t f = t.loss <- f
 
-  let set_loss = set_filter
-
   let set_fault t f = t.fault <- f
 
   let fault t = t.fault

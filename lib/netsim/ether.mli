@@ -57,10 +57,6 @@ module Link : sig
       {!set_fault} with a seeded {!Fault.t} plan instead.  The predicate
       composes with the fault plan: it is consulted first. *)
 
-  val set_loss : t -> (frame -> bool) -> unit
-  [@@deprecated "use Ether.Link.set_filter (or set_fault for seeded plans)"]
-  (** Old name of {!set_filter}, kept as a compatibility shim. *)
-
   val set_fault : t -> Fault.t option -> unit
   (** Install a seeded fault plan applied per frame at transmit time:
       loss and burst loss drop the frame; corruption flips one bit in a

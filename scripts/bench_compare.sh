@@ -1,0 +1,13 @@
+#!/bin/sh
+# Compare the two most recent BENCH_*.json snapshots in the repository
+# root: prints per-section wall-clock and simulated-RTT deltas, and exits
+# nonzero if the full-sweep wall time regressed by more than 10% between
+# two runs of the same kind (quick vs quick, full vs full).
+#
+# Usage: scripts/bench_compare.sh  (run from the repository root)
+#
+# Produce snapshots with:  dune exec bench/main.exe -- [quick] json
+set -eu
+
+dune build bench/main.exe
+exec dune exec bench/main.exe -- compare

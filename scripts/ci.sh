@@ -1,15 +1,21 @@
 #!/bin/sh
-# Smoke script: full build, test suite, a short multi-seed fault soak,
-# the latency-attribution and timeline exports (with their consistency /
-# JSON well-formedness checks), a quick multi-flow sweep, and a quick
-# end-to-end bench table.
+# Smoke script: full build, test suite (with the warm-block fast path on
+# and off), a short multi-seed fault soak, the latency-attribution and
+# timeline exports (with their consistency / JSON well-formedness
+# checks), a quick multi-flow sweep, a quick end-to-end bench table, and
+# a bench regression gate against the committed BENCH_*.json history.
 # Usage: scripts/ci.sh  (run from the repository root)
 set -eu
 
 dune build @all
 dune runtest
+# the suite must also pass with the memoized basic-block fast path
+# disabled: every simulation then takes the per-instruction reference
+# path the fast path is checked against
+PROTOLAT_FASTPATH=0 dune runtest --force
 dune exec bin/protolat_cli.exe -- soak --quick --seeds 2
 dune build @profile-quick
 dune build @trace-quick
 dune build @mflow-quick
 dune exec bench/main.exe -- quick only table1
+scripts/bench_compare.sh

@@ -1,0 +1,279 @@
+(* Warm-block fast path: bit-identity of the memoized basic-block
+   simulation (engine emission + Blockcache replay) against the
+   per-instruction reference, generation-tag invalidation semantics, and
+   the incremental layout sweep. *)
+
+module P = Protolat
+module M = Protolat_machine
+module L = Protolat_layout
+module Obs = Protolat_obs
+module Instr = M.Instr
+module Trace = M.Trace
+
+let with_fastpath b f =
+  let was = M.Blockcache.enabled () in
+  M.Blockcache.set_enabled b;
+  Fun.protect ~finally:(fun () -> M.Blockcache.set_enabled was) f
+
+let run_spec ?seed ?layout stack v =
+  P.Engine.run
+    (P.Engine.Spec.make ?seed ?layout ~stack ~config:(P.Config.make v) ())
+
+let check_report name (a : M.Perf.report) (b : M.Perf.report) =
+  Alcotest.(check bool) (name ^ ": reports bit-identical") true (a = b)
+
+(* ----- engine: fast path on vs off ---------------------------------------- *)
+
+(* Every observable of a run — per-roundtrip RTTs, cold/steady replay
+   reports, the unified metrics dump, and per-function attribution of the
+   collected trace — must be byte-identical with the fast path on and off,
+   across stacks, versions (hence layouts) and seeds. *)
+let test_engine_onoff () =
+  List.iter
+    (fun (stack, v, seed) ->
+      let name =
+        Printf.sprintf "%s/%s seed=%d" (P.Engine.stack_name stack)
+          (P.Config.version_name v) seed
+      in
+      let on = with_fastpath true (fun () -> run_spec ~seed stack v) in
+      let off = with_fastpath false (fun () -> run_spec ~seed stack v) in
+      Alcotest.(check bool) (name ^ ": rtts identical") true
+        (on.P.Engine.rtts = off.P.Engine.rtts);
+      check_report (name ^ " steady") on.P.Engine.steady off.P.Engine.steady;
+      check_report (name ^ " cold") on.P.Engine.cold off.P.Engine.cold;
+      Alcotest.(check string) (name ^ ": metrics json identical")
+        (Obs.Metrics.to_json off.P.Engine.metrics)
+        (Obs.Metrics.to_json on.P.Engine.metrics);
+      let attrib (r : P.Engine.run_result) =
+        Obs.Attrib.profile M.Params.default r.P.Engine.client_image
+          r.P.Engine.trace
+      in
+      Alcotest.(check bool) (name ^ ": attribution identical") true
+        (attrib on = attrib off))
+    [ (P.Engine.Tcpip, P.Config.Std, 42);
+      (P.Engine.Tcpip, P.Config.All, 7);
+      (P.Engine.Tcpip, P.Config.Bad, 42);
+      (P.Engine.Rpc, P.Config.Clo, 3) ]
+
+(* ----- Blockcache: replay equivalence on real traces ----------------------- *)
+
+let steady_trace () =
+  let r = with_fastpath false (fun () -> run_spec P.Engine.Tcpip P.Config.Out) in
+  r.P.Engine.trace
+
+(* Replaying through the block cache must leave the memory system with the
+   same statistics as the per-instruction loop after every iteration —
+   including under a thrashing geometry (2 KB i-cache) where most runs stay
+   on the slow path. *)
+let test_blockcache_replay_equiv () =
+  let trace = steady_trace () in
+  List.iter
+    (fun (label, params) ->
+      let bc = M.Blockcache.segment params trace in
+      let fast = M.Memsys.create params in
+      let slow = M.Memsys.create params in
+      for i = 1 to 4 do
+        with_fastpath true (fun () -> M.Blockcache.replay bc fast);
+        ignore (M.Memsys.run slow trace);
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: stats equal after replay %d" label i)
+          true
+          (M.Memsys.stats fast = M.Memsys.stats slow)
+      done;
+      Alcotest.(check bool) (label ^ ": some runs went fast") true
+        (M.Blockcache.fast_runs bc > 0))
+    [ ("default geometry", M.Params.default);
+      ( "2KB i-cache (thrashing)",
+        { M.Params.default with M.Params.icache_bytes = 2048 } ) ]
+
+(* Disabled, the block cache must take the reference loop for every run. *)
+let test_blockcache_disabled_all_slow () =
+  let trace = steady_trace () in
+  let bc = M.Blockcache.segment M.Params.default trace in
+  let m = M.Memsys.create M.Params.default in
+  with_fastpath false (fun () ->
+      M.Blockcache.replay bc m;
+      M.Blockcache.replay bc m);
+  Alcotest.(check int) "no fast runs when disabled" 0
+    (M.Blockcache.fast_runs bc);
+  Alcotest.(check int) "all runs slow" (2 * M.Blockcache.n_runs bc)
+    (M.Blockcache.slow_runs bc)
+
+(* ----- generation tags ----------------------------------------------------- *)
+
+let test_cache_generation_tags () =
+  let c = M.Cache.create ~name:"gen" ~size_bytes:1024 ~block_bytes:32 in
+  let line = M.Cache.line_of c 0x4000 in
+  let set = M.Cache.set_of_line c line in
+  let g0 = M.Cache.generation c set in
+  ignore (M.Cache.access c 0x4000);
+  let g1 = M.Cache.generation c set in
+  Alcotest.(check bool) "fill bumps the set's generation" true (g1 > g0);
+  Alcotest.(check bool) "line resident after fill" true
+    (M.Cache.resident_line c line);
+  ignore (M.Cache.access c 0x4004);
+  Alcotest.(check int) "hit leaves the generation unchanged" g1
+    (M.Cache.generation c set);
+  (* conflicting line in the same set: eviction bumps again *)
+  ignore (M.Cache.access c (0x4000 + 1024));
+  Alcotest.(check bool) "eviction bumps the generation" true
+    (M.Cache.generation c set > g1);
+  Alcotest.(check bool) "old line no longer resident" false
+    (M.Cache.resident_line c line);
+  ignore (M.Cache.access c 0x4000);
+  let g2 = M.Cache.generation c set in
+  M.Cache.invalidate_all c;
+  Alcotest.(check bool) "invalidate_all bumps occupied sets" true
+    (M.Cache.generation c set > g2);
+  Alcotest.(check bool) "not resident after invalidate" false
+    (M.Cache.resident_line c line)
+
+let test_cache_credit_hits () =
+  let c = M.Cache.create ~name:"credit" ~size_bytes:1024 ~block_bytes:32 in
+  ignore (M.Cache.access c 0x100);
+  (* reference: three hitting accesses *)
+  let c' = M.Cache.create ~name:"credit-ref" ~size_bytes:1024 ~block_bytes:32 in
+  ignore (M.Cache.access c' 0x100);
+  ignore (M.Cache.access c' 0x104);
+  ignore (M.Cache.access c' 0x108);
+  ignore (M.Cache.access c' 0x10c);
+  M.Cache.credit_hits c 3;
+  Alcotest.(check int) "accesses match" (M.Cache.accesses c')
+    (M.Cache.accesses c);
+  Alcotest.(check int) "hits match" (M.Cache.hits c') (M.Cache.hits c);
+  Alcotest.(check int) "last_victim cleared" (M.Cache.last_victim c')
+    (M.Cache.last_victim c)
+
+(* ----- invalidation demotes memoized runs ---------------------------------- *)
+
+(* A synthetic trace whose runs touch disjoint lines, so warm/slow counts
+   are exact: first replay all slow, second all fast, and after an
+   invalidation all slow again (stale generation snapshots must not fake
+   residency). *)
+let synthetic_trace () =
+  let t = Trace.create () in
+  List.iter
+    (fun base ->
+      for i = 0 to 15 do
+        if i = 5 then
+          Trace.add t ~pc:(base + (4 * i)) ~cls:Instr.Load
+            ~access:(Trace.Read (0x80000 + base + i)) ()
+        else Trace.add t ~pc:(base + (4 * i)) ~cls:Instr.Alu ()
+      done)
+    (* distinct sets of the default 8 KB direct-mapped i-cache, so the
+       three runs never evict each other *)
+    [ 0x1000; 0x1100; 0x1200 ];
+  t
+
+let test_invalidate_demotes () =
+  let trace = synthetic_trace () in
+  let check_demotion label invalidate =
+    let bc = M.Blockcache.segment M.Params.default trace in
+    let m = M.Memsys.create M.Params.default in
+    let n = M.Blockcache.n_runs bc in
+    with_fastpath true (fun () ->
+        M.Blockcache.replay bc m;
+        Alcotest.(check int) (label ^ ": first replay all slow") n
+          (M.Blockcache.slow_runs bc);
+        M.Blockcache.reset_counters bc;
+        M.Blockcache.replay bc m;
+        Alcotest.(check int) (label ^ ": warm replay all fast") n
+          (M.Blockcache.fast_runs bc);
+        invalidate m;
+        M.Blockcache.reset_counters bc;
+        M.Blockcache.replay bc m;
+        Alcotest.(check int) (label ^ ": post-invalidate replay all slow") n
+          (M.Blockcache.slow_runs bc);
+        M.Blockcache.reset_counters bc;
+        M.Blockcache.replay bc m;
+        Alcotest.(check int) (label ^ ": re-warms afterwards") n
+          (M.Blockcache.fast_runs bc))
+  in
+  check_demotion "invalidate_primary" M.Memsys.invalidate_primary;
+  check_demotion "invalidate_all" M.Memsys.invalidate_all
+
+(* A fresh memory system must never inherit generation snapshots taken
+   against another one (generations restart at 0 and could coincide). *)
+let test_fresh_memsys_rebinds () =
+  let trace = synthetic_trace () in
+  let bc = M.Blockcache.segment M.Params.default trace in
+  let n = M.Blockcache.n_runs bc in
+  with_fastpath true (fun () ->
+      let m1 = M.Memsys.create M.Params.default in
+      M.Blockcache.replay bc m1;
+      M.Blockcache.replay bc m1;
+      let m2 = M.Memsys.create M.Params.default in
+      M.Blockcache.reset_counters bc;
+      M.Blockcache.replay bc m2;
+      Alcotest.(check int) "fresh memsys starts slow" n
+        (M.Blockcache.slow_runs bc))
+
+(* Geometry mismatch between segmentation and memory system: never fast. *)
+let test_geometry_guard () =
+  let trace = synthetic_trace () in
+  let bc = M.Blockcache.segment M.Params.default trace in
+  let small =
+    M.Memsys.create { M.Params.default with M.Params.icache_bytes = 2048 }
+  in
+  with_fastpath true (fun () ->
+      M.Blockcache.replay bc small;
+      M.Blockcache.replay bc small);
+  Alcotest.(check int) "geometry mismatch keeps every run slow" 0
+    (M.Blockcache.fast_runs bc)
+
+(* ----- incremental layout sweep -------------------------------------------- *)
+
+(* pc_map retargets a trace between two placements of the same units, and
+   rebind + steady_bc must equal a from-scratch segmentation and steady
+   replay of the retargeted trace. *)
+let test_rebind_pc_map () =
+  let config = P.Config.make P.Config.Clo in
+  let a = P.Engine.layout_for config P.Engine.Tcpip ~layout:P.Config.Bipartite () in
+  let b = P.Engine.layout_for config P.Engine.Tcpip ~layout:P.Config.Linear () in
+  let r =
+    run_spec ~layout:P.Config.Bipartite P.Engine.Tcpip P.Config.Clo
+  in
+  let trace = r.P.Engine.trace in
+  let trace' = Trace.map_pcs (L.Image.pc_map a b) trace in
+  Alcotest.(check int) "same length" (Trace.length trace)
+    (Trace.length trace');
+  let p = M.Params.default in
+  let bc = M.Blockcache.segment p trace in
+  let via_rebind = M.Perf.steady_bc p (M.Blockcache.rebind bc trace') in
+  let from_scratch = M.Perf.steady p trace' in
+  check_report "rebind vs scratch" via_rebind from_scratch
+
+(* The incremental sweep (one protocol simulation, per-layout pc rewrite +
+   block-cache replay) must report exactly what full per-layout
+   simulations report. *)
+let test_layout_sweep_equivalence () =
+  let layouts = [ P.Config.Bipartite; P.Config.Linear; P.Config.Pessimal ] in
+  let inc = P.Experiments.layout_sweep ~layouts ~incremental:true () in
+  let full = P.Experiments.layout_sweep ~layouts ~incremental:false () in
+  List.iter2
+    (fun (la, ca, sa) (lb, cb, sb) ->
+      let name = P.Config.layout_name la in
+      Alcotest.(check string) "same layout order" name
+        (P.Config.layout_name lb);
+      check_report (name ^ " cold") ca cb;
+      check_report (name ^ " steady") sa sb)
+    inc full
+
+let suite =
+  ( "fastpath",
+    [ Alcotest.test_case "cache generation tags" `Quick
+        test_cache_generation_tags;
+      Alcotest.test_case "cache credit_hits" `Quick test_cache_credit_hits;
+      Alcotest.test_case "blockcache replay equivalence" `Quick
+        test_blockcache_replay_equiv;
+      Alcotest.test_case "blockcache disabled all slow" `Quick
+        test_blockcache_disabled_all_slow;
+      Alcotest.test_case "invalidate demotes memoized runs" `Quick
+        test_invalidate_demotes;
+      Alcotest.test_case "fresh memsys rebinds" `Quick
+        test_fresh_memsys_rebinds;
+      Alcotest.test_case "geometry guard" `Quick test_geometry_guard;
+      Alcotest.test_case "engine fast path on/off" `Slow test_engine_onoff;
+      Alcotest.test_case "rebind + pc_map" `Quick test_rebind_pc_map;
+      Alcotest.test_case "layout sweep equivalence" `Slow
+        test_layout_sweep_equivalence ] )

@@ -11,4 +11,5 @@ let () =
       Test_obs.suite;
       Test_fault.suite;
       Test_engine.suite;
-      Test_mflow.suite ]
+      Test_mflow.suite;
+      Test_fastpath.suite ]
