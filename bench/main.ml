@@ -251,18 +251,40 @@ let run_json () =
   let rev = git_rev () in
   Printf.printf "bench json mode: rev=%s jobs=%d %s\n%!" rev jobs
     (if quick then "(quick)" else "(full)");
+  (* replay-layer and simulation-cache counters cover exactly this bench
+     invocation *)
+  Protolat_machine.Blockcache.reset_totals ();
+  Protolat_machine.Simcache.reset_stats ();
   let t0 = Unix.gettimeofday () in
   let results =
     P.Experiments.full_run ~samples_tcp ~samples_rpc ~rounds ~jobs ()
   in
   let sweep_wall = Unix.gettimeofday () -. t0 in
-  let t1 = Unix.gettimeofday () in
-  let single =
-    P.Engine.run
-      (P.Engine.Spec.default ~stack:P.Engine.Tcpip
-         ~config:(P.Config.make P.Config.All))
+  let single_spec =
+    P.Engine.Spec.default ~stack:P.Engine.Tcpip
+      ~config:(P.Config.make P.Config.All)
   in
+  let t1 = Unix.gettimeofday () in
+  let single = P.Engine.run single_spec in
   let single_wall = Unix.gettimeofday () -. t1 in
+  (* raw replay throughput of the block-level fast path: repeated warm
+     replays of the single run's steady trace against one memory system,
+     reported in runs (basic-block executions) per second *)
+  let replay_runs_per_s =
+    let params = single_spec.P.Engine.Spec.params in
+    let bc =
+      Protolat_machine.Blockcache.segment params single.P.Engine.trace
+    in
+    let m = Protolat_machine.Memsys.create params in
+    Protolat_machine.Blockcache.replay bc m;
+    let reps = if quick then 100 else 400 in
+    let t = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      Protolat_machine.Blockcache.replay bc m
+    done;
+    float_of_int (reps * Protolat_machine.Blockcache.n_runs bc)
+    /. Float.max (Unix.gettimeofday () -. t) 1e-9
+  in
   (* warm the (cached, shared) code-image cache so both sweep timings
      measure sweep mechanics, not one-time image construction *)
   List.iter
@@ -271,8 +293,12 @@ let run_json () =
         (P.Engine.layout_for (P.Config.make P.Config.Clo) P.Engine.Tcpip
            ~layout ()))
     P.Experiments.layout_candidates;
+  (* likewise the incremental sweep's shared base protocol simulation is
+     hoisted out of the timed region: the timing measures sweep mechanics
+     (per-layout pc rewrite + block-cache replay), not the one base run *)
+  let sweep_base = P.Experiments.layout_sweep_base () in
   let t2 = Unix.gettimeofday () in
-  ignore (P.Experiments.layout_sweep ~incremental:true ());
+  ignore (P.Experiments.layout_sweep ~base:sweep_base ~incremental:true ());
   let layout_inc_wall = Unix.gettimeofday () -. t2 in
   let t3 = Unix.gettimeofday () in
   ignore (P.Experiments.layout_sweep ~incremental:false ());
@@ -309,6 +335,33 @@ let run_json () =
        "  \"wall_clock_s\": {\"full_sweep\": %.4f, \"single_run_all\": %.4f, \
         \"layout_sweep_incremental\": %.4f, \"layout_sweep_full\": %.4f},\n"
        sweep_wall single_wall layout_inc_wall layout_full_wall);
+  (* which replay layers were live, how often they engaged, and what the
+     simulation cache did — so a perf number is never read without knowing
+     what produced it *)
+  let totals = Protolat_machine.Blockcache.totals () in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"replay\": {\n\
+       \    \"fastpath_enabled\": %b, \"dmemo_enabled\": %b, \
+        \"simcache_enabled\": %b,\n\
+       \    \"runs_per_s\": %.0f,\n\
+       \    \"totals\": {\"fast_runs\": %d, \"slow_runs\": %d, \
+        \"dmemo_runs\": %d, \"dmemo_loads\": %d, \"wbmemo_runs\": %d, \
+        \"wbmemo_stores\": %d},\n\
+       \    \"simcache\": {\"hits\": %d, \"misses\": %d, \"stores\": %d}\n\
+       \  },\n"
+       (Protolat_machine.Blockcache.enabled ())
+       (Protolat_machine.Blockcache.dmemo_enabled ())
+       (Protolat_machine.Simcache.enabled ())
+       replay_runs_per_s totals.Protolat_machine.Blockcache.t_fast_runs
+       totals.Protolat_machine.Blockcache.t_slow_runs
+       totals.Protolat_machine.Blockcache.t_dmemo_runs
+       totals.Protolat_machine.Blockcache.t_dmemo_loads
+       totals.Protolat_machine.Blockcache.t_wbmemo_runs
+       totals.Protolat_machine.Blockcache.t_wbmemo_stores
+       (Protolat_machine.Simcache.hits ())
+       (Protolat_machine.Simcache.misses ())
+       (Protolat_machine.Simcache.stores ()));
   Buffer.add_string buf "  \"simulated_rtt_us\": {\n";
   Buffer.add_string buf "    \"tcpip\": {\n";
   Buffer.add_string buf (stack_json P.Engine.Tcpip);
@@ -382,6 +435,24 @@ let run_compare () =
     let quick_of v = Json.member "quick" v = Some (Json.Bool true) in
     Printf.printf "bench compare: %s (rev %s) vs %s (rev %s)\n" fold
       (rev vold) fnew (rev vnew);
+    (* older baselines predate the schema_version field (or may carry an
+       older schema); the comparison is still meaningful for the keys both
+       sides share, so warn and proceed rather than fail *)
+    List.iter
+      (fun (name, v) ->
+        match jnum (jpath v [ "schema_version" ]) with
+        | None ->
+          Printf.printf
+            "  warning: %s has no schema_version (pre-schema baseline), \
+             comparing anyway\n"
+            name
+        | Some s when int_of_float s <> Protolat_obs.Json.schema_version ->
+          Printf.printf
+            "  warning: %s has schema_version %d (current is %d), comparing \
+             anyway\n"
+            name (int_of_float s) Protolat_obs.Json.schema_version
+        | Some _ -> ())
+      [ (fold, vold); (fnew, vnew) ];
     let pct a b = 100.0 *. (b -. a) /. a in
     let wall key =
       match
@@ -398,6 +469,19 @@ let run_compare () =
     ignore (wall "single_run_all");
     ignore (wall "layout_sweep_incremental");
     ignore (wall "layout_sweep_full");
+    (* replay throughput (runs/sec): higher is better; absent in baselines
+       that predate the replay section *)
+    (match
+       ( jnum (jpath vold [ "replay"; "runs_per_s" ]),
+         jnum (jpath vnew [ "replay"; "runs_per_s" ]) )
+     with
+    | Some a, Some b ->
+      Printf.printf "  replay throughput %11.0f -> %11.0f runs/s  (%+.1f%%)\n"
+        a b (pct a b)
+    | None, Some b ->
+      Printf.printf
+        "  replay throughput %11s -> %11.0f runs/s  (no baseline)\n" "-" b
+    | _ -> ());
     List.iter
       (fun stack ->
         List.iter

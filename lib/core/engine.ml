@@ -243,9 +243,11 @@ type smemo = {
   m_sum1 : float array;
   m_us0 : float array;
   m_us1 : float array;
-  m_chunk_start : int array;  (* chunk c = instrs [start.(c), start.(c+1)) *)
-  m_chunk_line : int array;
-  m_chunk_set : int array;
+  m_chunks : int array;
+      (* stride-3 chunk table, one cache touch per chunk on the hot loop:
+         chunk c = instrs [chunks.(3c), chunks.(3c+3)) on i-cache line
+         chunks.(3c+1) in set chunks.(3c+2); the trailing word chunks.(3k)
+         holds the slot length so the range read needs no bounds test *)
   m_gens : int array;
 }
 
@@ -341,19 +343,15 @@ let build_smemo (p : Machine.Params.t) ic (slot : Image.slot) =
       incr nchunks
   done;
   let k = !nchunks in
-  let m_chunk_start = Array.make (k + 1) n in
-  let m_chunk_line = Array.make k 0 in
-  List.iteri (fun j s -> m_chunk_start.(k - 1 - j) <- s) !starts;
-  List.iteri (fun j l -> m_chunk_line.(k - 1 - j) <- l) !lines;
-  { m_codes;
-    m_pens;
-    m_sum1;
-    m_us0;
-    m_us1;
-    m_chunk_start;
-    m_chunk_line;
-    m_chunk_set = Array.map (Machine.Cache.set_of_line ic) m_chunk_line;
-    m_gens = Array.make k (-1) }
+  let m_chunks = Array.make ((3 * k) + 1) n in
+  List.iteri (fun j s -> m_chunks.(3 * (k - 1 - j)) <- s) !starts;
+  List.iteri
+    (fun j l ->
+      let c = k - 1 - j in
+      m_chunks.((3 * c) + 1) <- l;
+      m_chunks.((3 * c) + 2) <- Machine.Cache.set_of_line ic l)
+    !lines;
+  { m_codes; m_pens; m_sum1; m_us0; m_us1; m_chunks; m_gens = Array.make k (-1) }
 
 let smemo_for h (slot : Image.slot) =
   match Hashtbl.find h.memo slot.Image.addr with
@@ -381,14 +379,16 @@ let emit_slot_fast h (m : smemo) (slot : Image.slot) =
   let ic = h.icache in
   let igens = Machine.Cache.generations ic in
   let mlat = h.mlat in
-  let nchunks = Array.length m.m_chunk_line in
+  let chunks = m.m_chunks in
+  let nchunks = Array.length m.m_gens in
   for c = 0 to nchunks - 1 do
-    let lo = Array.unsafe_get m.m_chunk_start c in
-    let hi = Array.unsafe_get m.m_chunk_start (c + 1) - 1 in
+    let b = 3 * c in
+    let lo = Array.unsafe_get chunks b in
+    let hi = Array.unsafe_get chunks (b + 3) - 1 in
     let warm =
-      let g = Array.unsafe_get igens (Array.unsafe_get m.m_chunk_set c) in
+      let g = Array.unsafe_get igens (Array.unsafe_get chunks (b + 2)) in
       Array.unsafe_get m.m_gens c = g
-      || Machine.Cache.resident_line ic (Array.unsafe_get m.m_chunk_line c)
+      || Machine.Cache.resident_line ic (Array.unsafe_get chunks (b + 1))
          && begin
               Array.unsafe_set m.m_gens c g;
               true
@@ -469,7 +469,7 @@ let emit_slot_fast h (m : smemo) (slot : Image.slot) =
     Machine.Cache.credit_hits ic (if warm then hi - lo + 1 else hi - lo);
     if not warm then
       Array.unsafe_set m.m_gens c
-        (Array.unsafe_get igens (Array.unsafe_get m.m_chunk_set c))
+        (Array.unsafe_get igens (Array.unsafe_get chunks (b + 2)))
   done
 
 (* The per-instruction hot path: no boxed events, options, tuples or list

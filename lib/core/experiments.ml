@@ -600,11 +600,16 @@ let layout_candidates =
    ({!Layout.Image.pc_map} + {!Trace.map_pcs}), the one-time basic-block
    segmentation is re-bound to the new i-cache lines
    ({!Machine.Blockcache.rebind}), and only the i-side mapping is
-   re-evaluated ({!Perf.steady_bc} / {!Perf.cold}).  [~incremental:false]
+   re-evaluated ({!Perf.steady_bc} / {!Perf.cold_bc}).  [~incremental:false]
    runs the full simulation per candidate instead — the reports are
    bit-identical, several times slower. *)
+let layout_sweep_base ?(config = Config.make Config.Clo)
+    ?(stack = Engine.Tcpip) () =
+  let base_layout = Config.layout_of config.Config.version in
+  Engine.run (Engine.Spec.make ~stack ~config ~layout:base_layout ())
+
 let layout_sweep ?(config = Config.make Config.Clo) ?(stack = Engine.Tcpip)
-    ?(layouts = layout_candidates) ~incremental () =
+    ?(layouts = layout_candidates) ?base ~incremental () =
   if not incremental then
     List.map
       (fun layout ->
@@ -614,7 +619,9 @@ let layout_sweep ?(config = Config.make Config.Clo) ?(stack = Engine.Tcpip)
   else begin
     let base_layout = Config.layout_of config.Config.version in
     let spec = Engine.Spec.make ~stack ~config ~layout:base_layout () in
-    let base = Engine.run spec in
+    let base =
+      match base with Some r -> r | None -> Engine.run spec
+    in
     let params = spec.Engine.Spec.params in
     let bc = Machine.Blockcache.segment params base.Engine.trace in
     List.map
@@ -629,7 +636,7 @@ let layout_sweep ?(config = Config.make Config.Clo) ?(stack = Engine.Tcpip)
               base.Engine.trace
           in
           let bc' = Machine.Blockcache.rebind bc trace' in
-          (layout, Perf.cold params trace', Perf.steady_bc params bc')
+          (layout, Perf.cold_bc params bc', Perf.steady_bc params bc')
         end)
       layouts
   end

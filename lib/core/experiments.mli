@@ -75,10 +75,18 @@ val micro_positioning : unit -> Protolat_util.Table.t
 val layout_candidates : Config.layout list
 (** Every placement strategy, in sweep order. *)
 
+val layout_sweep_base :
+  ?config:Config.t -> ?stack:Engine.stack_kind -> unit -> Engine.run_result
+(** The base measurement run an incremental {!layout_sweep} starts from
+    (the config's own layout).  Expose it so a caller timing sweep
+    mechanics can hoist the shared base protocol simulation out of the
+    timed region and pass it back via [?base]. *)
+
 val layout_sweep :
   ?config:Config.t ->
   ?stack:Engine.stack_kind ->
   ?layouts:Config.layout list ->
+  ?base:Engine.run_result ->
   incremental:bool ->
   unit ->
   (Config.layout * Protolat_machine.Perf.report
@@ -88,10 +96,13 @@ val layout_sweep :
     captures one base run and re-evaluates only the i-side mapping per
     candidate: instruction addresses are rewritten with
     {!Protolat_layout.Image.pc_map}, the basic-block segmentation is
-    re-bound with {!Protolat_machine.Blockcache.rebind}, and the warm
-    replays go through the block cache.  [~incremental:false] runs the
-    full protocol simulation per layout.  Both produce bit-identical
-    reports; the incremental sweep is several times faster. *)
+    re-bound with {!Protolat_machine.Blockcache.rebind}, and both the cold
+    and warm replays go through the block cache ({!Perf.cold_bc} /
+    {!Perf.steady_bc}).  [~incremental:false] runs the full protocol
+    simulation per layout.  Both produce bit-identical reports; the
+    incremental sweep is several times faster.  [?base] supplies the base
+    run (from {!layout_sweep_base} with the same [config]/[stack]) instead
+    of computing it; only the incremental path uses it. *)
 
 val layout_sweep_table : ?incremental:bool -> unit -> Protolat_util.Table.t
 (** {!layout_sweep} as a printed table (default incremental). *)

@@ -12,6 +12,13 @@
       per-path capacity and conflict misses.  This corresponds to the
       cycle-counter timings of Table 7. *)
 
+(** Every entry point consults the {!Simcache} when it is enabled: reports
+    are keyed by the measurement kind, the simulation parameters and the
+    trace's replay identity ({!Trace.digest}), and a hit skips segmentation
+    and simulation entirely.  Cached reports are bit-identical to
+    recomputed ones — the store holds exactly the non-derivable words and
+    the derived fields re-derive through the same pure code path. *)
+
 type report = {
   length : int;  (** trace length in instructions *)
   stats : Memsys.stats;
@@ -26,6 +33,12 @@ type report = {
 
 val cold : Params.t -> Trace.t -> report
 
+val cold_bc : Params.t -> Blockcache.t -> report
+(** {!cold} from an existing segmentation: one chunked replay against a
+    fresh memory system — bit-identical to [cold p (Blockcache.trace bc)],
+    and the cold half of an incremental layout-sweep step where the rebound
+    segmentation already exists. *)
+
 val steady : ?warmup:int -> Params.t -> Trace.t -> report
 (** Default [warmup] is 3.  Warmup replays after the first go through the
     {!Blockcache} fast path when it is enabled; the reports are
@@ -35,7 +48,12 @@ val steady_bc : ?warmup:int -> Params.t -> Blockcache.t -> report
 (** {!steady} from an existing segmentation — the incremental step of a
     layout sweep: segment the base trace once, then per candidate layout
     {!Blockcache.rebind} the pc-rewritten trace and measure, skipping both
-    re-segmentation and the per-instruction warmup replays. *)
+    re-segmentation and the per-instruction warmup replays.
+
+    Resets the segmentation's replay counters
+    ({!Blockcache.reset_counters}) after warmup, immediately before the
+    measured replay, so the counters always describe the measured replay
+    alone.  {!steady} and {!cold_and_steady} do the same. *)
 
 val cold_and_steady : ?warmup:int -> Params.t -> Trace.t -> report * report
 (** Both measurements from one segmentation and one memory system: the

@@ -1,8 +1,11 @@
 #!/bin/sh
 # Compare the two most recent BENCH_*.json snapshots in the repository
-# root: prints per-section wall-clock and simulated-RTT deltas, and exits
-# nonzero if the full-sweep wall time regressed by more than 10% between
-# two runs of the same kind (quick vs quick, full vs full).
+# root: prints per-section wall-clock, replay-throughput (runs/sec) and
+# simulated-RTT deltas, and exits nonzero if the full-sweep wall time
+# regressed by more than 10% between two runs of the same kind (quick vs
+# quick, full vs full).  Baselines that predate the schema_version or
+# replay sections are reported with a warning and compared on the keys
+# they do have.
 #
 # Usage: scripts/bench_compare.sh  (run from the repository root)
 #

@@ -13,6 +13,16 @@ dune runtest
 # disabled: every simulation then takes the per-instruction reference
 # path the fast path is checked against
 PROTOLAT_FASTPATH=0 dune runtest --force
+# ... and with the on-disk simulation cache explicitly off (the suite
+# already defaults it off; this leg pins the knob itself)
+PROTOLAT_SIMCACHE=0 dune runtest --force
+# cross-process simulation-cache reuse: the same quick bench table twice
+# against one shared store — the second invocation must serve its replay
+# measurements from the cache populated by the first
+SIMCACHE_TMP=$(mktemp -t protolat-ci-simcache.XXXXXX)
+trap 'rm -f "$SIMCACHE_TMP"' EXIT
+PROTOLAT_SIMCACHE="$SIMCACHE_TMP" dune exec bench/main.exe -- quick only table1
+PROTOLAT_SIMCACHE="$SIMCACHE_TMP" dune exec bench/main.exe -- quick only table1
 dune exec bin/protolat_cli.exe -- soak --quick --seeds 2
 dune build @profile-quick
 dune build @trace-quick

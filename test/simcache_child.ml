@@ -1,0 +1,21 @@
+(* Helper for the cross-process simulation-cache test: populate the store
+   at [argv(1)] with the cold measurement of a deterministic run, in a
+   process of its own.  Exits 0 on success (at least one entry stored). *)
+
+module P = Protolat
+module M = Protolat_machine
+
+let () =
+  match Sys.argv with
+  | [| _; path; seed |] ->
+    M.Simcache.set_path path;
+    let r =
+      P.Engine.run
+        (P.Engine.Spec.make ~seed:(int_of_string seed) ~stack:P.Engine.Tcpip
+           ~config:(P.Config.make P.Config.Out) ())
+    in
+    ignore (M.Perf.cold M.Params.default r.P.Engine.trace);
+    exit (if M.Simcache.stores () > 0 then 0 else 1)
+  | _ ->
+    prerr_endline "usage: simcache_child <cache-path> <seed>";
+    exit 2

@@ -1,0 +1,305 @@
+(* Replay throughput layers (compact traces, d-side memoization, the
+   on-disk simulation cache): bit-identity of each layer against the
+   reference, counter semantics, and cross-process cache reuse. *)
+
+module P = Protolat
+module M = Protolat_machine
+module Instr = M.Instr
+module Trace = M.Trace
+
+let with_fastpath b f =
+  let was = M.Blockcache.enabled () in
+  M.Blockcache.set_enabled b;
+  Fun.protect ~finally:(fun () -> M.Blockcache.set_enabled was) f
+
+let with_dmemo b f =
+  let was = M.Blockcache.dmemo_enabled () in
+  M.Blockcache.set_dmemo_enabled b;
+  Fun.protect ~finally:(fun () -> M.Blockcache.set_dmemo_enabled was) f
+
+let run_spec ?seed stack v =
+  P.Engine.run (P.Engine.Spec.make ?seed ~stack ~config:(P.Config.make v) ())
+
+let check_report name (a : M.Perf.report) (b : M.Perf.report) =
+  Alcotest.(check bool) (name ^ ": reports bit-identical") true (a = b)
+
+(* ----- compact traces ------------------------------------------------------ *)
+
+(* Round-tripping through the block-level encoding must reproduce every
+   replay-relevant row of the SoA trace (pcs, classes, kinds, addresses;
+   function ids are not part of replay identity). *)
+let check_roundtrip name t =
+  let t' = Trace.of_compact (Trace.compact t) in
+  let n = Trace.length t in
+  Alcotest.(check int) (name ^ ": length") n (Trace.length t');
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if
+      Trace.pc_at t i <> Trace.pc_at t' i
+      || Trace.cls_at t i <> Trace.cls_at t' i
+      || Trace.kind_at t i <> Trace.kind_at t' i
+      || Trace.kind_at t i <> Trace.kind_none
+         && Trace.addr_at t i <> Trace.addr_at t' i
+    then ok := false
+  done;
+  Alcotest.(check bool) (name ^ ": all rows equal") true !ok;
+  Alcotest.(check string) (name ^ ": digest stable across round-trip")
+    (Digest.to_hex (Trace.digest t))
+    (Digest.to_hex (Trace.digest t'))
+
+let test_compact_roundtrip () =
+  let r = with_fastpath false (fun () -> run_spec P.Engine.Tcpip P.Config.Out) in
+  check_roundtrip "tcpip/out steady trace" r.P.Engine.trace;
+  let synth = Trace.create () in
+  List.iter
+    (fun (cls, access) ->
+      Trace.add synth ~pc:(4 * Trace.length synth) ~cls ?access ())
+    [ (Instr.Alu, None);
+      (Instr.Load, Some (Trace.Read 0x2BFF_FFFF_FFFF));  (* addr near 2^46 *)
+      (Instr.Store, Some (Trace.Write 0));
+      (Instr.Br_taken, None);
+      (Instr.Nop, None) ];
+  check_roundtrip "synthetic edge addresses" synth
+
+let test_compact_digest_discriminates () =
+  let r = with_fastpath false (fun () -> run_spec P.Engine.Tcpip P.Config.Out) in
+  let t = r.P.Engine.trace in
+  let shifted = Trace.map_pcs (fun pc -> pc + 64) t in
+  Alcotest.(check bool) "pc shift changes the digest" false
+    (Trace.digest t = Trace.digest shifted);
+  Alcotest.(check string) "identity map keeps the digest"
+    (Digest.to_hex (Trace.digest t))
+    (Digest.to_hex (Trace.digest (Trace.map_pcs Fun.id t)))
+
+(* ----- d-side memoization --------------------------------------------------- *)
+
+(* With the warm-block path on, toggling the d-memo must never change the
+   memory system's statistics — across stacks, seeds, repeat replays, and a
+   thrashing d-cache geometry where most summaries are invalidated. *)
+let test_dmemo_equivalence () =
+  let geometries =
+    [ ("default", M.Params.default);
+      ("512B d-cache", { M.Params.default with M.Params.dcache_bytes = 512 }) ]
+  in
+  with_fastpath true (fun () ->
+      List.iter
+        (fun (stack, v, seed) ->
+          let trace =
+            (with_dmemo false (fun () -> run_spec ~seed stack v)).P.Engine.trace
+          in
+          List.iter
+            (fun (glabel, params) ->
+              let name =
+                Printf.sprintf "%s/%s seed=%d %s" (P.Engine.stack_name stack)
+                  (P.Config.version_name v) seed glabel
+              in
+              let bon = M.Blockcache.segment params trace in
+              let boff = M.Blockcache.segment params trace in
+              let mon = M.Memsys.create params in
+              let moff = M.Memsys.create params in
+              for i = 1 to 4 do
+                with_dmemo true (fun () -> M.Blockcache.replay bon mon);
+                with_dmemo false (fun () -> M.Blockcache.replay boff moff);
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: stats equal after replay %d" name i)
+                  true
+                  (M.Memsys.stats mon = M.Memsys.stats moff)
+              done;
+              Alcotest.(check int) (name ^ ": d-memo off never memoizes") 0
+                (M.Blockcache.dmemo_runs boff + M.Blockcache.wbmemo_runs boff);
+              if glabel = "default" then
+                Alcotest.(check bool) (name ^ ": d-memo engaged") true
+                  (M.Blockcache.dmemo_loads bon > 0))
+            geometries)
+        [ (P.Engine.Tcpip, P.Config.Std, 42);
+          (P.Engine.Tcpip, P.Config.Out, 7);
+          (P.Engine.Rpc, P.Config.Clo, 3) ])
+
+(* Full-run observables with the d-memo on vs off. *)
+let test_engine_dmemo_onoff () =
+  let on = with_dmemo true (fun () -> run_spec ~seed:11 P.Engine.Tcpip P.Config.All) in
+  let off = with_dmemo false (fun () -> run_spec ~seed:11 P.Engine.Tcpip P.Config.All) in
+  Alcotest.(check bool) "rtts identical" true (on.P.Engine.rtts = off.P.Engine.rtts);
+  check_report "steady" on.P.Engine.steady off.P.Engine.steady;
+  check_report "cold" on.P.Engine.cold off.P.Engine.cold
+
+(* ----- counter semantics ---------------------------------------------------- *)
+
+let test_reset_counters () =
+  let trace =
+    (with_fastpath false (fun () -> run_spec P.Engine.Tcpip P.Config.Out))
+      .P.Engine.trace
+  in
+  with_fastpath true (fun () ->
+      let bc = M.Blockcache.segment M.Params.default trace in
+      let m = M.Memsys.create M.Params.default in
+      M.Blockcache.replay bc m;
+      M.Blockcache.replay bc m;
+      M.Blockcache.reset_counters bc;
+      Alcotest.(check int) "reset clears fast" 0 (M.Blockcache.fast_runs bc);
+      Alcotest.(check int) "reset clears slow" 0 (M.Blockcache.slow_runs bc);
+      Alcotest.(check int) "reset clears dmemo loads" 0
+        (M.Blockcache.dmemo_loads bc);
+      Alcotest.(check int) "reset clears wbmemo stores" 0
+        (M.Blockcache.wbmemo_stores bc);
+      M.Blockcache.replay bc m;
+      Alcotest.(check int) "counters describe one replay"
+        (M.Blockcache.n_runs bc)
+        (M.Blockcache.fast_runs bc + M.Blockcache.slow_runs bc))
+
+(* steady_bc resets the segmentation's counters after warmup, so they
+   describe the measured replay alone even when the same segmentation was
+   replayed before. *)
+let test_steady_bc_resets () =
+  let trace =
+    (with_fastpath false (fun () -> run_spec P.Engine.Tcpip P.Config.Out))
+      .P.Engine.trace
+  in
+  with_fastpath true (fun () ->
+      let bc = M.Blockcache.segment M.Params.default trace in
+      ignore (M.Perf.steady_bc M.Params.default bc);
+      let first = M.Blockcache.fast_runs bc + M.Blockcache.slow_runs bc in
+      ignore (M.Perf.steady_bc M.Params.default bc);
+      let second = M.Blockcache.fast_runs bc + M.Blockcache.slow_runs bc in
+      Alcotest.(check int) "one measured replay's worth of runs"
+        (M.Blockcache.n_runs bc) first;
+      Alcotest.(check int) "no carry-over across measurements" first second)
+
+(* ----- simulation cache ----------------------------------------------------- *)
+
+let fresh_cache_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "protolat-test-simcache-%d-%d" (Unix.getpid ()) !n)
+
+let with_cache_at path f =
+  M.Simcache.set_path path;
+  Fun.protect
+    ~finally:(fun () ->
+      M.Simcache.set_enabled false;
+      try Sys.remove path with Sys_error _ -> ())
+    f
+
+let test_simcache_equivalence () =
+  let trace =
+    (with_fastpath false (fun () -> run_spec P.Engine.Tcpip P.Config.Out))
+      .P.Engine.trace
+  in
+  let p = M.Params.default in
+  M.Simcache.set_enabled false;
+  let ref_cold = M.Perf.cold p trace in
+  let ref_steady = M.Perf.steady p trace in
+  let path = fresh_cache_path () in
+  with_cache_at path (fun () ->
+      M.Simcache.reset_stats ();
+      let c1 = M.Perf.cold p trace in
+      let s1 = M.Perf.steady p trace in
+      Alcotest.(check int) "cold start: no hits yet" 0 (M.Simcache.hits ());
+      Alcotest.(check bool) "both measurements stored" true
+        (M.Simcache.stores () >= 2);
+      check_report "first (computing) pass cold" c1 ref_cold;
+      check_report "first (computing) pass steady" s1 ref_steady;
+      M.Simcache.reset_stats ();
+      let c2 = M.Perf.cold p trace in
+      let s2 = M.Perf.steady p trace in
+      let c3, s3 = M.Perf.cold_and_steady p trace in
+      Alcotest.(check int) "warm pass: everything hits" 4 (M.Simcache.hits ());
+      Alcotest.(check int) "warm pass: no misses" 0 (M.Simcache.misses ());
+      check_report "cached cold" c2 ref_cold;
+      check_report "cached steady" s2 ref_steady;
+      check_report "cold_and_steady cold" c3 ref_cold;
+      check_report "cold_and_steady steady" s3 ref_steady)
+
+(* Distinct params or trace must key distinct entries, never collide. *)
+let test_simcache_keying () =
+  let trace =
+    (with_fastpath false (fun () -> run_spec P.Engine.Tcpip P.Config.Out))
+      .P.Engine.trace
+  in
+  let p = M.Params.default in
+  let p' = { p with M.Params.dcache_bytes = 512 } in
+  M.Simcache.set_enabled false;
+  let want = M.Perf.cold p' trace in
+  let path = fresh_cache_path () in
+  with_cache_at path (fun () ->
+      ignore (M.Perf.cold p trace);
+      check_report "other params recompute, not collide" want
+        (M.Perf.cold p' trace))
+
+(* cold_bc shares the cold entry: replaying from an existing segmentation
+   and running from scratch are the same measurement. *)
+let test_cold_bc () =
+  let trace =
+    (with_fastpath false (fun () -> run_spec P.Engine.Tcpip P.Config.Out))
+      .P.Engine.trace
+  in
+  let p = M.Params.default in
+  M.Simcache.set_enabled false;
+  let reference = M.Perf.cold p trace in
+  check_report "cold_bc vs cold"
+    (M.Perf.cold_bc p (M.Blockcache.segment p trace))
+    reference
+
+(* A stale or corrupt store is reinitialized, not trusted. *)
+let test_simcache_stale_file () =
+  let path = fresh_cache_path () in
+  let oc = open_out_bin path in
+  output_string oc "not a simcache";
+  close_out oc;
+  with_cache_at path (fun () ->
+      Alcotest.(check bool) "lookup in reinitialized store misses" true
+        (M.Simcache.find (Digest.string "probe") = None);
+      M.Simcache.add (Digest.string "probe") [| 42L |];
+      Alcotest.(check bool) "store then load" true
+        (M.Simcache.find (Digest.string "probe") = Some [| 42L |]))
+
+(* Cross-process reuse: a child process ([simcache_child.exe], spawned
+   rather than forked — OCaml 5 forbids fork once domains exist) runs the
+   same deterministic simulation and stores its cold measurement; this
+   process then serves that measurement from the file without recomputing. *)
+let test_simcache_cross_process () =
+  let seed = 5 in
+  let trace = (run_spec ~seed P.Engine.Tcpip P.Config.Out).P.Engine.trace in
+  let p = M.Params.default in
+  M.Simcache.set_enabled false;
+  let reference = M.Perf.cold p trace in
+  let path = fresh_cache_path () in
+  let child =
+    Filename.concat (Filename.dirname Sys.executable_name) "simcache_child.exe"
+  in
+  let pid =
+    Unix.create_process child
+      [| child; path; string_of_int seed |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  let _, status = Unix.waitpid [] pid in
+  Alcotest.(check bool) "child stored its measurement" true
+    (status = Unix.WEXITED 0);
+  with_cache_at path (fun () ->
+      M.Simcache.reset_stats ();
+      let r = M.Perf.cold p trace in
+      Alcotest.(check bool) "parent hit the child's entry" true
+        (M.Simcache.hits () > 0);
+      Alcotest.(check int) "parent stored nothing" 0 (M.Simcache.stores ());
+      check_report "cross-process report" r reference)
+
+let suite =
+  ( "replay",
+    [ Alcotest.test_case "compact round-trip" `Quick test_compact_roundtrip;
+      Alcotest.test_case "compact digest discriminates" `Quick
+        test_compact_digest_discriminates;
+      Alcotest.test_case "d-memo equivalence" `Slow test_dmemo_equivalence;
+      Alcotest.test_case "engine d-memo on/off" `Slow test_engine_dmemo_onoff;
+      Alcotest.test_case "reset_counters" `Quick test_reset_counters;
+      Alcotest.test_case "steady_bc resets counters" `Quick
+        test_steady_bc_resets;
+      Alcotest.test_case "simcache equivalence" `Quick
+        test_simcache_equivalence;
+      Alcotest.test_case "simcache keying" `Quick test_simcache_keying;
+      Alcotest.test_case "cold_bc" `Quick test_cold_bc;
+      Alcotest.test_case "simcache stale file" `Quick test_simcache_stale_file;
+      Alcotest.test_case "simcache cross-process" `Quick
+        test_simcache_cross_process ] )
