@@ -9,7 +9,8 @@
      trace    export a timeline / raw instruction trace
      profile  latency attribution
      soak     deterministic fault-injection soak
-     mflow    multi-flow traffic engine with connection churn           *)
+     mflow    multi-flow traffic engine with connection churn
+     chaos    host-lifecycle chaos with shrinkable repro schedules      *)
 
 module P = Protolat
 module M = Protolat_machine
@@ -63,7 +64,8 @@ let run_cmd =
 let tables_cmd =
   let names =
     [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "table7";
-      "table8"; "table9"; "map"; "micro"; "decunix"; "fault"; "mflow" ]
+      "table8"; "table9"; "map"; "micro"; "decunix"; "fault"; "mflow";
+      "chaos" ]
   in
   let which =
     Arg.(value & pos_all string names & info [] ~docv:"TABLE"
@@ -103,6 +105,12 @@ let tables_cmd =
         (P.Experiments.mflow_scaling
            ~flow_counts:(if quick then [ 1; 8; 64 ] else [ 1; 8; 64; 256 ])
            ~seeds:(if quick then 2 else 4)
+           ~jobs ());
+    if want "chaos" then
+      Protolat_util.Table.print
+        (P.Experiments.chaos_degradation
+           ~intensities:(if quick then [ 0; 2; 4 ] else [ 0; 1; 2; 4; 8 ])
+           ~seeds:(if quick then 1 else 2)
            ~jobs ())
   in
   Cmd.v
@@ -430,6 +438,211 @@ let mflow_cmd =
       $ requests_arg $ lifetime_arg $ think_arg $ open_arg $ json_arg
       $ check_arg $ out_arg)
 
+(* ----- chaos -------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let intensities_arg =
+    Arg.(
+      value
+      & opt (list int) [ 0; 1; 2; 4 ]
+      & info [ "intensities" ] ~docv:"N,N,..."
+          ~doc:"Comma-separated fault-incident counts per horizon to sweep.")
+  in
+  let flows_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "flows" ] ~doc:"Concurrent at-most-once client flows.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 24 & info [ "requests" ] ~doc:"Requests per flow.")
+  in
+  let seeds_arg =
+    Cli_common.seeds_arg ~default:2 ~doc:"Schedules per intensity." ()
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Fewer intensities/seeds (CI).")
+  in
+  let bug_conv =
+    let parse s =
+      match P.Chaos.bug_of_string s with
+      | Some b -> Ok b
+      | None -> Error (`Msg ("unknown bug: " ^ s ^ " (none|dedup_off)"))
+    in
+    let print fmt b = Format.pp_print_string fmt (P.Chaos.bug_string b) in
+    Arg.conv (parse, print)
+  in
+  let bug_arg =
+    Arg.(
+      value
+      & opt bug_conv P.Chaos.No_bug
+      & info [ "bug" ]
+          ~doc:
+            "Deliberately re-introduce a recovery bug (none or dedup_off) \
+             so the watchdog has something to catch — the input to --shrink.")
+  in
+  let shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "Scan generated schedules for one whose run violates an \
+             invariant, delta-debug it to a locally-minimal schedule, and \
+             emit the repro as versioned JSON (to -o or stdout).  Needs \
+             --bug dedup_off (or a genuine recovery bug) to find anything.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a repro file produced by --shrink and exit non-zero \
+             unless the run reproduces exactly the violations the file \
+             says to expect.")
+  in
+  let json_arg = Cli_common.json_arg () in
+  let check_arg =
+    Cli_common.check_arg
+      ~doc:
+        "Parse the JSON report, verify the schema version and cell count; \
+         exit non-zero on violation."
+      ()
+  in
+  let out_arg = Cli_common.out_arg () in
+  let run seed intensities flows requests seeds jobs quick bug shrink replay
+      json check out =
+    match replay with
+    | Some path ->
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let data = really_input_string ic len in
+      close_in ic;
+      (match P.Chaos.case_of_json data with
+      | Error msg ->
+        Printf.eprintf "chaos replay: %s\n" msg;
+        exit 1
+      | Ok (c, expect) ->
+        let o, matched = P.Chaos.replay c ~expect in
+        Printf.printf
+          "replay %s: seed=%d flows=%d requests=%d bug=%s events=%d\n" path
+          c.P.Chaos.seed c.P.Chaos.flows c.P.Chaos.requests
+          (P.Chaos.bug_string c.P.Chaos.bug)
+          (List.length c.P.Chaos.sched);
+        Printf.printf "  %d/%d exchanges, %d reconnects, %d duplicate execs\n"
+          o.P.Chaos.completed o.P.Chaos.total o.P.Chaos.reconnects
+          o.P.Chaos.duplicate_execs;
+        let show = function [] -> "(none)" | ns -> String.concat ", " ns in
+        Printf.printf "  expected violations: %s\n" (show expect);
+        Printf.printf "  observed violations: %s\n"
+          (show (P.Chaos.failure_names o));
+        if matched then print_endline "  verdict: MATCH"
+        else begin
+          print_endline "  verdict: MISMATCH";
+          exit 1
+        end)
+    | None ->
+      if shrink then begin
+        let horizon_us = 200_000.0 in
+        let tries = 32 in
+        let rec scan i =
+          if i >= tries then None
+          else begin
+            let s = seed + i in
+            let sched = P.Chaos.gen ~seed:s ~intensity:4 ~horizon_us in
+            let c =
+              P.Chaos.case ~flows ~requests ~horizon_us ~bug ~seed:s sched
+            in
+            let o = P.Chaos.run_case c in
+            if P.Chaos.ok o then scan (i + 1) else Some (c, o)
+          end
+        in
+        match scan 0 with
+        | None ->
+          Printf.eprintf
+            "chaos shrink: no generated schedule in seeds %d..%d fails \
+             (bug=%s) — nothing to shrink\n"
+            seed (seed + tries - 1) (P.Chaos.bug_string bug);
+          exit 1
+        | Some (c, o) ->
+          Printf.eprintf
+            "chaos shrink: seed %d fails (%s) with %d events; shrinking...\n"
+            c.P.Chaos.seed
+            (String.concat ", " (P.Chaos.failure_names o))
+            (List.length c.P.Chaos.sched);
+          (match P.Chaos.shrink c with
+          | None ->
+            Printf.eprintf "chaos shrink: case stopped failing under re-run\n";
+            exit 1
+          | Some r ->
+            let mc = { c with P.Chaos.sched = r.P.Chaos.minimal } in
+            let mo = P.Chaos.run_case mc in
+            let expect = P.Chaos.failure_names mo in
+            Printf.eprintf
+              "chaos shrink: %d -> %d events in %d runs (target %s)\n"
+              (List.length c.P.Chaos.sched)
+              (List.length r.P.Chaos.minimal)
+              r.P.Chaos.runs r.P.Chaos.target;
+            List.iter
+              (fun it -> Printf.eprintf "  %s\n" (P.Chaos.item_string it))
+              r.P.Chaos.minimal;
+            Cli_common.write out (P.Chaos.case_to_json ~expect mc))
+      end
+      else begin
+        let intensities = if quick then [ 0; 2; 4 ] else intensities in
+        let seeds = if quick then 1 else seeds in
+        let cells =
+          P.Chaos.run_matrix ~flows ~requests ~bug ~intensities ~seeds ~jobs
+            ~seed ()
+        in
+        Cli_common.write out
+          (if json then P.Chaos.matrix_to_json cells ^ "\n"
+           else P.Chaos.render cells);
+        if check then begin
+          (match Protolat_obs.Json.parse (P.Chaos.matrix_to_json cells) with
+          | Error msg ->
+            Printf.eprintf "chaos JSON is malformed: %s\n" msg;
+            exit 1
+          | Ok v ->
+            (match Protolat_obs.Json.member "schema_version" v with
+            | Some (Protolat_obs.Json.Num got)
+              when int_of_float got = Protolat_obs.Json.schema_version ->
+              ()
+            | _ ->
+              Printf.eprintf "chaos JSON: bad schema_version\n";
+              exit 1);
+            (match Protolat_obs.Json.member "cells" v with
+            | Some cs
+              when Protolat_obs.Json.array_length cs
+                   = List.length intensities * seeds ->
+              ()
+            | _ ->
+              Printf.eprintf "chaos JSON: wrong cell count\n";
+              exit 1));
+          if not json then
+            Printf.eprintf "check: JSON well-formed, digest %s\n"
+              (P.Chaos.digest cells)
+        end;
+        if not (P.Chaos.passed cells) then begin
+          Printf.eprintf "chaos: an invariant was violated\n";
+          exit 1
+        end
+      end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Host-lifecycle chaos: seeded crash/restart, link-partition, \
+          clock-skew and cache-pressure schedules against an at-most-once \
+          TCP workload watched by the invariant watchdog (at-most-once \
+          execution, payload integrity, metrics conservation, liveness at \
+          quiesce).  --shrink delta-debugs a failing schedule to a minimal \
+          replayable repro file; --replay re-runs one bit-identically.  \
+          Reports are byte-identical for the same seeds at any --jobs.")
+    Term.(
+      const run $ seed_arg $ intensities_arg $ flows_arg $ requests_arg
+      $ seeds_arg $ jobs_arg $ quick_arg $ bug_arg $ shrink_arg $ replay_arg
+      $ json_arg $ check_arg $ out_arg)
+
 (* ----- sweep -------------------------------------------------------------- *)
 
 let sweep_cmd =
@@ -467,4 +680,4 @@ let () =
          Improve Protocol Processing Latency (SIGCOMM '96)."
   in
   exit (Cmd.eval (Cmd.group info [ run_cmd; tables_cmd; figures_cmd; layout_cmd; sweep_cmd; trace_cmd;
-          profile_cmd; soak_cmd; mflow_cmd ]))
+          profile_cmd; soak_cmd; mflow_cmd; chaos_cmd ]))

@@ -682,6 +682,7 @@ type run_result = {
   retransmissions : int;
   metrics : Obs.Metrics.t;
   events : Obs.Tracer.t;
+  invariants : string list;
 }
 
 let layout_for config stack ?layout () =
@@ -755,6 +756,10 @@ let finish ~params ~config ~desc ~(ch : hstate) ~rtts ~retransmissions
   let h = Obs.Metrics.histogram metrics ~help:"roundtrip latency" "engine.rtt_us" in
   List.iter (Obs.Metrics.observe h) rtts;
   let cold, steady = Machine.Perf.cold_and_steady params ch.trace in
+  (* quiesce-time audit: the run's counters must satisfy the metrics
+     conservation laws, whatever faults were injected *)
+  let iv = Invariant.create () in
+  Invariant.conservation iv ~at_us:(Ns.Sim.now ch.sim) metrics;
   { rtts;
     trace = ch.trace;
     client_image = ch.image;
@@ -763,7 +768,8 @@ let finish ~params ~config ~desc ~(ch : hstate) ~rtts ~retransmissions
     static_path = static_path_of config desc;
     retransmissions;
     metrics;
-    events }
+    events;
+    invariants = List.map Invariant.render_violation (Invariant.violations iv) }
 
 (* seeded fault plans for one pair: one wire plan on the link, one device
    plan per host's LANCE (independent split streams per class inside each) *)

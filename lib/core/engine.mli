@@ -38,6 +38,9 @@ type run_result = {
           plan was installed, and the [engine.rtt_us] histogram *)
   events : Obs.Tracer.t;
       (** timeline events ({!Obs.Tracer.null} unless [trace_events]) *)
+  invariants : string list;
+      (** {!Invariant.conservation} violations found in [metrics] at
+          quiesce, rendered one per entry; empty for a sound run *)
 }
 
 val layout_for :

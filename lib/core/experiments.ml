@@ -760,6 +760,62 @@ let fault_injection () =
   List.iter (row Engine.Rpc) [ "clean"; "loss" ];
   t
 
+(* degradation curve under host-lifecycle chaos: goodput and latency of
+   the at-most-once workload as the fault-incident count per 200 ms
+   horizon grows.  Cells come from [Chaos.run_matrix], so the table is
+   bit-identical at any [jobs]. *)
+let chaos_degradation ?(intensities = [ 0; 1; 2; 4; 8 ]) ?(seeds = 2)
+    ?(jobs = 1) () =
+  let cells = Chaos.run_matrix ~intensities ~seeds ~jobs ~seed:42 () in
+  let t =
+    Table.create
+      ~title:
+        "Chaos degradation: at-most-once TCP workload vs host-fault \
+         intensity (mean over seeds)"
+      ~headers:
+        [ "Intensity"; "Done"; "Reconn"; "Crashes"; "Partitions";
+          "Goodput [req/s]"; "p50 [us]"; "p99 [us]"; "Violations" ]
+  in
+  List.iter
+    (fun intensity ->
+      let cs =
+        List.filter (fun (c : Chaos.cell) -> c.Chaos.intensity = intensity)
+          cells
+      in
+      let n = float_of_int (List.length cs) in
+      let avg f =
+        List.fold_left
+          (fun acc (c : Chaos.cell) -> acc +. f c.Chaos.c_outcome)
+          0.0 cs
+        /. n
+      in
+      let sum f =
+        List.fold_left
+          (fun acc (c : Chaos.cell) -> acc + f c.Chaos.c_outcome)
+          0 cs
+      in
+      let viols =
+        List.concat_map
+          (fun (c : Chaos.cell) -> Chaos.failure_names c.Chaos.c_outcome)
+          cs
+      in
+      Table.add_row t
+        [ i intensity;
+          Printf.sprintf "%d/%d"
+            (sum (fun o -> o.Chaos.completed))
+            (sum (fun o -> o.Chaos.total));
+          i (sum (fun o -> o.Chaos.reconnects));
+          i (sum (fun o -> o.Chaos.o_crashes));
+          i (sum (fun o -> o.Chaos.o_partitions));
+          f1 (avg (fun o -> o.Chaos.goodput_rps));
+          f1 (avg (fun o -> o.Chaos.lat.Util.Stats.p50));
+          f1 (avg (fun o -> o.Chaos.lat.Util.Stats.p99));
+          (match List.sort_uniq compare viols with
+          | [] -> "none"
+          | vs -> String.concat "," vs) ])
+    intensities;
+  t
+
 let mflow_scaling ?(flow_counts = [ 1; 8; 64; 256 ]) ?(seeds = 4) ?(jobs = 1)
     () =
   let spec =

@@ -128,3 +128,12 @@ val mflow_scaling :
 (** Multi-flow scaling (extra experiment): latency percentiles and
     demux-map statistics as the concurrent-flow count grows past what the
     one-entry map cache covers (defaults: 1/8/64/256 flows, 4 seeds). *)
+
+val chaos_degradation :
+  ?intensities:int list -> ?seeds:int -> ?jobs:int -> unit -> Protolat_util.Table.t
+(** Degradation under host-lifecycle chaos (extra experiment): completed
+    exchanges, reconnects, goodput and latency percentiles of the
+    {!Chaos} at-most-once workload as the per-horizon fault-incident
+    count grows (defaults: intensities 0/1/2/4/8, 2 seeds).  Any
+    invariant violation appears in the last column — a correct stack
+    shows "none" throughout. *)

@@ -1,0 +1,116 @@
+module Obs = Protolat_obs
+
+type violation = {
+  name : string;
+  at_us : float;
+  detail : string;
+}
+
+type t = {
+  mutable rev : violation list;  (* newest first *)
+  seen : (string, unit) Hashtbl.t;
+}
+
+let create () = { rev = []; seen = Hashtbl.create 8 }
+
+let ok t = t.rev = []
+
+let report t ~at_us ~name ~detail =
+  if not (Hashtbl.mem t.seen name) then begin
+    Hashtbl.replace t.seen name ();
+    t.rev <- { name; at_us; detail } :: t.rev
+  end
+
+let check t ~at_us ~name ~detail cond =
+  if not cond then report t ~at_us ~name ~detail:(detail ())
+
+let violations t = List.rev t.rev
+
+let primary t =
+  match List.rev t.rev with [] -> None | v :: _ -> Some v.name
+
+let names t = List.map (fun v -> v.name) (violations t)
+
+(* ---- conservation laws over a metrics dump ------------------------- *)
+
+(* [scope_of "client.lance.frames_rx" "lance.frames_rx"] = ["client."];
+   a name either IS the suffix (root scope) or ends with ["." ^ suffix] *)
+let split_suffix name suffix =
+  if String.equal name suffix then Some ""
+  else begin
+    let ln = String.length name and ls = String.length suffix in
+    if
+      ln > ls + 1
+      && name.[ln - ls - 1] = '.'
+      && String.equal (String.sub name (ln - ls) ls) suffix
+    then Some (String.sub name 0 (ln - ls))
+    else None
+  end
+
+let counters_with dump suffix =
+  List.filter_map
+    (fun (name, sample) ->
+      match (split_suffix name suffix, sample) with
+      | Some scope, Obs.Metrics.Counter n -> Some (scope, n)
+      | _ -> None)
+    dump
+
+let sum_of dump suffix =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 (counters_with dump suffix)
+
+let scoped_value dump ~scope suffix =
+  match List.assoc_opt scope (counters_with dump suffix) with
+  | Some n -> n
+  | None -> 0
+
+let conservation t ~at_us metrics =
+  let dump = Obs.Metrics.dump metrics in
+  let sum = sum_of dump in
+  let le name lhs_label lhs rhs_label rhs =
+    check t ~at_us ~name
+      ~detail:(fun () ->
+        Printf.sprintf "%s = %d exceeds %s = %d" lhs_label lhs rhs_label rhs)
+      (lhs <= rhs)
+  in
+  (* wire: a link never drops a frame it was not given *)
+  le "conservation.link_drops" "frames_dropped" (sum "frames_dropped")
+    "frames_sent" (sum "frames_sent");
+  (* devices: every frame reaching a LANCE (DMAed or overrun) was first
+     put on the wire, survived it, or is an injected duplicate; frames
+     still propagating only make the left side smaller *)
+  le "conservation.wire_rx" "lance rx + overruns"
+    (sum "lance.frames_rx" + sum "lance.rx_missed")
+    "sent - dropped + duplications"
+    (sum "frames_sent" - sum "frames_dropped" + sum "fault.duplications");
+  (* fault plans: per scope, a class fires at most once per frame drawn *)
+  List.iter
+    (fun (scope, frames) ->
+      let part suffix =
+        le
+          (Printf.sprintf "conservation.fault_%s" suffix)
+          (scope ^ "fault." ^ suffix)
+          (scoped_value dump ~scope ("fault." ^ suffix))
+          (scope ^ "fault.frames") frames
+      in
+      part "drops";
+      part "corruptions";
+      part "duplications";
+      part "reorderings")
+    (counters_with dump "fault.frames");
+  (* TCP: fast retransmits are a subset of all retransmits *)
+  List.iter
+    (fun (scope, total) ->
+      le "conservation.tcp_fast_rexmt"
+        (scope ^ "tcp.fast_retransmits")
+        (scoped_value dump ~scope "tcp.fast_retransmits")
+        (scope ^ "tcp.retransmits")
+        total)
+    (counters_with dump "tcp.retransmits")
+
+let render_violation v =
+  Printf.sprintf "%s @ %.0fus: %s" v.name v.at_us v.detail
+
+let render t =
+  match violations t with
+  | [] -> "ok"
+  | vs -> String.concat "\n" (List.map render_violation vs)

@@ -1,0 +1,61 @@
+(** Invariant watchdog: a small registry of safety and liveness checks
+    that harnesses ({!Chaos}, {!Soak}, {!Mflow}, {!Engine}) evaluate
+    continuously during a run and once more at quiesce.
+
+    A watchdog accumulates {e violations}: named, timestamped findings.
+    Each name is recorded at most once (the first occurrence wins) so a
+    continuously re-checked invariant that stays broken produces one
+    violation, not thousands; the {e primary} violation — the first one
+    observed — is what the schedule shrinker tries to re-reproduce.
+
+    The canned {!conservation} check encodes the metrics conservation
+    laws of the simulated network path as inequalities that are safe to
+    evaluate mid-run, with frames still in flight:
+
+    - wire: frames dropped ≤ frames sent (per [link] scope, summed);
+    - devices: frames DMAed + rx overruns at all LANCEs ≤ frames put on
+      the wire − frames dropped + injected duplications;
+    - fault plans: per scope, every fault class fires at most once per
+      frame drawn;
+    - TCP: per scope, fast retransmits ≤ total retransmits. *)
+
+type violation = {
+  name : string;  (** stable dotted identifier, e.g. ["at_most_once"] *)
+  at_us : float;  (** simulated time of first observation *)
+  detail : string;  (** human-readable specifics *)
+}
+
+type t
+
+val create : unit -> t
+
+val ok : t -> bool
+(** No violation recorded. *)
+
+val report : t -> at_us:float -> name:string -> detail:string -> unit
+(** Record a violation.  Re-reports under an already recorded [name] are
+    ignored: the first observation is the interesting one. *)
+
+val check :
+  t -> at_us:float -> name:string -> detail:(unit -> string) -> bool -> unit
+(** [check t ~at_us ~name ~detail cond] reports a violation when [cond]
+    is false.  [detail] is only forced on failure. *)
+
+val violations : t -> violation list
+(** In order of first observation. *)
+
+val primary : t -> string option
+(** Name of the first violation observed, if any. *)
+
+val names : t -> string list
+(** Violation names in order of first observation. *)
+
+val conservation : t -> at_us:float -> Protolat_obs.Metrics.t -> unit
+(** Evaluate the metrics conservation laws against a registry snapshot,
+    reporting each broken law as a [conservation.*] violation. *)
+
+val render_violation : violation -> string
+(** ["name @ <t>us: detail"]. *)
+
+val render : t -> string
+(** All violations, one per line; ["ok"] when there are none. *)

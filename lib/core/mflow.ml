@@ -89,6 +89,7 @@ type cell = {
   seed : int;
   requests : int;  (** completed request/response exchanges *)
   conns : int;  (** connections opened (TCP; = [flows] for RPC) *)
+  reconnects : int;  (** supervisor-forced reopenings (chaos runs) *)
   retransmits : int;
   lat : Util.Stats.quantiles;  (** aggregate over every exchange *)
   per_flow : Util.Stats.quantiles array;
@@ -96,6 +97,7 @@ type cell = {
   timer_high_water : int;  (** peak pending timers, worse host *)
   sweeps : int;  (** PCB housekeeping walks (TCP only) *)
   drained : bool;  (** no leaked sessions, timers or sim events *)
+  violations : string list;  (** broken conservation laws at quiesce *)
   metrics : Obs.Metrics.t;  (** the pair's registry incl. [mflow.*] *)
 }
 
@@ -115,7 +117,38 @@ type flow = {
   mutable backlog : int;  (** open-loop arrivals awaiting an established conn *)
   mutable scheduled : int;  (** open-loop arrivals scheduled *)
   mutable lat : float list;  (** reversed latency samples *)
+  mutable done_ : bool;  (** quota reached and counted exactly once *)
+  mutable last_progress_us : float;  (** last send or completed exchange *)
 }
+
+(* satellite diagnostics: when flows miss the deadline, name each stuck
+   flow and its state instead of reporting a bare count *)
+let fail_deadline ~(flows : flow array) ~(wl : workload) ~conn_desc
+    ~flows_done ~nflows ~client_timers ~server_timers =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "Mflow: only %d of %d flows finished by the deadline (pending \
+        timers: client=%d server=%d)"
+       flows_done nflows client_timers server_timers);
+  Array.iter
+    (fun f ->
+      if not f.done_ then
+        Buffer.add_string b
+          (Printf.sprintf
+             "\n  flow %d stuck at %d/%d exchanges (%d sent, %d inflight, \
+              conn %s)"
+             f.fid f.completed wl.requests_per_flow f.sent
+             (Queue.length f.inflight) (conn_desc f)))
+    flows;
+  failwith (Buffer.contents b)
+
+(* quiesce-time audit shared by both runners: any broken metrics
+   conservation law becomes a cell violation *)
+let quiesce_violations sim metrics =
+  let iv = Invariant.create () in
+  Invariant.conservation iv ~at_us:(Ns.Sim.now sim) metrics;
+  List.map Invariant.render_violation (Invariant.violations iv)
 
 let server_port = 7000
 
@@ -127,8 +160,15 @@ let establish_poll_us = 100.0
 
 let sweep_interval_us = 2_000.0
 
-let run_tcp ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
+let run_tcp ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) ?chaos
+    () =
   if nflows <= 0 then invalid_arg "Mflow: flows must be positive";
+  (match (chaos, wl.arrival) with
+  | Some _, Open_loop _ ->
+    (* an open-loop arrival stream has no response to pace itself on, so a
+       crash silently sheds its backlog instead of recovering it *)
+    invalid_arg "Mflow: chaos requires a closed-loop workload"
+  | _ -> ());
   let pair =
     T.Stack.make_pair ~client_opts:config.Config.opts
       ~server_opts:config.Config.opts ()
@@ -145,22 +185,25 @@ let run_tcp ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
      session answers with [resp_bytes].  Sessions are keyed by their TCB
      key, not the session value (which is cyclic). *)
   let srv_acc : (string, int ref) Hashtbl.t = Hashtbl.create 64 in
-  T.Tcp.listen stcp ~port:server_port ~receive:(fun s data ->
-      T.Tcp.set_nodelay s true;
-      let key = T.Tcb.key_of (T.Tcp.tcb s) in
-      let acc =
-        match Hashtbl.find_opt srv_acc key with
-        | Some r -> r
-        | None ->
-          let r = ref 0 in
-          Hashtbl.replace srv_acc key r;
-          r
-      in
-      acc := !acc + Bytes.length data;
-      while !acc >= wl.req_bytes do
-        acc := !acc - wl.req_bytes;
-        T.Tcp.send s resp_payload
-      done);
+  let install_server () =
+    T.Tcp.listen stcp ~port:server_port ~receive:(fun s data ->
+        T.Tcp.set_nodelay s true;
+        let key = T.Tcb.key_of (T.Tcp.tcb s) in
+        let acc =
+          match Hashtbl.find_opt srv_acc key with
+          | Some r -> r
+          | None ->
+            let r = ref 0 in
+            Hashtbl.replace srv_acc key r;
+            r
+        in
+        acc := !acc + Bytes.length data;
+        while !acc >= wl.req_bytes do
+          acc := !acc - wl.req_bytes;
+          T.Tcp.send s resp_payload
+        done)
+  in
+  install_server ();
   (* server housekeeping: the tcp_slowtimo-style sweep that reaps sessions
      a departed client left in Close_wait.  It runs over the whole PCB map
      via the §2.2.1 non-empty-bucket list, so under churn it is also the
@@ -174,8 +217,28 @@ let run_tcp ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
       ignore (Ns.Host_env.timeout senv ~delay:sweep_interval_us sweep_tick)
     end
   in
-  ignore (Ns.Host_env.timeout senv ~delay:sweep_interval_us sweep_tick);
+  let arm_sweep () =
+    ignore (Ns.Host_env.timeout senv ~delay:sweep_interval_us sweep_tick)
+  in
+  arm_sweep ();
+  (* a server crash wipes the listener and the sweep timer with the rest
+     of the host's volatile state; the restart hook rebuilds both *)
+  let chaos_status =
+    match chaos with
+    | None -> None
+    | Some sched ->
+      Some
+        (Chaos.inject pair
+           ~on_restart:(fun h ->
+             match h with
+             | Chaos.Server ->
+               install_server ();
+               arm_sweep ()
+             | Chaos.Client -> ())
+           sched)
+  in
   let conns_opened = ref 0 in
+  let reconnects = ref 0 in
   let flows_done = ref 0 in
   let flow_of i =
     { fid = i;
@@ -190,11 +253,19 @@ let run_tcp ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
       resp_acc = 0;
       backlog = 0;
       scheduled = 0;
-      lat = [] }
+      lat = [];
+      done_ = false;
+      last_progress_us = 0.0 }
   in
   let flows = Array.init nflows flow_of in
+  (* a crash can abort the current connection under a callback's feet, so
+     every callback checks it still speaks for the flow's live session *)
+  let conn_current f s =
+    match f.conn with Some cur -> cur == s | None -> false
+  in
   let send_request f s =
     f.sent <- f.sent + 1;
+    f.last_progress_us <- Ns.Sim.now sim;
     Queue.push (Ns.Sim.now sim) f.inflight;
     Ns.Host_env.phase cenv "mflow_send" (fun () -> T.Tcp.send s req_payload)
   in
@@ -217,12 +288,19 @@ let run_tcp ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
        handshakes through the shared event queue *)
     ignore
       (Ns.Host_env.timeout cenv ~delay:establish_poll_us (fun () ->
-           match T.Tcp.state s with
-           | T.Tcb.Established ->
-             T.Tcp.set_nodelay s true;
-             conn_ready f s
-           | T.Tcb.Closed -> failwith "Mflow: handshake failed"
-           | _ -> wait_established f s))
+           if conn_current f s then
+             match T.Tcp.state s with
+             | T.Tcb.Established ->
+               T.Tcp.set_nodelay s true;
+               conn_ready f s
+             | T.Tcb.Closed -> (
+               match chaos_status with
+               | None -> failwith "Mflow: handshake failed"
+               | Some _ ->
+                 (* SYN exhausted against a crashed or partitioned peer:
+                    drop the carcass, the supervisor reopens *)
+                 f.conn <- None)
+             | _ -> wait_established f s))
   and conn_ready f s =
     match wl.arrival with
     | Closed_loop _ -> send_request f s
@@ -233,20 +311,26 @@ let run_tcp ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
         send_request f s
       done
   and client_receive f s data =
-    f.resp_acc <- f.resp_acc + Bytes.length data;
-    while f.resp_acc >= wl.resp_bytes do
-      f.resp_acc <- f.resp_acc - wl.resp_bytes;
-      let t0 = Queue.pop f.inflight in
-      f.lat <- (Ns.Sim.now sim -. t0) :: f.lat;
-      f.completed <- f.completed + 1;
-      f.conn_requests <- f.conn_requests + 1;
-      after_response f s
-    done
+    if conn_current f s then begin
+      f.resp_acc <- f.resp_acc + Bytes.length data;
+      while f.resp_acc >= wl.resp_bytes && not (Queue.is_empty f.inflight) do
+        f.resp_acc <- f.resp_acc - wl.resp_bytes;
+        let t0 = Queue.pop f.inflight in
+        f.lat <- (Ns.Sim.now sim -. t0) :: f.lat;
+        f.completed <- f.completed + 1;
+        f.conn_requests <- f.conn_requests + 1;
+        f.last_progress_us <- Ns.Sim.now sim;
+        after_response f s
+      done
+    end
   and after_response f s =
     if f.completed >= wl.requests_per_flow then begin
       T.Tcp.close s;
       f.conn <- None;
-      incr flows_done
+      if not f.done_ then begin
+        f.done_ <- true;
+        incr flows_done
+      end
     end
     else if f.conn_requests >= f.lifetime && Queue.is_empty f.inflight then begin
       (* connection churn: tear down at a quiescent point, reopen fresh *)
@@ -281,9 +365,50 @@ let run_tcp ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
              schedule_arrival f ia))
     end
   in
+  (* chaos supervision: a client crash kills the think and handshake
+     timers along with every session, leaving its flows permanently idle.
+     The supervisor runs on the raw simulator — outside any host, so no
+     crash can cancel it — and re-drives any flow that has made no
+     progress for [stall_us] once both hosts are powered again.  Cleared
+     in-flight requests are simply resent: the workload is an idempotent
+     echo, so the latency sample just keeps its original send time. *)
+  (match chaos_status with
+  | None -> ()
+  | Some st ->
+    let stall_us = 50_000.0 in
+    let supervise_period_us = 5_000.0 in
+    let rec supervise () =
+      if !flows_done < nflows then begin
+        let now = Ns.Sim.now sim in
+        if
+          not
+            (Chaos.is_down st Chaos.Client || Chaos.is_down st Chaos.Server)
+        then
+          Array.iter
+            (fun f ->
+              if (not f.done_) && now -. f.last_progress_us > stall_us
+              then begin
+                (match f.conn with
+                | Some s when T.Tcp.state s <> T.Tcb.Closed -> T.Tcp.close s
+                | _ -> ());
+                f.conn <- None;
+                Queue.clear f.inflight;
+                f.resp_acc <- 0;
+                f.last_progress_us <- now;
+                incr reconnects;
+                open_conn f
+              end)
+            flows;
+        Ns.Sim.schedule sim ~delay:supervise_period_us supervise
+      end
+    in
+    Ns.Sim.schedule sim ~delay:supervise_period_us supervise);
   Array.iter
     (fun f ->
-      if wl.requests_per_flow <= 0 then incr flows_done
+      if wl.requests_per_flow <= 0 then begin
+        f.done_ <- true;
+        incr flows_done
+      end
       else begin
         open_conn f;
         match wl.arrival with
@@ -305,9 +430,14 @@ let run_tcp ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
   in
   pump ();
   if !flows_done < nflows then
-    failwith
-      (Printf.sprintf "Mflow: only %d of %d flows finished by the deadline"
-         !flows_done nflows);
+    fail_deadline ~flows ~wl
+      ~conn_desc:(fun f ->
+        match f.conn with
+        | None -> "none"
+        | Some s -> T.Tcb.state_string (T.Tcp.state s))
+      ~flows_done:!flows_done ~nflows
+      ~client_timers:(Xk.Event.pending cenv.Ns.Host_env.events)
+      ~server_timers:(Xk.Event.pending senv.Ns.Host_env.events);
   (* teardown: keep sweeping until both PCB maps are empty (Close_wait
      reaped, Time_wait expired), then let the event queue run dry.  The
      budget must clear fully backed-off retransmit timers — under heavy
@@ -317,6 +447,9 @@ let run_tcp ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
   let rec drain () =
     ignore (Ns.Sim.run ~until:(Ns.Sim.now sim +. sweep_interval_us) sim);
     ignore (T.Tcp.sweep stcp);
+    (* the client needs the finwait2 reaper too: a crashed server cannot
+       finish a close the client already half-completed *)
+    ignore (T.Tcp.sweep ctcp);
     if
       (T.Tcp.session_count stcp > 0 || T.Tcp.session_count ctcp > 0)
       && Ns.Sim.now sim < drain_deadline
@@ -346,6 +479,7 @@ let run_tcp ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
       seed;
       requests = Array.fold_left (fun a f -> a + f.completed) 0 flows;
       conns = !conns_opened;
+      reconnects = !reconnects;
       retransmits = T.Tcp.retransmits ctcp + T.Tcp.retransmits stcp;
       lat = Util.Stats.quantiles [ 0.0 ] (* patched below *);
       per_flow = [||];
@@ -356,6 +490,7 @@ let run_tcp ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
           (Xk.Event.high_water senv.Ns.Host_env.events);
       sweeps = !sweeps;
       drained;
+      violations = quiesce_violations sim pair.T.Stack.metrics;
       metrics = pair.T.Stack.metrics } )
 
 (* ----- RPC cell ----------------------------------------------------------- *)
@@ -389,7 +524,9 @@ let run_rpc ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
           resp_acc = 0;
           backlog = 0;
           scheduled = 0;
-          lat = [] })
+          lat = [];
+          done_ = false;
+          last_progress_us = 0.0 })
   in
   let flows_done = ref 0 in
   let rec issue f =
@@ -401,7 +538,10 @@ let run_rpc ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
       ~reply:(fun _ ->
         f.lat <- (Ns.Sim.now sim -. t0) :: f.lat;
         f.completed <- f.completed + 1;
-        if f.completed >= wl.requests_per_flow then incr flows_done
+        if f.completed >= wl.requests_per_flow then begin
+          f.done_ <- true;
+          incr flows_done
+        end
         else
           match wl.arrival with
           | Closed_loop { think_us } ->
@@ -421,7 +561,10 @@ let run_rpc ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
   in
   Array.iter
     (fun f ->
-      if wl.requests_per_flow <= 0 then incr flows_done
+      if wl.requests_per_flow <= 0 then begin
+        f.done_ <- true;
+        incr flows_done
+      end
       else
         match wl.arrival with
         | Closed_loop _ -> issue f
@@ -440,9 +583,11 @@ let run_rpc ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
   in
   pump ();
   if !flows_done < nflows then
-    failwith
-      (Printf.sprintf "Mflow: only %d of %d flows finished by the deadline"
-         !flows_done nflows);
+    fail_deadline ~flows ~wl
+      ~conn_desc:(fun _ -> "rpc channel")
+      ~flows_done:!flows_done ~nflows
+      ~client_timers:(Xk.Event.pending cenv.Ns.Host_env.events)
+      ~server_timers:(Xk.Event.pending senv.Ns.Host_env.events);
   ignore (Ns.Sim.run sim);
   let drained =
     Ns.Sim.pending sim = 0
@@ -464,6 +609,7 @@ let run_rpc ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
       seed;
       requests = Array.fold_left (fun a f -> a + f.completed) 0 flows;
       conns = R.Chan.map_size pair.R.Rstack.client.R.Rstack.chan;
+      reconnects = 0;
       retransmits =
         R.Chan.request_retransmits pair.R.Rstack.client.R.Rstack.chan;
       lat = Util.Stats.quantiles [ 0.0 ];
@@ -475,6 +621,7 @@ let run_rpc ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
           (Xk.Event.high_water senv.Ns.Host_env.events);
       sweeps = 0;
       drained;
+      violations = quiesce_violations sim pair.R.Rstack.metrics;
       metrics = pair.R.Rstack.metrics } )
 
 (* ----- cell assembly ------------------------------------------------------ *)
@@ -517,12 +664,20 @@ let finish_cell (flows, cell) =
     (hit_rate cell.server_map);
   cell
 
-let run_cell ?(workload = default_workload) ~flows (spec : Engine.Spec.t) =
+let run_cell ?(workload = default_workload) ?chaos ~flows
+    (spec : Engine.Spec.t) =
   let config = spec.Engine.Spec.config and seed = spec.Engine.Spec.seed in
   finish_cell
     (match spec.Engine.Spec.stack with
-    | Engine.Tcpip -> run_tcp ~config ~seed ~flows ~wl:workload ()
-    | Engine.Rpc -> run_rpc ~config ~seed ~flows ~wl:workload ())
+    | Engine.Tcpip -> run_tcp ~config ~seed ~flows ~wl:workload ?chaos ()
+    | Engine.Rpc ->
+      (match chaos with
+      | Some _ ->
+        (* RPC channels are pooled, not torn down; host-lifecycle faults
+           have no reconnect story there yet *)
+        invalid_arg "Mflow: chaos supports the TCP stack only"
+      | None -> ());
+      run_rpc ~config ~seed ~flows ~wl:workload ())
 
 (* ----- sweep -------------------------------------------------------------- *)
 
@@ -584,7 +739,7 @@ let render t =
            (if t.seeds = 1 then "" else "s"))
       ~headers:
         [ "Flows"; "seed"; "p50 [us]"; "p90"; "p99"; "max"; "hit rate";
-          "cmp/res"; "scans"; "timers"; "conns"; "rexmt"; "drained" ]
+          "cmp/res"; "scans"; "timers"; "conns"; "rexmt"; "drained"; "ok" ]
   in
   let f1 = Util.Table.cell_f ~digits:1 in
   let f3 = Util.Table.cell_f ~digits:3 in
@@ -598,11 +753,24 @@ let render t =
           f1 (compares_per_resolve c.server_map);
           string_of_int c.server_map.buckets_scanned;
           string_of_int c.timer_high_water; string_of_int c.conns;
-          string_of_int c.retransmits; (if c.drained then "yes" else "NO") ])
+          string_of_int c.retransmits; (if c.drained then "yes" else "NO");
+          (if c.violations = [] then "yes" else "NO") ])
     t.cells;
-  Util.Table.render tbl
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Util.Table.render tbl);
+  List.iter
+    (fun (c : cell) ->
+      List.iter
+        (fun v ->
+          Buffer.add_string b
+            (Printf.sprintf "violation (flows=%d seed=%d): %s\n" c.flows
+               c.seed v))
+        c.violations)
+    t.cells;
+  Buffer.contents b
 
-let passed t = List.for_all (fun c -> c.drained) t.cells
+let passed t =
+  List.for_all (fun c -> c.drained && c.violations = []) t.cells
 
 (* ----- JSON export -------------------------------------------------------- *)
 
@@ -629,6 +797,17 @@ let to_json t =
        | None -> "null"
        | Some n -> string_of_int n));
   Buffer.add_string b "  \"cells\": [\n";
+  let esc s =
+    let eb = Buffer.create (String.length s) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string eb "\\\""
+        | '\\' -> Buffer.add_string eb "\\\\"
+        | '\n' -> Buffer.add_string eb "\\n"
+        | c -> Buffer.add_char eb c)
+      s;
+    Buffer.contents eb
+  in
   let cell_json (c : cell) =
     let q = c.lat in
     let flow_p99 = Array.map (fun q -> q.Util.Stats.p99) c.per_flow in
@@ -643,13 +822,16 @@ let to_json t =
        %.3f, \"worst_flow_p99_us\": %.3f, \"map_hit_rate\": %.6f, \
        \"key_compares_per_resolve\": %.4f, \"buckets_scanned\": %d, \
        \"nonempty_buckets\": %d, \"timer_high_water\": %d, \"sweeps\": %d, \
-       \"retransmits\": %d, \"drained\": %b}"
+       \"retransmits\": %d, \"reconnects\": %d, \"drained\": %b, \
+       \"violations\": [%s]}"
       c.flows c.seed c.requests c.conns q.Util.Stats.p50 q.Util.Stats.p90
       q.Util.Stats.p99 q.Util.Stats.max worst_flow_p99
       (hit_rate c.server_map)
       (compares_per_resolve c.server_map)
       c.server_map.buckets_scanned c.server_map.nonempty c.timer_high_water
-      c.sweeps c.retransmits c.drained
+      c.sweeps c.retransmits c.reconnects c.drained
+      (String.concat ", "
+         (List.map (fun v -> "\"" ^ esc v ^ "\"") c.violations))
   in
   Buffer.add_string b (String.concat ",\n" (List.map cell_json t.cells));
   Buffer.add_string b "\n  ],\n  \"summary\": [\n";

@@ -71,6 +71,9 @@ type cell = {
   seed : int;
   requests : int;  (** completed request/response exchanges *)
   conns : int;  (** TCP connections opened (channel-map size for RPC) *)
+  reconnects : int;
+      (** connections the chaos supervisor force-reopened after a host
+          crash stranded their flow (0 without chaos) *)
   retransmits : int;
   lat : Util.Stats.quantiles;  (** aggregate latency over every exchange *)
   per_flow : Util.Stats.quantiles array;  (** indexed by flow id *)
@@ -80,19 +83,36 @@ type cell = {
   sweeps : int;  (** PCB housekeeping traversals run (TCP only) *)
   drained : bool;
       (** teardown left no session, no pending timer, no sim event *)
+  violations : string list;
+      (** {!Invariant.conservation} findings against the cell's metrics
+          at quiesce, rendered; empty for a sound cell *)
   metrics : Obs.Metrics.t;
       (** the pair's unified registry, including the [mflow.*] scope
           (latency histogram, request/connection counters, hit-rate and
           timer-occupancy gauges) *)
 }
 
-val run_cell : ?workload:workload -> flows:int -> Engine.Spec.t -> cell
+val run_cell :
+  ?workload:workload ->
+  ?chaos:Chaos.schedule ->
+  flows:int ->
+  Engine.Spec.t ->
+  cell
 (** Run one cell.  The spec supplies the stack, the protocol configuration
     (whose {!Config.t} opts control e.g. the inlined map-cache test) and
     the seed; machine-model fields ([rounds], [params], ...) are unused —
     cells run standalone.
+
+    [chaos] injects a host-lifecycle fault schedule (see {!Chaos}): hosts
+    crash and restart mid-run, the server's listener and sweep timer are
+    rebuilt on restart, and a crash-proof supervisor reconnects stranded
+    flows and resends their cleared in-flight requests (counted in
+    [reconnects]).  Chaos requires the TCP stack and a closed-loop
+    workload.
     @raise Failure if flows do not finish before the internal deadline or
-    a handshake fails. *)
+    a handshake fails (the message names each stuck flow with its
+    connection state and in-flight count).
+    @raise Invalid_argument for chaos on RPC or an open-loop workload. *)
 
 type report = {
   rstack : Engine.stack_kind;
@@ -123,7 +143,7 @@ val summary : report -> (int * (float * float * float * float)) list
 val render : report -> string
 
 val passed : report -> bool
-(** Every cell drained cleanly. *)
+(** Every cell drained cleanly and broke no conservation law. *)
 
 val to_json : report -> string
 (** Deterministic JSON document (carries ["schema_version"]). *)

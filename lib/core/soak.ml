@@ -218,7 +218,7 @@ let pump sim ~deadline pred =
 (* Every timer in the stacks is bounded (retransmission, NACK and call
    caps), so running the queue dry terminates; afterwards no host may
    hold a registered-but-unfired timer. *)
-let drain_check failures sim envs =
+let drain_check ?metrics failures sim envs =
   ignore (Ns.Sim.run sim);
   check failures "event queue drains" (Ns.Sim.pending sim = 0);
   List.iteri
@@ -227,7 +227,17 @@ let drain_check failures sim envs =
       check failures
         (Printf.sprintf "host%d leaks no timers (%d left)" i left)
         (left = 0))
-    envs
+    envs;
+  (* with the wire quiet, the run's counters must satisfy the metrics
+     conservation laws — a broken law is a cell failure like any other *)
+  match metrics with
+  | None -> ()
+  | Some m ->
+    let iv = Invariant.create () in
+    Invariant.conservation iv ~at_us:(Ns.Sim.now sim) m;
+    List.iter
+      (fun v -> check failures (Invariant.render_violation v) false)
+      (Invariant.violations iv)
 
 let is_clean spec = spec = Ns.Fault.clean
 
@@ -306,7 +316,7 @@ let tcp_transfer ~cover ~seed ~spec ~quick =
     (match !srv_session with
     | Some s -> T.Tcp.close s
     | None -> ());
-    drain_check failures sim
+    drain_check ~metrics:p.T.Stack.metrics failures sim
       [ p.T.Stack.client.T.Stack.env; p.T.Stack.server.T.Stack.env ];
     let counters =
       [ ("bytes", total);
@@ -359,7 +369,7 @@ let tcp_pingpong ~cover ~seed ~spec ~quick =
     check failures "clean: no wire drops"
       (Ns.Ether.Link.frames_dropped p.T.Stack.link = 0)
   end;
-  drain_check failures sim
+  drain_check ~metrics:p.T.Stack.metrics failures sim
     [ p.T.Stack.client.T.Stack.env; p.T.Stack.server.T.Stack.env ];
   let counters =
     [ ("rounds", T.Tcptest.rounds_completed ct);
@@ -438,7 +448,7 @@ let tcp_zero_window ~cover ~seed:_ ~spec:_ ~quick:_ =
     (match !srv_session with
     | Some s -> T.Tcp.close s
     | None -> ());
-    drain_check failures sim
+    drain_check ~metrics:p.T.Stack.metrics failures sim
       [ p.T.Stack.client.T.Stack.env; p.T.Stack.server.T.Stack.env ];
     let counters =
       [ ("bytes", total);
@@ -525,7 +535,8 @@ let tcp_edge ~cover ~seed:_ ~spec:_ ~quick:_ =
     (Cover.triggered cover ~func:"eth_demux" ~block:"badtype" > 0);
   check failures "retained buffer forced pool free+malloc"
     (Cover.triggered cover ~func:"pool_put" ~block:"malloc" > 0);
-  drain_check failures sim [ client.T.Stack.env; server.T.Stack.env ];
+  drain_check ~metrics:p.T.Stack.metrics failures sim
+    [ client.T.Stack.env; server.T.Stack.env ];
   let counters =
     [ ("client_retransmits", T.Tcp.retransmits client.T.Stack.tcp);
       ("ip_fragmented", T.Ip.datagrams_fragmented client.T.Stack.ip);
@@ -597,7 +608,8 @@ let blast_transfer ~cover ~seed ~spec ~quick =
       (R.Blast.cksum_drops server.R.Rstack.blast
        + R.Blast.cksum_drops client.R.Rstack.blast
        > 0);
-  drain_check failures sim [ client.R.Rstack.env; server.R.Rstack.env ];
+  drain_check ~metrics:p.R.Rstack.metrics failures sim
+    [ client.R.Rstack.env; server.R.Rstack.env ];
   let counters =
     [ ("messages", List.length !deliveries);
       ("nacks", R.Blast.nacks_sent server.R.Rstack.blast);
@@ -647,7 +659,7 @@ let rpc_pingpong ~cover ~seed ~spec ~quick =
   end;
   check failures "no calls abandoned"
     (R.Chan.call_failures p.R.Rstack.client.R.Rstack.chan = 0);
-  drain_check failures sim
+  drain_check ~metrics:p.R.Rstack.metrics failures sim
     [ p.R.Rstack.client.R.Rstack.env; p.R.Rstack.server.R.Rstack.env ];
   let counters =
     [ ("rounds", R.Xrpctest.rounds_completed ct);
@@ -744,7 +756,8 @@ let rpc_stress ~cover ~seed:_ ~spec:_ ~quick:_ =
   ignore (Ns.Sim.run ~until:(Ns.Sim.now sim +. 80_000.0) sim);
   check failures "unanswered call abandoned after the retransmit cap"
     (R.Chan.call_failures client.R.Rstack.chan = 1);
-  drain_check failures sim [ client.R.Rstack.env; server.R.Rstack.env ];
+  drain_check ~metrics:p.R.Rstack.metrics failures sim
+    [ client.R.Rstack.env; server.R.Rstack.env ];
   let counters =
     [ ("echoes", !echoes);
       ("duplicate_requests", R.Chan.duplicate_requests server.R.Rstack.chan);

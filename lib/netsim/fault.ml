@@ -55,7 +55,43 @@ type t = {
   rx_overruns : Obs.Metrics.counter;
 }
 
+let validate spec =
+  let pct name v =
+    if Float.is_nan v || v < 0.0 || v > 100.0 then
+      invalid_arg
+        (Printf.sprintf "Fault.create: %s = %g out of range [0,100]" name v)
+  in
+  let prob name v =
+    if Float.is_nan v || v < 0.0 || v > 1.0 then
+      invalid_arg
+        (Printf.sprintf "Fault.create: %s = %g out of range [0,1]" name v)
+  in
+  let delay name v =
+    if Float.is_nan v || v < 0.0 || v = Float.infinity then
+      invalid_arg
+        (Printf.sprintf "Fault.create: %s = %g must be a finite non-negative \
+                         delay"
+           name v)
+  in
+  pct "loss_pct" spec.loss_pct;
+  pct "corrupt_pct" spec.corrupt_pct;
+  pct "duplicate_pct" spec.duplicate_pct;
+  pct "reorder_pct" spec.reorder_pct;
+  pct "tx_stall_pct" spec.tx_stall_pct;
+  pct "rx_overrun_pct" spec.rx_overrun_pct;
+  delay "reorder_delay_us" spec.reorder_delay_us;
+  delay "jitter_us" spec.jitter_us;
+  delay "tx_stall_us" spec.tx_stall_us;
+  match spec.ge with
+  | None -> ()
+  | Some g ->
+    prob "ge.p_good_to_bad" g.p_good_to_bad;
+    prob "ge.p_bad_to_good" g.p_bad_to_good;
+    pct "ge.loss_good_pct" g.loss_good_pct;
+    pct "ge.loss_bad_pct" g.loss_bad_pct
+
 let create ~seed ?metrics spec =
+  validate spec;
   let metrics =
     match metrics with Some m -> m | None -> Obs.Metrics.create ()
   in

@@ -38,7 +38,10 @@ type t
 val create : seed:int -> ?metrics:Protolat_obs.Metrics.t -> spec -> t
 (** [metrics] hosts the plan's [fault.*] counters (frames, drops,
     corruptions, duplications, reorderings, tx_stalls, rx_overruns);
-    defaults to a fresh private registry. *)
+    defaults to a fresh private registry.
+    @raise Invalid_argument if the spec is malformed: NaN, negative or
+    >100 percentages, Gilbert–Elliott transition probabilities outside
+    [0,1], or negative/non-finite delays. *)
 
 val spec : t -> spec
 

@@ -12,6 +12,9 @@ type t = {
   metrics : Obs.Metrics.t;
   mutable tracer : Obs.Tracer.t;
   mutable trace_tid : int;
+  mutable timer_scale : float;
+      (* clock-skew model: every timer delay registered through [timeout]
+         is stretched by this factor (1.0 = nominal) *)
 }
 
 let create sim ?(meter = Xk.Meter.null) ?metrics ?(simmem_base = 0x1000_0000)
@@ -36,7 +39,8 @@ let create sim ?(meter = Xk.Meter.null) ?metrics ?(simmem_base = 0x1000_0000)
         ignore (Xk.Thread.run sched));
     metrics;
     tracer = Obs.Tracer.null;
-    trace_tid = 0 }
+    trace_tid = 0;
+    timer_scale = 1.0 }
 
 let set_tracer t ~tid tracer =
   t.tracer <- tracer;
@@ -52,8 +56,15 @@ let advance_events t = ignore (Xk.Event.advance t.events (Sim.now t.sim))
 
 let timer_seq = "timer"
 
+let set_timer_scale t s =
+  if not (Float.is_finite s) || s <= 0.0 then
+    invalid_arg "Host_env.set_timer_scale: scale must be finite and positive";
+  t.timer_scale <- s
+
+let timer_scale t = t.timer_scale
+
 let timeout t ~delay fn =
-  let at = Sim.now t.sim +. delay in
+  let at = Sim.now t.sim +. (delay *. t.timer_scale) in
   let fn =
     if Obs.Tracer.enabled t.tracer then begin
       (* round the delay to whole µs for the event arg: it is a label, and

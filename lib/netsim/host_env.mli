@@ -23,6 +23,8 @@ type t = {
   metrics : Obs.Metrics.t;  (** host-scoped registry (e.g. ["client."]) *)
   mutable tracer : Obs.Tracer.t;  (** {!Obs.Tracer.null} unless installed *)
   mutable trace_tid : int;  (** Perfetto thread id for this host's events *)
+  mutable timer_scale : float;
+      (** clock-skew model: factor applied to every [timeout] delay *)
 }
 
 val create :
@@ -42,6 +44,14 @@ val phase : t -> string -> (unit -> unit) -> unit
 
 val advance_events : t -> unit
 (** Fire timer events due at the current simulated time. *)
+
+val set_timer_scale : t -> float -> unit
+(** Set the clock-skew factor applied to subsequent {!timeout} delays
+    (1.0 = nominal; 1.25 = this host's timers run 25% slow).  Already
+    armed timers keep their original firing times.
+    @raise Invalid_argument unless the scale is finite and positive. *)
+
+val timer_scale : t -> float
 
 val timeout : t -> delay:float -> (unit -> unit) -> Xk.Event.handle
 (** Register a timer event and arrange for the simulation to fire it:

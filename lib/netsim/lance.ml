@@ -21,12 +21,16 @@ type t = {
   c_rx : Obs.Metrics.counter;
   c_rx_missed : Obs.Metrics.counter;
   c_tx_stalls : Obs.Metrics.counter;
+  c_down_drops : Obs.Metrics.counter;
   mutable busy_until : float;
       (* the controller serializes: one frame on the wire at a time *)
   mutable tx_outstanding : int;
       (* descriptors handed over but not yet returned (OWN still set) *)
   mutable rx_missed : bool;
       (* an rx-descriptor overrun happened since the last receive *)
+  mutable power : bool;
+      (* a powered-down controller (crashed host) drops every incoming
+         frame on the floor — no DMA, no interrupt *)
   mutable fault : Fault.t option;
   mutable tracer : Obs.Tracer.t;
   mutable trace_tid : int;
@@ -67,14 +71,26 @@ let create sim simmem link ~station ?(mode = Usc_direct) ?(ring_size = 16)
       c_tx_stalls =
         Obs.Metrics.counter metrics ~help:"injected controller tx stalls"
           "lance.tx_stalls";
+      c_down_drops =
+        Obs.Metrics.counter metrics
+          ~help:"frames arriving while the controller was powered down"
+          "lance.down_drops";
       busy_until = 0.0;
       tx_outstanding = 0;
       rx_missed = false;
+      power = true;
       fault = None;
       tracer = Obs.Tracer.null;
       trace_tid = 0 }
   in
   Ether.Link.attach link ~station (fun frame ->
+      if not t.power then begin
+        Obs.Metrics.inc t.c_down_drops;
+        if Obs.Tracer.enabled t.tracer then
+          Obs.Tracer.instant t.tracer ~tid:t.trace_tid ~cat:dev
+            ~name:"down_drop" ~a0:(Bytes.length frame.Ether.payload)
+      end
+      else
       let overrun =
         match t.fault with Some f -> Fault.rx_overrun f | None -> false
       in
@@ -132,9 +148,7 @@ let tx_complete_latency_us t payload_len =
 
 let tx_ring_full t = t.tx_outstanding >= t.ring_size
 
-let transmit t frame =
-  if tx_ring_full t then
-    invalid_arg "Lance.transmit: tx ring full (check tx_ring_full first)";
+let transmit_live t frame =
   let desc = t.tx_index in
   t.tx_index <- (t.tx_index + 1) mod t.ring_size;
   t.tx_outstanding <- t.tx_outstanding + 1;
@@ -170,7 +184,28 @@ let transmit t frame =
           t.tx_outstanding <- t.tx_outstanding - 1;
           t.on_tx_complete ()))
 
+let transmit t frame =
+  if tx_ring_full t then
+    invalid_arg "Lance.transmit: tx ring full (check tx_ring_full first)";
+  if not t.power then
+    (* a crashed host cannot put frames on the wire; a straggling interrupt
+       handler scheduled before the crash just loses its frame *)
+    Obs.Metrics.inc t.c_down_drops
+  else transmit_live t frame
+
 let set_fault t f = t.fault <- f
+
+let set_power t on = t.power <- on
+
+let powered t = t.power
+
+let down_drops t = Obs.Metrics.value t.c_down_drops
+
+let stall t ~us =
+  if not (Float.is_finite us) || us < 0.0 then
+    invalid_arg "Lance.stall: duration must be finite and non-negative";
+  let now = Sim.now t.sim in
+  t.busy_until <- Float.max t.busy_until now +. us
 
 let set_tracer t ~tid tracer =
   t.tracer <- tracer;

@@ -56,6 +56,24 @@ val set_fault : t -> Fault.t option -> unit
     rx overruns drop incoming frames before a descriptor is filled,
     latching a MISS condition for {!consume_rx_missed}. *)
 
+val set_power : t -> bool -> unit
+(** Power the controller up or down.  While down (a crashed host) every
+    incoming frame and every straggling transmit is dropped and counted in
+    [lance.down_drops]; no DMA happens and no interrupt fires.  Powering
+    back up does not replay anything — lost frames stay lost. *)
+
+val powered : t -> bool
+
+val down_drops : t -> int
+(** Frames dropped because the controller was powered down. *)
+
+val stall : t -> us:float -> unit
+(** Hold the transmit path busy for a further [us] microseconds from now
+    (or from the end of the current transmission, whichever is later) —
+    models a cache-pressure / DMA-contention event stealing the
+    controller's cycles.
+    @raise Invalid_argument if [us] is negative or not finite. *)
+
 val set_tracer : t -> tid:int -> Protolat_obs.Tracer.t -> unit
 (** Install a timeline tracer: frame handoffs ([lance_tx]), rx DMAs
     ([lance_rx]), injected stalls and rx overruns become instant events on

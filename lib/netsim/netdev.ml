@@ -166,6 +166,13 @@ let create env lance ~mac ?(config = improved_config) ?(rx_buffers = 16) () =
 
 let mac t = t.mac
 
+let reset t =
+  (* host crash: the parked transmit frames and the ARP cache live in
+     kernel memory and die with it (per-ethertype handler registrations
+     model the static protocol graph, so they survive) *)
+  Queue.clear t.tx_backlog;
+  Hashtbl.reset t.arp
+
 let register t ~ethertype h = Xk.Map.bind t.handlers (etk ethertype) h
 
 let rx_pool t = t.pool

@@ -24,6 +24,11 @@ val create :
 
 val mac : t -> int
 
+val reset : t -> unit
+(** Drop crash-volatile driver state: parked tx-backlog frames and the
+    ARP cache.  Handler registrations (the static protocol graph) are
+    kept — a restarted host reboots the same stack. *)
+
 val register : t -> ethertype:int -> (src:int -> Xk.Msg.t -> unit) -> unit
 
 val send : t -> dst:int -> ethertype:int -> Xk.Msg.t -> unit

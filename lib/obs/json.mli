@@ -10,7 +10,9 @@
 val schema_version : int
 (** Version stamped as a top-level ["schema_version"] field into every JSON
     export of the repo (metrics dump, profile dump, Perfetto metadata,
-    bench snapshot, mflow report).  Bump when any export changes shape. *)
+    bench snapshot, mflow report, chaos matrix and repro files).  Bump when
+    any export changes shape.  Version 2 added the mflow
+    reconnects/drained/violations cell fields and the chaos exports. *)
 
 type v =
   | Null

@@ -197,3 +197,9 @@ let packets_dropped t = t.dropped
 let datagrams_fragmented t = t.fragmented
 
 let datagrams_reassembled t = t.reassembled
+
+let reset t =
+  (* host crash: partially reassembled datagrams die in kernel memory *)
+  let keys = ref [] in
+  Xk.Map.traverse t.reass (fun key _ -> keys := key :: !keys);
+  List.iter (fun key -> ignore (Xk.Map.unbind t.reass key)) !keys

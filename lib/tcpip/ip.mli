@@ -33,3 +33,8 @@ val packets_dropped : t -> int
 val datagrams_fragmented : t -> int
 
 val datagrams_reassembled : t -> int
+
+val reset : t -> unit
+(** Drop crash-volatile state: every partially reassembled datagram.
+    Protocol registrations and counters survive (the counters belong to
+    the observer, not the host). *)

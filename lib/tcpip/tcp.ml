@@ -31,6 +31,9 @@ and session = {
   mutable nodelay : bool;  (** disable Nagle (default: Nagle on) *)
   mutable persist : Xk.Event.handle option;  (** zero-window probe timer *)
   mutable timewait : Xk.Event.handle option;
+  mutable fin_wait2_at : float;
+      (** when the session entered [Fin_wait_2] — the reference point for
+          the {!sweep} reaper's finwait2 timeout *)
 }
 
 let tick_us = 976.0 (* 1024 Hz timer *)
@@ -424,7 +427,8 @@ let handshake_input s (hdr : Tcp_hdr.t) =
     end
     else if acks_our_fin then begin
       ignore (cancel_rexmt s);
-      cb.Tcb.state <- Tcb.Fin_wait_2
+      cb.Tcb.state <- Tcb.Fin_wait_2;
+      s.fin_wait2_at <- Ns.Sim.now s.tcp.env.Ns.Host_env.sim
     end
     else if peer_fin then begin
       consume_fin ();
@@ -730,7 +734,8 @@ let demux t ~(hdr : Ip_hdr.t) msg =
                 ooo = [];
                 nodelay = false;
                 persist = None;
-                timewait = None }
+                timewait = None;
+                fin_wait2_at = 0.0 }
             in
             Xk.Map.bind t.pcbs key s;
             Some s)
@@ -765,7 +770,8 @@ let connect t ~local_port ~remote_ip ~remote_port ~receive =
       ooo = [];
       nodelay = false;
       persist = None;
-      timewait = None }
+      timewait = None;
+      fin_wait2_at = 0.0 }
   in
   Xk.Map.bind t.pcbs (session_key ~local_port ~remote_ip ~remote_port) s;
   tcb.Tcb.state <- Tcb.Syn_sent;
@@ -809,9 +815,43 @@ let send s data =
   Msg.set_payload msg data;
   send_msg s msg
 
+(* host crash: every PCB, timer and buffered segment lives in kernel
+   memory and is lost.  Cancel the per-session timers (the Event manager
+   is wiped separately by the crash, but cancelling here keeps the
+   session objects consistent for any application references that
+   survive), move every session to Closed, and empty the map. *)
+let abort_session s =
+  ignore (cancel_rexmt s);
+  cancel_delack s;
+  (match s.persist with
+  | Some h ->
+    ignore (Xk.Event.cancel h);
+    s.persist <- None
+  | None -> ());
+  (match s.timewait with
+  | Some h ->
+    ignore (Xk.Event.cancel h);
+    s.timewait <- None
+  | None -> ());
+  s.retx_q <- [];
+  s.sndq <- [];
+  s.ooo <- [];
+  s.tcb.Tcb.state <- Tcb.Closed
+
 let close s =
   let t = s.tcp in
-  if s.tcb.Tcb.state = Tcb.Established then begin
+  if
+    s.tcb.Tcb.state = Tcb.Syn_sent || s.tcb.Tcb.state = Tcb.Syn_received
+  then begin
+    (* RFC 793 CLOSE before the handshake completes: delete the TCB.
+       Without this, closing a connection whose peer is crashed or
+       partitioned leaves the SYN retransmitting — and once the peer
+       returns, the abandoned handshake completes into an Established
+       session nobody owns *)
+    abort_session s;
+    unbind_session s
+  end
+  else if s.tcb.Tcb.state = Tcb.Established then begin
     s.tcb.Tcb.state <- Tcb.Fin_wait_1;
     Ns.Host_env.phase t.env "close" (fun () ->
         tcp_output
@@ -834,6 +874,7 @@ let tcb s = s.tcb
 
 let session_count t = Xk.Map.size t.pcbs
 
+
 let map_counters t = Xk.Map.counters t.pcbs
 
 let map_nonempty_buckets t = Xk.Map.nonempty_list_length t.pcbs
@@ -843,12 +884,42 @@ let map_nonempty_buckets t = Xk.Map.nonempty_list_length t.pcbs
    is the periodic full-map traversal the §2.2.1 non-empty-bucket list was
    invented for — under multi-flow load it is what generates the
    buckets_scanned counter. *)
+(* BSD's finwait2 timeout (tcp_maxidle), scaled to simulation time like
+   [time_wait_us]: an application-closed session whose FIN was
+   acknowledged must not wait forever for a peer FIN the other end will
+   never send — after a peer crash wiped its PCB, nobody owns the other
+   half of the close anymore. *)
+let fin_wait2_timeout_us = 30_000.0
+
 let sweep t =
   let visited = ref 0 in
+  let now = Ns.Sim.now t.env.Ns.Host_env.sim in
+  let orphans = ref [] in
   Xk.Map.traverse t.pcbs (fun _ s ->
       incr visited;
-      if s.tcb.Tcb.state = Tcb.Close_wait then close s);
+      match s.tcb.Tcb.state with
+      | Tcb.Close_wait -> close s
+      | Tcb.Fin_wait_2 when now -. s.fin_wait2_at >= fin_wait2_timeout_us ->
+        orphans := s :: !orphans
+      | _ -> ());
+  (* unbinding mutates the map, so reap outside the traversal *)
+  List.iter
+    (fun s ->
+      s.tcb.Tcb.state <- Tcb.Closed;
+      unbind_session s)
+    !orphans;
   !visited
+
+let abort_all t =
+  let victims = ref [] in
+  Xk.Map.traverse t.pcbs (fun key s -> victims := (key, s) :: !victims);
+  List.iter
+    (fun (key, s) ->
+      abort_session s;
+      ignore (Xk.Map.unbind t.pcbs key))
+    !victims;
+  Hashtbl.reset t.listeners;
+  List.length !victims
 
 let set_receive s f = s.receive <- f
 

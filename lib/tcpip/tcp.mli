@@ -39,6 +39,11 @@ val send_msg : session -> Xk.Msg.t -> unit
     reuse one buffer so the steady-state d-cache stream is realistic). *)
 
 val close : session -> unit
+(** Orderly close: send FIN from [Established]/[Close_wait].  Closing a
+    session still in the handshake ([Syn_sent]/[Syn_received]) deletes
+    the TCB immediately, RFC 793-style — otherwise an abandoned SYN
+    keeps retransmitting and can complete into an ownerless session once
+    a crashed peer returns. *)
 
 val state : session -> Tcb.state
 
@@ -56,9 +61,18 @@ val map_nonempty_buckets : t -> int
 
 val sweep : t -> int
 (** Housekeeping walk over every PCB (tcp_slowtimo style): closes sessions
-    left in [Close_wait] by a departed peer.  Returns the number of
-    sessions visited.  Uses {!Xk.Map.traverse}, so its cost — and the
+    left in [Close_wait] by a departed peer, and reaps sessions stuck in
+    [Fin_wait_2] past the finwait2 timeout — the peer that owes them a FIN
+    may have crashed and lost the connection entirely.  Returns the number
+    of sessions visited.  Uses {!Xk.Map.traverse}, so its cost — and the
     [buckets_scanned] counter — follows the non-empty-bucket list. *)
+
+val abort_all : t -> int
+(** Host crash: drop every PCB — cancel its timers, flush its send /
+    retransmit / reassembly queues, move it to [Closed], unbind it — and
+    forget all listeners.  Peers discover the loss through retransmission
+    timeouts and the RST-less reconnect path, exactly as with a real
+    power failure.  Returns the number of sessions destroyed. *)
 
 val set_receive : session -> (session -> bytes -> unit) -> unit
 

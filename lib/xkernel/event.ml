@@ -50,6 +50,23 @@ let advance t now =
   done;
   !fired
 
+let cancel_all t =
+  (* drain the heap, marking everything cancelled: used to model a host
+     crash, where every armed timer dies with the protocol state *)
+  let killed = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Heap.pop t.heap with
+    | None -> continue := false
+    | Some (_, e) ->
+      if not (e.cancelled || e.fired) then begin
+        e.cancelled <- true;
+        incr killed
+      end
+  done;
+  t.live <- 0;
+  !killed
+
 let pending t = t.live
 
 let high_water t = t.high_water

@@ -20,6 +20,12 @@ val advance : t -> float -> int
 (** Fire all events due at or before the given time, in time order; returns
     the number fired.  Callbacks may register further events. *)
 
+val cancel_all : t -> int
+(** Cancel every registered-but-unfired event (a host crash: all armed
+    timers die with the protocol state that armed them).  Returns how many
+    live events were cancelled.  Handles already held remain valid:
+    cancelling them again returns [false]. *)
+
 val pending : t -> int
 
 val high_water : t -> int

@@ -2,8 +2,10 @@
 # Smoke script: full build, test suite (with the warm-block fast path on
 # and off), a short multi-seed fault soak, the latency-attribution and
 # timeline exports (with their consistency / JSON well-formedness
-# checks), a quick multi-flow sweep, a quick end-to-end bench table, and
-# a bench regression gate against the committed BENCH_*.json history.
+# checks), a quick multi-flow sweep, a quick host-lifecycle chaos sweep
+# plus replays of the committed chaos repro files, a quick end-to-end
+# bench table, and a bench regression gate against the committed
+# BENCH_*.json history.
 # Usage: scripts/ci.sh  (run from the repository root)
 set -eu
 
@@ -27,5 +29,10 @@ dune exec bin/protolat_cli.exe -- soak --quick --seeds 2
 dune build @profile-quick
 dune build @trace-quick
 dune build @mflow-quick
+dune build @chaos-quick
+# the committed minimal repro must replay bit-identically: the buggy one
+# to exactly its recorded at-most-once violation, the fixed one cleanly
+dune exec bin/protolat_cli.exe -- chaos --replay test/repro/chaos_dedup_bug.json
+dune exec bin/protolat_cli.exe -- chaos --replay test/repro/chaos_dedup_fixed.json
 dune exec bench/main.exe -- quick only table1
 scripts/bench_compare.sh

@@ -188,6 +188,37 @@ let test_fault_plan_deterministic () =
   Alcotest.(check bool) "same seed, same verdict sequence" true
     (draw () = draw ())
 
+(* ----- spec validation ------------------------------------------------------ *)
+
+(* A malformed spec must be rejected at construction, not sampled from:
+   NaN or out-of-range probabilities would silently skew every draw. *)
+let test_fault_spec_validated () =
+  let rejects name spec =
+    Alcotest.(check bool) name true
+      (match Ns.Fault.create ~seed:1 spec with
+      | exception Invalid_argument _ -> true
+      | _ -> false)
+  in
+  rejects "NaN loss_pct"
+    { Ns.Fault.clean with Ns.Fault.loss_pct = Float.nan };
+  rejects "negative loss_pct" { Ns.Fault.clean with Ns.Fault.loss_pct = -5.0 };
+  rejects "loss_pct over 100"
+    { Ns.Fault.clean with Ns.Fault.loss_pct = 120.0 };
+  rejects "infinite reorder delay"
+    { Ns.Fault.clean with Ns.Fault.reorder_delay_us = Float.infinity };
+  rejects "negative jitter" { Ns.Fault.clean with Ns.Fault.jitter_us = -1.0 };
+  rejects "GE probability over 1"
+    { Ns.Fault.clean with
+      Ns.Fault.ge =
+        Some
+          { Ns.Fault.p_good_to_bad = 1.5; p_bad_to_good = 0.1;
+            loss_good_pct = 0.0; loss_bad_pct = 50.0 } };
+  (* boundary values are legal *)
+  ignore
+    (Ns.Fault.create ~seed:1
+       { Ns.Fault.clean with Ns.Fault.loss_pct = 100.0 });
+  ignore (Ns.Fault.create ~seed:1 Ns.Fault.clean)
+
 (* ----- soak matrix ---------------------------------------------------------- *)
 
 let test_soak_quick_deterministic_across_jobs () =
@@ -213,5 +244,7 @@ let suite =
         test_blast_burst_overruns_tx_ring;
       Alcotest.test_case "fault plan is seed-deterministic" `Quick
         test_fault_plan_deterministic;
+      Alcotest.test_case "fault spec validated at construction" `Quick
+        test_fault_spec_validated;
       Alcotest.test_case "soak digest identical at any jobs" `Quick
         test_soak_quick_deterministic_across_jobs ] )

@@ -148,6 +148,44 @@ let test_json_well_formed () =
     | Some s -> Alcotest.(check int) "summary rows" 2 (Obs.Json.array_length s)
     | None -> Alcotest.fail "summary missing")
 
+(* ----- host-lifecycle chaos through the traffic engine -------------------- *)
+
+let test_chaos_cell () =
+  let wl = { quick_wl with P.Mflow.requests_per_flow = 16 } in
+  let sched = P.Chaos.gen ~seed:7 ~intensity:4 ~horizon_us:200_000.0 in
+  let c = P.Mflow.run_cell ~workload:wl ~chaos:sched ~flows:8 tcp_spec in
+  Alcotest.(check int) "every exchange completes despite the faults" 128
+    c.P.Mflow.requests;
+  Alcotest.(check bool) "drained after recovery" true c.P.Mflow.drained;
+  Alcotest.(check (list string)) "no invariant violations" []
+    c.P.Mflow.violations;
+  Alcotest.(check bool)
+    (Printf.sprintf "supervisor reconnected stalled flows (%d)"
+       c.P.Mflow.reconnects)
+    true
+    (c.P.Mflow.reconnects > 0);
+  (* a clean cell reports zero reconnects *)
+  let clean = P.Mflow.run_cell ~workload:wl ~flows:8 tcp_spec in
+  Alcotest.(check int) "no reconnects without chaos" 0 clean.P.Mflow.reconnects
+
+let test_chaos_rejections () =
+  let sched = P.Chaos.gen ~seed:1 ~intensity:1 ~horizon_us:50_000.0 in
+  let rpc_spec =
+    P.Engine.Spec.default ~stack:P.Engine.Rpc
+      ~config:(P.Config.make P.Config.All)
+  in
+  Alcotest.check_raises "chaos needs the TCP stack"
+    (Invalid_argument "Mflow: chaos supports the TCP stack only") (fun () ->
+      ignore (P.Mflow.run_cell ~workload:quick_wl ~chaos:sched ~flows:2 rpc_spec));
+  let open_wl =
+    { quick_wl with
+      P.Mflow.arrival = P.Mflow.Open_loop { interarrival_us = 500.0 } }
+  in
+  Alcotest.check_raises "chaos needs the closed loop"
+    (Invalid_argument "Mflow: chaos requires a closed-loop workload")
+    (fun () ->
+      ignore (P.Mflow.run_cell ~workload:open_wl ~chaos:sched ~flows:2 tcp_spec))
+
 (* ----- mflow metrics registered in the unified registry ------------------- *)
 
 let test_metrics_registered () =
@@ -173,6 +211,8 @@ let suite =
         test_hit_rate_falls_with_flows;
       Alcotest.test_case "rpc cell" `Quick test_rpc_cell;
       Alcotest.test_case "open loop" `Quick test_open_loop;
+      Alcotest.test_case "chaos cell" `Quick test_chaos_cell;
+      Alcotest.test_case "chaos rejections" `Quick test_chaos_rejections;
       Alcotest.test_case "json well-formed" `Quick test_json_well_formed;
       Alcotest.test_case "metrics registered" `Quick test_metrics_registered
     ] )

@@ -256,6 +256,51 @@ let test_simcache_stale_file () =
       Alcotest.(check bool) "store then load" true
         (M.Simcache.find (Digest.string "probe") = Some [| 42L |]))
 
+(* Populate a valid store, mangle its file on disk, re-open: the mangled
+   store must be reinitialized cleanly — old entries gone, new entries
+   work — never trusted or fatal. *)
+let corrupt_then_reopen name corrupt =
+  let path = fresh_cache_path () in
+  with_cache_at path (fun () ->
+      M.Simcache.add (Digest.string "seed-entry") [| 7L; 9L |];
+      Alcotest.(check bool) (name ^ ": entry stored") true
+        (M.Simcache.find (Digest.string "seed-entry") = Some [| 7L; 9L |]);
+      M.Simcache.set_enabled false;
+      corrupt path;
+      M.Simcache.set_path path;
+      Alcotest.(check bool) (name ^ ": mangled store reinitialized, not read")
+        true
+        (M.Simcache.find (Digest.string "seed-entry") = None);
+      M.Simcache.add (Digest.string "after") [| 1L |];
+      Alcotest.(check bool) (name ^ ": store usable after reinit") true
+        (M.Simcache.find (Digest.string "after") = Some [| 1L |]))
+
+let test_simcache_truncated_file () =
+  corrupt_then_reopen "truncated" (fun path ->
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+      Unix.ftruncate fd 1024;
+      Unix.close fd)
+
+let test_simcache_garbage_file () =
+  (* same byte length as a real store, so only the header check can
+     reject it *)
+  corrupt_then_reopen "garbage" (fun path ->
+      let len = (Unix.stat path).Unix.st_size in
+      let oc = open_out_bin path in
+      for i = 0 to len - 1 do
+        output_byte oc (((i * 131) + 7) land 0xFF)
+      done;
+      close_out oc)
+
+let test_simcache_wrong_version_header () =
+  (* flip a byte of the format-version word (offset 8): an otherwise
+     intact store written by a different format must not be read *)
+  corrupt_then_reopen "wrong version" (fun path ->
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+      ignore (Unix.lseek fd 8 Unix.SEEK_SET);
+      ignore (Unix.write fd (Bytes.make 1 '\xEE') 0 1);
+      Unix.close fd)
+
 (* Cross-process reuse: a child process ([simcache_child.exe], spawned
    rather than forked — OCaml 5 forbids fork once domains exist) runs the
    same deterministic simulation and stores its cold measurement; this
@@ -301,5 +346,11 @@ let suite =
       Alcotest.test_case "simcache keying" `Quick test_simcache_keying;
       Alcotest.test_case "cold_bc" `Quick test_cold_bc;
       Alcotest.test_case "simcache stale file" `Quick test_simcache_stale_file;
+      Alcotest.test_case "simcache truncated file" `Quick
+        test_simcache_truncated_file;
+      Alcotest.test_case "simcache garbage file" `Quick
+        test_simcache_garbage_file;
+      Alcotest.test_case "simcache wrong-version header" `Quick
+        test_simcache_wrong_version_header;
       Alcotest.test_case "simcache cross-process" `Quick
         test_simcache_cross_process ] )
