@@ -8,6 +8,7 @@
      sweep    Table 4-style sweep over all versions
      trace    export a timeline / raw instruction trace
      profile  latency attribution
+     spans    per-message latency provenance
      soak     deterministic fault-injection soak
      mflow    multi-flow traffic engine with connection churn
      chaos    host-lifecycle chaos with shrinkable repro schedules      *)
@@ -221,6 +222,86 @@ let profile_cmd =
           seed at any --jobs count.")
     Term.(const run $ stack_arg $ version_arg $ versions_arg $ seed_arg
           $ jobs_arg $ json_arg $ check_arg $ cold_arg $ legacy_arg)
+
+(* ----- spans -------------------------------------------------------------- *)
+
+let spans_cmd =
+  let layout_conv =
+    let parse = function
+      | "link-order" | "link_order" | "link" -> Ok P.Config.Link_order
+      | "bipartite" -> Ok P.Config.Bipartite
+      | "pessimal" -> Ok P.Config.Pessimal
+      | "micro" | "micro-positioning" -> Ok P.Config.Micro
+      | "linear" -> Ok P.Config.Linear
+      | s ->
+        Error
+          (`Msg
+            ("unknown layout: " ^ s
+           ^ " (link-order|bipartite|pessimal|micro|linear)"))
+    in
+    let print fmt l = Format.pp_print_string fmt (P.Config.layout_name l) in
+    Arg.conv (parse, print)
+  in
+  let layouts_arg =
+    Arg.(value & opt (some (list layout_conv)) None
+         & info [ "layouts" ] ~docv:"LAYOUTS"
+             ~doc:"Comma-separated layouts to measure (default: all five \
+                   candidates).")
+  in
+  let json_arg = Cli_common.json_arg () in
+  let check_arg =
+    Cli_common.check_arg
+      ~doc:
+        "Verify the conservation law (every message's per-stage durations \
+         fold bit-exactly to its measured RTT) and exit non-zero on \
+         violation."
+      ()
+  in
+  let out_arg = Cli_common.out_arg () in
+  let perfetto_arg =
+    Arg.(value & opt (some string) None
+         & info [ "perfetto" ] ~docv:"FILE"
+             ~doc:"Also write the span ledgers as a Perfetto trace-event \
+                   file: one process per layout, per-host stage slices, \
+                   flow arrows tying each wire hop's send span to its \
+                   receive span.")
+  in
+  let run stack version rounds seed jobs layouts json check out perfetto =
+    let t =
+      P.Spans.collect ~seed ~rounds ?layouts ~jobs ~stack ~version ()
+    in
+    let doc =
+      if json then P.Spans.to_json t ^ "\n" else P.Spans.render t
+    in
+    Cli_common.write out doc;
+    (match perfetto with
+    | Some path -> Cli_common.write (Some path) (P.Spans.perfetto t)
+    | None -> ());
+    if check then
+      match P.Spans.check t with
+      | Ok () ->
+        if not json then
+          print_endline
+            "check: every stage budget folds bit-exactly to its measured RTT"
+      | Error msg ->
+        Printf.eprintf "check FAILED (%s/%s):\n%s\n"
+          (P.Engine.stack_name stack)
+          (P.Config.version_name version)
+          msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "spans"
+       ~doc:
+         "Latency provenance: per-message span ledger rolled up into a \
+          per-stage latency budget (app, send protocol, NIC queue, wire, \
+          rx interrupt, receive protocol, retransmit wait) for each code \
+          layout, conserving the measured RTT bit-exactly.  Needs no \
+          environment knob: the ledger is enabled explicitly for these \
+          runs and never perturbs the simulation.")
+    Term.(const run $ stack_arg $ version_arg $ rounds_arg $ seed_arg
+          $ jobs_arg $ layouts_arg $ json_arg $ check_arg $ out_arg
+          $ perfetto_arg)
 
 (* ----- trace -------------------------------------------------------------- *)
 
@@ -680,4 +761,4 @@ let () =
          Improve Protocol Processing Latency (SIGCOMM '96)."
   in
   exit (Cmd.eval (Cmd.group info [ run_cmd; tables_cmd; figures_cmd; layout_cmd; sweep_cmd; trace_cmd;
-          profile_cmd; soak_cmd; mflow_cmd; chaos_cmd ]))
+          profile_cmd; spans_cmd; soak_cmd; mflow_cmd; chaos_cmd ]))

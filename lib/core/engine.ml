@@ -682,6 +682,7 @@ type run_result = {
   retransmissions : int;
   metrics : Obs.Metrics.t;
   events : Obs.Tracer.t;
+  spans : Obs.Span.t;
   invariants : string list;
 }
 
@@ -727,14 +728,20 @@ let static_path_of (config : Config.t) desc =
 
 (* Drive a prepared pair of hosts: [start] kicks the client, [completed]
    reads its roundtrip count, [on_roundtrip] installs the callback. *)
-let drive ~sim ~(ch : hstate) ?(window_us = 5.0e6) ~start ~on_roundtrip
-    ~completed ~rounds ~warmup () =
+let drive ~sim ~(ch : hstate) ?(window_us = 5.0e6) ?(span = Obs.Span.null)
+    ~start ~on_roundtrip ~completed ~rounds ~warmup () =
   let total = rounds + warmup in
   let rtts = ref [] in
   let last = ref 0.0 in
+  (* the ledger's message windows share the RTT measurement's operands: the
+     first opens at the same 0.0 [last] starts from, and every roll passes
+     the exact [now] subtracted below — that identity is what makes the
+     per-stage sums conserve bit-exactly *)
+  Obs.Span.begin_run span ~at:0.0;
   on_roundtrip (fun i ->
       let now = Ns.Sim.now sim in
       if i > warmup then rtts := (now -. !last) :: !rtts;
+      Obs.Span.roll span ~at:now ~measured:(i > warmup);
       last := now;
       (* collect exactly one steady-state roundtrip's trace *)
       ch.collecting <- i = warmup);
@@ -750,7 +757,7 @@ let perturb simmem seed =
   Xk.Simmem.bump simmem (seed * 1864 mod 16384 / 8 * 8)
 
 let finish ~params ~config ~desc ~(ch : hstate) ~rtts ~retransmissions
-    ~metrics ~events =
+    ~metrics ~events ~spans =
   (* the roundtrip latency histogram rides in the same registry as the
      device/protocol counters, so one dump covers the whole run *)
   let h = Obs.Metrics.histogram metrics ~help:"roundtrip latency" "engine.rtt_us" in
@@ -769,6 +776,7 @@ let finish ~params ~config ~desc ~(ch : hstate) ~rtts ~retransmissions
     retransmissions;
     metrics;
     events;
+    spans;
     invariants = List.map Invariant.render_violation (Invariant.violations iv) }
 
 (* seeded fault plans for one pair: one wire plan on the link, one device
@@ -794,6 +802,21 @@ let make_tracer ~trace_events sim =
   if trace_events then Obs.Tracer.create ~clock:(Ns.Sim.clock_cell sim) ()
   else Obs.Tracer.null
 
+(* span ledger shared by the whole pair: client marks carry host 0, server
+   host 1, the wire host 2 (same codes as the tracer tids) *)
+let make_span ~spans sim =
+  if spans then Obs.Span.create ~clock:(Ns.Sim.clock_cell sim) ()
+  else Obs.Span.null
+
+let install_span span ~cenv ~senv ~link ~client_lance ~server_lance =
+  if Obs.Span.enabled span then begin
+    Ns.Host_env.set_span cenv ~host:Obs.Span.host_client span;
+    Ns.Host_env.set_span senv ~host:Obs.Span.host_server span;
+    Ns.Ether.Link.set_span link span;
+    Ns.Lance.set_span client_lance span;
+    Ns.Lance.set_span server_lance span
+  end
+
 let install_tracer tracer ~cenv ~senv ~link ~client_lance ~server_lance =
   if Obs.Tracer.enabled tracer then begin
     Ns.Host_env.set_tracer cenv ~tid:tid_client tracer;
@@ -808,7 +831,8 @@ let compose_meter base = function
   | Some extra -> Xk.Meter.both base extra
 
 let run_tcpip ?(rx_overhead_us = 0.0) ?fault ?extra_meter ?(trace_events = false)
-    ~seed ~rounds ~warmup ~params ~(config : Config.t) ~layout () =
+    ?(spans = false) ~seed ~rounds ~warmup ~params ~(config : Config.t)
+    ~layout () =
   let client_image = build_image config tcpip_desc ~layout in
   let server_image = client_image in
   let pair =
@@ -819,6 +843,10 @@ let run_tcpip ?(rx_overhead_us = 0.0) ?fault ?extra_meter ?(trace_events = false
   let senv = pair.T.Stack.server.T.Stack.env in
   let tracer = make_tracer ~trace_events pair.T.Stack.sim in
   install_tracer tracer ~cenv ~senv ~link:pair.T.Stack.link
+    ~client_lance:pair.T.Stack.client.T.Stack.lance
+    ~server_lance:pair.T.Stack.server.T.Stack.lance;
+  let span = make_span ~spans pair.T.Stack.sim in
+  install_span span ~cenv ~senv ~link:pair.T.Stack.link
     ~client_lance:pair.T.Stack.client.T.Stack.lance
     ~server_lance:pair.T.Stack.server.T.Stack.lance;
   perturb cenv.Ns.Host_env.simmem seed;
@@ -849,7 +877,7 @@ let run_tcpip ?(rx_overhead_us = 0.0) ?fault ?extra_meter ?(trace_events = false
       ~server_lance:pair.T.Stack.server.T.Stack.lance);
   let window_us = if fault = None then None else Some 60.0e6 in
   let rtts =
-    drive ~sim:pair.T.Stack.sim ~ch ?window_us
+    drive ~sim:pair.T.Stack.sim ~ch ?window_us ~span
       ~start:(fun () -> T.Tcptest.start client_test)
       ~on_roundtrip:(T.Tcptest.set_on_roundtrip client_test)
       ~completed:(fun () -> T.Tcptest.rounds_completed client_test)
@@ -857,10 +885,10 @@ let run_tcpip ?(rx_overhead_us = 0.0) ?fault ?extra_meter ?(trace_events = false
   in
   finish ~params ~config ~desc:tcpip_desc ~ch ~rtts
     ~retransmissions:(T.Tcp.retransmits pair.T.Stack.client.T.Stack.tcp)
-    ~metrics:pair.T.Stack.metrics ~events:tracer
+    ~metrics:pair.T.Stack.metrics ~events:tracer ~spans:span
 
-let run_rpc ?fault ?extra_meter ?(trace_events = false) ~seed ~rounds ~warmup
-    ~params ~(config : Config.t) ~layout () =
+let run_rpc ?fault ?extra_meter ?(trace_events = false) ?(spans = false)
+    ~seed ~rounds ~warmup ~params ~(config : Config.t) ~layout () =
   let client_image = build_image config rpc_client_desc ~layout in
   (* the server always runs the best version (§4.2) *)
   let server_image =
@@ -872,6 +900,10 @@ let run_rpc ?fault ?extra_meter ?(trace_events = false) ~seed ~rounds ~warmup
   let senv = pair.R.Rstack.server.R.Rstack.env in
   let tracer = make_tracer ~trace_events pair.R.Rstack.sim in
   install_tracer tracer ~cenv ~senv ~link:pair.R.Rstack.link
+    ~client_lance:pair.R.Rstack.client.R.Rstack.lance
+    ~server_lance:pair.R.Rstack.server.R.Rstack.lance;
+  let span = make_span ~spans pair.R.Rstack.sim in
+  install_span span ~cenv ~senv ~link:pair.R.Rstack.link
     ~client_lance:pair.R.Rstack.client.R.Rstack.lance
     ~server_lance:pair.R.Rstack.server.R.Rstack.lance;
   perturb cenv.Ns.Host_env.simmem seed;
@@ -900,7 +932,7 @@ let run_rpc ?fault ?extra_meter ?(trace_events = false) ~seed ~rounds ~warmup
       ~server_lance:pair.R.Rstack.server.R.Rstack.lance);
   let window_us = if fault = None then None else Some 60.0e6 in
   let rtts =
-    drive ~sim:pair.R.Rstack.sim ~ch ?window_us
+    drive ~sim:pair.R.Rstack.sim ~ch ?window_us ~span
       ~start:(fun () -> R.Xrpctest.start client_test)
       ~on_roundtrip:(R.Xrpctest.set_on_roundtrip client_test)
       ~completed:(fun () -> R.Xrpctest.rounds_completed client_test)
@@ -909,7 +941,7 @@ let run_rpc ?fault ?extra_meter ?(trace_events = false) ~seed ~rounds ~warmup
   finish ~params ~config ~desc:rpc_client_desc ~ch ~rtts
     ~retransmissions:
       (R.Chan.request_retransmits pair.R.Rstack.client.R.Rstack.chan)
-    ~metrics:pair.R.Rstack.metrics ~events:tracer
+    ~metrics:pair.R.Rstack.metrics ~events:tracer ~spans:span
 
 (* ----- run specification: the single construction path for runs -------- *)
 
@@ -926,11 +958,13 @@ module Spec = struct
     fault : Ns.Fault.spec option;
     extra_meter : Xk.Meter.t option;
     trace_events : bool;
+    spans : bool option;
+        (* None: follow the PROTOLAT_SPANS environment knob *)
   }
 
   let make ?(seed = 42) ?(rounds = 24) ?(warmup = 8)
       ?(params = Machine.Params.default) ?layout ?(rx_overhead_us = 0.0)
-      ?fault ?extra_meter ?(trace_events = false) ~stack ~config () =
+      ?fault ?extra_meter ?(trace_events = false) ?spans ~stack ~config () =
     { stack;
       config;
       seed;
@@ -941,7 +975,8 @@ module Spec = struct
       rx_overhead_us;
       fault;
       extra_meter;
-      trace_events }
+      trace_events;
+      spans }
 
   let default ~stack ~config = make ~stack ~config ()
 
@@ -959,9 +994,11 @@ let run (spec : Spec.t) =
         rx_overhead_us;
         fault;
         extra_meter;
-        trace_events } =
+        trace_events;
+        spans } =
     spec
   in
+  let spans = match spans with Some b -> b | None -> Obs.Span.knob_on () in
   let layout =
     match layout with
     | Some l -> l
@@ -969,11 +1006,11 @@ let run (spec : Spec.t) =
   in
   match stack with
   | Tcpip ->
-    run_tcpip ~rx_overhead_us ?fault ?extra_meter ~trace_events ~seed ~rounds
-      ~warmup ~params ~config ~layout ()
+    run_tcpip ~rx_overhead_us ?fault ?extra_meter ~trace_events ~spans ~seed
+      ~rounds ~warmup ~params ~config ~layout ()
   | Rpc ->
-    run_rpc ?fault ?extra_meter ~trace_events ~seed ~rounds ~warmup ~params
-      ~config ~layout ()
+    run_rpc ?fault ?extra_meter ~trace_events ~spans ~seed ~rounds ~warmup
+      ~params ~config ~layout ()
 
 (* ----- bulk-transfer throughput (§4.1: "none of the techniques
    negatively affected throughput"; §2.2.5: CPU utilization) ------------- *)

@@ -38,6 +38,10 @@ type run_result = {
           plan was installed, and the [engine.rtt_us] histogram *)
   events : Obs.Tracer.t;
       (** timeline events ({!Obs.Tracer.null} unless [trace_events]) *)
+  spans : Obs.Span.t;
+      (** the per-message span ledger ({!Obs.Span.null} unless spans were
+          enabled): every measured roundtrip's per-stage durations fold
+          bit-exactly to its entry in [rtts] *)
   invariants : string list;
       (** {!Invariant.conservation} violations found in [metrics] at
           quiesce, rendered one per entry; empty for a sound run *)
@@ -77,6 +81,11 @@ module Spec : sig
     trace_events : bool;
         (** record timeline events (packets, timers, faults,
             retransmissions) into [result.events] for Perfetto export *)
+    spans : bool option;
+        (** record the per-message span ledger into [result.spans];
+            [None] (the default) follows the [PROTOLAT_SPANS] environment
+            knob.  Marks never touch simulation state, so results are
+            bit-identical either way *)
   }
 
   val make :
@@ -89,6 +98,7 @@ module Spec : sig
     ?fault:Protolat_netsim.Fault.spec ->
     ?extra_meter:Protolat_xkernel.Meter.t ->
     ?trace_events:bool ->
+    ?spans:bool ->
     stack:stack_kind ->
     config:Config.t ->
     unit ->

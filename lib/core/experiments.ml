@@ -827,8 +827,8 @@ let mflow_scaling ?(flow_counts = [ 1; 8; 64; 256 ]) ?(seeds = 4) ?(jobs = 1)
       ~title:
         "Multi-flow scaling: latency and demux-map behaviour (TCP, ALL)"
       ~headers:
-        [ "Flows"; "p50 [us]"; "p90 [us]"; "p99 [us]"; "max [us]";
-          "Hit rate"; "Cmp/res"; "Timer HW"; "Conns" ]
+        [ "Flows"; "p50 [us]"; "p90 [us]"; "p99 [us]"; "p99.9 [us]";
+          "max [us]"; "Hit rate"; "Cmp/res"; "Timer HW"; "Conns" ]
   in
   List.iter
     (fun flows ->
@@ -840,10 +840,11 @@ let mflow_scaling ?(flow_counts = [ 1; 8; 64; 256 ]) ?(seeds = 4) ?(jobs = 1)
       let avg f = List.fold_left (fun acc c -> acc +. f c) 0.0 cells /. n in
       Table.add_row t
         [ i flows;
-          f1 (avg (fun c -> c.Mflow.lat.Util.Stats.p50));
-          f1 (avg (fun c -> c.Mflow.lat.Util.Stats.p90));
-          f1 (avg (fun c -> c.Mflow.lat.Util.Stats.p99));
-          f1 (avg (fun c -> c.Mflow.lat.Util.Stats.max));
+          f1 (avg (fun c -> c.Mflow.lat.Util.Stats.Hist.p50));
+          f1 (avg (fun c -> c.Mflow.lat.Util.Stats.Hist.p90));
+          f1 (avg (fun c -> c.Mflow.lat.Util.Stats.Hist.p99));
+          f1 (avg (fun c -> c.Mflow.lat.Util.Stats.Hist.p999));
+          f1 (avg (fun c -> c.Mflow.lat.Util.Stats.Hist.max));
           f2 (avg (fun c -> Mflow.hit_rate c.Mflow.server_map));
           f2 (avg (fun c -> Mflow.compares_per_resolve c.Mflow.server_map));
           i

@@ -91,8 +91,8 @@ type cell = {
   conns : int;  (** connections opened (TCP; = [flows] for RPC) *)
   reconnects : int;  (** supervisor-forced reopenings (chaos runs) *)
   retransmits : int;
-  lat : Util.Stats.quantiles;  (** aggregate over every exchange *)
-  per_flow : Util.Stats.quantiles array;
+  lat : Util.Stats.Hist.digest;  (** aggregate over every exchange *)
+  per_flow : Util.Stats.Hist.digest array;
   server_map : map_stats;
   timer_high_water : int;  (** peak pending timers, worse host *)
   sweeps : int;  (** PCB housekeeping walks (TCP only) *)
@@ -116,7 +116,7 @@ type flow = {
   mutable resp_acc : int;  (** bytes accumulated toward the head response *)
   mutable backlog : int;  (** open-loop arrivals awaiting an established conn *)
   mutable scheduled : int;  (** open-loop arrivals scheduled *)
-  mutable lat : float list;  (** reversed latency samples *)
+  lat : Util.Stats.Hist.t;  (** streaming latency histogram, O(1) memory *)
   mutable done_ : bool;  (** quota reached and counted exactly once *)
   mutable last_progress_us : float;  (** last send or completed exchange *)
 }
@@ -240,6 +240,11 @@ let run_tcp ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) ?chaos
   let conns_opened = ref 0 in
   let reconnects = ref 0 in
   let flows_done = ref 0 in
+  let lat_hist =
+    Obs.Metrics.histogram
+      (Obs.Metrics.scoped pair.T.Stack.metrics "mflow")
+      ~help:"request-response latency" "lat_us"
+  in
   let flow_of i =
     { fid = i;
       rng = Util.Rng.create (seed + (1_000_003 * i));
@@ -253,7 +258,7 @@ let run_tcp ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) ?chaos
       resp_acc = 0;
       backlog = 0;
       scheduled = 0;
-      lat = [];
+      lat = Util.Stats.Hist.create ();
       done_ = false;
       last_progress_us = 0.0 }
   in
@@ -316,7 +321,9 @@ let run_tcp ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) ?chaos
       while f.resp_acc >= wl.resp_bytes && not (Queue.is_empty f.inflight) do
         f.resp_acc <- f.resp_acc - wl.resp_bytes;
         let t0 = Queue.pop f.inflight in
-        f.lat <- (Ns.Sim.now sim -. t0) :: f.lat;
+        let v = Ns.Sim.now sim -. t0 in
+        Util.Stats.Hist.add f.lat v;
+        Obs.Metrics.observe lat_hist v;
         f.completed <- f.completed + 1;
         f.conn_requests <- f.conn_requests + 1;
         f.last_progress_us <- Ns.Sim.now sim;
@@ -481,7 +488,7 @@ let run_tcp ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) ?chaos
       conns = !conns_opened;
       reconnects = !reconnects;
       retransmits = T.Tcp.retransmits ctcp + T.Tcp.retransmits stcp;
-      lat = Util.Stats.quantiles [ 0.0 ] (* patched below *);
+      lat = Util.Stats.Hist.(digest (create ())) (* patched below *);
       per_flow = [||];
       server_map;
       timer_high_water =
@@ -524,11 +531,16 @@ let run_rpc ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
           resp_acc = 0;
           backlog = 0;
           scheduled = 0;
-          lat = [];
+          lat = Util.Stats.Hist.create ();
           done_ = false;
           last_progress_us = 0.0 })
   in
   let flows_done = ref 0 in
+  let lat_hist =
+    Obs.Metrics.histogram
+      (Obs.Metrics.scoped pair.R.Rstack.metrics "mflow")
+      ~help:"request-response latency" "lat_us"
+  in
   let rec issue f =
     f.sent <- f.sent + 1;
     let t0 = Ns.Sim.now sim in
@@ -536,7 +548,9 @@ let run_rpc ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
     Msg.set_payload msg (Bytes.make (max 1 wl.req_bytes) 'q');
     R.Mselect.call pair.R.Rstack.client.R.Rstack.mselect ~client:f.fid msg
       ~reply:(fun _ ->
-        f.lat <- (Ns.Sim.now sim -. t0) :: f.lat;
+        let v = Ns.Sim.now sim -. t0 in
+        Util.Stats.Hist.add f.lat v;
+        Obs.Metrics.observe lat_hist v;
         f.completed <- f.completed + 1;
         if f.completed >= wl.requests_per_flow then begin
           f.done_ <- true;
@@ -612,7 +626,7 @@ let run_rpc ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
       reconnects = 0;
       retransmits =
         R.Chan.request_retransmits pair.R.Rstack.client.R.Rstack.chan;
-      lat = Util.Stats.quantiles [ 0.0 ];
+      lat = Util.Stats.Hist.(digest (create ()));
       per_flow = [||];
       server_map;
       timer_high_water =
@@ -627,27 +641,19 @@ let run_rpc ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
 (* ----- cell assembly ------------------------------------------------------ *)
 
 let finish_cell (flows, cell) =
-  let all =
-    Array.fold_left (fun acc f -> List.rev_append f.lat acc) [] flows
-  in
-  let per_flow =
-    Array.map
-      (fun f ->
-        if f.lat = [] then
-          { Util.Stats.p50 = 0.0; p90 = 0.0; p99 = 0.0; max = 0.0; n = 0 }
-        else Util.Stats.quantiles f.lat)
+  (* flow histograms merge in flow order: exact counts, order-independent *)
+  let merged =
+    Array.fold_left
+      (fun acc f -> Util.Stats.Hist.merge acc f.lat)
+      (Util.Stats.Hist.create ())
       flows
   in
-  let lat =
-    if all = [] then
-      { Util.Stats.p50 = 0.0; p90 = 0.0; p99 = 0.0; max = 0.0; n = 0 }
-    else Util.Stats.quantiles all
-  in
+  let per_flow = Array.map (fun f -> Util.Stats.Hist.digest f.lat) flows in
+  let lat = Util.Stats.Hist.digest merged in
   let cell = { cell with lat; per_flow } in
-  (* register the cell's headline numbers in the pair's metrics registry *)
+  (* register the cell's headline numbers in the pair's metrics registry
+     (the lat_us histogram itself is populated at record time) *)
   let mf = Obs.Metrics.scoped cell.metrics "mflow" in
-  let h = Obs.Metrics.histogram mf ~help:"request-response latency" "lat_us" in
-  List.iter (fun v -> Obs.Metrics.observe h v) (List.sort compare all);
   Obs.Metrics.add
     (Obs.Metrics.counter mf ~help:"completed exchanges" "requests")
     cell.requests;
@@ -720,8 +726,8 @@ let summary t =
       let k = float_of_int (List.length cs) in
       let mean f = List.fold_left (fun a c -> a +. f c) 0.0 cs /. k in
       ( n,
-        ( mean (fun c -> c.lat.Util.Stats.p50),
-          mean (fun c -> c.lat.Util.Stats.p99),
+        ( mean (fun c -> c.lat.Util.Stats.Hist.p50),
+          mean (fun c -> c.lat.Util.Stats.Hist.p99),
           mean (fun c -> hit_rate c.server_map),
           mean (fun c -> compares_per_resolve c.server_map) ) ))
     t.flow_counts
@@ -738,8 +744,9 @@ let render t =
            t.seeds
            (if t.seeds = 1 then "" else "s"))
       ~headers:
-        [ "Flows"; "seed"; "p50 [us]"; "p90"; "p99"; "max"; "hit rate";
-          "cmp/res"; "scans"; "timers"; "conns"; "rexmt"; "drained"; "ok" ]
+        [ "Flows"; "seed"; "p50 [us]"; "p90"; "p99"; "p99.9"; "max";
+          "hit rate"; "cmp/res"; "scans"; "timers"; "conns"; "rexmt";
+          "drained"; "ok" ]
   in
   let f1 = Util.Table.cell_f ~digits:1 in
   let f3 = Util.Table.cell_f ~digits:3 in
@@ -747,8 +754,9 @@ let render t =
     (fun (c : cell) ->
       Util.Table.add_row tbl
         [ string_of_int c.flows; string_of_int c.seed;
-          f1 c.lat.Util.Stats.p50; f1 c.lat.Util.Stats.p90;
-          f1 c.lat.Util.Stats.p99; f1 c.lat.Util.Stats.max;
+          f1 c.lat.Util.Stats.Hist.p50; f1 c.lat.Util.Stats.Hist.p90;
+          f1 c.lat.Util.Stats.Hist.p99; f1 c.lat.Util.Stats.Hist.p999;
+          f1 c.lat.Util.Stats.Hist.max;
           f3 (hit_rate c.server_map);
           f1 (compares_per_resolve c.server_map);
           string_of_int c.server_map.buckets_scanned;
@@ -810,7 +818,7 @@ let to_json t =
   in
   let cell_json (c : cell) =
     let q = c.lat in
-    let flow_p99 = Array.map (fun q -> q.Util.Stats.p99) c.per_flow in
+    let flow_p99 = Array.map (fun d -> d.Util.Stats.Hist.p99) c.per_flow in
     Array.sort Float.compare flow_p99;
     let worst_flow_p99 =
       if Array.length flow_p99 = 0 then 0.0
@@ -818,14 +826,16 @@ let to_json t =
     in
     Printf.sprintf
       "    {\"flows\": %d, \"seed\": %d, \"requests\": %d, \"conns\": %d, \
-       \"p50_us\": %.3f, \"p90_us\": %.3f, \"p99_us\": %.3f, \"max_us\": \
-       %.3f, \"worst_flow_p99_us\": %.3f, \"map_hit_rate\": %.6f, \
+       \"p50_us\": %.3f, \"p90_us\": %.3f, \"p99_us\": %.3f, \"p999_us\": \
+       %.3f, \"max_us\": %.3f, \"worst_flow_p99_us\": %.3f, \
+       \"map_hit_rate\": %.6f, \
        \"key_compares_per_resolve\": %.4f, \"buckets_scanned\": %d, \
        \"nonempty_buckets\": %d, \"timer_high_water\": %d, \"sweeps\": %d, \
        \"retransmits\": %d, \"reconnects\": %d, \"drained\": %b, \
        \"violations\": [%s]}"
-      c.flows c.seed c.requests c.conns q.Util.Stats.p50 q.Util.Stats.p90
-      q.Util.Stats.p99 q.Util.Stats.max worst_flow_p99
+      c.flows c.seed c.requests c.conns q.Util.Stats.Hist.p50
+      q.Util.Stats.Hist.p90 q.Util.Stats.Hist.p99 q.Util.Stats.Hist.p999
+      q.Util.Stats.Hist.max worst_flow_p99
       (hit_rate c.server_map)
       (compares_per_resolve c.server_map)
       c.server_map.buckets_scanned c.server_map.nonempty c.timer_high_water

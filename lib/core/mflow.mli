@@ -75,8 +75,11 @@ type cell = {
       (** connections the chaos supervisor force-reopened after a host
           crash stranded their flow (0 without chaos) *)
   retransmits : int;
-  lat : Util.Stats.quantiles;  (** aggregate latency over every exchange *)
-  per_flow : Util.Stats.quantiles array;  (** indexed by flow id *)
+  lat : Util.Stats.Hist.digest;
+      (** aggregate latency over every exchange: quantile digest of the
+          per-flow streaming histograms merged in flow order (exact
+          counts; p50–p99.99 accurate to one log-bucket) *)
+  per_flow : Util.Stats.Hist.digest array;  (** indexed by flow id *)
   server_map : map_stats;
   timer_high_water : int;
       (** peak simultaneously pending timer events on the worse host *)

@@ -32,6 +32,7 @@ module Link = struct
     mutable fault : Fault.t option;
     mutable tracer : Obs.Tracer.t;
     mutable trace_tid : int;
+    mutable spans : Obs.Span.t;
   }
 
   let create sim ?(propagation_us = 0.3) ?metrics () =
@@ -50,7 +51,8 @@ module Link = struct
       loss = (fun _ -> false);
       fault = None;
       tracer = Obs.Tracer.null;
-      trace_tid = 0 }
+      trace_tid = 0;
+      spans = Obs.Span.null }
 
   let check_station station =
     if station < 0 || station > 1 then invalid_arg "Ether.Link: bad station"
@@ -63,11 +65,14 @@ module Link = struct
     t.tracer <- tracer;
     t.trace_tid <- tid
 
+  let set_span t spans = t.spans <- spans
+
   let wire = "wire"
 
   let transmit t ~station frame =
     check_station station;
     Obs.Metrics.inc t.c_sent;
+    Obs.Span.mark_wire t.spans ~station;
     let traced = Obs.Tracer.enabled t.tracer in
     let tid = t.trace_tid in
     let len = Bytes.length frame.payload in
@@ -83,12 +88,14 @@ module Link = struct
           if span && traced then
             Obs.Tracer.span_end t.tracer ~tid ~id:seq ~cat:wire ~name:"frame"
               ~a0:len;
+          if span then Obs.Span.mark_rx_intr t.spans ~host:peer;
           match t.handlers.(peer) with
           | Some h -> h frame
           | None -> ())
     in
     let drop () =
       Obs.Metrics.inc t.c_dropped;
+      Obs.Span.mark_drop t.spans ~host:Obs.Span.host_wire;
       if traced then
         Obs.Tracer.instant t.tracer ~tid ~cat:wire ~name:"drop" ~a0:seq
     in

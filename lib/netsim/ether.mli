@@ -46,6 +46,10 @@ module Link : sig
       span (begin at transmit, end at delivery) on thread [tid]; drops,
       corruptions and duplications are instant events. *)
 
+  val set_span : t -> Protolat_obs.Span.t -> unit
+  (** Install the span ledger: transmit marks the wire stage, delivery the
+      rx-interrupt stage, a dropped frame the rto-wait stage. *)
+
   val transmit : t -> station:int -> frame -> unit
   (** Put a frame on the wire; it is delivered to the other station after
       serialization + propagation time. *)

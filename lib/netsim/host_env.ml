@@ -12,6 +12,8 @@ type t = {
   metrics : Obs.Metrics.t;
   mutable tracer : Obs.Tracer.t;
   mutable trace_tid : int;
+  mutable span : Obs.Span.t;
+  mutable span_host : int;
   mutable timer_scale : float;
       (* clock-skew model: every timer delay registered through [timeout]
          is stretched by this factor (1.0 = nominal) *)
@@ -40,11 +42,17 @@ let create sim ?(meter = Xk.Meter.null) ?metrics ?(simmem_base = 0x1000_0000)
     metrics;
     tracer = Obs.Tracer.null;
     trace_tid = 0;
+    span = Obs.Span.null;
+    span_host = 0;
     timer_scale = 1.0 }
 
 let set_tracer t ~tid tracer =
   t.tracer <- tracer;
   t.trace_tid <- tid
+
+let set_span t ~host span =
+  t.span <- span;
+  t.span_host <- host
 
 let trace_instant t ~cat ~name ~a0 =
   if Obs.Tracer.enabled t.tracer then

@@ -23,6 +23,8 @@ type t = {
   metrics : Obs.Metrics.t;  (** host-scoped registry (e.g. ["client."]) *)
   mutable tracer : Obs.Tracer.t;  (** {!Obs.Tracer.null} unless installed *)
   mutable trace_tid : int;  (** Perfetto thread id for this host's events *)
+  mutable span : Obs.Span.t;  (** {!Obs.Span.null} unless installed *)
+  mutable span_host : int;  (** span host code for this host's marks *)
   mutable timer_scale : float;
       (** clock-skew model: factor applied to every [timeout] delay *)
 }
@@ -35,6 +37,10 @@ val create :
 
 val set_tracer : t -> tid:int -> Obs.Tracer.t -> unit
 (** Install the shared timeline tracer; this host's events carry [tid]. *)
+
+val set_span : t -> host:int -> Obs.Span.t -> unit
+(** Install the shared span ledger; this host's marks carry [host]
+    ({!Obs.Span.host_client} or {!Obs.Span.host_server}). *)
 
 val trace_instant : t -> cat:string -> name:string -> a0:int -> unit
 (** Emit an instant event on this host's thread (no-op when untraced). *)

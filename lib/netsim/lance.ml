@@ -34,6 +34,7 @@ type t = {
   mutable fault : Fault.t option;
   mutable tracer : Obs.Tracer.t;
   mutable trace_tid : int;
+  mutable spans : Obs.Span.t;
 }
 
 let dev = "dev"
@@ -81,11 +82,13 @@ let create sim simmem link ~station ?(mode = Usc_direct) ?(ring_size = 16)
       power = true;
       fault = None;
       tracer = Obs.Tracer.null;
-      trace_tid = 0 }
+      trace_tid = 0;
+      spans = Obs.Span.null }
   in
   Ether.Link.attach link ~station (fun frame ->
       if not t.power then begin
         Obs.Metrics.inc t.c_down_drops;
+        Obs.Span.mark_drop t.spans ~host:t.station;
         if Obs.Tracer.enabled t.tracer then
           Obs.Tracer.instant t.tracer ~tid:t.trace_tid ~cat:dev
             ~name:"down_drop" ~a0:(Bytes.length frame.Ether.payload)
@@ -99,6 +102,7 @@ let create sim simmem link ~station ?(mode = Usc_direct) ?(ring_size = 16)
            latches the MISS condition for the next receive interrupt *)
         t.rx_missed <- true;
         Obs.Metrics.inc t.c_rx_missed;
+        Obs.Span.mark_drop t.spans ~host:t.station;
         if Obs.Tracer.enabled t.tracer then
           Obs.Tracer.instant t.tracer ~tid:t.trace_tid ~cat:dev
             ~name:"rx_overrun" ~a0:(Bytes.length frame.Ether.payload)
@@ -187,10 +191,12 @@ let transmit_live t frame =
 let transmit t frame =
   if tx_ring_full t then
     invalid_arg "Lance.transmit: tx ring full (check tx_ring_full first)";
-  if not t.power then
+  if not t.power then begin
     (* a crashed host cannot put frames on the wire; a straggling interrupt
        handler scheduled before the crash just loses its frame *)
-    Obs.Metrics.inc t.c_down_drops
+    Obs.Metrics.inc t.c_down_drops;
+    Obs.Span.mark_drop t.spans ~host:t.station
+  end
   else transmit_live t frame
 
 let set_fault t f = t.fault <- f
@@ -210,6 +216,8 @@ let stall t ~us =
 let set_tracer t ~tid tracer =
   t.tracer <- tracer;
   t.trace_tid <- tid
+
+let set_span t spans = t.spans <- spans
 
 let consume_rx_missed t =
   let m = t.rx_missed in

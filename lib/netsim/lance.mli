@@ -79,6 +79,10 @@ val set_tracer : t -> tid:int -> Protolat_obs.Tracer.t -> unit
     ([lance_rx]), injected stalls and rx overruns become instant events on
     thread [tid]. *)
 
+val set_span : t -> Protolat_obs.Span.t -> unit
+(** Install the span ledger: device-level losses (powered-down drops, rx
+    descriptor overruns) mark the rto-wait stage for the tracked message. *)
+
 val consume_rx_missed : t -> bool
 (** Whether an rx-descriptor overrun happened since the last call; reading
     clears the latch (the driver checks this in its receive interrupt). *)

@@ -1,4 +1,5 @@
 module Xk = Protolat_xkernel
+module Obs = Protolat_obs
 module Meter = Xk.Meter
 module Msg = Xk.Msg
 
@@ -48,6 +49,9 @@ let pool_put_metered t msg =
 let lance_send t frame =
   let m = t.env.Host_env.meter in
   let shared = Lance.tx_descriptor_rings t.lance in
+  (* tx-queue stage opens when the driver takes the frame; re-entry from the
+     tx_intr backlog drain is not a new stage and is ignored by the ledger *)
+  Obs.Span.mark_tx_queue t.env.Host_env.span ~host:t.env.Host_env.span_host;
   Meter.fn m "lance_send" (fun () ->
       m.Meter.block "lance_send" "setup"
         ~reads:[ Meter.range ~base:(Sparse_mem.sim_addr_of_word shared 0) ~len:16 () ];
@@ -118,6 +122,7 @@ let eth_demux t frame =
 let lance_rx t frame =
   let m = t.env.Host_env.meter in
   let shared = Lance.tx_descriptor_rings t.lance in
+  Obs.Span.mark_rx_proto t.env.Host_env.span ~host:t.env.Host_env.span_host;
   Meter.fn m "lance_rx" (fun () ->
       t.frames_received <- t.frames_received + 1;
       m.Meter.block "lance_rx" "getbuf";

@@ -1,4 +1,4 @@
-let schema_version = 2
+let schema_version = 3
 
 type v =
   | Null

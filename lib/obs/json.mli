@@ -12,7 +12,9 @@ val schema_version : int
     export of the repo (metrics dump, profile dump, Perfetto metadata,
     bench snapshot, mflow report, chaos matrix and repro files).  Bump when
     any export changes shape.  Version 2 added the mflow
-    reconnects/drained/violations cell fields and the chaos exports. *)
+    reconnects/drained/violations cell fields and the chaos exports;
+    version 3 added the latency-provenance spans export, Perfetto span
+    tracks with flow events, and the mflow [p999_us] cell field. *)
 
 type v =
   | Null

@@ -14,6 +14,16 @@ type process = {
   tracer : Tracer.t;
 }
 
-val to_buffer : Buffer.t -> process list -> unit
+type span_track = {
+  span_pid : int;
+  span_pname : string;
+  msgs : Span.message array;
+}
+(** A {!Span} ledger rendered as one process: per-host threads of complete
+    ("X") slices, one per stage segment, plus flow events ([ph:"s"] on the
+    sending host's slice, [ph:"f"] on the receiving host's slice) tying each
+    wire hop's send span to its receive span across hosts. *)
 
-val to_string : process list -> string
+val to_buffer : ?spans:span_track list -> Buffer.t -> process list -> unit
+
+val to_string : ?spans:span_track list -> process list -> string

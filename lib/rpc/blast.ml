@@ -131,6 +131,10 @@ let handle_nack t ~src hdr payload =
   match t.last_sent with
   | Some (dst, msg_id, frags)
     when msg_id = hdr.Hdrs.Blast.msg_id && dst = src ->
+    if Bytes.length payload > 0 then
+      (* one new generation per NACK burst, however many fragments it asks
+         to resend *)
+      Obs.Span.retry t.env.Ns.Host_env.span ~host:t.env.Ns.Host_env.span_host;
     Bytes.iter
       (fun c ->
         let ix = Char.code c in

@@ -82,6 +82,8 @@ let rec arm_timeout t (c : chan_state) =
              end
              else
                Ns.Host_env.phase t.env "chan_rexmt" (fun () ->
+                   Obs.Span.retry t.env.Ns.Host_env.span
+                     ~host:t.env.Ns.Host_env.span_host;
                    c.rexmt_tries <- c.rexmt_tries + 1;
                    Obs.Metrics.inc t.c_req_retransmits;
                    Ns.Host_env.trace_instant t.env ~cat:"chan"

@@ -18,6 +18,8 @@ let meter t = t.env.Ns.Host_env.meter
 
 let rec xrpctest_call t =
   let m = meter t in
+  Protolat_obs.Span.mark_tx_proto t.env.Ns.Host_env.span
+    ~host:t.env.Ns.Host_env.span_host;
   Meter.fn m "xrpctest_call" (fun () ->
       m.Meter.cold ~triggered:t.first "xrpctest_call" "init";
       t.first <- false;
@@ -35,6 +37,8 @@ let rec xrpctest_call t =
 
 and xrpctest_cont t =
   let m = meter t in
+  Protolat_obs.Span.mark_app t.env.Ns.Host_env.span
+    ~host:t.env.Ns.Host_env.span_host;
   Meter.fn m "xrpctest_cont" (fun () ->
       m.Meter.block "xrpctest_cont" "cont";
       t.remaining <- t.remaining - 1;
@@ -71,11 +75,15 @@ let server env mselect ~client_id =
   in
   Mselect.register mselect ~client:client_id (fun _data ~reply ->
       let m = meter t in
+      Protolat_obs.Span.mark_app t.env.Ns.Host_env.span
+        ~host:t.env.Ns.Host_env.span_host;
       Meter.fn m "xrpctest_serve" (fun () ->
           t.completed <- t.completed + 1;
           m.Meter.block "xrpctest_serve" "serve";
           m.Meter.cold ~triggered:false "xrpctest_serve" "unknownproc";
           m.Meter.call "xrpctest_serve" "serve" 0;
+          Protolat_obs.Span.mark_tx_proto t.env.Ns.Host_env.span
+            ~host:t.env.Ns.Host_env.span_host;
           reply Bytes.empty));
   t
 

@@ -243,6 +243,8 @@ and retransmit ?(fast = false) s =
         else begin
           let m = meter t in
           m.Meter.cold ~triggered:true "tcp_output" "rexmt_path";
+          Obs.Span.retry t.env.Ns.Host_env.span
+            ~host:t.env.Ns.Host_env.span_host;
           Obs.Metrics.inc t.c_retransmits;
           if fast then Obs.Metrics.inc t.c_fast_retransmits;
           Ns.Host_env.trace_instant t.env ~cat:"tcp"

@@ -26,6 +26,9 @@ let payload = Bytes.make 1 'p'
 
 let tcptest_send t =
   let m = meter t in
+  let env = t.env in
+  Protolat_obs.Span.mark_tx_proto env.Ns.Host_env.span
+    ~host:env.Ns.Host_env.span_host;
   Meter.fn m "tcptest_send" (fun () ->
       (match t.session with
       | None -> failwith "Tcptest: no session"
@@ -45,6 +48,9 @@ let tcptest_send t =
 
 let tcptest_recv t _data =
   let m = meter t in
+  let env = t.env in
+  Protolat_obs.Span.mark_app env.Ns.Host_env.span
+    ~host:env.Ns.Host_env.span_host;
   Meter.fn m "tcptest_recv" (fun () ->
       m.Meter.block "tcptest_recv" "main";
       match t.role with

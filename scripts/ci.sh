@@ -2,7 +2,9 @@
 # Smoke script: full build, test suite (with the warm-block fast path on
 # and off), a short multi-seed fault soak, the latency-attribution and
 # timeline exports (with their consistency / JSON well-formedness
-# checks), a quick multi-flow sweep, a quick host-lifecycle chaos sweep
+# checks), a quick multi-flow sweep, a quick latency-provenance spans
+# report (with its bit-exact conservation check), a quick host-lifecycle
+# chaos sweep
 # plus replays of the committed chaos repro files, a quick end-to-end
 # bench table, and a bench regression gate against the committed
 # BENCH_*.json history.
@@ -18,6 +20,10 @@ PROTOLAT_FASTPATH=0 dune runtest --force
 # ... and with the on-disk simulation cache explicitly off (the suite
 # already defaults it off; this leg pins the knob itself)
 PROTOLAT_SIMCACHE=0 dune runtest --force
+# ... and with the span ledger knob pinned off: engine results must be
+# bit-identical either way, and the span tests force the ledger on
+# explicitly so they still exercise it under this leg
+PROTOLAT_SPANS=0 dune runtest --force
 # cross-process simulation-cache reuse: the same quick bench table twice
 # against one shared store — the second invocation must serve its replay
 # measurements from the cache populated by the first
@@ -29,6 +35,7 @@ dune exec bin/protolat_cli.exe -- soak --quick --seeds 2
 dune build @profile-quick
 dune build @trace-quick
 dune build @mflow-quick
+dune build @spans-quick
 dune build @chaos-quick
 # the committed minimal repro must replay bit-identically: the buggy one
 # to exactly its recorded at-most-once violation, the fixed one cleanly

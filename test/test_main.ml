@@ -19,6 +19,7 @@ let () =
       Test_fault.suite;
       Test_engine.suite;
       Test_mflow.suite;
+      Test_spans.suite;
       Test_chaos.suite;
       Test_fastpath.suite;
       Test_replay.suite ]

@@ -60,7 +60,7 @@ let test_churn_drains () =
     (c.P.Mflow.conns > 8 * 2);
   Alcotest.(check bool) "housekeeping sweeps ran" true (c.P.Mflow.sweeps > 0);
   Alcotest.(check bool) "latency samples collected" true
-    (c.P.Mflow.lat.Stats.n = 80)
+    (c.P.Mflow.lat.Stats.Hist.n = 80)
 
 (* ----- the §2.2.3 premise: hit rate falls as flows exceed the cache ------- *)
 
@@ -111,7 +111,8 @@ let test_rpc_cell () =
   let c = P.Mflow.run_cell ~workload:quick_wl ~flows:6 spec in
   Alcotest.(check int) "every call answered" 48 c.P.Mflow.requests;
   Alcotest.(check bool) "drained" true c.P.Mflow.drained;
-  Alcotest.(check bool) "latency sampled" true (c.P.Mflow.lat.Stats.p50 > 0.0)
+  Alcotest.(check bool) "latency sampled" true
+    (c.P.Mflow.lat.Stats.Hist.p50 > 0.0)
 
 (* ----- open-loop arrivals ------------------------------------------------- *)
 
@@ -196,7 +197,8 @@ let test_metrics_registered () =
   | _ -> Alcotest.fail "mflow.requests missing");
   (match Obs.Metrics.find c.P.Mflow.metrics "mflow.lat_us" with
   | Some (Obs.Metrics.Histogram { count; _ }) ->
-    Alcotest.(check int) "latency histogram count" c.P.Mflow.lat.Stats.n count
+    Alcotest.(check int) "latency histogram count" c.P.Mflow.lat.Stats.Hist.n
+      count
   | _ -> Alcotest.fail "mflow.lat_us missing");
   match Obs.Metrics.find c.P.Mflow.metrics "mflow.map_hit_rate" with
   | Some (Obs.Metrics.Gauge _) -> ()

@@ -96,6 +96,78 @@ let test_stats () =
   Alcotest.(check (float 1e-9)) "slowdown" 50.0
     (Stats.percent_slowdown 150.0 100.0)
 
+(* ----- streaming histogram -------------------------------------------------- *)
+
+let test_hist_basics () =
+  let h = Stats.Hist.create () in
+  Alcotest.(check int) "empty count" 0 (Stats.Hist.count h);
+  let d = Stats.Hist.digest h in
+  Alcotest.(check (float 0.0)) "empty digest p50" 0.0 d.Stats.Hist.p50;
+  Alcotest.(check int) "empty digest n" 0 d.Stats.Hist.n;
+  List.iter (Stats.Hist.add h) [ 100.0; 200.0; 300.0; 400.0 ];
+  Alcotest.(check int) "count" 4 (Stats.Hist.count h);
+  Alcotest.(check (float 1e-9)) "total" 1000.0 (Stats.Hist.total h);
+  Alcotest.(check (float 1e-9)) "min" 100.0 (Stats.Hist.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 400.0 (Stats.Hist.max_value h);
+  (* quantiles land within one log-bucket of the nearest-rank answer, and
+     the extremes are exact (clamped to the observed min/max) *)
+  let tol = Stats.Hist.rel_error h in
+  let near name expect got =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: |%g - %g| within %.1f%%" name got expect
+         (100.0 *. tol))
+      true
+      (Float.abs (got -. expect) <= (tol +. 1e-9) *. expect)
+  in
+  near "p50" 200.0 (Stats.Hist.quantile h 50.0);
+  Alcotest.(check (float 0.0)) "p100 exact" 400.0
+    (Stats.Hist.quantile h 100.0);
+  Alcotest.check_raises "NaN rejected" (Invalid_argument "Hist.add: NaN")
+    (fun () -> Stats.Hist.add h Float.nan)
+
+let test_hist_merge () =
+  let a = Stats.Hist.create () and b = Stats.Hist.create () in
+  let rng = Rng.create 11 in
+  let xs = List.init 500 (fun _ -> 10.0 +. Rng.float rng 10_000.0) in
+  List.iteri
+    (fun i v -> Stats.Hist.add (if i mod 2 = 0 then a else b) v)
+    xs;
+  let m = Stats.Hist.merge a b in
+  Alcotest.(check int) "merged count" 500 (Stats.Hist.count m);
+  let all = Stats.Hist.create () in
+  List.iter (Stats.Hist.add all) xs;
+  (* merge is exact on bucket counts, so every quantile agrees with the
+     single-histogram answer bit-for-bit *)
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "p%g merge = single" p)
+        (Stats.Hist.quantile all p) (Stats.Hist.quantile m p))
+    [ 50.0; 90.0; 99.0; 99.9; 100.0 ];
+  Alcotest.check_raises "geometry mismatch rejected"
+    (Invalid_argument "Hist.merge: geometry mismatch") (fun () ->
+      ignore (Stats.Hist.merge a (Stats.Hist.create ~per_decade:8 ())))
+
+(* quantiles vs the exact nearest-rank percentile on random samples: the
+   bucketed answer must stay within one bucket's relative error *)
+let prop_hist_vs_percentile =
+  QCheck.Test.make ~name:"Hist.quantile tracks Stats.percentile" ~count:100
+    QCheck.(
+      pair small_nat (list_of_size Gen.(1 -- 200) (float_bound_inclusive 1e6)))
+    (fun (seed, raw) ->
+      let xs = List.map (fun v -> 0.5 +. Float.abs v) raw in
+      let h = Stats.Hist.create () in
+      List.iter (Stats.Hist.add h) xs;
+      let rng = Rng.create seed in
+      let ps = [ 50.0; 90.0; 99.0; 99.9; float_of_int (Rng.int rng 101) ] in
+      let tol = Stats.Hist.rel_error h in
+      List.for_all
+        (fun p ->
+          let exact = Stats.percentile p xs in
+          let approx = Stats.Hist.quantile h p in
+          Float.abs (approx -. exact) <= (tol +. 1e-9) *. exact +. 1e-9)
+        ps)
+
 let test_table_render () =
   let t = Table.create ~title:"T" ~headers:[ "a"; "b" ] in
   Table.add_row t [ "x"; "1" ];
@@ -143,6 +215,9 @@ let suite =
       Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
       Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutes;
       Alcotest.test_case "stats" `Quick test_stats;
+      Alcotest.test_case "hist basics" `Quick test_hist_basics;
+      Alcotest.test_case "hist merge" `Quick test_hist_merge;
+      QCheck_alcotest.to_alcotest prop_hist_vs_percentile;
       Alcotest.test_case "table render" `Quick test_table_render;
       Alcotest.test_case "dpool preserves order" `Quick test_dpool_order;
       Alcotest.test_case "dpool propagates errors" `Quick test_dpool_exn;
