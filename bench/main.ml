@@ -115,6 +115,13 @@ let run_tables () =
       inc_s full_s
       (full_s /. Float.max inc_s 1e-9)
   end;
+  if want "fabric" || only = None then begin
+    banner "Fabric: incast over the switched star topology";
+    Table.print
+      (P.Experiments.incast_latency
+         ~fan_ins:(if quick then [ 2; 8 ] else [ 2; 4; 8; 16; 32; 64 ])
+         ~jobs ())
+  end;
   if want "ablations" || only = None then begin
     banner "Ablations";
     Table.print (P.Ablation.classifier ());
@@ -303,6 +310,12 @@ let run_json () =
   let t3 = Unix.gettimeofday () in
   ignore (P.Experiments.layout_sweep ~incremental:false ());
   let layout_full_wall = Unix.gettimeofday () -. t3 in
+  (* one sharded incast cell: wall clock of the fabric's epoch engine plus
+     its pinned-behaviour digest and tail latencies *)
+  let fabric_fan_in = if quick then 16 else 32 in
+  let t4 = Unix.gettimeofday () in
+  let fabric = P.Incast.run_cell ~jobs ~fan_in:fabric_fan_in ~seed:42 () in
+  let fabric_wall = Unix.gettimeofday () -. t4 in
   let buf = Buffer.create 2048 in
   let stack_json stack =
     let entries =
@@ -333,8 +346,20 @@ let run_json () =
   Buffer.add_string buf
     (Printf.sprintf
        "  \"wall_clock_s\": {\"full_sweep\": %.4f, \"single_run_all\": %.4f, \
-        \"layout_sweep_incremental\": %.4f, \"layout_sweep_full\": %.4f},\n"
-       sweep_wall single_wall layout_inc_wall layout_full_wall);
+        \"layout_sweep_incremental\": %.4f, \"layout_sweep_full\": %.4f, \
+        \"fabric_incast\": %.4f},\n"
+       sweep_wall single_wall layout_inc_wall layout_full_wall fabric_wall);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"fabric\": {\"fan_in\": %d, \"completed\": %d, \"total\": %d, \
+        \"p50_us\": %.3f, \"p99_us\": %.3f, \"queue_drops\": %d, \
+        \"retransmits\": %d, \"epochs\": %d, \"digest\": \"%s\"},\n"
+       fabric.P.Incast.fan_in fabric.P.Incast.completed
+       fabric.P.Incast.total
+       fabric.P.Incast.lat.Protolat_util.Stats.Hist.p50
+       fabric.P.Incast.lat.Protolat_util.Stats.Hist.p99
+       fabric.P.Incast.queue_drops fabric.P.Incast.retransmits
+       fabric.P.Incast.epochs fabric.P.Incast.digest);
   (* which replay layers were live, how often they engaged, and what the
      simulation cache did — so a perf number is never read without knowing
      what produced it *)
@@ -469,6 +494,30 @@ let run_compare () =
     ignore (wall "single_run_all");
     ignore (wall "layout_sweep_incremental");
     ignore (wall "layout_sweep_full");
+    ignore (wall "fabric_incast");
+    (* fabric incast cell: simulated tail latency; absent in baselines
+       that predate the switched fabric *)
+    (match
+       ( jnum (jpath vold [ "fabric"; "fan_in" ]),
+         jnum (jpath vnew [ "fabric"; "fan_in" ]) )
+     with
+    | Some a, Some b when a = b ->
+      List.iter
+        (fun key ->
+          match
+            ( jnum (jpath vold [ "fabric"; key ]),
+              jnum (jpath vnew [ "fabric"; key ]) )
+          with
+          | Some a, Some b when a > 0.0 ->
+            Printf.printf "  incast %-9s %12.2f -> %12.2f  (%+.2f%%)\n" key a
+              b (pct a b)
+          | _ -> ())
+        [ "p50_us"; "p99_us" ]
+    | None, Some _ ->
+      Printf.printf "  incast cell: no baseline (pre-fabric snapshot)\n"
+    | Some _, Some _ ->
+      Printf.printf "  incast cell: fan-in differs, skipping\n"
+    | _ -> ());
     (* replay throughput (runs/sec): higher is better; absent in baselines
        that predate the replay section *)
     (match

@@ -51,6 +51,63 @@ let jobs_arg =
           "Worker domains for sweeps (default: the recommended domain \
            count; 1 = sequential). Results are identical at any job count.")
 
+let topo_conv =
+  let parse s =
+    match Protolat_netsim.Topology.shape_of_string s with
+    | Some sh -> Ok sh
+    | None -> Error (`Msg ("unknown topology: " ^ s ^ " (pair|star|line)"))
+  in
+  let print fmt sh =
+    Format.pp_print_string fmt (Protolat_netsim.Topology.shape_name sh)
+  in
+  Arg.conv (parse, print)
+
+let topo_arg =
+  Arg.(
+    value
+    & opt topo_conv Protolat_netsim.Topology.Pair
+    & info [ "topo" ]
+        ~doc:
+          "Fabric shape: pair (point-to-point, the paper's wiring), star \
+           (every host on its own segment into one switch) or line (a \
+           chain of switches).")
+
+let hosts_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "hosts" ]
+        ~doc:
+          "Hosts on the fabric.  Two-host harnesses (run, mflow, soak, \
+           chaos) require 2; the fabric scenario takes any fan-in + 1.")
+
+(* Materialize --topo/--hosts into a topology value, with the CLI's error
+   discipline (exit 124 like Cmdliner's own converter failures). *)
+let topology_of shape hosts =
+  let module Topo = Protolat_netsim.Topology in
+  match
+    match shape with
+    | Topo.Pair -> if hosts = 2 then Some (Topo.pair ()) else None
+    | Topo.Star -> (try Some (Topo.star ~hosts ()) with _ -> None)
+    | Topo.Line -> (try Some (Topo.line ~hosts ()) with _ -> None)
+  with
+  | Some t -> t
+  | None ->
+    Printf.eprintf "protolat: --topo %s --hosts %d is not a valid fabric\n"
+      (Topo.shape_name shape) hosts;
+    exit 124
+
+(* The two-host harnesses (run, mflow, soak, chaos) accept any shape but
+   exactly two hosts; fail cleanly before the engine's invalid_arg. *)
+let pair_topology_of shape hosts =
+  if hosts <> 2 then begin
+    Printf.eprintf
+      "protolat: this subcommand runs on exactly 2 hosts (got --hosts %d); \
+       use `protolat fabric` for N-host scenarios\n"
+      hosts;
+    exit 124
+  end;
+  topology_of shape hosts
+
 let seeds_arg ?(default = 1) ~doc () =
   Arg.(value & opt int default & info [ "seeds" ] ~doc)
 

@@ -11,7 +11,8 @@
      spans    per-message latency provenance
      soak     deterministic fault-injection soak
      mflow    multi-flow traffic engine with connection churn
-     chaos    host-lifecycle chaos with shrinkable repro schedules      *)
+     chaos    host-lifecycle chaos with shrinkable repro schedules
+     fabric   N-client incast over the switched star fabric            *)
 
 module P = Protolat
 module M = Protolat_machine
@@ -31,10 +32,11 @@ let jobs_arg = Cli_common.jobs_arg
 (* ----- run -------------------------------------------------------------- *)
 
 let run_cmd =
-  let run stack version rounds seed =
+  let run stack version rounds seed topo hosts =
+    let topology = Cli_common.pair_topology_of topo hosts in
     let r =
       P.Engine.run
-        (P.Engine.Spec.make ~seed ~rounds ~stack
+        (P.Engine.Spec.make ~topology ~seed ~rounds ~stack
            ~config:(P.Config.make version) ())
     in
     let s = r.P.Engine.steady in
@@ -58,7 +60,8 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Measure one configuration.")
-    Term.(const run $ stack_arg $ version_arg $ rounds_arg $ seed_arg)
+    Term.(const run $ stack_arg $ version_arg $ rounds_arg $ seed_arg
+          $ Cli_common.topo_arg $ Cli_common.hosts_arg)
 
 (* ----- tables ------------------------------------------------------------ *)
 
@@ -66,7 +69,7 @@ let tables_cmd =
   let names =
     [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "table7";
       "table8"; "table9"; "map"; "micro"; "decunix"; "fault"; "mflow";
-      "chaos" ]
+      "chaos"; "fabric" ]
   in
   let which =
     Arg.(value & pos_all string names & info [] ~docv:"TABLE"
@@ -112,6 +115,11 @@ let tables_cmd =
         (P.Experiments.chaos_degradation
            ~intensities:(if quick then [ 0; 2; 4 ] else [ 0; 1; 2; 4; 8 ])
            ~seeds:(if quick then 1 else 2)
+           ~jobs ());
+    if want "fabric" then
+      Protolat_util.Table.print
+        (P.Experiments.incast_latency
+           ~fan_ins:(if quick then [ 2; 8; 32 ] else [ 2; 4; 8; 16; 32; 64 ])
            ~jobs ())
   in
   Cmd.v
@@ -390,8 +398,9 @@ let soak_cmd =
     Arg.(value & flag
          & info [ "quick" ] ~doc:"Smaller transfers and fewer rounds (CI).")
   in
-  let run seeds jobs quick =
-    let r = P.Soak.run ~seeds ~jobs ~quick () in
+  let run seeds jobs quick topo hosts =
+    let topology = Cli_common.pair_topology_of topo hosts in
+    let r = P.Soak.run ~seeds ~jobs ~quick ~topology () in
     print_string (P.Soak.render r);
     if not (P.Soak.passed r) then exit 1
   in
@@ -404,7 +413,8 @@ let soak_cmd =
           cold-path coverage.  Exits non-zero unless every cell passes and \
           at least 90% of the tracked cold blocks triggered.  The report \
           digest is bit-identical for the same seeds at any --jobs count.")
-    Term.(const run $ seeds_arg $ jobs_arg $ quick_arg)
+    Term.(const run $ seeds_arg $ jobs_arg $ quick_arg $ Cli_common.topo_arg
+          $ Cli_common.hosts_arg)
 
 (* ----- mflow -------------------------------------------------------------- *)
 
@@ -458,7 +468,7 @@ let mflow_cmd =
   in
   let out_arg = Cli_common.out_arg () in
   let run stack version flows seeds jobs requests lifetime think open_loop
-      json check out =
+      topo hosts json check out =
     let workload =
       { P.Mflow.arrival =
           (match open_loop with
@@ -470,7 +480,9 @@ let mflow_cmd =
         conn_lifetime = (if lifetime <= 0 then None else Some lifetime) }
     in
     let spec =
-      P.Engine.Spec.default ~stack ~config:(P.Config.make version)
+      P.Engine.Spec.make
+        ~topology:(Cli_common.pair_topology_of topo hosts)
+        ~stack ~config:(P.Config.make version) ()
     in
     let r = P.Mflow.sweep ~flow_counts:flows ~seeds ~jobs ~workload spec in
     Cli_common.write out
@@ -516,7 +528,8 @@ let mflow_cmd =
           same seeds at any --jobs count.")
     Term.(
       const run $ stack_arg $ version_arg $ flows_arg $ seeds_arg $ jobs_arg
-      $ requests_arg $ lifetime_arg $ think_arg $ open_arg $ json_arg
+      $ requests_arg $ lifetime_arg $ think_arg $ open_arg
+      $ Cli_common.topo_arg $ Cli_common.hosts_arg $ json_arg
       $ check_arg $ out_arg)
 
 (* ----- chaos -------------------------------------------------------------- *)
@@ -591,7 +604,8 @@ let chaos_cmd =
   in
   let out_arg = Cli_common.out_arg () in
   let run seed intensities flows requests seeds jobs quick bug shrink replay
-      json check out =
+      topo hosts json check out =
+    let topology = Cli_common.pair_topology_of topo hosts in
     match replay with
     | Some path ->
       let ic = open_in_bin path in
@@ -631,7 +645,8 @@ let chaos_cmd =
             let s = seed + i in
             let sched = P.Chaos.gen ~seed:s ~intensity:4 ~horizon_us in
             let c =
-              P.Chaos.case ~flows ~requests ~horizon_us ~bug ~seed:s sched
+              P.Chaos.case ~flows ~requests ~horizon_us ~bug ~topology
+                ~seed:s sched
             in
             let o = P.Chaos.run_case c in
             if P.Chaos.ok o then scan (i + 1) else Some (c, o)
@@ -672,8 +687,8 @@ let chaos_cmd =
         let intensities = if quick then [ 0; 2; 4 ] else intensities in
         let seeds = if quick then 1 else seeds in
         let cells =
-          P.Chaos.run_matrix ~flows ~requests ~bug ~intensities ~seeds ~jobs
-            ~seed ()
+          P.Chaos.run_matrix ~flows ~requests ~bug ~topology ~intensities
+            ~seeds ~jobs ~seed ()
         in
         Cli_common.write out
           (if json then P.Chaos.matrix_to_json cells ^ "\n"
@@ -722,7 +737,108 @@ let chaos_cmd =
     Term.(
       const run $ seed_arg $ intensities_arg $ flows_arg $ requests_arg
       $ seeds_arg $ jobs_arg $ quick_arg $ bug_arg $ shrink_arg $ replay_arg
-      $ json_arg $ check_arg $ out_arg)
+      $ Cli_common.topo_arg $ Cli_common.hosts_arg $ json_arg $ check_arg
+      $ out_arg)
+
+(* ----- fabric ------------------------------------------------------------- *)
+
+let fabric_cmd =
+  let fan_ins_arg =
+    Arg.(
+      value
+      & opt (list int) [ 2; 4; 8; 16; 32; 64 ]
+      & info [ "fan-ins" ] ~docv:"N,N,..."
+          ~doc:
+            "Comma-separated client fan-in degrees to sweep (--hosts N, \
+             when not 2, overrides this with the single degree N-1).")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "requests" ] ~doc:"Request/response exchanges per client.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int P.Incast.default_workload.P.Incast.port_queue_frames
+      & info [ "queue" ] ~docv:"FRAMES"
+          ~doc:"Switch egress queue bound per port.")
+  in
+  let seeds_arg =
+    Cli_common.seeds_arg ~doc:"Repetitions per fan-in degree." ()
+  in
+  let json_arg = Cli_common.json_arg () in
+  let check_arg =
+    Cli_common.check_arg
+      ~doc:
+        "Parse the JSON report, verify the schema version and cell count, \
+         and require every cell to have drained with no conservation-law \
+         violation; exit non-zero otherwise."
+      ()
+  in
+  let out_arg = Cli_common.out_arg () in
+  let run seed fan_ins requests queue seeds jobs topo hosts json check out =
+    (match topo with
+    | Protolat_netsim.Topology.Star -> ()
+    | sh ->
+      Printf.eprintf
+        "protolat fabric: only --topo star is supported (got %s)\n"
+        (Protolat_netsim.Topology.shape_name sh);
+      exit 124);
+    let fan_ins = if hosts <> 2 then [ hosts - 1 ] else fan_ins in
+    let wl =
+      { P.Incast.default_workload with
+        P.Incast.requests_per_client = requests;
+        port_queue_frames = queue }
+    in
+    let r = P.Incast.sweep ~wl ~fan_ins ~seeds ~jobs ~seed () in
+    Cli_common.write out
+      (if json then P.Incast.to_json r else P.Incast.render r);
+    if check then begin
+      (match Protolat_obs.Json.parse (P.Incast.to_json r) with
+      | Error msg ->
+        Printf.eprintf "fabric JSON is malformed: %s\n" msg;
+        exit 1
+      | Ok v ->
+        (match Protolat_obs.Json.member "schema_version" v with
+        | Some (Protolat_obs.Json.Num got)
+          when int_of_float got = Protolat_obs.Json.schema_version ->
+          ()
+        | _ ->
+          Printf.eprintf "fabric JSON: bad schema_version\n";
+          exit 1);
+        (match Protolat_obs.Json.member "cells" v with
+        | Some cs
+          when Protolat_obs.Json.array_length cs
+               = List.length fan_ins * seeds ->
+          ()
+        | _ ->
+          Printf.eprintf "fabric JSON: wrong cell count\n";
+          exit 1));
+      if not json then
+        Printf.eprintf "check: JSON well-formed, every cell drained\n"
+    end;
+    if not (P.Incast.passed r) then begin
+      Printf.eprintf "fabric: a cell failed to drain or broke a law\n";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fabric"
+       ~doc:
+         "N-client incast over the switched star fabric: clients behind a \
+          store-and-forward switch fire synchronized request bursts at one \
+          server, reporting p50/p90/p99/p99.9 completion latency, switch \
+          queue drops and retransmissions per fan-in degree.  Hosts shard \
+          across --jobs domains in deterministic lock-step epochs: cell \
+          digests are bit-identical at any job count.")
+    Term.(
+      const run $ seed_arg $ fan_ins_arg $ requests_arg $ queue_arg
+      $ seeds_arg $ jobs_arg
+      $ Arg.(
+          value
+          & opt Cli_common.topo_conv Protolat_netsim.Topology.Star
+          & info [ "topo" ] ~doc:"Fabric shape (only star is supported).")
+      $ Cli_common.hosts_arg $ json_arg $ check_arg $ out_arg)
 
 (* ----- sweep -------------------------------------------------------------- *)
 
@@ -761,4 +877,5 @@ let () =
          Improve Protocol Processing Latency (SIGCOMM '96)."
   in
   exit (Cmd.eval (Cmd.group info [ run_cmd; tables_cmd; figures_cmd; layout_cmd; sweep_cmd; trace_cmd;
-          profile_cmd; spans_cmd; soak_cmd; mflow_cmd; chaos_cmd ]))
+          profile_cmd; spans_cmd; soak_cmd; mflow_cmd; chaos_cmd;
+          fabric_cmd ]))

@@ -29,7 +29,9 @@ let () =
     P.Paper.version_order;
 
   (* thread-manager behaviour during a plain (unmetered) run *)
-  let pair = R.Rstack.make_pair () in
+  let pair =
+    R.Rstack.pair_of_net (R.Rstack.make_net ~topology:(Ns.Topology.pair ()) ())
+  in
   let client, _server = R.Rstack.make_tests pair ~rounds:50 in
   R.Xrpctest.start client;
   ignore (Ns.Sim.run ~until:60.0e6 pair.R.Rstack.sim);

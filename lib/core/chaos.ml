@@ -139,7 +139,7 @@ let crash_host (h : T.Stack.host) =
   Ns.Netdev.reset h.T.Stack.netdev;
   ignore (Xk.Event.cancel_all h.T.Stack.env.Ns.Host_env.events)
 
-let inject (pair : T.Stack.pair) ?(flush_us = 250.0) ~on_restart sched =
+let inject (net : T.Stack.net) ?(flush_us = 250.0) ~on_restart sched =
   let st =
     { client_down = false;
       server_down = false;
@@ -151,8 +151,8 @@ let inject (pair : T.Stack.pair) ?(flush_us = 250.0) ~on_restart sched =
       s_flushes = 0 }
   in
   let host_of = function
-    | Client -> pair.T.Stack.client
-    | Server -> pair.T.Stack.server
+    | Client -> net.T.Stack.hosts.(0)
+    | Server -> net.T.Stack.hosts.(1)
   in
   let set_down h v =
     match h with
@@ -161,7 +161,7 @@ let inject (pair : T.Stack.pair) ?(flush_us = 250.0) ~on_restart sched =
   in
   List.iter
     (fun { at_us; ev } ->
-      Ns.Sim.schedule_at pair.T.Stack.sim ~at:at_us (fun () ->
+      Ns.Sim.schedule_at net.T.Stack.n_sim ~at:at_us (fun () ->
           match ev with
           | Crash h ->
             if not (is_down st h) then begin
@@ -179,14 +179,16 @@ let inject (pair : T.Stack.pair) ?(flush_us = 250.0) ~on_restart sched =
           | Partition_on ->
             st.partition_depth <- st.partition_depth + 1;
             if st.partition_depth = 1 then begin
-              Ns.Ether.Link.set_filter pair.T.Stack.link (fun _ -> true);
+              (* pair fabric: the historic whole-link filter; switched
+                 fabrics black-hole every switch port instead *)
+              Ns.Fabric.partition_all net.T.Stack.fabric true;
               st.s_partitions <- st.s_partitions + 1
             end
           | Partition_off ->
             if st.partition_depth > 0 then begin
               st.partition_depth <- st.partition_depth - 1;
               if st.partition_depth = 0 then
-                Ns.Ether.Link.set_filter pair.T.Stack.link (fun _ -> false)
+                Ns.Fabric.partition_all net.T.Stack.fabric false
             end
           | Skew (h, s) ->
             Ns.Host_env.set_timer_scale (host_of h).T.Stack.env s;
@@ -220,12 +222,13 @@ type case = {
   requests : int;
   horizon_us : float;
   bug : bug;
+  topology : Ns.Topology.t;
   sched : schedule;
 }
 
 let case ?(flows = 4) ?(requests = 24) ?(horizon_us = 200_000.0)
-    ?(bug = No_bug) ~seed sched =
-  { seed; flows; requests; horizon_us; bug; sched }
+    ?(bug = No_bug) ?(topology = Ns.Topology.pair ()) ~seed sched =
+  { seed; flows; requests; horizon_us; bug; topology; sched }
 
 type outcome = {
   completed : int;
@@ -334,8 +337,11 @@ let run_case (c : case) =
     invalid_arg "Chaos.run_case: flows must be in 1..64";
   if c.requests < 1 || c.requests > 1000 then
     invalid_arg "Chaos.run_case: requests must be in 1..1000";
+  if Ns.Topology.hosts c.topology <> 2 then
+    invalid_arg "Chaos.run_case: topology must have exactly 2 hosts";
   let sched = normalize c.sched in
-  let pair = T.Stack.make_pair () in
+  let net = T.Stack.make_net ~topology:c.topology () in
+  let pair = T.Stack.pair_of_net net in
   let sim = pair.T.Stack.sim in
   let ctcp = pair.T.Stack.client.T.Stack.tcp in
   let stcp = pair.T.Stack.server.T.Stack.tcp in
@@ -403,7 +409,7 @@ let run_case (c : case) =
   in
   server_listen ();
   let st =
-    inject pair sched ~on_restart:(function
+    inject net sched ~on_restart:(function
       | Server -> server_listen () (* reboot re-installs the listener *)
       | Client -> () (* flows recover through their own supervision *))
   in
@@ -658,8 +664,8 @@ type cell = {
 let seed_for base i = base + (i * 9176)
 
 let run_matrix ?(flows = 4) ?(requests = 24) ?(horizon_us = 200_000.0)
-    ?(bug = No_bug) ?(intensities = [ 0; 1; 2; 4 ]) ?(seeds = 2) ?jobs ~seed
-    () =
+    ?(bug = No_bug) ?(topology = Ns.Topology.pair ())
+    ?(intensities = [ 0; 1; 2; 4 ]) ?(seeds = 2) ?jobs ~seed () =
   if seeds <= 0 then invalid_arg "Chaos.run_matrix: seeds must be positive";
   let tasks =
     List.concat_map
@@ -667,7 +673,9 @@ let run_matrix ?(flows = 4) ?(requests = 24) ?(horizon_us = 200_000.0)
         List.init seeds (fun i ->
             let s = seed_for seed i in
             let sched = gen ~seed:(s + (1009 * intensity)) ~intensity ~horizon_us in
-            let c = { seed = s; flows; requests; horizon_us; bug; sched } in
+            let c =
+              { seed = s; flows; requests; horizon_us; bug; topology; sched }
+            in
             fun () -> { intensity; c_case = c; c_outcome = run_case c }))
       intensities
   in
@@ -759,8 +767,10 @@ let case_to_json ?(expect = []) c =
   Buffer.add_string b
     (Printf.sprintf
        "  \"seed\": %d,\n  \"flows\": %d,\n  \"requests\": %d,\n\
-       \  \"horizon_us\": %.0f,\n  \"bug\": \"%s\",\n"
-       c.seed c.flows c.requests c.horizon_us (bug_string c.bug));
+       \  \"horizon_us\": %.0f,\n  \"bug\": \"%s\",\n\
+       \  \"topology\": \"%s\",\n"
+       c.seed c.flows c.requests c.horizon_us (bug_string c.bug)
+       (Ns.Topology.to_string c.topology));
   Buffer.add_string b
     (Printf.sprintf "  \"expect\": [%s],\n"
        (String.concat ", "
@@ -799,6 +809,16 @@ let case_of_json text =
     match bug_of_string bug_s with
     | Some b -> Ok b
     | None -> Error (Printf.sprintf "chaos repro: unknown bug %S" bug_s)
+  in
+  let* topology =
+    (* absent in pre-fabric (schema ≤ 3) repro files: the historic pair *)
+    match Obs.Json.member "topology" v with
+    | None -> Ok (Ns.Topology.pair ())
+    | Some (Obs.Json.Str s) -> (
+      match Ns.Topology.of_string s with
+      | Some t -> Ok t
+      | None -> Error (Printf.sprintf "chaos repro: unknown topology %S" s))
+    | Some _ -> Error "chaos repro: \"topology\" must be a string"
   in
   let* expect =
     match Obs.Json.member "expect" v with
@@ -870,6 +890,7 @@ let case_of_json text =
         requests = int_of_float requests;
         horizon_us;
         bug;
+        topology;
         sched },
       expect )
 
@@ -886,14 +907,17 @@ let matrix_to_json cells =
     let o = cl.c_outcome in
     Printf.sprintf
       "    {\"intensity\": %d, \"seed\": %d, \"events\": %d, \"bug\": \
-       \"%s\", \"completed\": %d, \"total\": %d, \"reconnects\": %d, \
+       \"%s\", \"topology\": \"%s\", \"completed\": %d, \"total\": %d, \
+       \"reconnects\": %d, \
        \"duplicate_execs\": %d, \"crashes\": %d, \"restarts\": %d, \
        \"partitions\": %d, \"flushes\": %d, \"end_us\": %.0f, \
        \"goodput_rps\": %.2f, \"p50_us\": %.3f, \"p99_us\": %.3f, \
        \"violations\": [%s]}"
       cl.intensity cl.c_case.seed
       (List.length cl.c_case.sched)
-      (bug_string cl.c_case.bug) o.completed o.total o.reconnects
+      (bug_string cl.c_case.bug)
+      (Ns.Topology.to_string cl.c_case.topology)
+      o.completed o.total o.reconnects
       o.duplicate_execs o.o_crashes o.o_restarts o.o_partitions o.o_flushes
       o.end_us o.goodput_rps o.lat.Util.Stats.p50 o.lat.Util.Stats.p99
       (String.concat ", "

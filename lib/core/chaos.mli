@@ -78,20 +78,23 @@ val skews : status -> int
 val flushes : status -> int
 
 val inject :
-  T.Stack.pair ->
+  T.Stack.net ->
   ?flush_us:float ->
   on_restart:(host -> unit) ->
   schedule ->
   status
-(** Arm every event of the (normalized) schedule on the pair's simulator.
-    Crashes power the LANCE down and wipe the host's volatile protocol
-    state ({!T.Tcp.abort_all}, {!T.Ip.reset}, {!Ns.Netdev.reset},
-    [Event.cancel_all]); restarts power it back up and call [on_restart]
-    (a server re-installs its listeners there).  Partition windows nest:
-    the link is open again only when every [Partition_on] has been
-    matched, and unmatched [Partition_off]s (a shrinker artifact) are
-    ignored.  Crash/restart and flush events are idempotent against
-    unpaired duplicates. *)
+(** Arm every event of the (normalized) schedule on the net's simulator
+    (host 0 is [Client], host 1 [Server]).  Crashes power the LANCE down
+    and wipe the host's volatile protocol state ({!T.Tcp.abort_all},
+    {!T.Ip.reset}, {!Ns.Netdev.reset}, [Event.cancel_all]); restarts
+    power it back up and call [on_restart] (a server re-installs its
+    listeners there).  Partition windows nest: the fabric is open again
+    only when every [Partition_on] has been matched, and unmatched
+    [Partition_off]s (a shrinker artifact) are ignored.  On the pair
+    fabric a partition is the historic whole-link filter; on switched
+    fabrics every switch port black-holes ({!Ns.Fabric.partition_all}),
+    so drops land in the switch's partition counter.  Crash/restart and
+    flush events are idempotent against unpaired duplicates. *)
 
 (** {1 The at-most-once workload} *)
 
@@ -112,12 +115,17 @@ type case = {
   requests : int;  (** requests per flow *)
   horizon_us : float;  (** fault activity is confined to [0, horizon) *)
   bug : bug;
+  topology : Ns.Topology.t;
+      (** 2-host wiring; [pair] (the default) reproduces pre-fabric runs
+          bit for bit, [star]/[line] with 2 hosts route through the
+          switch and partition at its ports *)
   sched : schedule;
 }
 
 val case : ?flows:int -> ?requests:int -> ?horizon_us:float -> ?bug:bug ->
-  seed:int -> schedule -> case
-(** Defaults: 4 flows, 24 requests, 200 ms horizon, [No_bug]. *)
+  ?topology:Ns.Topology.t -> seed:int -> schedule -> case
+(** Defaults: 4 flows, 24 requests, 200 ms horizon, [No_bug], pair
+    topology. *)
 
 type outcome = {
   completed : int;  (** verified request/response exchanges *)
@@ -159,6 +167,7 @@ val run_matrix :
   ?requests:int ->
   ?horizon_us:float ->
   ?bug:bug ->
+  ?topology:Ns.Topology.t ->
   ?intensities:int list ->
   ?seeds:int ->
   ?jobs:int ->

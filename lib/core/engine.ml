@@ -779,12 +779,26 @@ let finish ~params ~config ~desc ~(ch : hstate) ~rtts ~retransmissions
     spans;
     invariants = List.map Invariant.render_violation (Invariant.violations iv) }
 
-(* seeded fault plans for one pair: one wire plan on the link, one device
-   plan per host's LANCE (independent split streams per class inside each) *)
-let install_fault ~seed ~metrics spec ~link ~client_lance ~server_lance =
+(* seeded fault plans for one run: one wire plan per segment, one device
+   plan per host's LANCE (independent split streams per class inside each).
+   On the pair fabric the single segment keeps its historic "wire" scope
+   and seed; switched fabrics get per-segment scopes/seeds. *)
+let install_fault ~seed ~metrics spec ~fabric ~client_lance ~server_lance =
   let scoped name = Obs.Metrics.scoped metrics name in
-  Ns.Ether.Link.set_fault link
-    (Some (Ns.Fault.create ~seed ~metrics:(scoped "wire") spec));
+  if Ns.Fabric.is_pair fabric then
+    Ns.Ether.Link.set_fault
+      (Ns.Fabric.pair_link fabric)
+      (Some (Ns.Fault.create ~seed ~metrics:(scoped "wire") spec))
+  else begin
+    let i = ref 0 in
+    Ns.Fabric.iter_links fabric (fun link ->
+        Ns.Ether.Link.set_fault link
+          (Some
+             (Ns.Fault.create ~seed:(seed + (31 * !i))
+                ~metrics:(scoped (Printf.sprintf "wire%d" !i))
+                spec));
+        incr i)
+  end;
   Ns.Lance.set_fault client_lance
     (Some (Ns.Fault.create ~seed:(seed + 101) ~metrics:(scoped "client_dev") spec));
   Ns.Lance.set_fault server_lance
@@ -808,20 +822,22 @@ let make_span ~spans sim =
   if spans then Obs.Span.create ~clock:(Ns.Sim.clock_cell sim) ()
   else Obs.Span.null
 
-let install_span span ~cenv ~senv ~link ~client_lance ~server_lance =
+let install_span span ~cenv ~senv ~fabric ~client_lance ~server_lance =
   if Obs.Span.enabled span then begin
     Ns.Host_env.set_span cenv ~host:Obs.Span.host_client span;
     Ns.Host_env.set_span senv ~host:Obs.Span.host_server span;
-    Ns.Ether.Link.set_span link span;
-    Ns.Lance.set_span client_lance span;
-    Ns.Lance.set_span server_lance span
+    (* host i's span code is i (client 0, server 1); switch-side stations
+       carry host_wire so multi-hop paths telescope into wire/switch/wire *)
+    Ns.Fabric.set_span fabric span ~code_of:(fun i -> i);
+    Ns.Lance.set_span ~host:Obs.Span.host_client client_lance span;
+    Ns.Lance.set_span ~host:Obs.Span.host_server server_lance span
   end
 
-let install_tracer tracer ~cenv ~senv ~link ~client_lance ~server_lance =
+let install_tracer tracer ~cenv ~senv ~fabric ~client_lance ~server_lance =
   if Obs.Tracer.enabled tracer then begin
     Ns.Host_env.set_tracer cenv ~tid:tid_client tracer;
     Ns.Host_env.set_tracer senv ~tid:tid_server tracer;
-    Ns.Ether.Link.set_tracer link ~tid:tid_wire tracer;
+    Ns.Fabric.set_tracer fabric ~tid:tid_wire tracer;
     Ns.Lance.set_tracer client_lance ~tid:tid_client tracer;
     Ns.Lance.set_tracer server_lance ~tid:tid_server tracer
   end
@@ -831,22 +847,23 @@ let compose_meter base = function
   | Some extra -> Xk.Meter.both base extra
 
 let run_tcpip ?(rx_overhead_us = 0.0) ?fault ?extra_meter ?(trace_events = false)
-    ?(spans = false) ~seed ~rounds ~warmup ~params ~(config : Config.t)
-    ~layout () =
+    ?(spans = false) ~topology ~seed ~rounds ~warmup ~params
+    ~(config : Config.t) ~layout () =
   let client_image = build_image config tcpip_desc ~layout in
   let server_image = client_image in
-  let pair =
-    T.Stack.make_pair ~client_opts:config.Config.opts
-      ~server_opts:config.Config.opts ()
+  let net =
+    T.Stack.make_net ~opts_for:(fun _ -> config.Config.opts) ~topology ()
   in
+  let pair = T.Stack.pair_of_net net in
+  let fabric = net.T.Stack.fabric in
   let cenv = pair.T.Stack.client.T.Stack.env in
   let senv = pair.T.Stack.server.T.Stack.env in
   let tracer = make_tracer ~trace_events pair.T.Stack.sim in
-  install_tracer tracer ~cenv ~senv ~link:pair.T.Stack.link
+  install_tracer tracer ~cenv ~senv ~fabric
     ~client_lance:pair.T.Stack.client.T.Stack.lance
     ~server_lance:pair.T.Stack.server.T.Stack.lance;
   let span = make_span ~spans pair.T.Stack.sim in
-  install_span span ~cenv ~senv ~link:pair.T.Stack.link
+  install_span span ~cenv ~senv ~fabric
     ~client_lance:pair.T.Stack.client.T.Stack.lance
     ~server_lance:pair.T.Stack.server.T.Stack.lance;
   perturb cenv.Ns.Host_env.simmem seed;
@@ -872,7 +889,7 @@ let run_tcpip ?(rx_overhead_us = 0.0) ?fault ?extra_meter ?(trace_events = false
   | None -> ()
   | Some spec ->
     install_fault ~seed:(seed lxor 0x5EED) ~metrics:pair.T.Stack.metrics spec
-      ~link:pair.T.Stack.link
+      ~fabric
       ~client_lance:pair.T.Stack.client.T.Stack.lance
       ~server_lance:pair.T.Stack.server.T.Stack.lance);
   let window_us = if fault = None then None else Some 60.0e6 in
@@ -888,22 +905,29 @@ let run_tcpip ?(rx_overhead_us = 0.0) ?fault ?extra_meter ?(trace_events = false
     ~metrics:pair.T.Stack.metrics ~events:tracer ~spans:span
 
 let run_rpc ?fault ?extra_meter ?(trace_events = false) ?(spans = false)
-    ~seed ~rounds ~warmup ~params ~(config : Config.t) ~layout () =
+    ~topology ~seed ~rounds ~warmup ~params ~(config : Config.t) ~layout () =
   let client_image = build_image config rpc_client_desc ~layout in
   (* the server always runs the best version (§4.2) *)
   let server_image =
     build_image (Config.make Config.All) rpc_server_desc
       ~layout:Config.Bipartite
   in
-  let pair = R.Rstack.make_pair ~client_opts:config.Config.opts () in
+  let net =
+    R.Rstack.make_net
+      ~opts_for:(fun i ->
+        if i = 0 then config.Config.opts else T.Opts.improved)
+      ~topology ()
+  in
+  let pair = R.Rstack.pair_of_net net in
+  let fabric = net.R.Rstack.fabric in
   let cenv = pair.R.Rstack.client.R.Rstack.env in
   let senv = pair.R.Rstack.server.R.Rstack.env in
   let tracer = make_tracer ~trace_events pair.R.Rstack.sim in
-  install_tracer tracer ~cenv ~senv ~link:pair.R.Rstack.link
+  install_tracer tracer ~cenv ~senv ~fabric
     ~client_lance:pair.R.Rstack.client.R.Rstack.lance
     ~server_lance:pair.R.Rstack.server.R.Rstack.lance;
   let span = make_span ~spans pair.R.Rstack.sim in
-  install_span span ~cenv ~senv ~link:pair.R.Rstack.link
+  install_span span ~cenv ~senv ~fabric
     ~client_lance:pair.R.Rstack.client.R.Rstack.lance
     ~server_lance:pair.R.Rstack.server.R.Rstack.lance;
   perturb cenv.Ns.Host_env.simmem seed;
@@ -927,7 +951,7 @@ let run_rpc ?fault ?extra_meter ?(trace_events = false) ?(spans = false)
   | None -> ()
   | Some spec ->
     install_fault ~seed:(seed lxor 0x5EED) ~metrics:pair.R.Rstack.metrics spec
-      ~link:pair.R.Rstack.link
+      ~fabric
       ~client_lance:pair.R.Rstack.client.R.Rstack.lance
       ~server_lance:pair.R.Rstack.server.R.Rstack.lance);
   let window_us = if fault = None then None else Some 60.0e6 in
@@ -949,6 +973,10 @@ module Spec = struct
   type t = {
     stack : stack_kind;
     config : Config.t;
+    topology : Ns.Topology.t;
+        (* wiring between the two endpoints: [pair] is the historic direct
+           link; [star]/[line] with 2 hosts route through the switched
+           fabric (store-and-forward adds per-hop latency and spans) *)
     seed : int;
     rounds : int;
     warmup : int;
@@ -962,11 +990,13 @@ module Spec = struct
         (* None: follow the PROTOLAT_SPANS environment knob *)
   }
 
-  let make ?(seed = 42) ?(rounds = 24) ?(warmup = 8)
-      ?(params = Machine.Params.default) ?layout ?(rx_overhead_us = 0.0)
-      ?fault ?extra_meter ?(trace_events = false) ?spans ~stack ~config () =
+  let make ?(topology = Ns.Topology.pair ()) ?(seed = 42) ?(rounds = 24)
+      ?(warmup = 8) ?(params = Machine.Params.default) ?layout
+      ?(rx_overhead_us = 0.0) ?fault ?extra_meter ?(trace_events = false)
+      ?spans ~stack ~config () =
     { stack;
       config;
+      topology;
       seed;
       rounds;
       warmup;
@@ -986,6 +1016,7 @@ end
 let run (spec : Spec.t) =
   let { Spec.stack;
         config;
+        topology;
         seed;
         rounds;
         warmup;
@@ -998,6 +1029,10 @@ let run (spec : Spec.t) =
         spans } =
     spec
   in
+  if Ns.Topology.hosts topology <> 2 then
+    invalid_arg
+      "Engine.run: spec topology must have exactly 2 hosts (use Incast for \
+       N-host fabric scenarios)";
   let spans = match spans with Some b -> b | None -> Obs.Span.knob_on () in
   let layout =
     match layout with
@@ -1006,11 +1041,11 @@ let run (spec : Spec.t) =
   in
   match stack with
   | Tcpip ->
-    run_tcpip ~rx_overhead_us ?fault ?extra_meter ~trace_events ~spans ~seed
-      ~rounds ~warmup ~params ~config ~layout ()
+    run_tcpip ~rx_overhead_us ?fault ?extra_meter ~trace_events ~spans
+      ~topology ~seed ~rounds ~warmup ~params ~config ~layout ()
   | Rpc ->
-    run_rpc ?fault ?extra_meter ~trace_events ~spans ~seed ~rounds ~warmup
-      ~params ~config ~layout ()
+    run_rpc ?fault ?extra_meter ~trace_events ~spans ~topology ~seed ~rounds
+      ~warmup ~params ~config ~layout ()
 
 (* ----- bulk-transfer throughput (§4.1: "none of the techniques
    negatively affected throughput"; §2.2.5: CPU utilization) ------------- *)
@@ -1024,12 +1059,12 @@ type throughput_result = {
 }
 
 let throughput ?(bytes = 64 * 1024) ?(params = Machine.Params.default)
-    ~(config : Config.t) () =
+    ?(topology = Ns.Topology.pair ()) ~(config : Config.t) () =
   let layout = Config.layout_of config.Config.version in
   let client_image = build_image config tcpip_desc ~layout in
   let pair =
-    T.Stack.make_pair ~client_opts:config.Config.opts
-      ~server_opts:config.Config.opts ()
+    T.Stack.pair_of_net
+      (T.Stack.make_net ~opts_for:(fun _ -> config.Config.opts) ~topology ())
   in
   let cenv = pair.T.Stack.client.T.Stack.env in
   let senv = pair.T.Stack.server.T.Stack.env in

@@ -61,6 +61,13 @@ module Spec : sig
   type t = {
     stack : stack_kind;
     config : Config.t;
+    topology : Protolat_netsim.Topology.t;
+        (** wiring between the two endpoints (default {!Protolat_netsim.Topology.pair},
+            the historic direct link — bit-identical to the pre-fabric
+            engine).  [star]/[line] with 2 hosts route every frame through
+            the store-and-forward switch, adding per-hop latency and
+            switch-stage spans.  {!run} rejects topologies with more than
+            2 hosts (use {!Incast} for N-host fabric scenarios). *)
     seed : int;  (** startup-allocation perturbation (default 42) *)
     rounds : int;  (** measured roundtrips (default 24) *)
     warmup : int;  (** discarded leading roundtrips (default 8) *)
@@ -89,6 +96,7 @@ module Spec : sig
   }
 
   val make :
+    ?topology:Protolat_netsim.Topology.t ->
     ?seed:int ->
     ?rounds:int ->
     ?warmup:int ->
@@ -135,6 +143,7 @@ type throughput_result = {
 val throughput :
   ?bytes:int ->
   ?params:Machine.Params.t ->
+  ?topology:Protolat_netsim.Topology.t ->
   config:Config.t ->
   unit ->
   throughput_result

@@ -858,3 +858,45 @@ let mflow_scaling ?(flow_counts = [ 1; 8; 64; 256 ]) ?(seeds = 4) ?(jobs = 1)
             / List.length cells) ])
     r.Mflow.flow_counts;
   t
+
+let incast_latency ?(fan_ins = [ 2; 4; 8; 16; 32; 64 ]) ?(seeds = 1)
+    ?(jobs = 1) () =
+  let r = Incast.sweep ~fan_ins ~seeds ~jobs ~seed:42 () in
+  let t =
+    Table.create
+      ~title:
+        "Incast: completion latency vs fan-in over the switched star \
+         fabric (TCP, mean over seeds)"
+      ~headers:
+        [ "Fan-in"; "Done"; "p50 [us]"; "p90 [us]"; "p99 [us]";
+          "p99.9 [us]"; "max [us]"; "Rexmt"; "Q drops"; "Q peak" ]
+  in
+  List.iter
+    (fun fan_in ->
+      let cells =
+        List.filter (fun (c : Incast.cell) -> c.Incast.fan_in = fan_in)
+          r.Incast.cells
+      in
+      let n = float_of_int (List.length cells) in
+      let avg f = List.fold_left (fun acc c -> acc +. f c) 0.0 cells /. n in
+      let sum f =
+        List.fold_left (fun acc (c : Incast.cell) -> acc + f c) 0 cells
+      in
+      Table.add_row t
+        [ i fan_in;
+          Printf.sprintf "%d/%d"
+            (sum (fun c -> c.Incast.completed))
+            (sum (fun c -> c.Incast.total));
+          f1 (avg (fun c -> c.Incast.lat.Util.Stats.Hist.p50));
+          f1 (avg (fun c -> c.Incast.lat.Util.Stats.Hist.p90));
+          f1 (avg (fun c -> c.Incast.lat.Util.Stats.Hist.p99));
+          f1 (avg (fun c -> c.Incast.lat.Util.Stats.Hist.p999));
+          f1 (avg (fun c -> c.Incast.lat.Util.Stats.Hist.max));
+          i (sum (fun c -> c.Incast.retransmits));
+          i (sum (fun c -> c.Incast.queue_drops));
+          i
+            (List.fold_left
+               (fun acc (c : Incast.cell) -> max acc c.Incast.queue_peak)
+               0 cells) ])
+    r.Incast.fan_ins;
+  t

@@ -137,3 +137,11 @@ val chaos_degradation :
     count grows (defaults: intensities 0/1/2/4/8, 2 seeds).  Any
     invariant violation appears in the last column — a correct stack
     shows "none" throughout. *)
+
+val incast_latency :
+  ?fan_ins:int list -> ?seeds:int -> ?jobs:int -> unit -> Protolat_util.Table.t
+(** Incast over the switched star fabric (extra experiment): completion
+    latency percentiles, switch queue drops and retransmissions as the
+    client fan-in degree grows past what the server's access link and the
+    switch's bounded egress queue absorb (defaults: fan-in 2..64, 1
+    seed).  [jobs] parallelizes the per-cell host shards. *)

@@ -63,8 +63,7 @@ let scoped_value dump ~scope suffix =
   | Some n -> n
   | None -> 0
 
-let conservation t ~at_us metrics =
-  let dump = Obs.Metrics.dump metrics in
+let conservation_dump t ~at_us dump =
   let sum = sum_of dump in
   let le name lhs_label lhs rhs_label rhs =
     check t ~at_us ~name
@@ -105,7 +104,24 @@ let conservation t ~at_us metrics =
         (scoped_value dump ~scope "tcp.fast_retransmits")
         (scope ^ "tcp.retransmits")
         total)
-    (counters_with dump "tcp.retransmits")
+    (counters_with dump "tcp.retransmits");
+  (* switches: every frame leaving an egress port or dropped inside the
+     fabric entered on an ingress port (flood copies add to the supply);
+     frames still queued or in flight only make the left side smaller.
+     Equality holds at quiesce. *)
+  List.iter
+    (fun (scope, frames_in) ->
+      let v suffix = scoped_value dump ~scope suffix in
+      le "conservation.switch_forward"
+        (scope ^ "out + drops")
+        (v "switch.frames_out" + v "switch.queue_drops"
+        + v "switch.unknown_drops" + v "switch.partition_drops")
+        (scope ^ "in + flood copies")
+        (frames_in + v "switch.flood_copies"))
+    (counters_with dump "switch.frames_in")
+
+let conservation t ~at_us metrics =
+  conservation_dump t ~at_us (Obs.Metrics.dump metrics)
 
 let render_violation v =
   Printf.sprintf "%s @ %.0fus: %s" v.name v.at_us v.detail

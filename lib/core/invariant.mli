@@ -17,6 +17,9 @@
       the wire − frames dropped + injected duplications;
     - fault plans: per scope, every fault class fires at most once per
       frame drawn;
+    - switches: per [switch] scope, frames leaving an egress port plus
+      queue/unknown-destination/partition drops ≤ frames in plus flood
+      copies (equality at quiesce);
     - TCP: per scope, fast retransmits ≤ total retransmits. *)
 
 type violation = {
@@ -53,6 +56,12 @@ val names : t -> string list
 val conservation : t -> at_us:float -> Protolat_obs.Metrics.t -> unit
 (** Evaluate the metrics conservation laws against a registry snapshot,
     reporting each broken law as a [conservation.*] violation. *)
+
+val conservation_dump :
+  t -> at_us:float -> (string * Protolat_obs.Metrics.sample) list -> unit
+(** {!conservation} over an explicit dump — for audits that merge several
+    registries first (e.g. the sharded incast fabric, whose hosts and
+    switch live in per-domain registries). *)
 
 val render_violation : violation -> string
 (** ["name @ <t>us: detail"]. *)

@@ -160,8 +160,8 @@ let establish_poll_us = 100.0
 
 let sweep_interval_us = 2_000.0
 
-let run_tcp ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) ?chaos
-    () =
+let run_tcp ~(config : Config.t) ~topology ~seed ~flows:nflows
+    ~(wl : workload) ?chaos () =
   if nflows <= 0 then invalid_arg "Mflow: flows must be positive";
   (match (chaos, wl.arrival) with
   | Some _, Open_loop _ ->
@@ -169,10 +169,10 @@ let run_tcp ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) ?chaos
        crash silently sheds its backlog instead of recovering it *)
     invalid_arg "Mflow: chaos requires a closed-loop workload"
   | _ -> ());
-  let pair =
-    T.Stack.make_pair ~client_opts:config.Config.opts
-      ~server_opts:config.Config.opts ()
+  let net =
+    T.Stack.make_net ~opts_for:(fun _ -> config.Config.opts) ~topology ()
   in
+  let pair = T.Stack.pair_of_net net in
   let sim = pair.T.Stack.sim in
   let cenv = pair.T.Stack.client.T.Stack.env in
   let senv = pair.T.Stack.server.T.Stack.env in
@@ -228,7 +228,7 @@ let run_tcp ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) ?chaos
     | None -> None
     | Some sched ->
       Some
-        (Chaos.inject pair
+        (Chaos.inject net
            ~on_restart:(fun h ->
              match h with
              | Chaos.Server ->
@@ -506,9 +506,16 @@ let run_tcp ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) ?chaos
    channel map takes the role of the TCP PCB map.  Channels are pooled
    rather than torn down, so churn here is pool growth + interleaving, not
    connection teardown. *)
-let run_rpc ~(config : Config.t) ~seed ~flows:nflows ~(wl : workload) () =
+let run_rpc ~(config : Config.t) ~topology ~seed ~flows:nflows
+    ~(wl : workload) () =
   if nflows <= 0 then invalid_arg "Mflow: flows must be positive";
-  let pair = R.Rstack.make_pair ~client_opts:config.Config.opts () in
+  let pair =
+    R.Rstack.pair_of_net
+      (R.Rstack.make_net
+         ~opts_for:(fun i ->
+           if i = 0 then config.Config.opts else T.Opts.improved)
+         ~topology ())
+  in
   let sim = pair.R.Rstack.sim in
   let cenv = pair.R.Rstack.client.R.Rstack.env in
   let senv = pair.R.Rstack.server.R.Rstack.env in
@@ -672,10 +679,15 @@ let finish_cell (flows, cell) =
 
 let run_cell ?(workload = default_workload) ?chaos ~flows
     (spec : Engine.Spec.t) =
-  let config = spec.Engine.Spec.config and seed = spec.Engine.Spec.seed in
+  let config = spec.Engine.Spec.config
+  and seed = spec.Engine.Spec.seed
+  and topology = spec.Engine.Spec.topology in
+  if Ns.Topology.hosts topology <> 2 then
+    invalid_arg "Mflow: spec topology must have exactly 2 hosts";
   finish_cell
     (match spec.Engine.Spec.stack with
-    | Engine.Tcpip -> run_tcp ~config ~seed ~flows ~wl:workload ?chaos ()
+    | Engine.Tcpip ->
+      run_tcp ~config ~topology ~seed ~flows ~wl:workload ?chaos ()
     | Engine.Rpc ->
       (match chaos with
       | Some _ ->
@@ -683,12 +695,13 @@ let run_cell ?(workload = default_workload) ?chaos ~flows
            have no reconnect story there yet *)
         invalid_arg "Mflow: chaos supports the TCP stack only"
       | None -> ());
-      run_rpc ~config ~seed ~flows ~wl:workload ())
+      run_rpc ~config ~topology ~seed ~flows ~wl:workload ())
 
 (* ----- sweep -------------------------------------------------------------- *)
 
 type report = {
   rstack : Engine.stack_kind;
+  rtopology : Ns.Topology.t;
   flow_counts : int list;
   seeds : int;
   workload : workload;
@@ -713,6 +726,7 @@ let sweep ?(flow_counts = [ 1; 8; 64 ]) ?(seeds = 2) ?jobs
       flow_counts
   in
   { rstack = base.Engine.Spec.stack;
+    rtopology = base.Engine.Spec.topology;
     flow_counts;
     seeds;
     workload;
@@ -791,6 +805,9 @@ let to_json t =
   Buffer.add_string b
     (Printf.sprintf "  \"stack\": \"%s\",\n"
        (match t.rstack with Engine.Tcpip -> "tcpip" | Engine.Rpc -> "rpc"));
+  Buffer.add_string b
+    (Printf.sprintf "  \"topology\": \"%s\",\n"
+       (Ns.Topology.to_string t.rtopology));
   Buffer.add_string b
     (Printf.sprintf "  \"seeds\": %d,\n  \"flow_counts\": [%s],\n" t.seeds
        (String.concat ", " (List.map string_of_int t.flow_counts)));

@@ -119,6 +119,8 @@ val run_cell :
 
 type report = {
   rstack : Engine.stack_kind;
+  rtopology : Protolat_netsim.Topology.t;
+      (** the 2-host wiring every cell ran over (from the base spec) *)
   flow_counts : int list;
   seeds : int;
   workload : workload;

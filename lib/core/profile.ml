@@ -86,6 +86,7 @@ let layers_of ~stack (a : Obs.Attrib.t) =
 type t = {
   stack : Engine.stack_kind;
   version : Config.version;
+  topology : Protolat_netsim.Topology.t;
   seed : int;
   mode : [ `Steady | `Cold ];
   run : Engine.run_result;
@@ -93,22 +94,32 @@ type t = {
   layers : layer list;
 }
 
-let collect ?(seed = 42) ?(rounds = 24) ?(mode = `Steady)
-    ?(params = Machine.Params.default) ~stack ~version () =
+let collect ?(topology = Protolat_netsim.Topology.pair ()) ?(seed = 42)
+    ?(rounds = 24) ?(mode = `Steady) ?(params = Machine.Params.default)
+    ~stack ~version () =
   let config = Config.make version in
   let run =
-    Engine.run (Engine.Spec.make ~seed ~rounds ~params ~stack ~config ())
+    Engine.run
+      (Engine.Spec.make ~topology ~seed ~rounds ~params ~stack ~config ())
   in
   let attrib =
     Obs.Attrib.profile ~mode params run.Engine.client_image run.Engine.trace
   in
-  { stack; version; seed; mode; run; attrib; layers = layers_of ~stack attrib }
+  { stack;
+    version;
+    topology;
+    seed;
+    mode;
+    run;
+    attrib;
+    layers = layers_of ~stack attrib }
 
-let collect_many ?seed ?rounds ?mode ?params ?jobs ~stack versions =
+let collect_many ?topology ?seed ?rounds ?mode ?params ?jobs ~stack versions =
   Protolat_util.Dpool.run ?jobs
     (List.map
        (fun version ->
-         fun () -> collect ?seed ?rounds ?mode ?params ~stack ~version ())
+         fun () ->
+          collect ?topology ?seed ?rounds ?mode ?params ~stack ~version ())
        versions)
 
 let report t =
@@ -259,10 +270,11 @@ let to_json t =
   let tot = t.attrib.Obs.Attrib.totals in
   let rep = report t in
   Printf.bprintf b
-    "{\"schema_version\":%d,\"stack\":\"%s\",\"version\":\"%s\",\"seed\":%d,"
+    "{\"schema_version\":%d,\"stack\":\"%s\",\"version\":\"%s\",\"topology\":\"%s\",\"seed\":%d,"
     Obs.Json.schema_version
     (Engine.stack_name t.stack)
     (Config.version_name t.version)
+    (Protolat_netsim.Topology.to_string t.topology)
     t.seed;
   Printf.bprintf b "\"mode\":\"%s\","
     (match t.mode with `Steady -> "steady" | `Cold -> "cold");

@@ -41,6 +41,7 @@ val layer_mcpi : layer -> float
 type t = {
   stack : Engine.stack_kind;
   version : Config.version;
+  topology : Protolat_netsim.Topology.t;
   seed : int;
   mode : [ `Steady | `Cold ];
   run : Engine.run_result;
@@ -49,6 +50,7 @@ type t = {
 }
 
 val collect :
+  ?topology:Protolat_netsim.Topology.t ->
   ?seed:int ->
   ?rounds:int ->
   ?mode:[ `Steady | `Cold ] ->
@@ -59,6 +61,7 @@ val collect :
   t
 
 val collect_many :
+  ?topology:Protolat_netsim.Topology.t ->
   ?seed:int ->
   ?rounds:int ->
   ?mode:[ `Steady | `Cold ] ->

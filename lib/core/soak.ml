@@ -246,9 +246,14 @@ let is_clean spec = spec = Ns.Fault.clean
 (* Bulk client->server transfer over TCP: payload must arrive intact and
    in order whatever the wire does; lost frames must be covered by
    retransmission, corrupted frames rejected by a checksum somewhere. *)
-let tcp_transfer ~cover ~seed ~spec ~quick =
+let tcp_transfer ~cover ~seed ~spec ~quick ~topology =
   let m = Cover.meter cover in
-  let p = T.Stack.make_pair ~client_meter:m ~server_meter:m () in
+  let p =
+    T.Stack.pair_of_net
+      (T.Stack.make_net
+         ~meter_for:(fun _ -> Some m)
+         ~topology ())
+  in
   let sim = p.T.Stack.sim in
   let failures = ref [] in
   let received = Buffer.create 8192 in
@@ -337,9 +342,14 @@ let tcp_transfer ~cover ~seed ~spec ~quick =
 (* The paper's latency ping-pong under faults: every roundtrip must still
    complete (retransmission covers losses), and a fault-free wire must
    not retransmit at all. *)
-let tcp_pingpong ~cover ~seed ~spec ~quick =
+let tcp_pingpong ~cover ~seed ~spec ~quick ~topology =
   let m = Cover.meter cover in
-  let p = T.Stack.make_pair ~client_meter:m ~server_meter:m () in
+  let p =
+    T.Stack.pair_of_net
+      (T.Stack.make_net
+         ~meter_for:(fun _ -> Some m)
+         ~topology ())
+  in
   let sim = p.T.Stack.sim in
   let failures = ref [] in
   let rounds = if quick then 20 else 40 in
@@ -383,9 +393,14 @@ let tcp_pingpong ~cover ~seed ~spec ~quick =
 (* Receiver advertises a zero window mid-transfer: the sender must arm
    the persist timer and probe (tcp_output/persist is otherwise dead
    code), then resume and finish once the window reopens. *)
-let tcp_zero_window ~cover ~seed:_ ~spec:_ ~quick:_ =
+let tcp_zero_window ~cover ~seed:_ ~spec:_ ~quick:_ ~topology =
   let m = Cover.meter cover in
-  let p = T.Stack.make_pair ~client_meter:m ~server_meter:m () in
+  let p =
+    T.Stack.pair_of_net
+      (T.Stack.make_net
+         ~meter_for:(fun _ -> Some m)
+         ~topology ())
+  in
   let sim = p.T.Stack.sim in
   let failures = ref [] in
   let received = Buffer.create 8192 in
@@ -463,9 +478,14 @@ let tcp_zero_window ~cover ~seed:_ ~spec:_ ~quick:_ =
    SYN to a dead port (retransmit give-up), unroutable destination,
    IP fragmentation/reassembly, unknown ethertype, and a receive handler
    that retains its buffer (forcing the pool's free/malloc slow path). *)
-let tcp_edge ~cover ~seed:_ ~spec:_ ~quick:_ =
+let tcp_edge ~cover ~seed:_ ~spec:_ ~quick:_ ~topology =
   let m = Cover.meter cover in
-  let p = T.Stack.make_pair ~client_meter:m ~server_meter:m () in
+  let p =
+    T.Stack.pair_of_net
+      (T.Stack.make_net
+         ~meter_for:(fun _ -> Some m)
+         ~topology ())
+  in
   let sim = p.T.Stack.sim in
   let client = p.T.Stack.client in
   let server = p.T.Stack.server in
@@ -548,9 +568,14 @@ let tcp_edge ~cover ~seed:_ ~spec:_ ~quick:_ =
 (* Multi-fragment BLAST transfers: reassembly with selective retransmit
    must deliver every message exactly once and intact; a 64 KB burst
    overruns the 16-descriptor LANCE transmit ring on the way out. *)
-let blast_transfer ~cover ~seed ~spec ~quick =
+let blast_transfer ~cover ~seed ~spec ~quick ~topology =
   let m = Cover.meter cover in
-  let p = R.Rstack.make_pair ~client_meter:m ~server_meter:m () in
+  let p =
+    R.Rstack.pair_of_net
+      (R.Rstack.make_net
+         ~meter_for:(fun _ -> Some m)
+         ~topology ())
+  in
   let sim = p.R.Rstack.sim in
   let client = p.R.Rstack.client in
   let server = p.R.Rstack.server in
@@ -628,9 +653,14 @@ let blast_transfer ~cover ~seed ~spec ~quick =
 
 (* The RPC ping-pong under faults: CHAN's request retransmission must
    carry every call to completion; a clean wire retransmits nothing. *)
-let rpc_pingpong ~cover ~seed ~spec ~quick =
+let rpc_pingpong ~cover ~seed ~spec ~quick ~topology =
   let m = Cover.meter cover in
-  let p = R.Rstack.make_pair ~client_meter:m ~server_meter:m () in
+  let p =
+    R.Rstack.pair_of_net
+      (R.Rstack.make_net
+         ~meter_for:(fun _ -> Some m)
+         ~topology ())
+  in
   let sim = p.R.Rstack.sim in
   let failures = ref [] in
   let rounds = if quick then 15 else 30 in
@@ -676,9 +706,14 @@ let rpc_pingpong ~cover ~seed ~spec ~quick =
    unanswered request retransmitting to its cap, a duplicate reply with
    nobody waiting, an undecodable request, channel-pool growth under
    concurrent calls, and a call to an unregistered client id. *)
-let rpc_stress ~cover ~seed:_ ~spec:_ ~quick:_ =
+let rpc_stress ~cover ~seed:_ ~spec:_ ~quick:_ ~topology =
   let m = Cover.meter cover in
-  let p = R.Rstack.make_pair ~client_meter:m ~server_meter:m () in
+  let p =
+    R.Rstack.pair_of_net
+      (R.Rstack.make_net
+         ~meter_for:(fun _ -> Some m)
+         ~topology ())
+  in
   let sim = p.R.Rstack.sim in
   let client = p.R.Rstack.client in
   let server = p.R.Rstack.server in
@@ -776,6 +811,7 @@ type scenario = {
     seed:int ->
     spec:Ns.Fault.spec ->
     quick:bool ->
+    topology:Ns.Topology.t ->
     string list * (string * int) list;
 }
 
@@ -825,7 +861,8 @@ let canonical_cells cells =
     cells;
   Buffer.contents b
 
-let run ?(seeds = 4) ?jobs ?(quick = false) () =
+let run ?(seeds = 4) ?jobs ?(quick = false)
+    ?(topology = Ns.Topology.pair ()) () =
   let tasks =
     List.concat_map
       (fun sc ->
@@ -840,7 +877,7 @@ let run ?(seeds = 4) ?jobs ?(quick = false) () =
                   fun () ->
                     let cover = Cover.create () in
                     let failures, counters =
-                      try sc.body ~cover ~seed ~spec:sch.sspec ~quick
+                      try sc.body ~cover ~seed ~spec:sch.sspec ~quick ~topology
                       with e ->
                         ([ "exception: " ^ Printexc.to_string e ], [])
                     in

@@ -74,11 +74,19 @@ val seed_for : int -> int
 (** Seed of the [i]-th soak sample (distinct stream from
     {!Engine.sample_seed}). *)
 
-val run : ?seeds:int -> ?jobs:int -> ?quick:bool -> unit -> report
+val run :
+  ?seeds:int ->
+  ?jobs:int ->
+  ?quick:bool ->
+  ?topology:Protolat_netsim.Topology.t ->
+  unit ->
+  report
 (** Run the matrix: [seeds] (default 4) seeds per randomized schedule
     (the [clean] schedule draws nothing and runs once), fanned across
     [jobs] domains.  [quick] shrinks transfer sizes and round counts for
-    CI. *)
+    CI.  [topology] is the 2-host wiring every scenario pair runs over
+    (default {!Protolat_netsim.Topology.pair}; [star:2]/[line:2] route
+    the same traffic through the switched fabric). *)
 
 val coverage_pct : report -> float
 

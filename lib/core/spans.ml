@@ -12,6 +12,7 @@ type cell = {
 type t = {
   stack : Engine.stack_kind;
   version : Config.version;
+  topology : Protolat_netsim.Topology.t;
   seed : int;
   rounds : int;
   cells : cell list;
@@ -23,27 +24,30 @@ let default_layouts =
   [ Config.Bipartite; Config.Micro; Config.Linear; Config.Link_order;
     Config.Pessimal ]
 
-let collect_one ?(seed = 42) ?(rounds = 24) ?fault ~stack ~version ~layout ()
-    =
+let collect_one ?(topology = Protolat_netsim.Topology.pair ()) ?(seed = 42)
+    ?(rounds = 24) ?fault ~stack ~version ~layout () =
   let config = Config.make version in
   let run =
     Engine.run
-      (Engine.Spec.make ~seed ~rounds ~stack ~config ~layout ?fault
+      (Engine.Spec.make ~topology ~seed ~rounds ~stack ~config ~layout ?fault
          ~spans:true ())
   in
   let msgs = Obs.Span.messages run.Engine.spans in
   { layout; run; msgs; budget = Obs.Span.budget msgs }
 
-let collect ?(seed = 42) ?(rounds = 24) ?(layouts = default_layouts) ?fault
-    ?jobs ~stack ~version () =
+let collect ?(topology = Protolat_netsim.Topology.pair ()) ?(seed = 42)
+    ?(rounds = 24) ?(layouts = default_layouts) ?fault ?jobs ~stack ~version
+    () =
   let cells =
     Protolat_util.Dpool.run ?jobs
       (List.map
          (fun layout ->
-           fun () -> collect_one ~seed ~rounds ?fault ~stack ~version ~layout ())
+           fun () ->
+            collect_one ~topology ~seed ~rounds ?fault ~stack ~version ~layout
+              ())
          layouts)
   in
-  { stack; version; seed; rounds; cells }
+  { stack; version; topology; seed; rounds; cells }
 
 (* ----- consistency check (the acceptance bar) ------------------------------ *)
 
@@ -148,10 +152,11 @@ let add_farr b a =
 let to_json t =
   let b = Buffer.create 4096 in
   Printf.bprintf b
-    "{\"schema_version\":%d,\"stack\":\"%s\",\"version\":\"%s\",\"seed\":%d,\"rounds\":%d,"
+    "{\"schema_version\":%d,\"stack\":\"%s\",\"version\":\"%s\",\"topology\":\"%s\",\"seed\":%d,\"rounds\":%d,"
     Obs.Json.schema_version
     (Engine.stack_name t.stack)
     (Config.version_name t.version)
+    (Protolat_netsim.Topology.to_string t.topology)
     t.seed t.rounds;
   Buffer.add_string b "\"stages\":[";
   for s = 0 to Obs.Span.n_stages - 1 do

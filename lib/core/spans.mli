@@ -23,6 +23,7 @@ type cell = {
 type t = {
   stack : Engine.stack_kind;
   version : Config.version;
+  topology : Protolat_netsim.Topology.t;
   seed : int;
   rounds : int;
   cells : cell list;  (** one per layout, in request order *)
@@ -33,6 +34,7 @@ val default_layouts : Config.layout list
     pessimal). *)
 
 val collect_one :
+  ?topology:Protolat_netsim.Topology.t ->
   ?seed:int ->
   ?rounds:int ->
   ?fault:Protolat_netsim.Fault.spec ->
@@ -44,6 +46,7 @@ val collect_one :
 (** One spans-enabled measurement run under the given layout. *)
 
 val collect :
+  ?topology:Protolat_netsim.Topology.t ->
   ?seed:int ->
   ?rounds:int ->
   ?layouts:Config.layout list ->

@@ -33,6 +33,13 @@ module Link = struct
     mutable tracer : Obs.Tracer.t;
     mutable trace_tid : int;
     mutable spans : Obs.Span.t;
+    (* span host code per station: on the classic two-host link stations
+       double as host codes; fabric links carry the attached host's code on
+       one side and [Span.host_wire] on the switch side *)
+    span_hosts : int array;
+    (* cross-shard delivery: a station living on another shard's simulator
+       receives through a sink instead of a locally scheduled handler *)
+    remotes : (at:float -> frame -> unit) option array;
   }
 
   let create sim ?(propagation_us = 0.3) ?metrics () =
@@ -52,7 +59,9 @@ module Link = struct
       fault = None;
       tracer = Obs.Tracer.null;
       trace_tid = 0;
-      spans = Obs.Span.null }
+      spans = Obs.Span.null;
+      span_hosts = [| 0; 1 |];
+      remotes = Array.make 2 None }
 
   let check_station station =
     if station < 0 || station > 1 then invalid_arg "Ether.Link: bad station"
@@ -67,31 +76,53 @@ module Link = struct
 
   let set_span t spans = t.spans <- spans
 
+  let set_span_hosts t ~station0 ~station1 =
+    t.span_hosts.(0) <- station0;
+    t.span_hosts.(1) <- station1
+
+  let set_remote t ~station sink =
+    check_station station;
+    t.remotes.(station) <- Some sink
+
+  let inject t ~station ~at frame =
+    check_station station;
+    Sim.schedule_at t.sim ~at (fun () ->
+        match t.handlers.(station) with Some h -> h frame | None -> ())
+
   let wire = "wire"
 
   let transmit t ~station frame =
     check_station station;
     Obs.Metrics.inc t.c_sent;
-    Obs.Span.mark_wire t.spans ~station;
+    let peer = 1 - station in
+    Obs.Span.mark_wire t.spans ~rx:t.span_hosts.(peer)
+      ~station:t.span_hosts.(station) ();
     let traced = Obs.Tracer.enabled t.tracer in
     let tid = t.trace_tid in
     let len = Bytes.length frame.payload in
     (* frame sequence number: unique span id and stable drop label *)
     let seq = Obs.Metrics.value t.c_sent in
     let base_delay = tx_time_us len +. t.propagation_us in
-    let peer = 1 - station in
     let deliver ~span delay frame =
-      if span && traced then
-        Obs.Tracer.span_begin t.tracer ~tid ~id:seq ~cat:wire ~name:"frame"
-          ~a0:len;
-      Sim.schedule t.sim ~delay (fun () ->
-          if span && traced then
-            Obs.Tracer.span_end t.tracer ~tid ~id:seq ~cat:wire ~name:"frame"
-              ~a0:len;
-          if span then Obs.Span.mark_rx_intr t.spans ~host:peer;
-          match t.handlers.(peer) with
-          | Some h -> h frame
-          | None -> ())
+      match t.remotes.(peer) with
+      | Some sink ->
+        (* the peer lives on another shard: hand the frame to the exchange
+           with its absolute arrival time.  Tracers and spans are per-shard,
+           so cross-shard links run without them. *)
+        sink ~at:(Sim.now t.sim +. delay) frame
+      | None ->
+        if span && traced then
+          Obs.Tracer.span_begin t.tracer ~tid ~id:seq ~cat:wire ~name:"frame"
+            ~a0:len;
+        Sim.schedule t.sim ~delay (fun () ->
+            if span && traced then
+              Obs.Tracer.span_end t.tracer ~tid ~id:seq ~cat:wire
+                ~name:"frame" ~a0:len;
+            if span then
+              Obs.Span.mark_rx_intr t.spans ~host:t.span_hosts.(peer);
+            match t.handlers.(peer) with
+            | Some h -> h frame
+            | None -> ())
     in
     let drop () =
       Obs.Metrics.inc t.c_dropped;

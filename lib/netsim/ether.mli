@@ -50,6 +50,25 @@ module Link : sig
   (** Install the span ledger: transmit marks the wire stage, delivery the
       rx-interrupt stage, a dropped frame the rto-wait stage. *)
 
+  val set_span_hosts : t -> station0:int -> station1:int -> unit
+  (** Span host codes carried by each station's marks (default: the station
+      indices, the classic two-host convention).  Fabric links set the
+      attached host's code on one side and {!Protolat_obs.Span.host_wire}
+      on the switch side, which makes a hop re-enter the wire stage. *)
+
+  val set_remote : t -> station:int -> (at:float -> frame -> unit) -> unit
+  (** Declare a station remote: frames addressed to it are handed to the
+      sink with their absolute arrival time instead of being scheduled on
+      this link's simulator.  Used by the sharded fabric for deterministic
+      time-stepped cross-shard exchange; tracers and spans never fire on a
+      remote path. *)
+
+  val inject : t -> station:int -> at:float -> frame -> unit
+  (** Schedule a frame for delivery to [station]'s handler at absolute time
+      [at] — the receiving half of {!set_remote}.
+      @raise Invalid_argument if [at] is in the receiving simulator's
+      past. *)
+
   val transmit : t -> station:int -> frame -> unit
   (** Put a frame on the wire; it is delivered to the other station after
       serialization + propagation time. *)

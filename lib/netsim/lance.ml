@@ -35,6 +35,10 @@ type t = {
   mutable tracer : Obs.Tracer.t;
   mutable trace_tid : int;
   mutable spans : Obs.Span.t;
+  mutable span_host : int;
+      (* span host code for this device's drop marks; defaults to the
+         station index (the two-host convention), overridden on fabric
+         links where every host sits at station 0 of its own segment *)
 }
 
 let dev = "dev"
@@ -83,12 +87,13 @@ let create sim simmem link ~station ?(mode = Usc_direct) ?(ring_size = 16)
       fault = None;
       tracer = Obs.Tracer.null;
       trace_tid = 0;
-      spans = Obs.Span.null }
+      spans = Obs.Span.null;
+      span_host = station }
   in
   Ether.Link.attach link ~station (fun frame ->
       if not t.power then begin
         Obs.Metrics.inc t.c_down_drops;
-        Obs.Span.mark_drop t.spans ~host:t.station;
+        Obs.Span.mark_drop t.spans ~host:t.span_host;
         if Obs.Tracer.enabled t.tracer then
           Obs.Tracer.instant t.tracer ~tid:t.trace_tid ~cat:dev
             ~name:"down_drop" ~a0:(Bytes.length frame.Ether.payload)
@@ -102,7 +107,7 @@ let create sim simmem link ~station ?(mode = Usc_direct) ?(ring_size = 16)
            latches the MISS condition for the next receive interrupt *)
         t.rx_missed <- true;
         Obs.Metrics.inc t.c_rx_missed;
-        Obs.Span.mark_drop t.spans ~host:t.station;
+        Obs.Span.mark_drop t.spans ~host:t.span_host;
         if Obs.Tracer.enabled t.tracer then
           Obs.Tracer.instant t.tracer ~tid:t.trace_tid ~cat:dev
             ~name:"rx_overrun" ~a0:(Bytes.length frame.Ether.payload)
@@ -195,7 +200,7 @@ let transmit t frame =
     (* a crashed host cannot put frames on the wire; a straggling interrupt
        handler scheduled before the crash just loses its frame *)
     Obs.Metrics.inc t.c_down_drops;
-    Obs.Span.mark_drop t.spans ~host:t.station
+    Obs.Span.mark_drop t.spans ~host:t.span_host
   end
   else transmit_live t frame
 
@@ -217,7 +222,9 @@ let set_tracer t ~tid tracer =
   t.tracer <- tracer;
   t.trace_tid <- tid
 
-let set_span t spans = t.spans <- spans
+let set_span ?host t spans =
+  t.spans <- spans;
+  match host with Some h -> t.span_host <- h | None -> ()
 
 let consume_rx_missed t =
   let m = t.rx_missed in

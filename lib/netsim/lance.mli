@@ -79,9 +79,12 @@ val set_tracer : t -> tid:int -> Protolat_obs.Tracer.t -> unit
     ([lance_rx]), injected stalls and rx overruns become instant events on
     thread [tid]. *)
 
-val set_span : t -> Protolat_obs.Span.t -> unit
+val set_span : ?host:int -> t -> Protolat_obs.Span.t -> unit
 (** Install the span ledger: device-level losses (powered-down drops, rx
-    descriptor overruns) mark the rto-wait stage for the tracked message. *)
+    descriptor overruns) mark the rto-wait stage for the tracked message.
+    [host] is the span host code carried by those marks; it defaults to
+    the station index (the two-host convention) and must be overridden on
+    fabric links, where every host sits at station 0 of its own segment. *)
 
 val consume_rx_missed : t -> bool
 (** Whether an rx-descriptor overrun happened since the last call; reading

@@ -52,3 +52,5 @@ let advance_clock t delta =
 let clock_cell t = t.now
 
 let pending t = Heap.size t.queue
+
+let next_at t = Heap.min_priority t.queue

@@ -30,3 +30,7 @@ val clock_cell : t -> float array
     accumulation, never replace the array. *)
 
 val pending : t -> int
+
+val next_at : t -> float option
+(** Time of the earliest pending event, if any.  The sharded fabric uses
+    this to pick each epoch's global barrier. *)

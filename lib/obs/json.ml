@@ -1,4 +1,4 @@
-let schema_version = 3
+let schema_version = 4
 
 type v =
   | Null

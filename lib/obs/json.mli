@@ -14,7 +14,11 @@ val schema_version : int
     any export changes shape.  Version 2 added the mflow
     reconnects/drained/violations cell fields and the chaos exports;
     version 3 added the latency-provenance spans export, Perfetto span
-    tracks with flow events, and the mflow [p999_us] cell field. *)
+    tracks with flow events, and the mflow [p999_us] cell field;
+    version 4 added the switched fabric: a top-level ["topology"] stamp in
+    the mflow/chaos/spans/profile/bench/incast exports, the chaos repro
+    ["topology"] field, the ["switch"] span stage, and the incast
+    export. *)
 
 type v =
   | Null

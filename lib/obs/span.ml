@@ -32,7 +32,8 @@ let stage_wire = 3
 let stage_rx_intr = 4
 let stage_rx_proto = 5
 let stage_rto_wait = 6
-let n_stages = 7
+let stage_switch = 7
+let n_stages = 8
 
 let stage_name = function
   | 0 -> "app"
@@ -42,6 +43,7 @@ let stage_name = function
   | 4 -> "rx_intr"
   | 5 -> "rx_proto"
   | 6 -> "rto_wait"
+  | 7 -> "switch"
   | _ -> invalid_arg "Span.stage_name"
 
 (* host codes: engine convention, matching tracer tids *)
@@ -185,15 +187,30 @@ let mark_tx_queue t ~host =
   if t.on && t.cur_stage = stage_tx_proto && t.cur_host = host then
     push t ~at:t.clock.(0) ~stage:stage_tx_queue ~host
 
-let mark_wire t ~station =
-  if t.on && t.cur_stage = stage_tx_queue && t.cur_host = station then begin
-    t.expect_rx <- 1 - station;
+(* [station] is the span host code of the transmitting side; [rx] that of
+   the receiving side.  On the legacy point-to-point link stations double as
+   host codes, so [rx] defaults to [1 - station].  Switch egress ports carry
+   [host_wire] on both sides of the guard: a hop re-enters the wire stage
+   from the switch stage, which is what makes a multi-hop path telescope
+   into wire/switch/wire/... segments without breaking conservation. *)
+let mark_wire t ?rx ~station () =
+  if
+    t.on
+    && (t.cur_stage = stage_tx_queue || t.cur_stage = stage_switch)
+    && t.cur_host = station
+  then begin
+    t.expect_rx <- (match rx with Some h -> h | None -> 1 - station);
     push t ~at:t.clock.(0) ~stage:stage_wire ~host:host_wire
   end
 
 let mark_rx_intr t ~host =
   if t.on && t.cur_stage = stage_wire && t.expect_rx = host then
-    push t ~at:t.clock.(0) ~stage:stage_rx_intr ~host
+    if host = host_wire then
+      (* delivery to a switch ingress port: the message dwells in the fabric
+         (store-and-forward latency + egress queueing) until the next hop's
+         wire mark *)
+      push t ~at:t.clock.(0) ~stage:stage_switch ~host
+    else push t ~at:t.clock.(0) ~stage:stage_rx_intr ~host
 
 let mark_rx_proto t ~host =
   if t.on && t.cur_stage = stage_rx_intr && t.cur_host = host then
@@ -209,7 +226,7 @@ let mark_drop t ~host =
   if
     t.on
     && (t.cur_stage = stage_wire || t.cur_stage = stage_rx_intr
-      || t.cur_stage = stage_tx_queue)
+      || t.cur_stage = stage_tx_queue || t.cur_stage = stage_switch)
   then push t ~at:t.clock.(0) ~stage:stage_rto_wait ~host
 
 (* A retransmission: new generation of the same message, back to send-side

@@ -31,6 +31,12 @@ val stage_wire : int
 val stage_rx_intr : int
 val stage_rx_proto : int
 val stage_rto_wait : int
+
+val stage_switch : int
+(** Fabric residency: store-and-forward latency plus egress queueing inside
+    a switch.  A multi-hop path telescopes into wire/switch/wire/...
+    segments; on the direct point-to-point link the stage never appears. *)
+
 val n_stages : int
 
 val stage_name : int -> string
@@ -54,7 +60,14 @@ val roll : t -> at:float -> measured:bool -> unit
 
 val mark_tx_proto : t -> host:int -> unit
 val mark_tx_queue : t -> host:int -> unit
-val mark_wire : t -> station:int -> unit
+
+val mark_wire : t -> ?rx:int -> station:int -> unit -> unit
+(** [station]/[rx] are the span host codes of the transmitting and receiving
+    side of the hop; [rx] defaults to [1 - station] (the two-station link
+    convention).  A transmit whose receiving side is {!host_wire} hands the
+    message to a switch: the subsequent delivery opens the switch stage
+    instead of rx-interrupt. *)
+
 val mark_rx_intr : t -> host:int -> unit
 val mark_rx_proto : t -> host:int -> unit
 val mark_app : t -> host:int -> unit

@@ -53,30 +53,67 @@ type pair = {
   metrics : Obs.Metrics.t;  (* root registry: client.*, server.*, link.* *)
 }
 
+type net = {
+  n_sim : Ns.Sim.t;
+  fabric : Ns.Fabric.t;
+  hosts : host array;
+  n_metrics : Obs.Metrics.t;
+}
+
 let mac_client = 0x0800_2B00_0011
 
-let mac_server = 0x0800_2B00_0012
+(* addressing as a pure function of the host index, mirroring
+   [T.Stack.mac_of] but on the RPC harness's own MAC block *)
+let mac_of i = mac_client + i
+
+let boot_id_of i = 0x1001 + (i * 0x1000)
+
+let simmem_base_of i = 0x1010_0000 + (i * 0x2000_0000)
+
+let scope_of i =
+  if i = 0 then "client"
+  else if i = 1 then "server"
+  else Printf.sprintf "h%d" i
+
+let make_net ?(opts_for = fun _ -> Opts.improved) ?(meter_for = fun _ -> None)
+    ~topology () =
+  (* the request-reply channel stack is two-party: CHAN binds each host to
+     one peer at creation.  Any 2-host topology works (pair, star:2,
+     line:2 — the latter exercise the switched forwarding path). *)
+  if Ns.Topology.hosts topology <> 2 then
+    invalid_arg "Rstack.make_net: the RPC stack is two-party (2 hosts)";
+  let sim = Ns.Sim.create () in
+  let metrics = Obs.Metrics.create () in
+  let fabric = Ns.Fabric.create sim ~topology ~mac_of ~metrics () in
+  let hosts =
+    Array.init 2 (fun i ->
+        make_host sim
+          (Ns.Fabric.host_link fabric i)
+          ~station:(Ns.Fabric.host_station fabric i)
+          ~mac:(mac_of i)
+          ~peer_mac:(mac_of (1 - i))
+          ~boot_id:(boot_id_of i) ~opts:(opts_for i) ?meter:(meter_for i)
+          ~metrics:(Obs.Metrics.scoped metrics (scope_of i))
+          ~simmem_base:(simmem_base_of i) ())
+  in
+  { n_sim = sim; fabric; hosts; n_metrics = metrics }
+
+let pair_of_net net =
+  { sim = net.n_sim;
+    link = Ns.Fabric.host_link net.fabric 0;
+    client = net.hosts.(0);
+    server = net.hosts.(1);
+    metrics = net.n_metrics }
 
 let make_pair ?(client_opts = Opts.improved) ?(server_opts = Opts.improved)
     ?client_meter ?server_meter () =
-  let sim = Ns.Sim.create () in
-  let metrics = Obs.Metrics.create () in
-  let link =
-    Ns.Ether.Link.create sim ~metrics:(Obs.Metrics.scoped metrics "link") ()
+  let net =
+    make_net
+      ~opts_for:(fun i -> if i = 0 then client_opts else server_opts)
+      ~meter_for:(fun i -> if i = 0 then client_meter else server_meter)
+      ~topology:(Ns.Topology.pair ()) ()
   in
-  let client =
-    make_host sim link ~station:0 ~mac:mac_client ~peer_mac:mac_server
-      ~boot_id:0x1001 ~opts:client_opts ?meter:client_meter
-      ~metrics:(Obs.Metrics.scoped metrics "client") ~simmem_base:0x1010_0000
-      ()
-  in
-  let server =
-    make_host sim link ~station:1 ~mac:mac_server ~peer_mac:mac_client
-      ~boot_id:0x2001 ~opts:server_opts ?meter:server_meter
-      ~metrics:(Obs.Metrics.scoped metrics "server") ~simmem_base:0x3010_0000
-      ()
-  in
-  { sim; link; client; server; metrics }
+  pair_of_net net
 
 let make_tests pair ~rounds =
   let server = Xrpctest.server pair.server.env pair.server.mselect ~client_id:1 in

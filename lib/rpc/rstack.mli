@@ -30,6 +30,31 @@ type pair = {
           under [link.] *)
 }
 
+(** Two hosts wired per a 2-host {!Ns.Topology.t}.  Host 0 keeps the
+    historic [client] scope/addressing, host 1 [server]. *)
+type net = {
+  n_sim : Ns.Sim.t;
+  fabric : Ns.Fabric.t;
+  hosts : host array;
+  n_metrics : Obs.Metrics.t;
+}
+
+val mac_of : int -> int
+
+val make_net :
+  ?opts_for:(int -> Protolat_tcpip.Opts.t) ->
+  ?meter_for:(int -> Xk.Meter.t option) ->
+  topology:Ns.Topology.t ->
+  unit ->
+  net
+(** Build the fabric and both hosts.  Over {!Ns.Topology.pair} this
+    reproduces the historic construction bit for bit; [star]/[line] with 2
+    hosts exercise the switched forwarding path.
+    @raise Invalid_argument unless the topology has exactly 2 hosts (the
+    request-reply channel stack is two-party). *)
+
+val pair_of_net : net -> pair
+
 val make_pair :
   ?client_opts:Protolat_tcpip.Opts.t ->
   ?server_opts:Protolat_tcpip.Opts.t ->
@@ -37,6 +62,8 @@ val make_pair :
   ?server_meter:Xk.Meter.t ->
   unit ->
   pair
+  [@@deprecated
+    "positional client/server construction: use make_net ~topology:(Ns.Topology.pair ()) and pair_of_net"]
 
 val make_tests : pair -> rounds:int -> Xrpctest.t * Xrpctest.t
 (** (client, server) test protocols, client configured for [rounds]. *)

@@ -48,34 +48,75 @@ type pair = {
   metrics : Obs.Metrics.t;  (* root registry: client.*, server.*, link.* *)
 }
 
+type net = {
+  n_sim : Ns.Sim.t;
+  fabric : Ns.Fabric.t;
+  hosts : host array;
+  n_metrics : Obs.Metrics.t;
+}
+
 let addr_client = 0xC0A80001 (* 192.168.0.1 *)
 
-let addr_server = 0xC0A80002
+(* link-layer and network addressing: host i's identity is a pure function
+   of its index, so every harness (and the fabric's static forwarding
+   tables) agrees without coordination.  Hosts 0 and 1 reproduce the
+   historic client/server assignment exactly. *)
+let mac_of i = 0x0800_2B00_0001 + i
+
+let ip_of i = addr_client + i
+
+let simmem_base_of i = 0x1010_0000 + (i * 0x2000_0000)
+
+let scope_of i =
+  if i = 0 then "client"
+  else if i = 1 then "server"
+  else Printf.sprintf "h%d" i
+
+let make_net ?(opts_for = fun _ -> Opts.improved) ?(meter_for = fun _ -> None)
+    ~topology () =
+  let sim = Ns.Sim.create () in
+  let metrics = Obs.Metrics.create () in
+  let fabric = Ns.Fabric.create sim ~topology ~mac_of ~metrics () in
+  let n = Ns.Topology.hosts topology in
+  let hosts =
+    Array.init n (fun i ->
+        make_host sim
+          (Ns.Fabric.host_link fabric i)
+          ~station:(Ns.Fabric.host_station fabric i)
+          ~mac:(mac_of i) ~ip_addr:(ip_of i) ~opts:(opts_for i)
+          ?meter:(meter_for i)
+          ~metrics:(Obs.Metrics.scoped metrics (scope_of i))
+          ~simmem_base:(simmem_base_of i) ())
+  in
+  (* routes: host i to every peer in increasing index order, then itself —
+     for hosts 0/1 exactly the historic four-call sequence *)
+  Array.iteri
+    (fun i h ->
+      for j = 0 to n - 1 do
+        if j <> i then Vnet.add_route h.vnet ~ip:(ip_of j) ~mac:(mac_of j)
+      done;
+      Vnet.add_route h.vnet ~ip:h.ip_addr ~mac:h.mac)
+    hosts;
+  { n_sim = sim; fabric; hosts; n_metrics = metrics }
+
+let pair_of_net net =
+  if Array.length net.hosts <> 2 then
+    invalid_arg "Stack.pair_of_net: topology must have exactly 2 hosts";
+  { sim = net.n_sim;
+    link = Ns.Fabric.host_link net.fabric 0;
+    client = net.hosts.(0);
+    server = net.hosts.(1);
+    metrics = net.n_metrics }
 
 let make_pair ?(client_opts = Opts.improved) ?(server_opts = Opts.improved)
     ?client_meter ?server_meter () =
-  let sim = Ns.Sim.create () in
-  let metrics = Obs.Metrics.create () in
-  let link =
-    Ns.Ether.Link.create sim ~metrics:(Obs.Metrics.scoped metrics "link") ()
+  let net =
+    make_net
+      ~opts_for:(fun i -> if i = 0 then client_opts else server_opts)
+      ~meter_for:(fun i -> if i = 0 then client_meter else server_meter)
+      ~topology:(Ns.Topology.pair ()) ()
   in
-  let client =
-    make_host sim link ~station:0 ~mac:0x0800_2B00_0001 ~ip_addr:addr_client
-      ~opts:client_opts ?meter:client_meter
-      ~metrics:(Obs.Metrics.scoped metrics "client") ~simmem_base:0x1010_0000
-      ()
-  in
-  let server =
-    make_host sim link ~station:1 ~mac:0x0800_2B00_0002 ~ip_addr:addr_server
-      ~opts:server_opts ?meter:server_meter
-      ~metrics:(Obs.Metrics.scoped metrics "server") ~simmem_base:0x3010_0000
-      ()
-  in
-  Vnet.add_route client.vnet ~ip:addr_server ~mac:server.mac;
-  Vnet.add_route client.vnet ~ip:addr_client ~mac:client.mac;
-  Vnet.add_route server.vnet ~ip:addr_client ~mac:client.mac;
-  Vnet.add_route server.vnet ~ip:addr_server ~mac:server.mac;
-  { sim; link; client; server; metrics }
+  pair_of_net net
 
 let establish pair ~rounds =
   let server_test = Tcptest.server pair.server.env pair.server.tcp ~port:7 in

@@ -43,6 +43,42 @@ type pair = {
           under [link.] *)
 }
 
+(** N hosts wired per a {!Ns.Topology.t}: the topology-first construction
+    every harness builds on.  Hosts 0 and 1 keep the historic
+    [client]/[server] metric scopes, addresses and simulated-memory bases;
+    hosts beyond register under [h<i>.]. *)
+type net = {
+  n_sim : Ns.Sim.t;
+  fabric : Ns.Fabric.t;
+  hosts : host array;
+  n_metrics : Obs.Metrics.t;
+}
+
+val mac_of : int -> int
+(** Host [i]'s link-layer address ([0x08002B000001 + i]; hosts 0/1 match
+    the historic client/server MACs). *)
+
+val ip_of : int -> int
+(** Host [i]'s IP ([192.168.0.1 + i]). *)
+
+val scope_of : int -> string
+(** Host [i]'s metric scope: ["client"], ["server"], then ["h<i>"]. *)
+
+val make_net :
+  ?opts_for:(int -> Opts.t) ->
+  ?meter_for:(int -> Xk.Meter.t option) ->
+  topology:Ns.Topology.t ->
+  unit ->
+  net
+(** Build the fabric and one host per topology slot, with full routing
+    tables.  Over {!Ns.Topology.pair} this reproduces the historic two-host
+    construction bit for bit. *)
+
+val pair_of_net : net -> pair
+(** Two-host view: host 0 as client, host 1 as server, host 0's access
+    segment as the link.
+    @raise Invalid_argument unless the net has exactly 2 hosts. *)
+
 val make_pair :
   ?client_opts:Opts.t ->
   ?server_opts:Opts.t ->
@@ -50,7 +86,10 @@ val make_pair :
   ?server_meter:Xk.Meter.t ->
   unit ->
   pair
-(** Two hosts with routes/ARP prepared, on a fresh simulator. *)
+  [@@deprecated
+    "positional client/server construction: use make_net ~topology:(Ns.Topology.pair ()) and pair_of_net"]
+(** Two hosts with routes/ARP prepared, on a fresh simulator.  Equivalent
+    to (and implemented as) [make_net] over {!Ns.Topology.pair}. *)
 
 val establish :
   pair -> rounds:int -> Tcptest.t * Tcptest.t

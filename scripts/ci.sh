@@ -4,7 +4,7 @@
 # timeline exports (with their consistency / JSON well-formedness
 # checks), a quick multi-flow sweep, a quick latency-provenance spans
 # report (with its bit-exact conservation check), a quick host-lifecycle
-# chaos sweep
+# chaos sweep, a quick fabric incast export, a pair bit-identity check
 # plus replays of the committed chaos repro files, a quick end-to-end
 # bench table, and a bench regression gate against the committed
 # BENCH_*.json history.
@@ -37,6 +37,21 @@ dune build @trace-quick
 dune build @mflow-quick
 dune build @spans-quick
 dune build @chaos-quick
+dune build @fabric-quick
+# pair bit-identity: an explicit --topo pair must reproduce the default
+# two-host wiring byte-for-byte (the topology-first API's compatibility
+# contract; the star:2 detour through the switch must differ)
+PAIR_A=$(mktemp -t protolat-ci-pair-a.XXXXXX)
+PAIR_B=$(mktemp -t protolat-ci-pair-b.XXXXXX)
+trap 'rm -f "$SIMCACHE_TMP" "$PAIR_A" "$PAIR_B"' EXIT
+dune exec bin/protolat_cli.exe -- run -s tcpip -c ALL -r 8 > "$PAIR_A"
+dune exec bin/protolat_cli.exe -- run -s tcpip -c ALL -r 8 --topo pair --hosts 2 > "$PAIR_B"
+diff "$PAIR_A" "$PAIR_B"
+dune exec bin/protolat_cli.exe -- run -s tcpip -c ALL -r 8 --topo star > "$PAIR_B"
+if diff -q "$PAIR_A" "$PAIR_B" > /dev/null; then
+  echo "ci: star:2 run unexpectedly identical to pair" >&2
+  exit 1
+fi
 # the committed minimal repro must replay bit-identically: the buggy one
 # to exactly its recorded at-most-once violation, the fixed one cleanly
 dune exec bin/protolat_cli.exe -- chaos --replay test/repro/chaos_dedup_bug.json

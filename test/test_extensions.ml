@@ -8,7 +8,8 @@ module T = Protolat_tcpip
 module Ns = Protolat_netsim
 module Xk = Protolat_xkernel
 
-let pair () = T.Stack.make_pair ()
+let pair () =
+  T.Stack.pair_of_net (T.Stack.make_net ~topology:(Ns.Topology.pair ()) ())
 
 let run_sim ?(us = 5.0e6) (p : T.Stack.pair) =
   ignore (Ns.Sim.run ~until:(Ns.Sim.now p.T.Stack.sim +. us) p.T.Stack.sim)
@@ -444,7 +445,10 @@ let test_persist_timer () =
 (* ----- additional edge cases -------------------------------------------------- *)
 
 let test_chan_busy_rejected () =
-  let rp = Protolat_rpc.Rstack.make_pair () in
+  let rp =
+    Protolat_rpc.Rstack.pair_of_net
+      (Protolat_rpc.Rstack.make_net ~topology:(Ns.Topology.pair ()) ())
+  in
   let chan = rp.Protolat_rpc.Rstack.client.Protolat_rpc.Rstack.chan in
   let msg () =
     let m = Xk.Msg.alloc (Xk.Simmem.create ()) ~headroom:64 0 in
@@ -460,7 +464,10 @@ let test_chan_busy_rejected () =
 
 let test_vchan_grows_pool () =
   (* more concurrent calls than preallocated channels: VCHAN grows *)
-  let rp = Protolat_rpc.Rstack.make_pair () in
+  let rp =
+    Protolat_rpc.Rstack.pair_of_net
+      (Protolat_rpc.Rstack.make_net ~topology:(Ns.Topology.pair ()) ())
+  in
   let vchan = rp.Protolat_rpc.Rstack.client.Protolat_rpc.Rstack.vchan in
   let replies = ref 0 in
   for _ = 1 to 10 do

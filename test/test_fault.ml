@@ -37,7 +37,9 @@ let pump sim ~deadline pred =
 (* ----- TCP under loss ------------------------------------------------------ *)
 
 let tcp_pair_established () =
-  let p = T.Stack.make_pair () in
+  let p =
+    T.Stack.pair_of_net (T.Stack.make_net ~topology:(Ns.Topology.pair ()) ())
+  in
   let sim = p.T.Stack.sim in
   let received = Buffer.create 4096 in
   T.Tcp.listen p.T.Stack.server.T.Stack.tcp ~port:9
@@ -99,7 +101,9 @@ let test_tcp_gives_up_on_dead_wire () =
 (* ----- BLAST under faults --------------------------------------------------- *)
 
 let rpc_pair () =
-  let p = R.Rstack.make_pair () in
+  let p =
+    R.Rstack.pair_of_net (R.Rstack.make_net ~topology:(Ns.Topology.pair ()) ())
+  in
   let deliveries = ref [] in
   R.Blast.set_upper p.R.Rstack.server.R.Rstack.blast (fun ~src:_ msg ->
       deliveries := Msg.contents msg :: !deliveries);

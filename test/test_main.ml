@@ -12,6 +12,7 @@ let () =
       Test_layout.suite;
       Test_xkernel.suite;
       Test_netsim.suite;
+      Test_topology.suite;
       Test_tcpip.suite;
       Test_rpc.suite;
       Test_extensions.suite;

@@ -30,7 +30,9 @@ let test_bid_mux_roundtrip () =
 (* ----- end-to-end RPC ------------------------------------------------------ *)
 
 let run_rpc ?(rounds = 10) ?(until = 5.0e6) ?before_start () =
-  let pair = R.Rstack.make_pair () in
+  let pair =
+    R.Rstack.pair_of_net (R.Rstack.make_net ~topology:(Ns.Topology.pair ()) ())
+  in
   let client, server = R.Rstack.make_tests pair ~rounds in
   (match before_start with Some f -> f pair | None -> ());
   R.Xrpctest.start client;
@@ -181,7 +183,9 @@ let test_figure1_rpc () =
 (* ----- non-empty payloads through the full RPC stack -------------------------- *)
 
 let test_rpc_payload_roundtrip () =
-  let pair = R.Rstack.make_pair () in
+  let pair =
+    R.Rstack.pair_of_net (R.Rstack.make_net ~topology:(Ns.Topology.pair ()) ())
+  in
   let seen = ref None in
   R.Mselect.register pair.R.Rstack.server.R.Rstack.mselect ~client:9
     (fun data ~reply ->
@@ -200,7 +204,9 @@ let test_rpc_payload_roundtrip () =
 
 let test_rpc_large_payload_via_blast () =
   (* a reply big enough that BLAST fragments it under the RPC stack *)
-  let pair = R.Rstack.make_pair () in
+  let pair =
+    R.Rstack.pair_of_net (R.Rstack.make_net ~topology:(Ns.Topology.pair ()) ())
+  in
   let big = String.init 4500 (fun i -> Char.chr (0x41 + (i mod 26))) in
   R.Mselect.register pair.R.Rstack.server.R.Rstack.mselect ~client:3
     (fun _ ~reply -> reply (Bytes.of_string big));

@@ -119,7 +119,14 @@ let test_tcb_key () =
 (* ----- end-to-end TCP --------------------------------------------------------- *)
 
 let establish ?client_opts ?server_opts ~rounds () =
-  let pair = T.Stack.make_pair ?client_opts ?server_opts () in
+  let copts = Option.value ~default:T.Opts.improved client_opts in
+  let sopts = Option.value ~default:T.Opts.improved server_opts in
+  let pair =
+    T.Stack.pair_of_net
+      (T.Stack.make_net
+         ~opts_for:(fun i -> if i = 0 then copts else sopts)
+         ~topology:(Ns.Topology.pair ()) ())
+  in
   let c, s = T.Stack.establish pair ~rounds in
   (pair, c, s)
 
@@ -160,7 +167,9 @@ let test_pingpong_all_opts () =
       { T.Opts.improved with T.Opts.usc_lance = false } ]
 
 let test_retransmission_on_loss () =
-  let pair = T.Stack.make_pair () in
+  let pair =
+    T.Stack.pair_of_net (T.Stack.make_net ~topology:(Ns.Topology.pair ()) ())
+  in
   let client, _ = T.Stack.establish pair ~rounds:3 in
   (* drop the first data frame on the wire *)
   let dropped = ref false in
@@ -181,7 +190,9 @@ let test_retransmission_on_loss () =
 let test_delayed_ack_one_way () =
   (* a one-way send (no application reply) must still get acked: the
      delayed-ack timer fires *)
-  let pair = T.Stack.make_pair () in
+  let pair =
+    T.Stack.pair_of_net (T.Stack.make_net ~topology:(Ns.Topology.pair ()) ())
+  in
   let got = ref 0 in
   let server_tcp = pair.T.Stack.server.T.Stack.tcp in
   T.Tcp.listen server_tcp ~port:9 ~receive:(fun _ _ -> incr got);
