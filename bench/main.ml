@@ -316,6 +316,18 @@ let run_json () =
   let t4 = Unix.gettimeofday () in
   let fabric = P.Incast.run_cell ~jobs ~fan_in:fabric_fan_in ~seed:42 () in
   let fabric_wall = Unix.gettimeofday () -. t4 in
+  (* one automated layout-search cell at jobs 1: candidates/sec is the
+     scorer-throughput headline (single core, incremental path), best
+     steady RTT pins the search result *)
+  let search_budget = if quick then 160 else 400 in
+  let t5 = Unix.gettimeofday () in
+  let search =
+    P.Layoutsearch.run ~budget:search_budget ~seeds:1 ~geometries:[ 8 ]
+      ~stacks:[ P.Engine.Tcpip ] ~jobs:1 ()
+  in
+  let search_wall = Unix.gettimeofday () -. t5 in
+  let search_cell = List.hd search.P.Layoutsearch.cells in
+  let _, search_named_us = P.Layoutsearch.best_named search_cell in
   let buf = Buffer.create 2048 in
   let stack_json stack =
     let entries =
@@ -347,8 +359,9 @@ let run_json () =
     (Printf.sprintf
        "  \"wall_clock_s\": {\"full_sweep\": %.4f, \"single_run_all\": %.4f, \
         \"layout_sweep_incremental\": %.4f, \"layout_sweep_full\": %.4f, \
-        \"fabric_incast\": %.4f},\n"
-       sweep_wall single_wall layout_inc_wall layout_full_wall fabric_wall);
+        \"fabric_incast\": %.4f, \"layout_search\": %.4f},\n"
+       sweep_wall single_wall layout_inc_wall layout_full_wall fabric_wall
+       search_wall);
   Buffer.add_string buf
     (Printf.sprintf
        "  \"fabric\": {\"fan_in\": %d, \"completed\": %d, \"total\": %d, \
@@ -360,6 +373,15 @@ let run_json () =
        fabric.P.Incast.lat.Protolat_util.Stats.Hist.p99
        fabric.P.Incast.queue_drops fabric.P.Incast.retransmits
        fabric.P.Incast.epochs fabric.P.Incast.digest);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"layout_search\": {\"budget\": %d, \"evals\": %d, \
+        \"candidates_per_sec\": %.1f, \"best_steady_us\": %.6f, \
+        \"best_named_us\": %.6f, \"digest\": \"%s\"},\n"
+       search_budget search_cell.P.Layoutsearch.evals
+       (P.Layoutsearch.candidates_per_sec search)
+       search_cell.P.Layoutsearch.best_us search_named_us
+       (P.Layoutsearch.digest search));
   (* which replay layers were live, how often they engaged, and what the
      simulation cache did — so a perf number is never read without knowing
      what produced it *)
@@ -495,6 +517,7 @@ let run_compare () =
     ignore (wall "layout_sweep_incremental");
     ignore (wall "layout_sweep_full");
     ignore (wall "fabric_incast");
+    ignore (wall "layout_search");
     (* fabric incast cell: simulated tail latency; absent in baselines
        that predate the switched fabric *)
     (match
@@ -517,6 +540,29 @@ let run_compare () =
       Printf.printf "  incast cell: no baseline (pre-fabric snapshot)\n"
     | Some _, Some _ ->
       Printf.printf "  incast cell: fan-in differs, skipping\n"
+    | _ -> ());
+    (* layout-search cell: scorer throughput (higher is better) and best
+       found steady RTT; absent in baselines that predate the search *)
+    (match
+       ( jnum (jpath vold [ "layout_search"; "budget" ]),
+         jnum (jpath vnew [ "layout_search"; "budget" ]) )
+     with
+    | Some a, Some b when a = b ->
+      List.iter
+        (fun key ->
+          match
+            ( jnum (jpath vold [ "layout_search"; key ]),
+              jnum (jpath vnew [ "layout_search"; key ]) )
+          with
+          | Some a, Some b when a > 0.0 ->
+            Printf.printf "  search %-18s %12.2f -> %12.2f  (%+.2f%%)\n" key
+              a b (pct a b)
+          | _ -> ())
+        [ "candidates_per_sec"; "best_steady_us" ]
+    | None, Some _ ->
+      Printf.printf "  search cell: no baseline (pre-search snapshot)\n"
+    | Some _, Some _ ->
+      Printf.printf "  search cell: budget differs, skipping\n"
     | _ -> ());
     (* replay throughput (runs/sec): higher is better; absent in baselines
        that predate the replay section *)

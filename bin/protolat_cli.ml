@@ -12,7 +12,8 @@
      soak     deterministic fault-injection soak
      mflow    multi-flow traffic engine with connection churn
      chaos    host-lifecycle chaos with shrinkable repro schedules
-     fabric   N-client incast over the switched star fabric            *)
+     fabric   N-client incast over the switched star fabric
+     search   automated code-layout search over the incremental path   *)
 
 module P = Protolat
 module M = Protolat_machine
@@ -69,7 +70,7 @@ let tables_cmd =
   let names =
     [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "table7";
       "table8"; "table9"; "map"; "micro"; "decunix"; "fault"; "mflow";
-      "chaos"; "fabric" ]
+      "chaos"; "fabric"; "search" ]
   in
   let which =
     Arg.(value & pos_all string names & info [] ~docv:"TABLE"
@@ -120,6 +121,11 @@ let tables_cmd =
       Protolat_util.Table.print
         (P.Experiments.incast_latency
            ~fan_ins:(if quick then [ 2; 8; 32 ] else [ 2; 4; 8; 16; 32; 64 ])
+           ~jobs ());
+    if want "search" then
+      Protolat_util.Table.print
+        (P.Experiments.layout_search
+           ~budget:(if quick then 160 else 240)
            ~jobs ())
   in
   Cmd.v
@@ -840,6 +846,85 @@ let fabric_cmd =
           & info [ "topo" ] ~doc:"Fabric shape (only star is supported).")
       $ Cli_common.hosts_arg $ json_arg $ check_arg $ out_arg)
 
+(* ----- search ------------------------------------------------------------- *)
+
+let search_cmd =
+  let budget_arg =
+    Arg.(value & opt int 600
+         & info [ "budget" ] ~docv:"N"
+             ~doc:"Scorer evaluations per stack x geometry cell (seed \
+                   scoring included).")
+  in
+  let seeds_arg =
+    Cli_common.seeds_arg ~default:2
+      ~doc:"Simulated-annealing restarts per cell." ()
+  in
+  let geometry_arg =
+    Arg.(value & opt (some (list int)) None
+         & info [ "geometry" ] ~docv:"KB"
+             ~doc:"Comma-separated i-cache sizes in KB to search (default: \
+                   the full 4,8,16,32 layout matrix).")
+  in
+  let quick_arg =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"CI configuration: budget 160, 1 restart, 8 KB geometry \
+                   only.")
+  in
+  let json_arg = Cli_common.json_arg () in
+  let check_arg =
+    Cli_common.check_arg
+      ~doc:
+        "Re-simulate each cell's best layout through the full path (decode \
+         genome, build image, fresh segmentation) and require bit-identical \
+         steady time, plus best-found <= best seeded named layout; exit \
+         non-zero on violation."
+      ()
+  in
+  let out_arg = Cli_common.out_arg () in
+  let run budget seeds geometry quick json check out jobs =
+    let budget = if quick then 160 else budget in
+    let seeds = if quick then 1 else seeds in
+    let geometries =
+      match geometry with
+      | Some g -> g
+      | None -> if quick then [ 8 ] else P.Layoutsearch.geometries
+    in
+    let t = P.Layoutsearch.run ~budget ~seeds ~geometries ~jobs () in
+    let doc =
+      if json then P.Layoutsearch.to_json t ^ "\n"
+      else
+        P.Layoutsearch.render t
+        ^ Printf.sprintf "\ndigest %s  (%.1f s wall, %d jobs)\n"
+            (P.Layoutsearch.digest t) t.P.Layoutsearch.wall_s
+            t.P.Layoutsearch.jobs
+    in
+    Cli_common.write out doc;
+    if check then
+      match P.Layoutsearch.check t with
+      | Ok () ->
+        if not json then
+          print_endline
+            "check: every best genome re-simulates bit-identically and \
+             beats or matches the seeded hand-picked layouts"
+      | Error msg ->
+        Printf.eprintf "check FAILED: %s\n" msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:
+         "Attrib-guided automated code-layout search: greedy hill-climb \
+          then seeded simulated annealing over unit order, i-cache set \
+          offsets and clone toggles, scored through the incremental replay \
+          path (one base simulation per stack, pure pc arithmetic per \
+          candidate).  Seeded with the paper's named layouts, so the best \
+          found placement never loses to the best hand-picked one.  \
+          Deterministic: equal digests at any --jobs.")
+    Term.(
+      const run $ budget_arg $ seeds_arg $ geometry_arg $ quick_arg
+      $ json_arg $ check_arg $ out_arg $ jobs_arg)
+
 (* ----- sweep -------------------------------------------------------------- *)
 
 let sweep_cmd =
@@ -878,4 +963,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info [ run_cmd; tables_cmd; figures_cmd; layout_cmd; sweep_cmd; trace_cmd;
           profile_cmd; spans_cmd; soak_cmd; mflow_cmd; chaos_cmd;
-          fabric_cmd ]))
+          fabric_cmd; search_cmd ]))

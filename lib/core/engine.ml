@@ -74,8 +74,12 @@ let untraced_funcs =
 
 let code_base = 0x10000
 
-let build_image_uncached (config : Config.t) (desc : desc)
-    ~(layout : Config.layout) =
+(* The units a stack version compiles to, and the invocation order over
+   unit names the placement strategies consume.  Factored out of image
+   construction so a layout optimizer can re-place the exact units the
+   engine would build — any placement of these units scored through the
+   incremental path corresponds to a real [Engine] configuration. *)
+let units_for (config : Config.t) (desc : desc) =
   let funcs = desc.funcs config.Config.opts @ untraced_funcs in
   let outlined = Config.outlined config.Config.version in
   let inlined = Config.path_inlined config.Config.version in
@@ -122,6 +126,11 @@ let build_image_uncached (config : Config.t) (desc : desc)
              if List.hd members = name then Some fname else None
            | None -> Some name)
   in
+  (units, order)
+
+let build_image_uncached (config : Config.t) (desc : desc)
+    ~(layout : Config.layout) =
+  let units, order = units_for config desc in
   let placement =
     match layout with
     | Config.Link_order ->
@@ -694,6 +703,10 @@ let layout_for config stack ?layout () =
   in
   let desc = match stack with Tcpip -> tcpip_desc | Rpc -> rpc_client_desc in
   build_image config desc ~layout
+
+let client_units config stack =
+  let desc = match stack with Tcpip -> tcpip_desc | Rpc -> rpc_client_desc in
+  units_for config desc
 
 let make_hstate ~params ~image ~sim ~simmem =
   (* one region: [stack (8KB, grows down) | heap-touch window] *)

@@ -51,6 +51,16 @@ val layout_for :
   Config.t -> stack_kind -> ?layout:Config.layout -> unit -> Layout.Image.t
 (** Build the client code image alone (for layout experiments). *)
 
+val client_units :
+  Config.t -> stack_kind -> Layout.Image.unit_spec list * string list
+(** The exact units the client image of this configuration is built from,
+    plus the invocation order over unit names the placement strategies
+    consume (chain members folded to their fused unit).  A layout
+    optimizer re-places these units and scores the placements through the
+    incremental path; any such placement corresponds to a real image of
+    this configuration — {!layout_for} builds the named strategies from
+    precisely these units. *)
+
 (** Everything a measurement run needs, in one value.  Construct with
     {!Spec.make} (which carries the historical defaults) and pass to
     {!run} / {!sample}; every harness — {!Profile}, {!Timeline}, {!Soak},

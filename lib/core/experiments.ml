@@ -667,6 +667,10 @@ let layout_sweep_table ?(incremental = true) () =
     rows;
   t
 
+let layout_search ?(budget = 240) ?(seeds = 1) ?(geometries = [ 8 ])
+    ?(jobs = 1) () =
+  Layoutsearch.table (Layoutsearch.run ~budget ~seeds ~geometries ~jobs ())
+
 let throughput () =
   let t =
     Table.create

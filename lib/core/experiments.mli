@@ -107,6 +107,18 @@ val layout_sweep :
 val layout_sweep_table : ?incremental:bool -> unit -> Protolat_util.Table.t
 (** {!layout_sweep} as a printed table (default incremental). *)
 
+val layout_search :
+  ?budget:int ->
+  ?seeds:int ->
+  ?geometries:int list ->
+  ?jobs:int ->
+  unit ->
+  Protolat_util.Table.t
+(** {!Layoutsearch.run} as a printed table: automated search vs the best
+    hand-picked layout per stack x geometry cell, with candidates/sec.
+    Defaults are the quick configuration (240 evaluations, 1 restart,
+    8 KB geometry only); [protolat search] exposes the full matrix. *)
+
 val throughput : unit -> Protolat_util.Table.t
 (** §4.1: the techniques do not hurt throughput (the wire is the
     bottleneck); §2.2.5: the instruction-count changes reduce CPU

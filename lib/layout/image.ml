@@ -71,6 +71,28 @@ let unit_funcs = function
   | Single s -> [ s.func ]
   | Fused f -> f.parts
 
+let unit_outlined = function
+  | Single s -> s.outlined
+  | Fused f -> f.f_outlined
+
+let unit_separate_cold = function
+  | Single s -> s.separate_cold
+  | Fused f -> f.f_separate_cold
+
+(* Clone-toggle move for layout search.  Shape-preserving on outlined
+   units: an outlined cold block emits the same instruction sequence
+   whether it sits after the unit's hot code or in the shared cold region,
+   so both variants expose identical (func, key) slots with equal pcs
+   lengths and [pc_map] retargets between them.  Without outlining the
+   cold code is interleaved into the hot blocks and there is nothing to
+   defer, hence the toggle is restricted to outlined units. *)
+let set_separate_cold u b =
+  if not (unit_outlined u) then
+    invalid_arg "Image.set_separate_cold: unit is not outlined";
+  match u with
+  | Single s -> Single { s with separate_cold = b }
+  | Fused f -> Fused { f with f_separate_cold = b }
+
 (* --- sizing ------------------------------------------------------------- *)
 
 (* Skipping the prologue head under the Alpha calling convention: the gp

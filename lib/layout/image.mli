@@ -94,6 +94,20 @@ val unit_name : unit_spec -> string
 
 val unit_funcs : unit_spec -> Func.t list
 
+val unit_outlined : unit_spec -> bool
+
+val unit_separate_cold : unit_spec -> bool
+
+val set_separate_cold : unit_spec -> bool -> unit_spec
+(** The clone-toggle move of layout search: the same unit with its
+    outlined cold blocks kept unit-local ([false]) or deferred to the
+    shared cold region after all units ([true], §3.2 clone semantics).
+    Shape-preserving — both variants expose identical (func, key) slots
+    with equal instruction counts, so {!pc_map} retargets between them;
+    only addresses (and the unit's {!size_bytes}) change.
+    @raise Invalid_argument on non-outlined units, whose cold code is
+    interleaved and cannot be deferred. *)
+
 val size_bytes : unit_spec -> int
 (** Bytes the unit occupies at its own base address (hot + cold, or hot
     only when the cold blocks go to the shared region). *)

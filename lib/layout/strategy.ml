@@ -175,6 +175,39 @@ let micro_position ~base ~icache_bytes ~block_bytes ~ref_seq units =
   in
   result
 
+(* Genome decoder for layout search: units arrive in the order the genome
+   dictates, each tagged with a desired i-cache set offset in blocks
+   (or -1 for "dense, right after the previous unit").  Offsets use the
+   micro-positioning congruence idiom: the unit goes at the first address
+   at or past the cursor whose i-cache set matches, which costs at most
+   one cache period of gap.  Every (order, offsets) pair decodes to a
+   valid non-overlapping placement, so search moves can mutate freely. *)
+let at_offsets ~base ~icache_bytes ~block_bytes units =
+  let nsets = icache_bytes / block_bytes in
+  let cursor = ref base in
+  List.map
+    (fun (u, off) ->
+      let addr =
+        if off < 0 then align_up !cursor block_bytes
+        else begin
+          (* off = set + nsets * extra whole periods of deliberate gap;
+             the extra periods let strategies whose jumps exceed one
+             period (bipartite's library partition) round-trip exactly *)
+          let offset_bytes = off mod nsets * block_bytes in
+          let candidate =
+            (!cursor / icache_bytes * icache_bytes) + offset_bytes
+          in
+          let minimal =
+            if candidate >= !cursor then candidate
+            else candidate + icache_bytes
+          in
+          minimal + (off / nsets * icache_bytes)
+        end
+      in
+      cursor := addr + Image.size_bytes u;
+      (u, addr))
+    units
+
 let gaps placement =
   let extents =
     List.map (fun (u, a) -> (a, a + Image.size_bytes u)) placement

@@ -56,5 +56,22 @@ val micro_position :
     interleave in [ref_seq].  Introduces gaps: the physical address is the
     lowest free address congruent to the chosen offset. *)
 
+val at_offsets :
+  base:int ->
+  icache_bytes:int ->
+  block_bytes:int ->
+  (Image.unit_spec * int) list ->
+  placement
+(** Genome decoder for layout search: units in the given order, each
+    tagged with a desired i-cache set offset in blocks, or [-1] for
+    "dense, block-aligned right after the previous unit".  A tag
+    [off >= 0] encodes set [off mod sets] plus [off / sets] extra whole
+    cache periods of deliberate gap: the unit goes at the lowest address
+    at or past the running cursor congruent to the set (the
+    {!micro_position} idiom), displaced by the extra periods — so even
+    placements whose jumps exceed one period (bipartite's library
+    partition) round-trip exactly.  Total, so any (order, offsets)
+    genome decodes to a valid non-overlapping placement. *)
+
 val gaps : placement -> int
 (** Total bytes of gap between consecutively placed units. *)

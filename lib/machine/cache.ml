@@ -168,6 +168,25 @@ let reset_stats t =
   t.cold <- 0;
   t.repl <- 0
 
+(* Restore the exact state of a fresh [create]: empty sets, generation
+   counters back at 0, no eviction history, zeroed counters.  Unlike
+   [invalidate_all] this forgets the eviction bitset too, so a subsequent
+   first-touch miss classifies as cold again.  Reusing a cleared cache is
+   only sound when no generation snapshot taken against it survives the
+   clear (a fresh snapshot table per clear, as {!Blockcache.rebind}
+   produces, satisfies this) — a reset generation can coincide with a
+   stale snapshot and fake residency. *)
+let clear t =
+  Array.fill t.tags 0 t.sets (-1);
+  Array.fill t.gens 0 t.sets 0;
+  (if Array.length t.evicted = 16 then Array.fill t.evicted 0 16 None
+   else t.evicted <- Array.make 16 None);
+  t.accesses <- 0;
+  t.hits <- 0;
+  t.cold <- 0;
+  t.repl <- 0;
+  t.last_victim <- -1
+
 let accesses t = t.accesses
 
 let hits t = t.hits

@@ -65,6 +65,15 @@ val credit_hits : t -> int -> unit
 val invalidate_all : t -> unit
 (** Empty the cache but keep statistics and eviction history. *)
 
+val clear : t -> unit
+(** Restore the exact state of a fresh {!create}: empty sets, generations
+    back at 0, eviction history forgotten (first-touch misses classify as
+    cold again), statistics zeroed.  Unlike {!invalidate_all} this is a
+    true reset, not an eviction — it lets a scorer reuse one cache
+    allocation per candidate instead of paying {!create}.  Only sound when
+    no generation snapshot taken before the clear survives it: a reset
+    generation can coincide with a stale snapshot and fake residency. *)
+
 val reset_stats : t -> unit
 
 (** Statistics since the last [reset_stats]. *)

@@ -85,6 +85,17 @@ val invalidate_primary : t -> unit
 
 val invalidate_all : t -> unit
 
+val clear : t -> unit
+(** Restore the exact state of a fresh [create (params t)] without
+    reallocating: caches emptied with eviction history and generations
+    reset ({!Cache.clear}), write buffer reset, all counters and stall
+    accumulators zeroed.  A cleared hierarchy simulates any trace
+    bit-identically to a new one — the point is skipping the b-cache's
+    two 65536-set array allocations when scoring many candidates against
+    a reused scratch hierarchy.  Same caveat as {!Cache.clear}: any
+    generation snapshot taken before the clear must not survive it
+    (a fresh {!Blockcache.rebind} per clear satisfies this). *)
+
 val reset_stats : t -> unit
 
 (** Table 6 statistics. *)

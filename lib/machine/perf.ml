@@ -133,6 +133,31 @@ let measure_steady ~warmup p bc =
   Blockcache.replay bc m;
   build p (Blockcache.trace bc) (Memsys.stats m)
 
+(* Candidate-scoring variant of [measure_steady]: the caller owns a scratch
+   memory system (reused across thousands of candidates) and has hoisted the
+   CPU-model scans, which depend only on the instruction-class column and
+   are therefore invariant under pc retargeting of one base trace.
+   [Memsys.clear] restores exact create-state and a fresh [rebind]
+   segmentation starts with no surviving generation snapshots, so the
+   result is bit-identical to [measure_steady ~warmup p bc] on the same
+   segmentation.  Deliberately bypasses the simulation cache: at thousands
+   of one-off candidate layouts per second, digesting each retargeted trace
+   for a key that will never hit costs more than the replay itself. *)
+let steady_scratch ?(warmup = 3) ~scratch ~issue_cycles ~instr_cycles p bc =
+  if Memsys.params scratch <> p then
+    invalid_arg "Perf.steady_scratch: scratch memory system params mismatch";
+  Memsys.clear scratch;
+  for _ = 1 to warmup do
+    Blockcache.replay bc scratch
+  done;
+  Memsys.reset_stats scratch;
+  Blockcache.reset_counters bc;
+  Blockcache.replay bc scratch;
+  derive p
+    ~length:(Trace.length (Blockcache.trace bc))
+    ~issue_cycles ~instr_cycles
+    (Memsys.stats scratch)
+
 let steady_bc ?(warmup = 3) p bc =
   cached ~tag:(steady_tag warmup) p (Blockcache.trace bc) (fun () ->
       measure_steady ~warmup p bc)

@@ -55,6 +55,28 @@ val steady_bc : ?warmup:int -> Params.t -> Blockcache.t -> report
     measured replay, so the counters always describe the measured replay
     alone.  {!steady} and {!cold_and_steady} do the same. *)
 
+val steady_scratch :
+  ?warmup:int ->
+  scratch:Memsys.t ->
+  issue_cycles:float ->
+  instr_cycles:float ->
+  Params.t ->
+  Blockcache.t ->
+  report
+(** {!steady_bc} for candidate scoring at high rate: the caller supplies a
+    reusable scratch memory system (cleared here via {!Memsys.clear}, so
+    no per-candidate allocation of the 2MB b-cache's set arrays) and the
+    hoisted CPU-model scan results — {!Cpu.issue_cycles} and
+    {!Cpu.perfect_memory_cycles} of the base trace, which depend only on
+    the instruction-class column and are invariant under pc retargeting.
+    Bit-identical to [steady_bc ~warmup p bc] on the same segmentation
+    given matching hoisted cycles, but never consults the {!Simcache}
+    (one-off candidate digests cannot hit and keying them costs more than
+    the replay).  [scratch] must have been created with exactly [p]
+    (checked), and [bc] must be a fresh {!Blockcache.rebind} — a
+    segmentation holding generation snapshots from before the clear would
+    fake residency. *)
+
 val cold_and_steady : ?warmup:int -> Params.t -> Trace.t -> report * report
 (** Both measurements from one segmentation and one memory system: the
     first replay from empty caches is the cold report and doubles as the

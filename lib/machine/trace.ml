@@ -150,6 +150,20 @@ let map_pcs f t =
     (* the rewritten pcs change the replay content; never inherit *)
     digest_memo = None }
 
+(* Like [map_pcs] but with the rewritten pc column supplied directly:
+   a layout-search scorer precomputes, once per base trace, where each
+   event's pc lives in the image (slot ordinal + index within the slot),
+   then fills one int array per candidate instead of paying a closure
+   call plus an [Image.find] per event.  The array is adopted as-is; the
+   caller must not mutate it afterwards. *)
+let remap_pcs t pcs =
+  if Array.length pcs <> t.len then invalid_arg "Trace.remap_pcs";
+  (* the metadata columns are shared, not copied: reads are bounded by
+     [len], appends to [t] only touch indices >= [len] (or reallocate),
+     and the result's own [pcs] is at capacity so appending to it forces
+     a reallocation of every column before anything shared is written *)
+  { t with pcs; digest_memo = None }
+
 let class_counts t =
   let counts = Array.make Instr.n_classes 0 in
   for i = 0 to t.len - 1 do

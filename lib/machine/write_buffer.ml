@@ -107,3 +107,13 @@ let reset_stats t =
   t.merges <- 0;
   t.writes <- 0;
   t.retires <- 0
+
+(* Restore the exact state of a fresh [create]; see Cache.clear for the
+   generation-snapshot caveat, which applies to wbgens snapshots too. *)
+let clear t =
+  t.head <- 0;
+  t.count <- 0;
+  t.merges <- 0;
+  t.writes <- 0;
+  t.retires <- 0;
+  t.gen <- 0

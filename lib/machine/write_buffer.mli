@@ -27,6 +27,12 @@ val retires : t -> int
 
 val reset_stats : t -> unit
 
+val clear : t -> unit
+(** Restore the exact state of a fresh {!create}: empty buffer, zeroed
+    statistics, generation back at 0.  Same snapshot caveat as
+    {!Cache.clear}: any generation snapshot taken before the clear must
+    not survive it. *)
+
 val generation : t -> int
 (** Content-generation counter: bumped on every write that buffers or
     retires and on every {!drain}; merges leave it unchanged.  While the

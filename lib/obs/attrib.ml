@@ -46,6 +46,29 @@ let cross_imisses t =
     (fun acc c -> if c.victim <> c.evictor then acc + c.count else acc)
     0 t.conflicts
 
+(* Typed hottest-pairs query so layout tooling never re-reads the raw
+   matrix.  Equal counts tie-break on (victim, evictor) — the order, and
+   anything derived from it (move-generator proposals, search digests), is
+   deterministic. *)
+let top_conflicts ?(k = 10) ?(cross_only = false) t =
+  let eligible =
+    if cross_only then
+      List.filter (fun c -> c.victim <> c.evictor) t.conflicts
+    else t.conflicts
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare b.count a.count with
+        | 0 -> (
+          match compare a.victim b.victim with
+          | 0 -> compare a.evictor b.evictor
+          | c -> c)
+        | c -> c)
+      eligible
+  in
+  List.filteri (fun i _ -> i < k) sorted
+
 (* Mutable per-function accumulator (columns of one [row]). *)
 type acc = {
   mutable a_instrs : int;

@@ -54,6 +54,15 @@ val self_imisses : t -> int
 val cross_imisses : t -> int
 (** Replacement misses across function boundaries. *)
 
+val top_conflicts : ?k:int -> ?cross_only:bool -> t -> conflict list
+(** The [k] (default 10) hottest conflict-matrix cells, by descending
+    eviction count; equal counts tie-break on (victim, evictor) so the
+    order is deterministic.  [cross_only] (default [false]) drops
+    self-interference pairs — a placement move cannot separate a function
+    from itself.  This is the guidance feed of the automated layout
+    search: moves target exactly these pairs instead of mutating
+    blindly. *)
+
 val profile :
   ?mode:[ `Steady | `Cold ] ->
   ?warmup:int ->

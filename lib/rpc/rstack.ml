@@ -105,16 +105,6 @@ let pair_of_net net =
     server = net.hosts.(1);
     metrics = net.n_metrics }
 
-let make_pair ?(client_opts = Opts.improved) ?(server_opts = Opts.improved)
-    ?client_meter ?server_meter () =
-  let net =
-    make_net
-      ~opts_for:(fun i -> if i = 0 then client_opts else server_opts)
-      ~meter_for:(fun i -> if i = 0 then client_meter else server_meter)
-      ~topology:(Ns.Topology.pair ()) ()
-  in
-  pair_of_net net
-
 let make_tests pair ~rounds =
   let server = Xrpctest.server pair.server.env pair.server.mselect ~client_id:1 in
   let client =

@@ -55,16 +55,6 @@ val make_net :
 
 val pair_of_net : net -> pair
 
-val make_pair :
-  ?client_opts:Protolat_tcpip.Opts.t ->
-  ?server_opts:Protolat_tcpip.Opts.t ->
-  ?client_meter:Xk.Meter.t ->
-  ?server_meter:Xk.Meter.t ->
-  unit ->
-  pair
-  [@@deprecated
-    "positional client/server construction: use make_net ~topology:(Ns.Topology.pair ()) and pair_of_net"]
-
 val make_tests : pair -> rounds:int -> Xrpctest.t * Xrpctest.t
 (** (client, server) test protocols, client configured for [rounds]. *)
 

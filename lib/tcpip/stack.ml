@@ -108,16 +108,6 @@ let pair_of_net net =
     server = net.hosts.(1);
     metrics = net.n_metrics }
 
-let make_pair ?(client_opts = Opts.improved) ?(server_opts = Opts.improved)
-    ?client_meter ?server_meter () =
-  let net =
-    make_net
-      ~opts_for:(fun i -> if i = 0 then client_opts else server_opts)
-      ~meter_for:(fun i -> if i = 0 then client_meter else server_meter)
-      ~topology:(Ns.Topology.pair ()) ()
-  in
-  pair_of_net net
-
 let establish pair ~rounds =
   let server_test = Tcptest.server pair.server.env pair.server.tcp ~port:7 in
   let client_test =

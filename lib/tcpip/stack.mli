@@ -79,18 +79,6 @@ val pair_of_net : net -> pair
     segment as the link.
     @raise Invalid_argument unless the net has exactly 2 hosts. *)
 
-val make_pair :
-  ?client_opts:Opts.t ->
-  ?server_opts:Opts.t ->
-  ?client_meter:Xk.Meter.t ->
-  ?server_meter:Xk.Meter.t ->
-  unit ->
-  pair
-  [@@deprecated
-    "positional client/server construction: use make_net ~topology:(Ns.Topology.pair ()) and pair_of_net"]
-(** Two hosts with routes/ARP prepared, on a fresh simulator.  Equivalent
-    to (and implemented as) [make_net] over {!Ns.Topology.pair}. *)
-
 val establish :
   pair -> rounds:int -> Tcptest.t * Tcptest.t
 (** Create server and client test protocols and run the simulation until

@@ -38,6 +38,7 @@ dune build @mflow-quick
 dune build @spans-quick
 dune build @chaos-quick
 dune build @fabric-quick
+dune build @search-quick
 # pair bit-identity: an explicit --topo pair must reproduce the default
 # two-host wiring byte-for-byte (the topology-first API's compatibility
 # contract; the star:2 detour through the switch must differ)

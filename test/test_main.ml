@@ -23,4 +23,5 @@ let () =
       Test_spans.suite;
       Test_chaos.suite;
       Test_fastpath.suite;
-      Test_replay.suite ]
+      Test_replay.suite;
+      Test_search.suite ]
